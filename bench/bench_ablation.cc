@@ -1,0 +1,257 @@
+// Ablation studies for the design choices DESIGN.md calls out. Not a
+// paper figure; complements the reproduction by quantifying:
+//
+//   A. Backbone construction: random vs Algorithm-1 spanning backbones,
+//      and the spanning-fraction / forest-count knobs of BGI.
+//   B. Entropy parameter h on EMD (the paper sweeps it on GDB only).
+//   C. Representative instances [29, 30] vs sparsified graphs: degree
+//      preservation and the inability to answer probabilistic queries.
+//   D. Stratified vs plain Monte-Carlo estimation at equal budget, on
+//      the original and the EMD-sparsified graph (the paper's [23]).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "metrics/discrepancy.h"
+#include "metrics/variance.h"
+#include "query/reliability.h"
+#include "query/stratified.h"
+#include "sparsify/representative.h"
+#include "sparsify/sparsifier.h"
+#include "util/union_find.h"
+
+namespace {
+
+void BackboneAblation(const ugs::UncertainGraph& graph,
+                      const ugs::BenchConfig& config) {
+  std::printf("\n[A] backbone construction (GDBA probability assignment, "
+              "alpha = 0.32):\n");
+  ugs::ReportTable table(
+      {"backbone", "degree MAE", "entropy", "connected"});
+  struct Case {
+    std::string name;
+    ugs::BackboneOptions options;
+  };
+  std::vector<Case> cases;
+  {
+    Case random;
+    random.name = "random (MC sampling)";
+    random.options.kind = ugs::BackboneKind::kRandom;
+    cases.push_back(random);
+  }
+  for (double fraction : {0.25, 0.5, 0.75}) {
+    Case c;
+    c.name = "spanning f=" + ugs::FormatFixed(fraction, 2);
+    c.options.kind = ugs::BackboneKind::kSpanning;
+    c.options.spanning_fraction = fraction;
+    cases.push_back(c);
+  }
+  {
+    Case many;
+    many.name = "spanning forests=12";
+    many.options.kind = ugs::BackboneKind::kSpanning;
+    many.options.max_spanning_forests = 12;
+    cases.push_back(many);
+  }
+  for (const Case& c : cases) {
+    ugs::GdbSparsifierOptions options;
+    options.backbone = c.options;
+    auto method = ugs::MakeGdbSparsifier(options);
+    ugs::Rng rng(config.seed + 7);
+    ugs::SparsifyOutput out = ugs::MustSparsify(*method, graph, 0.32, &rng);
+    table.AddRow({c.name,
+                  ugs::FormatSci(ugs::DegreeDiscrepancyMae(graph, out.graph)),
+                  ugs::FormatFixed(ugs::RelativeEntropy(graph, out.graph), 3),
+                  out.graph.IsStructurallyConnected() ? "yes" : "no"});
+  }
+  table.Print();
+}
+
+void EmdEntropyAblation(const ugs::UncertainGraph& graph,
+                        const ugs::BenchConfig& config) {
+  std::printf("\n[B] entropy parameter h on EMD (alpha = 0.32):\n");
+  ugs::ReportTable table({"h", "degree MAE", "relative entropy"});
+  for (double h : {0.0, 0.01, 0.05, 0.1, 0.5, 1.0}) {
+    auto method = ugs::MakeSparsifierByName("EMDR-t", h);
+    if (!method.ok()) std::abort();
+    ugs::Rng rng(config.seed + 7);
+    ugs::SparsifyOutput out =
+        ugs::MustSparsify(**method, graph, 0.32, &rng);
+    table.AddRow({ugs::FormatFixed(h, 2),
+                  ugs::FormatSci(ugs::DegreeDiscrepancyMae(graph, out.graph)),
+                  ugs::FormatSci(ugs::RelativeEntropy(graph, out.graph))});
+  }
+  table.Print();
+}
+
+void RepresentativeAblation(const ugs::UncertainGraph& graph,
+                            const ugs::BenchConfig& config) {
+  std::printf("\n[C] representative instances [29,30] vs sparsification:\n");
+  ugs::Rng rng(config.seed + 11);
+  std::vector<ugs::EdgeId> modal = ugs::ModalRepresentative(graph);
+  std::vector<ugs::EdgeId> greedy =
+      ugs::GreedyDegreeRepresentative(graph, &rng);
+  auto emd = ugs::MakeSparsifierByName("EMD");
+  if (!emd.ok()) std::abort();
+  ugs::SparsifyOutput sparse =
+      ugs::MustSparsify(**emd, graph, 0.32, &rng);
+
+  // Degree preservation and probabilistic-query expressiveness: the mean
+  // reliability of random pairs. A deterministic representative can only
+  // answer 0 or 1 per pair, so its distribution over pairs is coarse.
+  ugs::Rng qpair_rng(config.seed + 13);
+  std::vector<ugs::VertexPair> pairs =
+      ugs::SampleDistinctPairs(graph.num_vertices(), 8, &qpair_rng);
+  auto mean_reliability = [&](const ugs::UncertainGraph& g) {
+    ugs::Rng qrng(config.seed + 14);
+    std::vector<double> rel = ugs::EstimateReliability(g, pairs, 120, &qrng);
+    double sum = 0.0;
+    for (double x : rel) sum += x;
+    return sum / static_cast<double>(rel.size());
+  };
+  ugs::ReportTable table({"instance", "edges", "degree MAE",
+                          "mean reliability (8 pairs)"});
+  ugs::UncertainGraph modal_graph =
+      ugs::MaterializeRepresentative(graph, modal);
+  ugs::UncertainGraph greedy_graph =
+      ugs::MaterializeRepresentative(graph, greedy);
+  table.AddRow({"modal representative", std::to_string(modal.size()),
+                ugs::FormatSci(ugs::RepresentativeDegreeMae(graph, modal)),
+                ugs::FormatFixed(mean_reliability(modal_graph), 3)});
+  table.AddRow({"greedy representative", std::to_string(greedy.size()),
+                ugs::FormatSci(ugs::RepresentativeDegreeMae(graph, greedy)),
+                ugs::FormatFixed(mean_reliability(greedy_graph), 3)});
+  table.AddRow({"EMD alpha=0.32",
+                std::to_string(sparse.graph.num_edges()),
+                ugs::FormatSci(ugs::DegreeDiscrepancyMae(graph, sparse.graph)),
+                ugs::FormatFixed(mean_reliability(sparse.graph), 3)});
+  table.AddRow({"original", std::to_string(graph.num_edges()), "0",
+                ugs::FormatFixed(mean_reliability(graph), 3)});
+  table.Print();
+  std::printf("  (a representative answers each pair 0/1 -- it cannot\n"
+              "   express per-pair probabilities; Section 2.3's argument)\n");
+}
+
+void StratifiedAblation(const ugs::UncertainGraph& graph,
+                        const ugs::BenchConfig& config) {
+  std::printf("\n[D] stratified vs plain MC estimation "
+              "(reliability of one pair, budget 256):\n");
+  ugs::Rng pair_rng(config.seed + 17);
+  std::vector<ugs::VertexPair> pairs =
+      ugs::SampleDistinctPairs(graph.num_vertices(), 1, &pair_rng);
+  const ugs::VertexPair pair = pairs[0];
+
+  auto query = [&](const ugs::UncertainGraph& g) {
+    return [&g, pair](const std::vector<char>& present) {
+      ugs::UnionFind uf(g.num_vertices());
+      for (ugs::EdgeId e = 0; e < g.num_edges(); ++e) {
+        if (present[e]) uf.Union(g.edge(e).u, g.edge(e).v);
+      }
+      return uf.Connected(pair.s, pair.t) ? 1.0 : 0.0;
+    };
+  };
+
+  auto emd = ugs::MakeSparsifierByName("EMD");
+  if (!emd.ok()) std::abort();
+  ugs::Rng srng(config.seed + 19);
+  ugs::SparsifyOutput sparse = ugs::MustSparsify(**emd, graph, 0.32, &srng);
+
+  const int kBudget = 256;
+  const int kRuns = config.Samples(60, 12);
+  ugs::StratifiedOptions stratified;
+  stratified.total_samples = kBudget;
+  // Few pivots: 16 strata for a 256-sample budget keeps the per-stratum
+  // allocation meaningful (over-stratifying wastes budget on the forced
+  // one-sample-per-stratum minimum).
+  stratified.num_pivot_edges = 4;
+
+  ugs::ReportTable table({"graph / estimator", "variance"});
+  struct GraphCase {
+    const char* name;
+    const ugs::UncertainGraph* graph;
+  };
+  for (const GraphCase& c :
+       std::vector<GraphCase>{{"original", &graph},
+                              {"EMD-sparsified", &sparse.graph}}) {
+    auto world_query = query(*c.graph);
+    ugs::Rng v1(config.seed + 23), v2(config.seed + 29);
+    double mc_var = ugs::MeanEstimatorVariance(
+        [&](ugs::Rng* r) {
+          return std::vector<double>{
+              ugs::MonteCarloEstimate(*c.graph, world_query, kBudget, r)};
+        },
+        kRuns, &v1);
+    double st_var = ugs::MeanEstimatorVariance(
+        [&](ugs::Rng* r) {
+          return std::vector<double>{
+              ugs::StratifiedEstimate(*c.graph, world_query, stratified, r)};
+        },
+        kRuns, &v2);
+    table.AddRow({std::string(c.name) + " / plain MC",
+                  ugs::FormatSci(mc_var)});
+    table.AddRow({std::string(c.name) + " / stratified",
+                  ugs::FormatSci(st_var)});
+  }
+  table.Print();
+  std::printf(
+      "  (stratification helps only when the pivot edges matter to the\n"
+      "   query -- globally-chosen pivots are variance-neutral here;\n"
+      "   sparsification's entropy reduction is the dominant effect)\n");
+}
+
+void CutRuleAblation(const ugs::UncertainGraph& graph,
+                     const ugs::BenchConfig& config) {
+  std::printf("\n[E] GDB cut rule k (Section 5) vs evaluated cut size "
+              "(alpha = 0.32, MAE of delta_A(S) at |S|):\n");
+  const std::vector<std::size_t> eval_sizes = {1, 2, 8, 64};
+  std::vector<std::string> headers{"optimized rule"};
+  for (std::size_t s : eval_sizes) {
+    headers.push_back("|S|=" + std::to_string(s));
+  }
+  ugs::ReportTable table(headers);
+  struct RuleCase {
+    std::string name;
+    ugs::CutRule rule;
+  };
+  for (const RuleCase& c : std::vector<RuleCase>{
+           {"k=1 (degrees)", ugs::CutRule::Degrees()},
+           {"k=2", ugs::CutRule::Cuts(2)},
+           {"k=4", ugs::CutRule::Cuts(4)},
+           {"k=16", ugs::CutRule::Cuts(16)},
+           {"k=n (random)", ugs::CutRule::AllCuts()}}) {
+    ugs::GdbSparsifierOptions options;
+    options.gdb.rule = c.rule;
+    auto method = ugs::MakeGdbSparsifier(options, c.name);
+    ugs::Rng rng(config.seed + 7);
+    ugs::SparsifyOutput out = ugs::MustSparsify(*method, graph, 0.32, &rng);
+    std::vector<std::string> row{c.name};
+    for (std::size_t s : eval_sizes) {
+      ugs::Rng cut_rng(config.seed + 1000 + s);
+      row.push_back(ugs::FormatSci(ugs::CutDiscrepancyMaeForSetSize(
+          graph, out.graph, s, config.Samples(128, 32), &cut_rng)));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("  (the analytic Eq.-14 rule keeps GDB's cost independent\n"
+              "   of k; accuracy differences across k are modest except\n"
+              "   for the degenerate k = n rule, as in the paper)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ugs::BenchConfig config = ugs::ParseBenchArgs(
+      argc, argv, "Ablations: backbone, EMD h, representatives, stratified");
+  ugs::UncertainGraph graph = ugs::bench::LoadDataset("FlickrReduced",
+                                                      config);
+  BackboneAblation(graph, config);
+  EmdEntropyAblation(graph, config);
+  RepresentativeAblation(graph, config);
+  StratifiedAblation(graph, config);
+  CutRuleAblation(graph, config);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 6: MAE of the absolute degree discrepancy delta_A(u) (panels
+// a, c) and of the sampled cut discrepancy delta_A(S) (panels b, d)
+// versus alpha, for the representative proposed methods (GDB = GDBA,
+// EMD = EMDR-t) against the deterministic-literature benchmarks NI and
+// SS, on the Flickr-like and Twitter-like datasets.
+//
+// Paper shape: GDB/EMD win consistently, usually by orders of magnitude;
+// NI is competitive only at small alpha on Twitter (high probabilities
+// make the backbone nearly deterministic); SS is far off throughout.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "metrics/discrepancy.h"
+#include "sparsify/sparsifier.h"
+
+namespace {
+
+void RunPanel(const ugs::UncertainGraph& graph, const ugs::BenchConfig& config,
+              const char* dataset) {
+  const std::vector<double> alphas = ugs::PaperAlphas();
+  const std::vector<std::string> methods = {"NI", "SS", "GDB", "EMD"};
+
+  ugs::CutSampleOptions cuts;
+  cuts.num_k_values = config.Samples(12, 5);
+  cuts.sets_per_k = config.Samples(48, 12);
+
+  std::vector<std::string> headers{"method"};
+  for (double a : alphas) headers.push_back(ugs::bench::AlphaLabel(a));
+  ugs::ReportTable degree_table(headers);
+  ugs::ReportTable cut_table(headers);
+
+  for (const std::string& name : methods) {
+    auto method = ugs::MakeSparsifierByName(name);
+    if (!method.ok()) std::abort();
+    std::vector<std::string> degree_row{name};
+    std::vector<std::string> cut_row{name};
+    for (double alpha : alphas) {
+      ugs::Rng rng(config.seed + 7);
+      ugs::SparsifyOutput out =
+          ugs::MustSparsify(**method, graph, alpha, &rng);
+      degree_row.push_back(ugs::FormatSci(ugs::DegreeDiscrepancyMae(
+          graph, out.graph, ugs::DiscrepancyType::kAbsolute)));
+      ugs::Rng cut_rng(config.seed + 1000);
+      cut_row.push_back(ugs::FormatSci(
+          ugs::CutDiscrepancyMae(graph, out.graph, cuts, &cut_rng)));
+    }
+    degree_table.AddRow(std::move(degree_row));
+    cut_table.AddRow(std::move(cut_row));
+  }
+  std::printf("\nMAE of delta_A(u) (%s):\n", dataset);
+  degree_table.Print();
+  std::printf("\nMAE of delta_A(S) (%s):\n", dataset);
+  cut_table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ugs::BenchConfig config = ugs::ParseBenchArgs(
+      argc, argv,
+      "Figure 6: degree/cut discrepancy MAE vs benchmarks (real datasets)");
+  {
+    ugs::UncertainGraph flickr = ugs::bench::LoadDataset("Flickr", config);
+    RunPanel(flickr, config, "Flickr-like");
+  }
+  {
+    ugs::UncertainGraph twitter = ugs::bench::LoadDataset("Twitter", config);
+    RunPanel(twitter, config, "Twitter-like");
+  }
+  std::printf(
+      "\npaper Figure 6 shape: EMD <= GDB << NI, SS on both metrics and\n"
+      "datasets; NI closes the gap only at small alpha on Twitter.\n");
+  return 0;
+}

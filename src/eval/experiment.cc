@@ -1,0 +1,62 @@
+#include "eval/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace ugs {
+
+BenchConfig ParseBenchArgs(int argc, char** argv,
+                           const std::string& description) {
+  BenchConfig config;
+  if (const char* env = std::getenv("UGS_BENCH_SCALE")) {
+    config.scale = std::atof(env);
+  }
+  if (const char* env = std::getenv("UGS_BENCH_QUICK")) {
+    config.quick = std::atoi(env) != 0;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      config.scale = std::atof(arg + 8);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      config.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      config.quick = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf("%s\nflags: --scale=<f> --seed=<u> --quick\n",
+                  description.c_str());
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      std::exit(2);
+    }
+  }
+  UGS_CHECK(config.scale > 0.0);
+  std::printf("== %s ==\n", description.c_str());
+  std::printf("scale=%.2f seed=%llu%s\n", config.scale,
+              static_cast<unsigned long long>(config.seed),
+              config.quick ? " (quick)" : "");
+  return config;
+}
+
+std::vector<double> PaperAlphas() { return {0.08, 0.16, 0.32, 0.64}; }
+
+std::vector<int> PaperDensities() { return {15, 30, 50, 90}; }
+
+SparsifyOutput MustSparsify(const Sparsifier& method,
+                            const UncertainGraph& graph, double alpha,
+                            Rng* rng) {
+  Result<SparsifyOutput> result = method.Sparsify(graph, alpha, rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "sparsifier %s failed at alpha=%.3f: %s\n",
+                 method.name().c_str(), alpha,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result.value());
+}
+
+}  // namespace ugs

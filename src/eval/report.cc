@@ -1,0 +1,53 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ugs {
+
+ReportTable::ReportTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void ReportTable::Print() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c == 0) {
+        std::printf("%-*s", static_cast<int>(width[c]) + 2, row[c].c_str());
+      } else {
+        std::printf("%*s  ", static_cast<int>(width[c]), row[c].c_str());
+      }
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::size_t total = 2;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatSci(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2e", value);
+  return buf;
+}
+
+std::string FormatFixed(double value, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace ugs

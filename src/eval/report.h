@@ -1,0 +1,35 @@
+#ifndef UGS_EVAL_REPORT_H_
+#define UGS_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace ugs {
+
+/// Minimal aligned-column table printer for bench reports: benches print
+/// the same rows/series the paper's tables and figures report, and this
+/// keeps them readable on a terminal and greppable in bench_output.txt.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with padded columns; first column left-aligned, the rest
+  /// right-aligned.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Scientific formatting "1.23e-04" (matches the paper's table style).
+std::string FormatSci(double value);
+
+/// Fixed formatting with the given precision.
+std::string FormatFixed(double value, int precision);
+
+}  // namespace ugs
+
+#endif  // UGS_EVAL_REPORT_H_

@@ -1,0 +1,98 @@
+#include "flow/dinic.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ugs {
+
+DinicMaxFlow::DinicMaxFlow(std::size_t num_nodes, double epsilon)
+    : epsilon_(epsilon), head_(num_nodes) {}
+
+std::size_t DinicMaxFlow::AddArc(std::uint32_t from, std::uint32_t to,
+                                 double capacity) {
+  UGS_CHECK(from < head_.size() && to < head_.size());
+  UGS_CHECK(capacity >= 0.0);
+  UGS_CHECK(!solved_);
+  std::size_t index = arcs_.size();
+  arcs_.push_back({to, capacity});
+  arcs_.push_back({from, 0.0});
+  head_[from].push_back(static_cast<std::uint32_t>(index));
+  head_[to].push_back(static_cast<std::uint32_t>(index + 1));
+  original_capacity_.push_back(capacity);
+  original_capacity_.push_back(0.0);
+  return index;
+}
+
+bool DinicMaxFlow::BuildLevels(std::uint32_t source, std::uint32_t sink) {
+  level_.assign(head_.size(), -1);
+  std::deque<std::uint32_t> queue{source};
+  level_[source] = 0;
+  while (!queue.empty()) {
+    std::uint32_t node = queue.front();
+    queue.pop_front();
+    for (std::uint32_t a : head_[node]) {
+      const Arc& arc = arcs_[a];
+      if (arc.capacity > epsilon_ && level_[arc.to] < 0) {
+        level_[arc.to] = level_[node] + 1;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+double DinicMaxFlow::Augment(std::uint32_t node, std::uint32_t sink,
+                             double limit) {
+  if (node == sink) return limit;
+  for (std::uint32_t& i = iter_[node]; i < head_[node].size(); ++i) {
+    std::uint32_t a = head_[node][i];
+    Arc& arc = arcs_[a];
+    if (arc.capacity > epsilon_ && level_[arc.to] == level_[node] + 1) {
+      double pushed =
+          Augment(arc.to, sink, std::min(limit, arc.capacity));
+      if (pushed > epsilon_) {
+        arc.capacity -= pushed;
+        arcs_[a ^ 1].capacity += pushed;
+        return pushed;
+      }
+    }
+  }
+  level_[node] = -1;  // Dead end; prune.
+  return 0.0;
+}
+
+double DinicMaxFlow::Solve(std::uint32_t source, std::uint32_t sink) {
+  UGS_CHECK(source < head_.size() && sink < head_.size());
+  UGS_CHECK(source != sink);
+  UGS_CHECK(!solved_);
+  solved_ = true;
+  double total = 0.0;
+  while (BuildLevels(source, sink)) {
+    iter_.assign(head_.size(), 0);
+    for (;;) {
+      double pushed =
+          Augment(source, sink, std::numeric_limits<double>::infinity());
+      if (pushed <= epsilon_) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+double DinicMaxFlow::FlowOn(std::size_t arc) const {
+  UGS_CHECK(arc < arcs_.size());
+  // Flow = original capacity minus remaining residual capacity.
+  double flow = original_capacity_[arc] - arcs_[arc].capacity;
+  return std::max(flow, 0.0);
+}
+
+bool DinicMaxFlow::OnSourceSide(std::uint32_t node) const {
+  UGS_CHECK(solved_);
+  UGS_CHECK(node < head_.size());
+  return level_[node] >= 0;
+}
+
+}  // namespace ugs

@@ -1,0 +1,60 @@
+#ifndef UGS_FLOW_DINIC_H_
+#define UGS_FLOW_DINIC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ugs {
+
+/// Dinic's maximum-flow algorithm over real-valued capacities.
+///
+/// This is the substrate for the exact Theorem-1 LP solver
+/// (sparsify/lp_assign.h): the fractional degree-constrained subgraph LP is
+/// solved as a max-flow on the bipartite double cover of the backbone, so
+/// capacities are expected degrees (arbitrary non-negative doubles) rather
+/// than integers. An epsilon tolerance guards augmentation against
+/// floating-point dust.
+class DinicMaxFlow {
+ public:
+  /// Creates a flow network with num_nodes nodes and no arcs.
+  explicit DinicMaxFlow(std::size_t num_nodes, double epsilon = 1e-12);
+
+  /// Adds a directed arc from -> to with the given capacity; returns the
+  /// arc index for later FlowOn queries. A reverse residual arc with zero
+  /// capacity is added automatically.
+  std::size_t AddArc(std::uint32_t from, std::uint32_t to, double capacity);
+
+  /// Computes the maximum flow from source to sink. May be called once per
+  /// instance. Returns the flow value.
+  double Solve(std::uint32_t source, std::uint32_t sink);
+
+  /// Flow routed through the arc returned by AddArc.
+  double FlowOn(std::size_t arc) const;
+
+  /// After Solve: true iff node is reachable from the source in the
+  /// residual network (i.e., on the source side of a minimum cut).
+  bool OnSourceSide(std::uint32_t node) const;
+
+  std::size_t num_nodes() const { return head_.size(); }
+
+ private:
+  bool BuildLevels(std::uint32_t source, std::uint32_t sink);
+  double Augment(std::uint32_t node, std::uint32_t sink, double limit);
+
+  struct Arc {
+    std::uint32_t to;
+    double capacity;  // Remaining residual capacity.
+  };
+
+  double epsilon_;
+  std::vector<Arc> arcs_;                      // arcs_[i^1] is the reverse.
+  std::vector<std::vector<std::uint32_t>> head_;  // per-node arc indices.
+  std::vector<double> original_capacity_;
+  std::vector<int> level_;
+  std::vector<std::uint32_t> iter_;
+  bool solved_ = false;
+};
+
+}  // namespace ugs
+
+#endif  // UGS_FLOW_DINIC_H_

@@ -1,0 +1,72 @@
+#include "gen/forest_fire.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ugs {
+
+UncertainGraph ForestFireSample(const UncertainGraph& graph,
+                                const ForestFireOptions& options, Rng* rng) {
+  const std::size_t n = graph.num_vertices();
+  const std::size_t target = std::min(options.target_vertices, n);
+  UGS_CHECK(target >= 1);
+  const double pf = options.forward_probability;
+  UGS_CHECK(pf > 0.0 && pf < 1.0);
+
+  std::vector<bool> burned(n, false);
+  std::vector<VertexId> burn_order;
+  burn_order.reserve(target);
+  std::deque<VertexId> frontier;
+  std::vector<VertexId> candidates;
+
+  auto burn = [&](VertexId v) {
+    burned[v] = true;
+    burn_order.push_back(v);
+    frontier.push_back(v);
+  };
+
+  while (burn_order.size() < target) {
+    if (frontier.empty()) {
+      // (Re)seed the fire at a random unburned vertex.
+      VertexId seed;
+      do {
+        seed = static_cast<VertexId>(rng->NextIndex(n));
+      } while (burned[seed]);
+      burn(seed);
+      continue;
+    }
+    VertexId v = frontier.front();
+    frontier.pop_front();
+    candidates.clear();
+    for (const AdjacencyEntry& a : graph.Neighbors(v)) {
+      if (!burned[a.neighbor]) candidates.push_back(a.neighbor);
+    }
+    if (candidates.empty()) continue;
+    // Burn x ~ Geometric(1 - pf) of them (mean pf / (1 - pf)).
+    std::uint64_t to_burn = rng->Geometric(1.0 - pf);
+    to_burn = std::min<std::uint64_t>(to_burn, candidates.size());
+    rng->Shuffle(&candidates);
+    for (std::uint64_t i = 0; i < to_burn && burn_order.size() < target;
+         ++i) {
+      burn(candidates[i]);
+    }
+  }
+
+  // Relabel densely in burn order and keep induced edges.
+  std::vector<VertexId> new_id(n, kInvalidEdge);
+  for (std::size_t i = 0; i < burn_order.size(); ++i) {
+    new_id[burn_order[i]] = static_cast<VertexId>(i);
+  }
+  std::vector<UncertainEdge> edges;
+  for (const UncertainEdge& e : graph.edges()) {
+    if (new_id[e.u] != kInvalidEdge && new_id[e.v] != kInvalidEdge) {
+      edges.push_back({new_id[e.u], new_id[e.v], e.p});
+    }
+  }
+  return UncertainGraph::FromEdges(burn_order.size(), std::move(edges));
+}
+
+}  // namespace ugs

@@ -1,0 +1,30 @@
+#ifndef UGS_GEN_FOREST_FIRE_H_
+#define UGS_GEN_FOREST_FIRE_H_
+
+#include <cstddef>
+
+#include "graph/uncertain_graph.h"
+#include "util/random.h"
+
+namespace ugs {
+
+/// Options for Forest-Fire subgraph sampling (Leskovec & Faloutsos,
+/// "Sampling from large graphs", KDD 2006 -- the paper's reference [22]).
+struct ForestFireOptions {
+  std::size_t target_vertices = 1000;
+  double forward_probability = 0.7;  ///< p_f; burns Geometric(1-p_f) links.
+};
+
+/// Samples an induced subgraph of `graph` containing approximately
+/// `target_vertices` vertices by recursive "burning": start at a random
+/// seed, burn a geometric number of unvisited neighbors, recurse; re-seed
+/// when the fire dies out. Returned vertices are relabeled densely in
+/// burn order; all original edges between burned vertices are retained
+/// with their probabilities (induced subgraph semantics, as used by the
+/// paper to build the reduced Flickr testbed of Section 6.1).
+UncertainGraph ForestFireSample(const UncertainGraph& graph,
+                                const ForestFireOptions& options, Rng* rng);
+
+}  // namespace ugs
+
+#endif  // UGS_GEN_FOREST_FIRE_H_

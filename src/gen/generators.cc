@@ -1,0 +1,227 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/union_find.h"
+
+namespace ugs {
+namespace {
+
+/// Smallest probability the skewed distributions emit (see kTruncExp).
+constexpr double kProbabilityFloor = 0.01;
+
+std::uint64_t PairKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+/// Links connected components into one by adding one bridging edge per
+/// extra component, between random representatives.
+void ConnectComponents(std::size_t n, std::vector<UncertainEdge>* edges,
+                       const ProbabilityDistribution& dist, Rng* rng) {
+  UnionFind uf(n);
+  std::unordered_set<std::uint64_t> present;
+  present.reserve(edges->size() * 2);
+  for (const UncertainEdge& e : *edges) {
+    uf.Union(e.u, e.v);
+    present.insert(PairKey(e.u, e.v));
+  }
+  if (uf.num_components() <= 1) return;
+  // Collect one representative per component, then chain them randomly.
+  std::vector<VertexId> reps;
+  std::vector<bool> seen_root(n, false);
+  for (VertexId v = 0; v < n; ++v) {
+    VertexId root = uf.Find(v);
+    if (!seen_root[root]) {
+      seen_root[root] = true;
+      reps.push_back(v);
+    }
+  }
+  rng->Shuffle(&reps);
+  for (std::size_t i = 1; i < reps.size(); ++i) {
+    VertexId a = reps[i - 1];
+    VertexId b = reps[i];
+    if (present.insert(PairKey(a, b)).second) {
+      edges->push_back({a, b, dist.Sample(rng)});
+      uf.Union(a, b);
+    }
+  }
+}
+
+}  // namespace
+
+ProbabilityDistribution ProbabilityDistribution::Uniform(double lo,
+                                                         double hi) {
+  UGS_CHECK(lo > 0.0 && lo <= hi && hi <= 1.0);
+  ProbabilityDistribution d;
+  d.kind_ = Kind::kUniform;
+  d.a_ = lo;
+  d.b_ = hi;
+  return d;
+}
+
+ProbabilityDistribution ProbabilityDistribution::TruncatedExponential(
+    double rate) {
+  UGS_CHECK(rate > 0.0);
+  ProbabilityDistribution d;
+  d.kind_ = Kind::kTruncExp;
+  d.a_ = rate;
+  return d;
+}
+
+ProbabilityDistribution ProbabilityDistribution::Mixture(double rate,
+                                                         double high_weight,
+                                                         double high_lo,
+                                                         double high_hi) {
+  UGS_CHECK(high_weight >= 0.0 && high_weight <= 1.0);
+  UGS_CHECK(high_lo > 0.0 && high_lo <= high_hi && high_hi <= 1.0);
+  ProbabilityDistribution d;
+  d.kind_ = Kind::kMixture;
+  d.a_ = rate;
+  d.high_weight_ = high_weight;
+  d.high_lo_ = high_lo;
+  d.high_hi_ = high_hi;
+  return d;
+}
+
+double ProbabilityDistribution::Sample(Rng* rng) const {
+  switch (kind_) {
+    case Kind::kUniform:
+      return rng->Uniform(a_, b_);
+    case Kind::kTruncExp: {
+      // Rejection keeps the exponential shape on [0.01, 1]. The floor
+      // mirrors real uncertain-graph datasets, whose probabilities are
+      // quantized scores; it also keeps the Nagamochi-Ibaraki integer
+      // weight transform w = round(p / p_min) bounded.
+      for (;;) {
+        double x = rng->Exponential(a_);
+        if (x >= kProbabilityFloor && x <= 1.0) return x;
+      }
+    }
+    case Kind::kMixture: {
+      if (rng->Bernoulli(high_weight_)) {
+        return rng->Uniform(high_lo_, high_hi_);
+      }
+      for (;;) {
+        double x = rng->Exponential(a_);
+        if (x >= kProbabilityFloor && x <= 1.0) return x;
+      }
+    }
+  }
+  return 0.5;  // Unreachable.
+}
+
+UncertainGraph GenerateChungLu(const ChungLuOptions& options,
+                               const ProbabilityDistribution& dist,
+                               Rng* rng) {
+  const std::size_t n = options.num_vertices;
+  UGS_CHECK(n >= 2);
+  UGS_CHECK(options.exponent > 2.0);
+  // Power-law weights w_i = c (i + i0)^(-1/(gamma-1)), scaled to hit the
+  // requested average degree. i0 smooths the head so max weight stays
+  // bounded relative to sqrt(sum w) (keeps min(1, .) truncation rare).
+  const double gamma = options.exponent;
+  const double beta = 1.0 / (gamma - 1.0);
+  const double i0 = std::pow(static_cast<double>(n), 0.3);
+  std::vector<double> w(n);
+  double sum_w = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i) + i0, -beta);
+    sum_w += w[i];
+  }
+  const double target_sum = options.avg_degree * static_cast<double>(n);
+  const double scale = target_sum / sum_w;
+  for (double& wi : w) wi *= scale;
+  sum_w = target_sum;
+
+  std::vector<UncertainEdge> edges;
+  edges.reserve(static_cast<std::size_t>(target_sum / 2.0 * 1.1));
+  // O(n^2 / skip) pair scan with geometric skipping: for row i the
+  // acceptance probability is bounded by q = min(1, w_i w_{i+1} / S)
+  // (weights descend), so we jump ahead Geometric(q) columns and accept
+  // with ratio p_ij / q. This is the Miller-Hagberg efficient Chung-Lu.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    std::size_t j = i + 1;
+    double q = std::min(1.0, w[i] * w[j] / sum_w);
+    while (j < n && q > 0.0) {
+      if (q < 1.0) j += rng->Geometric(q);
+      if (j >= n) break;
+      double p_ij = std::min(1.0, w[i] * w[j] / sum_w);
+      if (rng->NextDouble() < p_ij / q) {
+        edges.push_back({static_cast<VertexId>(i), static_cast<VertexId>(j),
+                         dist.Sample(rng)});
+      }
+      ++j;
+      if (j < n) q = std::min(1.0, w[i] * w[j] / sum_w);
+    }
+  }
+  if (options.ensure_connected) {
+    ConnectComponents(n, &edges, dist, rng);
+  }
+  return UncertainGraph::FromEdges(n, std::move(edges));
+}
+
+UncertainGraph GenerateDensityFill(std::size_t n, double density_fraction,
+                                   double base_avg_degree,
+                                   const ProbabilityDistribution& dist,
+                                   Rng* rng) {
+  UGS_CHECK(n >= 2);
+  UGS_CHECK(density_fraction > 0.0 && density_fraction <= 1.0);
+  const std::size_t max_edges = n * (n - 1) / 2;
+  const std::size_t target =
+      static_cast<std::size_t>(density_fraction * static_cast<double>(max_edges));
+  ChungLuOptions base;
+  base.num_vertices = n;
+  base.avg_degree = base_avg_degree;
+  base.ensure_connected = true;
+  UncertainGraph seed_graph = GenerateChungLu(base, dist, rng);
+  std::vector<UncertainEdge> edges = seed_graph.edges();
+  if (edges.size() > target) {
+    // Base overshoots very low densities: keep a random subset and patch
+    // connectivity back afterwards (may exceed target by #components - 1).
+    rng->Shuffle(&edges);
+    edges.resize(target);
+    ConnectComponents(n, &edges, dist, rng);
+    return UncertainGraph::FromEdges(n, std::move(edges));
+  }
+  std::unordered_set<std::uint64_t> present;
+  present.reserve(target * 2);
+  for (const UncertainEdge& e : edges) present.insert(PairKey(e.u, e.v));
+  // "Edges have been added between random pairs of vertices, until the
+  // density becomes ... % of the complete graph" (paper Section 6).
+  while (edges.size() < target) {
+    VertexId u = static_cast<VertexId>(rng->NextIndex(n));
+    VertexId v = static_cast<VertexId>(rng->NextIndex(n));
+    if (u == v) continue;
+    if (!present.insert(PairKey(u, v)).second) continue;
+    edges.push_back({u, v, dist.Sample(rng)});
+  }
+  return UncertainGraph::FromEdges(n, std::move(edges));
+}
+
+UncertainGraph GenerateErdosRenyi(std::size_t n, std::size_t m,
+                                  const ProbabilityDistribution& dist,
+                                  Rng* rng, bool ensure_connected) {
+  UGS_CHECK(n >= 2);
+  UGS_CHECK(m <= n * (n - 1) / 2);
+  std::vector<UncertainEdge> edges;
+  edges.reserve(m);
+  std::unordered_set<std::uint64_t> present;
+  present.reserve(m * 2);
+  while (edges.size() < m) {
+    VertexId u = static_cast<VertexId>(rng->NextIndex(n));
+    VertexId v = static_cast<VertexId>(rng->NextIndex(n));
+    if (u == v) continue;
+    if (!present.insert(PairKey(u, v)).second) continue;
+    edges.push_back({u, v, dist.Sample(rng)});
+  }
+  if (ensure_connected) {
+    ConnectComponents(n, &edges, dist, rng);
+  }
+  return UncertainGraph::FromEdges(n, std::move(edges));
+}
+
+}  // namespace ugs

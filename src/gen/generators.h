@@ -1,0 +1,75 @@
+#ifndef UGS_GEN_GENERATORS_H_
+#define UGS_GEN_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+#include "util/random.h"
+
+namespace ugs {
+
+/// Edge-probability models for synthetic uncertain graphs.
+///
+/// The paper's datasets have skewed probabilities with low means (Flickr
+/// E[p] = 0.09, Twitter E[p] = 0.15 with a mass of near-deterministic
+/// edges). TruncatedExponential reproduces the low-mean skew; Mixture adds
+/// the high-probability mode.
+class ProbabilityDistribution {
+ public:
+  /// Uniform on [lo, hi] (0 < lo <= hi <= 1).
+  static ProbabilityDistribution Uniform(double lo, double hi);
+
+  /// Exponential with the given rate, truncated/rejected to (0, 1];
+  /// mean approximately 1/rate for rate >> 1.
+  static ProbabilityDistribution TruncatedExponential(double rate);
+
+  /// With probability high_weight draw Uniform(high_lo, high_hi); otherwise
+  /// draw TruncatedExponential(rate). Models Twitter-style graphs where a
+  /// minority of edges are near-certain.
+  static ProbabilityDistribution Mixture(double rate, double high_weight,
+                                         double high_lo, double high_hi);
+
+  /// Draws one probability in (0, 1].
+  double Sample(Rng* rng) const;
+
+ private:
+  enum class Kind { kUniform, kTruncExp, kMixture };
+  Kind kind_ = Kind::kUniform;
+  double a_ = 0.1, b_ = 1.0;     // uniform bounds / exp rate in a_.
+  double high_weight_ = 0.0;
+  double high_lo_ = 0.7, high_hi_ = 1.0;
+};
+
+/// Parameters for the Chung-Lu power-law generator.
+struct ChungLuOptions {
+  std::size_t num_vertices = 1000;
+  double avg_degree = 16.0;       ///< target mean structural degree.
+  double exponent = 2.5;          ///< degree power-law exponent (> 2).
+  bool ensure_connected = true;   ///< patch components together afterwards.
+};
+
+/// Generates an undirected power-law graph by the Chung-Lu model: edge
+/// (i, j) appears independently with probability min(1, w_i w_j / sum w),
+/// where w follows a truncated power law. Probabilities are drawn from
+/// dist. O(n^2) pair scan; intended for n up to a few tens of thousands.
+UncertainGraph GenerateChungLu(const ChungLuOptions& options,
+                               const ProbabilityDistribution& dist, Rng* rng);
+
+/// Generates the paper's synthetic density-sweep graphs (Table 1): a
+/// power-law base on n vertices, then random vertex pairs are added until
+/// |E| = density_fraction * n(n-1)/2. Probabilities all come from dist
+/// ("the additional edge probabilities follow the same distribution").
+UncertainGraph GenerateDensityFill(std::size_t n, double density_fraction,
+                                   double base_avg_degree,
+                                   const ProbabilityDistribution& dist,
+                                   Rng* rng);
+
+/// Uniform G(n, m) graph with probabilities from dist; test workhorse.
+UncertainGraph GenerateErdosRenyi(std::size_t n, std::size_t m,
+                                  const ProbabilityDistribution& dist,
+                                  Rng* rng, bool ensure_connected = true);
+
+}  // namespace ugs
+
+#endif  // UGS_GEN_GENERATORS_H_

@@ -1,0 +1,32 @@
+#ifndef UGS_GRAPH_GRAPH_IO_H_
+#define UGS_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/uncertain_graph.h"
+#include "util/status.h"
+
+namespace ugs {
+
+/// Text edge-list I/O in the SNAP-with-probabilities convention used by the
+/// uncertain-graph literature:
+///
+///   # comment lines start with '#'
+///   <u> <v> <p>
+///
+/// Vertex ids are dense 0-based integers. Loading infers the vertex count
+/// as (max id + 1) unless a '# vertices: N' header is present.
+
+/// Parses an uncertain graph from a file.
+Result<UncertainGraph> LoadEdgeList(const std::string& path);
+
+/// Parses an uncertain graph from an in-memory string (used by tests).
+Result<UncertainGraph> ParseEdgeList(const std::string& text);
+
+/// Writes the graph in the same format, including the vertex-count header
+/// (so isolated trailing vertices survive a round trip).
+Status SaveEdgeList(const UncertainGraph& graph, const std::string& path);
+
+}  // namespace ugs
+
+#endif  // UGS_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,49 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ugs {
+
+GraphStats ComputeStats(const UncertainGraph& graph) {
+  GraphStats s;
+  s.num_vertices = graph.num_vertices();
+  s.num_edges = graph.num_edges();
+  if (s.num_vertices > 0) {
+    s.density = static_cast<double>(s.num_edges) /
+                static_cast<double>(s.num_vertices);
+  }
+  double sum_p = 0.0;
+  double min_p = 1.0;
+  double max_p = 0.0;
+  for (const UncertainEdge& e : graph.edges()) {
+    sum_p += e.p;
+    min_p = std::min(min_p, e.p);
+    max_p = std::max(max_p, e.p);
+  }
+  if (s.num_edges > 0) {
+    s.mean_probability = sum_p / static_cast<double>(s.num_edges);
+    s.min_probability = min_p;
+    s.max_probability = max_p;
+  }
+  if (s.num_vertices > 0) {
+    s.mean_expected_degree = 2.0 * sum_p / static_cast<double>(s.num_vertices);
+  }
+  s.entropy_bits = graph.EntropyBits();
+  s.connected = graph.IsStructurallyConnected();
+  return s;
+}
+
+std::string FormatStats(const std::string& name, const GraphStats& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-16s |V|=%-8zu |E|=%-10zu E/V=%-8.2f E[p]=%-6.3f "
+                "E[d]=%-7.2f H=%.1f bits %s",
+                name.c_str(), stats.num_vertices, stats.num_edges,
+                stats.density, stats.mean_probability,
+                stats.mean_expected_degree, stats.entropy_bits,
+                stats.connected ? "connected" : "DISCONNECTED");
+  return buf;
+}
+
+}  // namespace ugs

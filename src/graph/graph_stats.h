@@ -1,0 +1,32 @@
+#ifndef UGS_GRAPH_GRAPH_STATS_H_
+#define UGS_GRAPH_GRAPH_STATS_H_
+
+#include <string>
+
+#include "graph/uncertain_graph.h"
+
+namespace ugs {
+
+/// The dataset-characteristics columns of the paper's Table 1 plus a few
+/// extras used in reports.
+struct GraphStats {
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  double density = 0.0;             ///< |E| / |V|.
+  double mean_probability = 0.0;    ///< E[p_e].
+  double mean_expected_degree = 0.0;///< E[d_u] = 2 sum(p) / |V|.
+  double min_probability = 0.0;
+  double max_probability = 0.0;
+  double entropy_bits = 0.0;        ///< H(G).
+  bool connected = false;
+};
+
+/// Computes all stats in one pass (plus a union-find sweep).
+GraphStats ComputeStats(const UncertainGraph& graph);
+
+/// Renders a one-line, Table-1-style summary.
+std::string FormatStats(const std::string& name, const GraphStats& stats);
+
+}  // namespace ugs
+
+#endif  // UGS_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,97 @@
+#include "graph/uncertain_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/union_find.h"
+
+namespace ugs {
+
+double EdgeEntropyBits(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -(p * std::log2(p) + (1.0 - p) * std::log2(1.0 - p));
+}
+
+UncertainGraph UncertainGraph::FromEdges(std::size_t num_vertices,
+                                         std::vector<UncertainEdge> edges) {
+  UncertainGraph g;
+  g.edges_ = std::move(edges);
+  g.degree_offsets_.assign(num_vertices + 1, 0);
+  for (const UncertainEdge& e : g.edges_) {
+    UGS_CHECK(e.u < num_vertices && e.v < num_vertices);
+    UGS_CHECK(e.u != e.v);
+    UGS_CHECK(e.p >= 0.0 && e.p <= 1.0);
+  }
+  g.BuildAdjacency();
+  return g;
+}
+
+void UncertainGraph::BuildAdjacency() {
+  const std::size_t n = degree_offsets_.size() - 1;
+  // Counting pass.
+  std::vector<std::size_t> counts(n, 0);
+  for (const UncertainEdge& e : edges_) {
+    ++counts[e.u];
+    ++counts[e.v];
+  }
+  degree_offsets_[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    degree_offsets_[i + 1] = degree_offsets_[i] + counts[i];
+  }
+  adjacency_.resize(2 * edges_.size());
+  std::vector<std::size_t> cursor(degree_offsets_.begin(),
+                                  degree_offsets_.end() - 1);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    const UncertainEdge& ed = edges_[e];
+    adjacency_[cursor[ed.u]++] = {ed.v, e};
+    adjacency_[cursor[ed.v]++] = {ed.u, e};
+  }
+  // Sort each vertex's slice by neighbor id to allow binary search and to
+  // detect parallel edges.
+  expected_degree_.assign(n, 0.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    auto begin = adjacency_.begin() + degree_offsets_[u];
+    auto end = adjacency_.begin() + degree_offsets_[u + 1];
+    std::sort(begin, end, [](const AdjacencyEntry& a, const AdjacencyEntry& b) {
+      return a.neighbor < b.neighbor;
+    });
+    for (auto it = begin; it != end; ++it) {
+      if (it != begin) UGS_CHECK((it - 1)->neighbor != it->neighbor);
+      expected_degree_[u] += edges_[it->edge].p;
+    }
+  }
+}
+
+EdgeId UncertainGraph::FindEdge(VertexId u, VertexId v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return kInvalidEdge;
+  // Search from the lower-degree endpoint.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto nbrs = Neighbors(u);
+  auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), v,
+      [](const AdjacencyEntry& a, VertexId x) { return a.neighbor < x; });
+  if (it != nbrs.end() && it->neighbor == v) return it->edge;
+  return kInvalidEdge;
+}
+
+double UncertainGraph::EntropyBits() const {
+  double h = 0.0;
+  for (const UncertainEdge& e : edges_) h += EdgeEntropyBits(e.p);
+  return h;
+}
+
+double UncertainGraph::ExpectedEdgeCount() const {
+  double s = 0.0;
+  for (const UncertainEdge& e : edges_) s += e.p;
+  return s;
+}
+
+bool UncertainGraph::IsStructurallyConnected() const {
+  const std::size_t n = num_vertices();
+  if (n <= 1) return true;
+  UnionFind uf(n);
+  for (const UncertainEdge& e : edges_) uf.Union(e.u, e.v);
+  return uf.num_components() == 1;
+}
+
+}  // namespace ugs

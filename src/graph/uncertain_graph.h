@@ -1,0 +1,123 @@
+#ifndef UGS_GRAPH_UNCERTAIN_GRAPH_H_
+#define UGS_GRAPH_UNCERTAIN_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ugs {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/// Sentinel for "no such edge".
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// An undirected uncertain edge: endpoints and existence probability.
+struct UncertainEdge {
+  VertexId u = 0;
+  VertexId v = 0;
+  double p = 0.0;
+};
+
+/// One directed half of an undirected edge inside the CSR adjacency.
+struct AdjacencyEntry {
+  VertexId neighbor;
+  EdgeId edge;
+};
+
+/// Entropy (in bits) of a single independent edge with probability p:
+/// H(p) = -p log2 p - (1-p) log2(1-p); 0 at the deterministic endpoints.
+double EdgeEntropyBits(double p);
+
+/// An immutable uncertain graph G = (V, E, p): undirected, no self loops,
+/// no parallel edges, p_e in [0, 1]. Inputs normally have p > 0 (paper
+/// definition), but sparsified graphs may carry p = 0 edges because the
+/// GDB clamp rule (Algorithm 2 line 8) can drive a retained edge to zero.
+///
+/// Storage is an edge list (the canonical identity of each edge) plus a CSR
+/// adjacency indexed by vertex; each undirected edge appears twice in the
+/// adjacency, once per direction, carrying its EdgeId so per-edge data
+/// (probabilities, world membership flags, discrepancy deltas) can live in
+/// plain arrays parallel to the edge list.
+///
+/// Construct through GraphBuilder (validating) or the static FromEdges
+/// (checked) factory.
+class UncertainGraph {
+ public:
+  UncertainGraph() = default;
+
+  /// Builds a graph from an edge list. Aborts on invalid input (self loop,
+  /// duplicate edge, p outside (0,1], endpoint >= num_vertices); use
+  /// GraphBuilder for a Status-returning path.
+  static UncertainGraph FromEdges(std::size_t num_vertices,
+                                  std::vector<UncertainEdge> edges);
+
+  std::size_t num_vertices() const { return degree_offsets_.empty()
+                                         ? 0
+                                         : degree_offsets_.size() - 1; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  const std::vector<UncertainEdge>& edges() const { return edges_; }
+
+  const UncertainEdge& edge(EdgeId e) const {
+    UGS_DCHECK(e < edges_.size());
+    return edges_[e];
+  }
+
+  /// Probability of edge e.
+  double probability(EdgeId e) const { return edge(e).p; }
+
+  /// Neighbors of u with the connecting edge ids; sorted by neighbor id.
+  std::span<const AdjacencyEntry> Neighbors(VertexId u) const {
+    UGS_DCHECK(u < num_vertices());
+    return {adjacency_.data() + degree_offsets_[u],
+            adjacency_.data() + degree_offsets_[u + 1]};
+  }
+
+  /// Structural degree (number of incident edges) of u.
+  std::size_t Degree(VertexId u) const {
+    UGS_DCHECK(u < num_vertices());
+    return degree_offsets_[u + 1] - degree_offsets_[u];
+  }
+
+  /// Expected degree of u: sum of incident edge probabilities. O(1).
+  double ExpectedDegree(VertexId u) const {
+    UGS_DCHECK(u < num_vertices());
+    return expected_degree_[u];
+  }
+
+  /// The full expected-degree vector d (paper Section 4.1).
+  const std::vector<double>& expected_degrees() const {
+    return expected_degree_;
+  }
+
+  /// Edge id joining u and v, or kInvalidEdge. O(log deg) binary search.
+  EdgeId FindEdge(VertexId u, VertexId v) const;
+
+  /// Total entropy H(G) = sum_e H(p_e) in bits (paper footnote 2; validated
+  /// against the paper's Figure 2 value of 3.85 bits).
+  double EntropyBits() const;
+
+  /// Sum of all edge probabilities = expected number of edges in a world.
+  double ExpectedEdgeCount() const;
+
+  /// True iff the underlying deterministic structure (ignoring
+  /// probabilities) is a single connected component. Empty graphs and
+  /// single vertices count as connected.
+  bool IsStructurallyConnected() const;
+
+ private:
+  void BuildAdjacency();
+
+  std::vector<UncertainEdge> edges_;
+  std::vector<std::size_t> degree_offsets_;  // CSR offsets, size n+1.
+  std::vector<AdjacencyEntry> adjacency_;    // size 2|E|.
+  std::vector<double> expected_degree_;      // size n.
+};
+
+}  // namespace ugs
+
+#endif  // UGS_GRAPH_UNCERTAIN_GRAPH_H_

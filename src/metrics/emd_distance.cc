@@ -1,0 +1,55 @@
+#include "metrics/emd_distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ugs {
+
+double EmpiricalEmd(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double wa = 1.0 / static_cast<double>(a.size());
+  const double wb = 1.0 / static_cast<double>(b.size());
+  std::size_t ia = 0, ib = 0;
+  double fa = 0.0, fb = 0.0;   // CDF values after the previous support point.
+  double prev_x = 0.0;
+  bool have_prev = false;
+  double emd = 0.0;
+  while (ia < a.size() || ib < b.size()) {
+    double x;
+    if (ib >= b.size() || (ia < a.size() && a[ia] <= b[ib])) {
+      x = a[ia];
+    } else {
+      x = b[ib];
+    }
+    if (have_prev) {
+      emd += std::abs(fa - fb) * (x - prev_x);
+    }
+    while (ia < a.size() && a[ia] == x) {
+      fa += wa;
+      ++ia;
+    }
+    while (ib < b.size() && b[ib] == x) {
+      fb += wb;
+      ++ib;
+    }
+    prev_x = x;
+    have_prev = true;
+  }
+  return emd;
+}
+
+double MeanUnitEmd(const McSamples& original, const McSamples& sparsified) {
+  UGS_CHECK_EQ(original.num_units, sparsified.num_units);
+  if (original.num_units == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t u = 0; u < original.num_units; ++u) {
+    total += EmpiricalEmd(original.UnitSamples(u), sparsified.UnitSamples(u));
+  }
+  return total / static_cast<double>(original.num_units);
+}
+
+}  // namespace ugs

@@ -1,0 +1,56 @@
+#include "metrics/variance.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ugs {
+
+double UnbiasedVariance(const std::vector<double>& xs) {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(n);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return ss / static_cast<double>(n - 1);
+}
+
+double MeanEstimatorVariance(
+    const std::function<std::vector<double>(Rng*)>& estimator, int runs,
+    Rng* rng) {
+  UGS_CHECK(runs >= 2);
+  std::vector<std::vector<double>> results;
+  results.reserve(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    Rng run_rng = rng->Fork();
+    results.push_back(estimator(&run_rng));
+    UGS_CHECK_EQ(results.back().size(), results.front().size());
+  }
+  const std::size_t units = results.front().size();
+  if (units == 0) return 0.0;
+  double total = 0.0;
+  std::vector<double> per_run(results.size());
+  for (std::size_t u = 0; u < units; ++u) {
+    for (std::size_t r = 0; r < results.size(); ++r) {
+      per_run[r] = results[r][u];
+    }
+    total += UnbiasedVariance(per_run);
+  }
+  return total / static_cast<double>(units);
+}
+
+double ConfidenceWidth(double variance, int num_samples) {
+  UGS_CHECK(num_samples > 0);
+  return 3.92 * std::sqrt(variance / static_cast<double>(num_samples));
+}
+
+double EquivalentSampleCount(double original_variance,
+                             double sparsified_variance, int num_samples) {
+  if (original_variance <= 0.0) return num_samples;
+  return static_cast<double>(num_samples) * sparsified_variance /
+         original_variance;
+}
+
+}  // namespace ugs

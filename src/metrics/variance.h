@@ -1,0 +1,37 @@
+#ifndef UGS_METRICS_VARIANCE_H_
+#define UGS_METRICS_VARIANCE_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ugs {
+
+/// Unbiased sample variance (divides by N - 1). Returns 0 for N < 2.
+double UnbiasedVariance(const std::vector<double>& xs);
+
+/// Repeated-estimator variance protocol of Section 6.3: an "estimator
+/// run" produces one value per unit (vertex or pair); run it `runs` times
+/// with independent randomness and report, per unit, the unbiased variance
+/// across runs, averaged over units.
+///
+/// estimator(run_rng) must return a vector with one entry per unit, the
+/// same length every run.
+double MeanEstimatorVariance(
+    const std::function<std::vector<double>(Rng*)>& estimator, int runs,
+    Rng* rng);
+
+/// 95% confidence-interval width 3.92 * sigma / sqrt(N) used in the
+/// paper's sample-budget argument (Section 6.3).
+double ConfidenceWidth(double variance, int num_samples);
+
+/// Number of samples the sparsified graph needs to match the original's
+/// confidence width: N' = N * var' / var (Section 6.3). Returns N when
+/// var == 0.
+double EquivalentSampleCount(double original_variance,
+                             double sparsified_variance, int num_samples);
+
+}  // namespace ugs
+
+#endif  // UGS_METRICS_VARIANCE_H_

@@ -1,0 +1,82 @@
+#include "query/clustering.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ugs {
+
+std::vector<double> LocalClusteringOnWorld(const UncertainGraph& graph,
+                                           const std::vector<char>& present) {
+  const std::size_t n = graph.num_vertices();
+  UGS_CHECK_EQ(present.size(), graph.num_edges());
+
+  // Present-neighbor lists, sorted (inherits the CSR's neighbor order).
+  std::vector<std::vector<VertexId>> nbrs(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const AdjacencyEntry& a : graph.Neighbors(u)) {
+      if (present[a.edge]) nbrs[u].push_back(a.neighbor);
+    }
+  }
+
+  // Triangle counts per vertex: for each present edge (u, v), intersect
+  // their neighbor lists; each common neighbor w closes a triangle and
+  // credits u, v, and w once each (iterate edges u < v and count w > v to
+  // count each triangle exactly once).
+  std::vector<std::size_t> triangles(n, 0);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (!present[e]) continue;
+    VertexId u = graph.edge(e).u;
+    VertexId v = graph.edge(e).v;
+    if (u > v) std::swap(u, v);
+    const std::vector<VertexId>& a = nbrs[u];
+    const std::vector<VertexId>& b = nbrs[v];
+    // Walk both sorted lists; only common neighbors w > v so the triangle
+    // {u, v, w} is found once (at its lexicographically smallest edge).
+    auto ia = std::lower_bound(a.begin(), a.end(), v + 1);
+    auto ib = std::lower_bound(b.begin(), b.end(), v + 1);
+    while (ia != a.end() && ib != b.end()) {
+      if (*ia < *ib) {
+        ++ia;
+      } else if (*ib < *ia) {
+        ++ib;
+      } else {
+        ++triangles[u];
+        ++triangles[v];
+        ++triangles[*ia];
+        ++ia;
+        ++ib;
+      }
+    }
+  }
+
+  std::vector<double> cc(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    std::size_t deg = nbrs[v].size();
+    if (deg >= 2) {
+      cc[v] = 2.0 * static_cast<double>(triangles[v]) /
+              (static_cast<double>(deg) * static_cast<double>(deg - 1));
+    }
+  }
+  return cc;
+}
+
+McSamples McClusteringCoefficient(const UncertainGraph& graph,
+                                  int num_samples, Rng* rng) {
+  UGS_CHECK(num_samples > 0);
+  McSamples out;
+  out.num_units = graph.num_vertices();
+  out.num_samples = static_cast<std::size_t>(num_samples);
+  out.values.resize(out.num_units * out.num_samples);
+  std::vector<char> present;
+  for (int s = 0; s < num_samples; ++s) {
+    SampleWorld(graph, rng, &present);
+    std::vector<double> cc = LocalClusteringOnWorld(graph, present);
+    std::copy(cc.begin(), cc.end(),
+              out.values.begin() +
+                  static_cast<std::size_t>(s) * out.num_units);
+  }
+  return out;
+}
+
+}  // namespace ugs

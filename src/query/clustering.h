@@ -1,0 +1,26 @@
+#ifndef UGS_QUERY_CLUSTERING_H_
+#define UGS_QUERY_CLUSTERING_H_
+
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+#include "query/world_sampler.h"
+#include "util/random.h"
+
+namespace ugs {
+
+/// Local clustering coefficient of every vertex in one world:
+/// cc(v) = 2 * triangles(v) / (deg(v) * (deg(v)-1)); 0 when deg(v) < 2.
+/// Triangles are counted by sorted-adjacency intersection over present
+/// edges.
+std::vector<double> LocalClusteringOnWorld(const UncertainGraph& graph,
+                                           const std::vector<char>& present);
+
+/// Monte-Carlo clustering coefficient (query (iv) of Section 6.3);
+/// unit = vertex.
+McSamples McClusteringCoefficient(const UncertainGraph& graph,
+                                  int num_samples, Rng* rng);
+
+}  // namespace ugs
+
+#endif  // UGS_QUERY_CLUSTERING_H_

@@ -1,0 +1,88 @@
+#include "query/exact.h"
+
+#include <vector>
+
+#include "query/shortest_path.h"
+#include "util/check.h"
+#include "util/union_find.h"
+
+namespace ugs {
+namespace {
+
+/// Iterates all 2^m worlds; calls visit(present, probability).
+void ForEachWorld(
+    const UncertainGraph& graph,
+    const std::function<void(const std::vector<char>&, double)>& visit) {
+  const std::size_t m = graph.num_edges();
+  UGS_CHECK_LE(m, kMaxExactEdges);
+  const std::uint64_t worlds = 1ULL << m;
+  std::vector<char> present(m, 0);
+  for (std::uint64_t mask = 0; mask < worlds; ++mask) {
+    double probability = 1.0;
+    for (std::size_t e = 0; e < m; ++e) {
+      bool on = (mask >> e) & 1ULL;
+      present[e] = on ? 1 : 0;
+      double p = graph.edge(static_cast<EdgeId>(e)).p;
+      probability *= on ? p : (1.0 - p);
+    }
+    if (probability > 0.0) visit(present, probability);
+  }
+}
+
+}  // namespace
+
+double ExactWorldProbability(
+    const UncertainGraph& graph,
+    const std::function<bool(const std::vector<char>&)>& predicate) {
+  double total = 0.0;
+  ForEachWorld(graph, [&](const std::vector<char>& present, double prob) {
+    if (predicate(present)) total += prob;
+  });
+  return total;
+}
+
+double ExactConnectivityProbability(const UncertainGraph& graph) {
+  const std::size_t n = graph.num_vertices();
+  if (n <= 1) return 1.0;
+  UnionFind uf(n);
+  return ExactWorldProbability(graph, [&](const std::vector<char>& present) {
+    uf.Reset();
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      if (present[e]) uf.Union(graph.edge(e).u, graph.edge(e).v);
+    }
+    return uf.num_components() == 1;
+  });
+}
+
+double ExactReliability(const UncertainGraph& graph, VertexId s, VertexId t) {
+  UGS_CHECK(s < graph.num_vertices() && t < graph.num_vertices());
+  UnionFind uf(graph.num_vertices());
+  return ExactWorldProbability(graph, [&](const std::vector<char>& present) {
+    uf.Reset();
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      if (present[e]) uf.Union(graph.edge(e).u, graph.edge(e).v);
+    }
+    return uf.Connected(s, t);
+  });
+}
+
+double ExactExpectedDistance(const UncertainGraph& graph, VertexId s,
+                             VertexId t, double* connectivity_probability) {
+  UGS_CHECK(s < graph.num_vertices() && t < graph.num_vertices());
+  double connected_mass = 0.0;
+  double weighted_distance = 0.0;
+  std::vector<int> dist;
+  ForEachWorld(graph, [&](const std::vector<char>& present, double prob) {
+    BfsOnWorld(graph, present, s, &dist);
+    if (dist[t] != kUnreachable) {
+      connected_mass += prob;
+      weighted_distance += prob * static_cast<double>(dist[t]);
+    }
+  });
+  if (connectivity_probability != nullptr) {
+    *connectivity_probability = connected_mass;
+  }
+  return connected_mass > 0.0 ? weighted_distance / connected_mass : 0.0;
+}
+
+}  // namespace ugs

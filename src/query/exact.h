@@ -1,0 +1,38 @@
+#ifndef UGS_QUERY_EXACT_H_
+#define UGS_QUERY_EXACT_H_
+
+#include <functional>
+
+#include "graph/uncertain_graph.h"
+
+namespace ugs {
+
+/// Exact possible-world enumeration (Equation 1): evaluates a predicate or
+/// statistic on all 2^|E| deterministic worlds and aggregates by world
+/// probability. Exponential by definition -- the graph must have at most
+/// kMaxExactEdges edges. These are the ground-truth oracles for testing
+/// the Monte-Carlo estimators (e.g., the paper's Figure 1 values
+/// Pr[G connected] = 0.219 and Pr[G' connected] = 0.216).
+inline constexpr std::size_t kMaxExactEdges = 24;
+
+/// Sum of Pr(world) over worlds where predicate(present_flags) is true.
+double ExactWorldProbability(
+    const UncertainGraph& graph,
+    const std::function<bool(const std::vector<char>&)>& predicate);
+
+/// Pr[the world is a single connected component] (isolated vertices count
+/// as disconnecting; a 1-vertex graph is connected).
+double ExactConnectivityProbability(const UncertainGraph& graph);
+
+/// Pr[t reachable from s].
+double ExactReliability(const UncertainGraph& graph, VertexId s, VertexId t);
+
+/// Expected BFS distance from s to t conditioned on connectivity
+/// (the paper's SP semantics). If connectivity_probability is non-null it
+/// receives Pr[s ~ t]. Returns 0 when the pair is never connected.
+double ExactExpectedDistance(const UncertainGraph& graph, VertexId s,
+                             VertexId t, double* connectivity_probability);
+
+}  // namespace ugs
+
+#endif  // UGS_QUERY_EXACT_H_

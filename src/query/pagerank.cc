@@ -1,0 +1,68 @@
+#include "query/pagerank.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ugs {
+
+std::vector<double> PageRankOnWorld(const UncertainGraph& graph,
+                                    const std::vector<char>& present,
+                                    const PageRankOptions& options) {
+  const std::size_t n = graph.num_vertices();
+  UGS_CHECK_EQ(present.size(), graph.num_edges());
+  UGS_CHECK(n > 0);
+  const double d = options.damping;
+
+  std::vector<std::uint32_t> degree(n, 0);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (present[e]) {
+      ++degree[graph.edge(e).u];
+      ++degree[graph.edge(e).v];
+    }
+  }
+
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (int it = 0; it < options.max_iterations; ++it) {
+    double dangling = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (degree[v] == 0) dangling += rank[v];
+    }
+    const double base =
+        (1.0 - d) / static_cast<double>(n) +
+        d * dangling / static_cast<double>(n);
+    std::fill(next.begin(), next.end(), base);
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      if (!present[e]) continue;
+      const UncertainEdge& ed = graph.edge(e);
+      next[ed.v] += d * rank[ed.u] / static_cast<double>(degree[ed.u]);
+      next[ed.u] += d * rank[ed.v] / static_cast<double>(degree[ed.v]);
+    }
+    double change = 0.0;
+    for (VertexId v = 0; v < n; ++v) change += std::abs(next[v] - rank[v]);
+    rank.swap(next);
+    if (change < options.tolerance) break;
+  }
+  return rank;
+}
+
+McSamples McPageRank(const UncertainGraph& graph, int num_samples, Rng* rng,
+                     const PageRankOptions& options) {
+  UGS_CHECK(num_samples > 0);
+  McSamples out;
+  out.num_units = graph.num_vertices();
+  out.num_samples = static_cast<std::size_t>(num_samples);
+  out.values.resize(out.num_units * out.num_samples);
+  std::vector<char> present;
+  for (int s = 0; s < num_samples; ++s) {
+    SampleWorld(graph, rng, &present);
+    std::vector<double> pr = PageRankOnWorld(graph, present, options);
+    std::copy(pr.begin(), pr.end(),
+              out.values.begin() +
+                  static_cast<std::size_t>(s) * out.num_units);
+  }
+  return out;
+}
+
+}  // namespace ugs

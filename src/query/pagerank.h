@@ -1,0 +1,33 @@
+#ifndef UGS_QUERY_PAGERANK_H_
+#define UGS_QUERY_PAGERANK_H_
+
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+#include "query/world_sampler.h"
+#include "util/random.h"
+
+namespace ugs {
+
+/// PageRank settings. Worlds are undirected, so each present edge conducts
+/// rank both ways; dangling vertices (no present edge) spread uniformly.
+struct PageRankOptions {
+  double damping = 0.85;
+  int max_iterations = 50;
+  double tolerance = 1e-10;  ///< L1 change per iteration to stop early.
+};
+
+/// PageRank vector (sums to 1) of one deterministic world given by the
+/// presence flags (parallel to graph.edges()).
+std::vector<double> PageRankOnWorld(const UncertainGraph& graph,
+                                    const std::vector<char>& present,
+                                    const PageRankOptions& options = {});
+
+/// Monte-Carlo PageRank over `num_samples` sampled worlds; unit = vertex.
+/// This is evaluation query (i) of Section 6.3.
+McSamples McPageRank(const UncertainGraph& graph, int num_samples, Rng* rng,
+                     const PageRankOptions& options = {});
+
+}  // namespace ugs
+
+#endif  // UGS_QUERY_PAGERANK_H_

@@ -1,0 +1,32 @@
+#ifndef UGS_QUERY_RELIABILITY_H_
+#define UGS_QUERY_RELIABILITY_H_
+
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+#include "query/shortest_path.h"
+#include "query/world_sampler.h"
+#include "util/random.h"
+
+namespace ugs {
+
+/// Monte-Carlo reliability (query (iii) of Section 6.3): for each pair,
+/// each sample is the 0/1 indicator that t is reachable from s in the
+/// world; its mean over samples estimates Pr[s ~ t]. Unit = pair.
+McSamples McReliability(const UncertainGraph& graph,
+                        const std::vector<VertexPair>& pairs,
+                        int num_samples, Rng* rng);
+
+/// Point estimates Pr[s ~ t] per pair (means of McReliability).
+std::vector<double> EstimateReliability(const UncertainGraph& graph,
+                                        const std::vector<VertexPair>& pairs,
+                                        int num_samples, Rng* rng);
+
+/// Monte-Carlo estimate of Pr[world is a single connected component]
+/// (the running example of Figure 1).
+double EstimateConnectivity(const UncertainGraph& graph, int num_samples,
+                            Rng* rng);
+
+}  // namespace ugs
+
+#endif  // UGS_QUERY_RELIABILITY_H_

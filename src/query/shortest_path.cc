@@ -1,0 +1,87 @@
+#include "query/shortest_path.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace ugs {
+
+void BfsOnWorld(const UncertainGraph& graph, const std::vector<char>& present,
+                VertexId source, std::vector<int>* dist) {
+  const std::size_t n = graph.num_vertices();
+  UGS_CHECK(source < n);
+  UGS_CHECK_EQ(present.size(), graph.num_edges());
+  dist->assign(n, kUnreachable);
+  (*dist)[source] = 0;
+  std::vector<VertexId> frontier{source};
+  std::vector<VertexId> next;
+  int level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (VertexId u : frontier) {
+      for (const AdjacencyEntry& a : graph.Neighbors(u)) {
+        if (!present[a.edge]) continue;
+        if ((*dist)[a.neighbor] == kUnreachable) {
+          (*dist)[a.neighbor] = level;
+          next.push_back(a.neighbor);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+std::vector<VertexPair> SampleDistinctPairs(std::size_t num_vertices,
+                                            std::size_t count, Rng* rng) {
+  UGS_CHECK(num_vertices >= 2);
+  std::vector<VertexPair> pairs;
+  pairs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    VertexId s = static_cast<VertexId>(rng->NextIndex(num_vertices));
+    VertexId t;
+    do {
+      t = static_cast<VertexId>(rng->NextIndex(num_vertices));
+    } while (t == s);
+    pairs.push_back({s, t});
+  }
+  return pairs;
+}
+
+McSamples McShortestPath(const UncertainGraph& graph,
+                         const std::vector<VertexPair>& pairs,
+                         int num_samples, Rng* rng) {
+  UGS_CHECK(num_samples > 0);
+  McSamples out;
+  out.num_units = pairs.size();
+  out.num_samples = static_cast<std::size_t>(num_samples);
+  out.values.assign(out.num_units * out.num_samples, 0.0);
+  out.valid.assign(out.num_units * out.num_samples, 0);
+
+  // Group pair indices by source so one BFS serves all of them.
+  std::unordered_map<VertexId, std::vector<std::size_t>> by_source;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    by_source[pairs[i].s].push_back(i);
+  }
+
+  std::vector<char> present;
+  std::vector<int> dist;
+  for (int s = 0; s < num_samples; ++s) {
+    SampleWorld(graph, rng, &present);
+    const std::size_t row = static_cast<std::size_t>(s) * out.num_units;
+    for (const auto& [source, indices] : by_source) {
+      BfsOnWorld(graph, present, source, &dist);
+      for (std::size_t i : indices) {
+        int d = dist[pairs[i].t];
+        if (d != kUnreachable) {
+          out.values[row + i] = static_cast<double>(d);
+          out.valid[row + i] = 1;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ugs

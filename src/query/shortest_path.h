@@ -1,0 +1,42 @@
+#ifndef UGS_QUERY_SHORTEST_PATH_H_
+#define UGS_QUERY_SHORTEST_PATH_H_
+
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+#include "query/world_sampler.h"
+#include "util/random.h"
+
+namespace ugs {
+
+/// Distance marker for unreachable vertices in a world.
+inline constexpr int kUnreachable = -1;
+
+/// A source/target query pair.
+struct VertexPair {
+  VertexId s = 0;
+  VertexId t = 0;
+};
+
+/// BFS hop distances from `source` in the world given by the presence
+/// flags; dist is resized to |V| and unreachable vertices get
+/// kUnreachable. Worlds are unweighted (paper assumption), so BFS is the
+/// shortest-path computation.
+void BfsOnWorld(const UncertainGraph& graph, const std::vector<char>& present,
+                VertexId source, std::vector<int>* dist);
+
+/// Draws `count` distinct ordered pairs (s != t) uniformly.
+std::vector<VertexPair> SampleDistinctPairs(std::size_t num_vertices,
+                                            std::size_t count, Rng* rng);
+
+/// Monte-Carlo shortest-path distance (query (ii) of Section 6.3):
+/// unit = pair; a sample is valid only when the pair is connected in that
+/// world ("excluding the ones that disconnect them"). Pairs sharing a
+/// source share one BFS per world.
+McSamples McShortestPath(const UncertainGraph& graph,
+                         const std::vector<VertexPair>& pairs,
+                         int num_samples, Rng* rng);
+
+}  // namespace ugs
+
+#endif  // UGS_QUERY_SHORTEST_PATH_H_

@@ -1,0 +1,70 @@
+#include "query/skip_sampler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ugs {
+namespace {
+
+/// Bucket ceilings: edges are assigned to the smallest ceiling >= p.
+/// Tight low buckets matter most (that is where the skipping pays).
+constexpr double kCeilings[] = {0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0};
+
+}  // namespace
+
+SkipWorldSampler::SkipWorldSampler(const UncertainGraph& graph)
+    : graph_(&graph) {
+  buckets_.resize(std::size(kCeilings));
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b].cap = kCeilings[b];
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    double p = graph.edge(e).p;
+    if (p <= 0.0) continue;      // Never present; not in any bucket.
+    if (p >= 1.0) {
+      certain_.push_back(e);     // Always present; no randomness needed.
+      continue;
+    }
+    auto it = std::lower_bound(std::begin(kCeilings), std::end(kCeilings),
+                               p);
+    std::size_t b = static_cast<std::size_t>(it - std::begin(kCeilings));
+    buckets_[b].edges.push_back(e);
+    buckets_[b].accept.push_back(p / kCeilings[b]);
+  }
+  for (const Bucket& bucket : buckets_) {
+    // One geometric draw per candidate plus one acceptance draw:
+    // candidates appear at rate cap.
+    expected_draws_ +=
+        2.0 * bucket.cap * static_cast<double>(bucket.edges.size());
+  }
+}
+
+void SkipWorldSampler::Sample(Rng* rng, std::vector<char>* present) const {
+  present->assign(graph_->num_edges(), 0);
+  for (EdgeId e : certain_) (*present)[e] = 1;
+  for (const Bucket& bucket : buckets_) {
+    const std::size_t count = bucket.edges.size();
+    if (count == 0) continue;
+    if (bucket.cap >= 1.0) {
+      // No skipping gain at cap 1; plain per-edge Bernoulli.
+      for (std::size_t i = 0; i < count; ++i) {
+        if (rng->NextDouble() < bucket.accept[i] * bucket.cap) {
+          (*present)[bucket.edges[i]] = 1;
+        }
+      }
+      continue;
+    }
+    // Geometric skipping: position of the next candidate under
+    // Bernoulli(cap), thinned to p_e by the acceptance ratio.
+    std::size_t i = static_cast<std::size_t>(rng->Geometric(bucket.cap));
+    while (i < count) {
+      if (rng->NextDouble() < bucket.accept[i]) {
+        (*present)[bucket.edges[i]] = 1;
+      }
+      i += 1 + static_cast<std::size_t>(rng->Geometric(bucket.cap));
+    }
+  }
+}
+
+}  // namespace ugs

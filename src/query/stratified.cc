@@ -1,0 +1,89 @@
+#include "query/stratified.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ugs {
+
+std::vector<EdgeId> HighestEntropyEdges(const UncertainGraph& graph, int r) {
+  std::vector<EdgeId> ids(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) ids[e] = e;
+  std::size_t keep = std::min<std::size_t>(static_cast<std::size_t>(r),
+                                           ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + keep, ids.end(),
+                    [&](EdgeId a, EdgeId b) {
+                      return EdgeEntropyBits(graph.edge(a).p) >
+                             EdgeEntropyBits(graph.edge(b).p);
+                    });
+  ids.resize(keep);
+  return ids;
+}
+
+double MonteCarloEstimate(const UncertainGraph& graph,
+                          const WorldQuery& query, int total_samples,
+                          Rng* rng) {
+  UGS_CHECK(total_samples > 0);
+  std::vector<char> present(graph.num_edges());
+  double sum = 0.0;
+  for (int s = 0; s < total_samples; ++s) {
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      present[e] = rng->Bernoulli(graph.edge(e).p) ? 1 : 0;
+    }
+    sum += query(present);
+  }
+  return sum / static_cast<double>(total_samples);
+}
+
+double StratifiedEstimate(const UncertainGraph& graph,
+                          const WorldQuery& query,
+                          const StratifiedOptions& options, Rng* rng) {
+  UGS_CHECK(options.total_samples > 0);
+  const std::size_t m = graph.num_edges();
+  if (m == 0) {
+    std::vector<char> empty;
+    return query(empty);
+  }
+  std::vector<EdgeId> pivots =
+      HighestEntropyEdges(graph, options.num_pivot_edges);
+  const std::size_t r = pivots.size();
+  UGS_CHECK(r < 63);
+  const std::uint64_t strata = 1ULL << r;
+
+  std::vector<char> present(m);
+  double estimate = 0.0;
+  double allocated_probability = 0.0;
+  for (std::uint64_t stratum = 0; stratum < strata; ++stratum) {
+    // Exact probability of this pivot assignment.
+    double stratum_probability = 1.0;
+    for (std::size_t i = 0; i < r; ++i) {
+      double p = graph.edge(pivots[i]).p;
+      stratum_probability *= ((stratum >> i) & 1ULL) ? p : (1.0 - p);
+    }
+    if (stratum_probability <= 0.0) continue;
+    allocated_probability += stratum_probability;
+    // Proportional allocation, at least one sample per visited stratum.
+    int samples = std::max(
+        1, static_cast<int>(std::llround(stratum_probability *
+                                         options.total_samples)));
+    double sum = 0.0;
+    for (int s = 0; s < samples; ++s) {
+      for (EdgeId e = 0; e < m; ++e) {
+        present[e] = rng->Bernoulli(graph.edge(e).p) ? 1 : 0;
+      }
+      for (std::size_t i = 0; i < r; ++i) {
+        present[pivots[i]] = static_cast<char>((stratum >> i) & 1ULL);
+      }
+      sum += query(present);
+    }
+    estimate += stratum_probability * sum / static_cast<double>(samples);
+  }
+  // Strata with zero probability carry no mass; renormalization guards
+  // against the (p = 0 / p = 1 pivot) corner where some strata are
+  // impossible.
+  UGS_CHECK(allocated_probability > 0.0);
+  return estimate / allocated_probability;
+}
+
+}  // namespace ugs

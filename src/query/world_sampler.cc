@@ -1,0 +1,42 @@
+#include "query/world_sampler.h"
+
+namespace ugs {
+
+void SampleWorld(const UncertainGraph& graph, Rng* rng,
+                 std::vector<char>* present) {
+  const std::size_t m = graph.num_edges();
+  present->resize(m);
+  const std::vector<UncertainEdge>& edges = graph.edges();
+  for (std::size_t e = 0; e < m; ++e) {
+    (*present)[e] = rng->Bernoulli(edges[e].p) ? 1 : 0;
+  }
+}
+
+std::size_t CountPresent(const std::vector<char>& present) {
+  std::size_t count = 0;
+  for (char c : present) count += (c != 0);
+  return count;
+}
+
+double McSamples::UnitMean(std::size_t unit) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    if (IsValid(s, unit)) {
+      sum += At(s, unit);
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+std::vector<double> McSamples::UnitSamples(std::size_t unit) const {
+  std::vector<double> out;
+  out.reserve(num_samples);
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    if (IsValid(s, unit)) out.push_back(At(s, unit));
+  }
+  return out;
+}
+
+}  // namespace ugs

@@ -1,0 +1,53 @@
+#ifndef UGS_QUERY_WORLD_SAMPLER_H_
+#define UGS_QUERY_WORLD_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+#include "util/random.h"
+
+namespace ugs {
+
+/// Samples one possible world: present[e] = 1 with probability p_e,
+/// independently per edge (possible-world semantics, Section 1). O(|E|).
+/// `present` is resized to |E|.
+void SampleWorld(const UncertainGraph& graph, Rng* rng,
+                 std::vector<char>* present);
+
+/// Number of edges present in a sampled world.
+std::size_t CountPresent(const std::vector<char>& present);
+
+/// A matrix of per-unit query results across Monte-Carlo samples, where a
+/// "unit" is whatever the query is evaluated on (a vertex for PageRank and
+/// clustering coefficient, a vertex pair for shortest-path distance and
+/// reliability). values[s * num_units + u] is unit u's result in sample s.
+///
+/// `valid` (same layout) marks entries that participate in result
+/// distributions; queries that condition on an event (shortest-path
+/// distance conditions on the pair being connected, paper Section 6.3)
+/// mark the complement invalid. Empty `valid` means everything counts.
+struct McSamples {
+  std::size_t num_units = 0;
+  std::size_t num_samples = 0;
+  std::vector<double> values;
+  std::vector<char> valid;
+
+  double At(std::size_t sample, std::size_t unit) const {
+    return values[sample * num_units + unit];
+  }
+  bool IsValid(std::size_t sample, std::size_t unit) const {
+    return valid.empty() || valid[sample * num_units + unit] != 0;
+  }
+
+  /// Mean of unit u's valid entries (0 if none are valid).
+  double UnitMean(std::size_t unit) const;
+
+  /// Pulls unit u's valid entries into a vector (for distribution
+  /// comparisons).
+  std::vector<double> UnitSamples(std::size_t unit) const;
+};
+
+}  // namespace ugs
+
+#endif  // UGS_QUERY_WORLD_SAMPLER_H_

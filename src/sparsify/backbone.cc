@@ -1,0 +1,140 @@
+#include "sparsify/backbone.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/check.h"
+#include "util/union_find.h"
+
+namespace ugs {
+namespace {
+
+/// Removes the ids in `remove` (must be sorted) from `pool` (must be
+/// sorted); both stay sorted.
+void SortedDifference(std::vector<EdgeId>* pool,
+                      const std::vector<EdgeId>& remove) {
+  std::vector<EdgeId> out;
+  out.reserve(pool->size() - remove.size());
+  std::set_difference(pool->begin(), pool->end(), remove.begin(),
+                      remove.end(), std::back_inserter(out));
+  *pool = std::move(out);
+}
+
+/// Fills `picked` up to `target` ids by repeatedly drawing a uniform edge
+/// from `pool` and accepting it with its probability (Algorithm 1 lines
+/// 7-11). Accepted edges are swap-removed from the pool.
+void MonteCarloFill(const UncertainGraph& graph, std::size_t target,
+                    std::vector<EdgeId>* pool, std::vector<EdgeId>* picked,
+                    Rng* rng) {
+  while (picked->size() < target && !pool->empty()) {
+    std::size_t i = static_cast<std::size_t>(rng->NextIndex(pool->size()));
+    EdgeId e = (*pool)[i];
+    double p = graph.edge(e).p;
+    if (p == 0.0) {
+      // Can never be accepted; drop it so the loop terminates (possible
+      // only when a sparsified graph is fed back in as input).
+      (*pool)[i] = pool->back();
+      pool->pop_back();
+      continue;
+    }
+    if (rng->Bernoulli(p)) {
+      picked->push_back(e);
+      (*pool)[i] = pool->back();
+      pool->pop_back();
+    }
+  }
+  if (picked->size() < target) {
+    UGS_CHECK(pool->empty());
+  }
+}
+
+}  // namespace
+
+std::size_t TargetEdgeCount(const UncertainGraph& graph, double alpha) {
+  return static_cast<std::size_t>(
+      std::llround(alpha * static_cast<double>(graph.num_edges())));
+}
+
+std::vector<EdgeId> MaximumSpanningForest(
+    const UncertainGraph& graph, const std::vector<EdgeId>& available) {
+  std::vector<EdgeId> sorted = available;
+  std::stable_sort(sorted.begin(), sorted.end(), [&](EdgeId a, EdgeId b) {
+    return graph.edge(a).p > graph.edge(b).p;
+  });
+  UnionFind uf(graph.num_vertices());
+  std::vector<EdgeId> forest;
+  for (EdgeId e : sorted) {
+    const UncertainEdge& ed = graph.edge(e);
+    if (uf.Union(ed.u, ed.v)) forest.push_back(e);
+  }
+  std::sort(forest.begin(), forest.end());
+  return forest;
+}
+
+Result<std::vector<EdgeId>> BuildBackbone(const UncertainGraph& graph,
+                                          double alpha,
+                                          const BackboneOptions& options,
+                                          Rng* rng) {
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("sparsification ratio alpha must be in "
+                                   "(0,1), got " + std::to_string(alpha));
+  }
+  const std::size_t m = graph.num_edges();
+  const std::size_t n = graph.num_vertices();
+  const std::size_t target = TargetEdgeCount(graph, alpha);
+  if (target == 0 || target > m) {
+    return Status::InvalidArgument("alpha * |E| rounds to an invalid edge "
+                                   "count " + std::to_string(target));
+  }
+
+  std::vector<EdgeId> picked;
+  picked.reserve(target);
+  std::vector<EdgeId> pool(m);
+  for (EdgeId e = 0; e < m; ++e) pool[e] = e;
+
+  if (options.kind == BackboneKind::kSpanning) {
+    if (graph.IsStructurallyConnected() && target < n - 1) {
+      return Status::InvalidArgument(
+          "alpha |E| = " + std::to_string(target) + " < |V| - 1 = " +
+          std::to_string(n - 1) +
+          "; a connectivity-preserving backbone is impossible "
+          "(paper footnote 7)");
+    }
+    // Peel maximum spanning forests until the spanning budget alpha' |E|
+    // is exhausted or max_spanning_forests forests were taken.
+    const std::size_t spanning_budget = static_cast<std::size_t>(
+        options.spanning_fraction * static_cast<double>(target));
+    int forests = 0;
+    while (forests < options.max_spanning_forests) {
+      // The first forest is always taken in full (connectivity); later
+      // forests must fit in the spanning budget.
+      std::vector<EdgeId> forest = MaximumSpanningForest(graph, pool);
+      if (forest.empty()) break;
+      bool first = (forests == 0);
+      if (!first && picked.size() + forest.size() > spanning_budget) break;
+      if (first && forest.size() > target) {
+        // Cannot even fit a spanning forest; take a prefix (highest
+        // probability edges first) -- only possible for disconnected
+        // inputs, which were not filtered above.
+        std::stable_sort(forest.begin(), forest.end(),
+                         [&](EdgeId a, EdgeId b) {
+                           return graph.edge(a).p > graph.edge(b).p;
+                         });
+        forest.resize(target);
+        std::sort(forest.begin(), forest.end());
+      }
+      picked.insert(picked.end(), forest.begin(), forest.end());
+      SortedDifference(&pool, forest);
+      ++forests;
+      if (picked.size() >= spanning_budget || picked.size() >= target) break;
+    }
+  }
+
+  MonteCarloFill(graph, target, &pool, &picked, rng);
+  UGS_CHECK_EQ(picked.size(), target);
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+}  // namespace ugs

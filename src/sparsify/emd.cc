@@ -1,0 +1,126 @@
+#include "sparsify/emd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/indexed_heap.h"
+
+namespace ugs {
+namespace {
+
+double TypedDelta(const SparseState& state, VertexId u, double delta_abs,
+                  DiscrepancyType type) {
+  if (type == DiscrepancyType::kAbsolute) return delta_abs;
+  double d = state.graph().ExpectedDegree(u);
+  return d > 0.0 ? delta_abs / d : 0.0;
+}
+
+}  // namespace
+
+double CandidateProbability(const SparseState& state, EdgeId e, double h,
+                            DiscrepancyType type) {
+  UGS_DCHECK(!state.InBackbone(e));
+  (void)h;
+  // Candidate is hypothetically inserted at p_hat = 0, so the optimal step
+  // of Eq. (8) lands directly on the proposed probability (clamped).
+  //
+  // The full step is used rather than the entropy-guarded h-scaled one:
+  // a swap replaces the removed edge's probability mass, and inserting at
+  // h * step would leak (1 - h) of that mass out of the graph each
+  // E-phase, leaving EMD strictly worse than the GDB it wraps -- the
+  // opposite of the paper's Table 2. The entropy guard h applies inside
+  // the GDB M-phase refinement (Algorithm 2), matching the paper's
+  // Figure 3 walk-through where insertions carry their Eq.-(9) optimum.
+  const double step = OptimalStepK1(state, e, type);
+  return std::max(0.0, std::min(1.0, step));
+}
+
+double InsertionGain(const SparseState& state, EdgeId e, double w,
+                     DiscrepancyType type) {
+  UGS_DCHECK(!state.InBackbone(e));
+  const UncertainEdge& ed = state.graph().edge(e);
+  const double du0 = state.DeltaAbs(ed.u);        // delta at p_hat_e = 0.
+  const double dv0 = state.DeltaAbs(ed.v);
+  const double du_w = du0 - w;                    // delta at p_hat_e = w.
+  const double dv_w = dv0 - w;
+  const double tu0 = TypedDelta(state, ed.u, du0, type);
+  const double tv0 = TypedDelta(state, ed.v, dv0, type);
+  const double tuw = TypedDelta(state, ed.u, du_w, type);
+  const double tvw = TypedDelta(state, ed.v, dv_w, type);
+  return tu0 * tu0 - tuw * tuw + tv0 * tv0 - tvw * tvw;
+}
+
+EmdStats RunEmd(SparseState* state, const EmdOptions& options) {
+  UGS_CHECK(options.h >= 0.0 && options.h <= 1.0);
+  EmdStats stats;
+  const DiscrepancyType type = options.discrepancy;
+  stats.initial_objective = state->ObjectiveD1(type);
+  double previous = stats.initial_objective;
+
+  GdbOptions m_phase = options.m_phase;
+  m_phase.discrepancy = type;
+  m_phase.rule = CutRule::Degrees();
+  m_phase.h = options.h;
+
+  const UncertainGraph& graph = state->graph();
+  IndexedMaxHeap heap(graph.num_vertices());
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // ---- E-phase (Algorithm 3 lines 7-20) ----
+    heap.Clear();
+    for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+      heap.Push(u, std::abs(state->Delta(u, type)));
+    }
+    const std::vector<EdgeId> snapshot = state->BackboneEdges();
+    for (EdgeId e : snapshot) {
+      UGS_DCHECK(state->InBackbone(e));
+      const UncertainEdge& ed = graph.edge(e);
+      // Lines 10-12: pull e out; endpoint discrepancies grow by p_hat_e.
+      state->RemoveEdge(e);
+      heap.Update(ed.u, std::abs(state->Delta(ed.u, type)));
+      heap.Update(ed.v, std::abs(state->Delta(ed.v, type)));
+
+      // Line 13: most-discrepant vertex.
+      const VertexId top = heap.Top();
+
+      // Lines 14-17: best candidate among E \ E_b edges at `top`, plus
+      // the just-removed edge itself. Ties keep the incumbent e.
+      EdgeId best_edge = e;
+      double best_p = CandidateProbability(*state, e, options.h, type);
+      double best_gain = InsertionGain(*state, e, best_p, type);
+      for (const AdjacencyEntry& a : graph.Neighbors(top)) {
+        EdgeId er = a.edge;
+        if (state->InBackbone(er) || er == e) continue;
+        double w = CandidateProbability(*state, er, options.h, type);
+        double gain = InsertionGain(*state, er, w, type);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_edge = er;
+          best_p = w;
+        }
+      }
+
+      // Lines 19-20: insert the winner, refresh heap entries.
+      state->AddEdge(best_edge, best_p);
+      const UncertainEdge& bd = graph.edge(best_edge);
+      heap.Update(bd.u, std::abs(state->Delta(bd.u, type)));
+      heap.Update(bd.v, std::abs(state->Delta(bd.v, type)));
+      if (best_edge != e) ++stats.swaps;
+    }
+
+    // ---- M-phase (line 21): GDB on the restructured backbone ----
+    RunGdb(state, m_phase);
+
+    ++stats.iterations;
+    double objective = state->ObjectiveD1(type);
+    bool converged = std::abs(previous - objective) <=
+                     options.tolerance * std::max(1.0, std::abs(previous));
+    previous = objective;
+    if (converged) break;
+  }
+  stats.final_objective = previous;
+  return stats;
+}
+
+}  // namespace ugs

@@ -1,0 +1,64 @@
+#ifndef UGS_SPARSIFY_GDB_H_
+#define UGS_SPARSIFY_GDB_H_
+
+#include <cstdint>
+
+#include "sparsify/sparse_state.h"
+
+namespace ugs {
+
+/// Which cut cardinality the GDB update rule targets (Problem 1's k).
+struct CutRule {
+  /// k = 1: preserve expected degrees (Eq. 9). k = 2: Eq. 15.
+  /// 2 < k < n: the analytic general rule Eq. 14. Use all_cuts() for the
+  /// k = n rule (Eq. 16).
+  int k = 1;
+  bool k_is_n = false;
+
+  static CutRule Degrees() { return {1, false}; }
+  static CutRule Cuts(int k) { return {k, false}; }
+  static CutRule AllCuts() { return {0, true}; }
+};
+
+/// Options for Gradient Descent Backbone (Algorithm 2).
+struct GdbOptions {
+  DiscrepancyType discrepancy = DiscrepancyType::kAbsolute;
+  CutRule rule = CutRule::Degrees();
+  /// Entropy parameter h in [0, 1]: fraction of the optimal step applied
+  /// when the full step would increase the edge's entropy (Section 4.2;
+  /// Figure 5 tunes it, 0.05 is the paper's balanced default).
+  double h = 0.05;
+  /// Convergence threshold tau on the relative improvement of the
+  /// objective D1 between sweeps.
+  double tolerance = 1e-7;
+  int max_sweeps = 60;
+};
+
+/// Result bookkeeping for a GDB run.
+struct GdbStats {
+  int sweeps = 0;
+  double initial_objective = 0.0;
+  double final_objective = 0.0;
+};
+
+/// Runs GDB probability optimization in place on `state` (which already
+/// holds the backbone with its seed probabilities). This is both the
+/// standalone GDB sparsifier's core and the M-phase of EMD.
+GdbStats RunGdb(SparseState* state, const GdbOptions& options);
+
+/// The optimal single-edge step of Eq. (8) (k = 1): the probability change
+/// that zeroes the derivative of D1 with respect to p'_e, before clamping
+/// and the entropy guard. Exposed for unit tests and for EMD's gain
+/// computation.
+double OptimalStepK1(const SparseState& state, EdgeId e,
+                     DiscrepancyType type);
+
+/// Applies the Algorithm 2 update (lines 7-10) to edge e under the given
+/// rule: full step if it clamps to {0,1} or does not increase entropy,
+/// otherwise h * step. Returns the new probability (state is updated).
+double UpdateEdgeProbability(SparseState* state, EdgeId e,
+                             const GdbOptions& options);
+
+}  // namespace ugs
+
+#endif  // UGS_SPARSIFY_GDB_H_

@@ -1,0 +1,51 @@
+#include "sparsify/lp_assign.h"
+
+#include <algorithm>
+
+#include "flow/dinic.h"
+#include "util/check.h"
+
+namespace ugs {
+
+std::vector<double> SolveDegreeLp(
+    const UncertainGraph& graph, const std::vector<EdgeId>& backbone_edges) {
+  const std::size_t n = graph.num_vertices();
+  // Node layout: 0 = source, 1 = sink, 2 + u = u_L, 2 + n + u = u_R.
+  const std::uint32_t source = 0;
+  const std::uint32_t sink = 1;
+  auto left = [](VertexId u) { return 2 + u; };
+  auto right = [n](VertexId u) {
+    return static_cast<std::uint32_t>(2 + n + u);
+  };
+
+  DinicMaxFlow flow(2 + 2 * n);
+  for (VertexId u = 0; u < n; ++u) {
+    const double d = graph.ExpectedDegree(u);
+    flow.AddArc(source, left(u), d);
+    flow.AddArc(right(u), sink, d);
+  }
+  std::vector<std::size_t> forward_arc(backbone_edges.size());
+  std::vector<std::size_t> backward_arc(backbone_edges.size());
+  for (std::size_t i = 0; i < backbone_edges.size(); ++i) {
+    const UncertainEdge& e = graph.edge(backbone_edges[i]);
+    forward_arc[i] = flow.AddArc(left(e.u), right(e.v), 1.0);
+    backward_arc[i] = flow.AddArc(left(e.v), right(e.u), 1.0);
+  }
+  flow.Solve(source, sink);
+
+  std::vector<double> p(backbone_edges.size());
+  for (std::size_t i = 0; i < backbone_edges.size(); ++i) {
+    double value =
+        0.5 * (flow.FlowOn(forward_arc[i]) + flow.FlowOn(backward_arc[i]));
+    p[i] = std::clamp(value, 0.0, 1.0);  // Scrub floating-point dust.
+  }
+  return p;
+}
+
+double DegreeLpObjective(const std::vector<double>& probabilities) {
+  double sum = 0.0;
+  for (double p : probabilities) sum += p;
+  return sum;
+}
+
+}  // namespace ugs

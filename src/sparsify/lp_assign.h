@@ -1,0 +1,38 @@
+#ifndef UGS_SPARSIFY_LP_ASSIGN_H_
+#define UGS_SPARSIFY_LP_ASSIGN_H_
+
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+
+namespace ugs {
+
+/// Exact solver for the Theorem-1 linear program
+///
+///   max  sum_e p'_e
+///   s.t. sum_{e incident to u} p'_e <= d_u   for every vertex u
+///        0 <= p'_e <= 1
+///
+/// where d is the expected-degree vector of the original graph. By Lemma 1
+/// and Theorem 1 its optimum minimizes the degree discrepancy Delta_1 over
+/// the backbone.
+///
+/// Instead of a generic simplex (the paper: "any linear programming
+/// solver") this solves the LP *exactly* as a maximum flow on the
+/// bipartite double cover: split each vertex u into u_L and u_R with
+/// source->u_L and u_R->sink capacities d_u; each backbone edge (u,v)
+/// contributes arcs u_L->v_R and v_L->u_R of capacity 1. Symmetrizing an
+/// optimal flow, p'_e = (f(u_L v_R) + f(v_L u_R)) / 2, is feasible with
+/// objective maxflow/2; conversely any feasible p' doubles into a flow of
+/// value 2 sum p', so OPT_LP = maxflow / 2 and the recovered p' is optimal.
+///
+/// Returns probabilities parallel to `backbone_edges`.
+std::vector<double> SolveDegreeLp(const UncertainGraph& graph,
+                                  const std::vector<EdgeId>& backbone_edges);
+
+/// Value of the LP objective sum p' (for tests / reporting).
+double DegreeLpObjective(const std::vector<double>& probabilities);
+
+}  // namespace ugs
+
+#endif  // UGS_SPARSIFY_LP_ASSIGN_H_

@@ -1,0 +1,189 @@
+#include "sparsify/ni.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "sparsify/backbone.h"
+#include "util/check.h"
+#include "util/union_find.h"
+
+namespace ugs {
+namespace {
+
+/// Integer weight transform w_e = round(p_e / p_min), floored at 1 and
+/// capped at max_weight.
+std::vector<int> TransformWeights(const UncertainGraph& graph,
+                                  int max_weight, double* p_min_out,
+                                  bool* cap_hit) {
+  double p_min = 1.0;
+  for (const UncertainEdge& e : graph.edges()) {
+    if (e.p > 0.0) p_min = std::min(p_min, e.p);
+  }
+  *p_min_out = p_min;
+  *cap_hit = false;
+  std::vector<int> w(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    double ratio = graph.edge(e).p / p_min;
+    long long rounded = std::llround(ratio);
+    if (rounded < 1) rounded = 1;
+    if (rounded > max_weight) {
+      rounded = max_weight;
+      *cap_hit = true;
+    }
+    w[e] = static_cast<int>(rounded);
+  }
+  return w;
+}
+
+}  // namespace
+
+NiCoreResult RunNiCore(const UncertainGraph& graph,
+                       const std::vector<int>& weights, double epsilon,
+                       Rng* rng) {
+  UGS_CHECK_EQ(weights.size(), graph.num_edges());
+  const std::size_t n = graph.num_vertices();
+  const double log_n = std::log(std::max<std::size_t>(n, 2));
+
+  NiCoreResult result;
+  std::vector<int> remaining = weights;
+  std::vector<EdgeId> alive(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) alive[e] = e;
+  std::vector<char> in_prev_forest(graph.num_edges(), 0);
+
+  UnionFind uf(n);
+  int round = 0;
+  std::vector<EdgeId> forest;
+  while (!alive.empty()) {
+    ++round;
+    uf.Reset();
+    forest.clear();
+    // Contiguity: edges of the previous forest that are still alive get
+    // first claim on this round's forest.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (EdgeId e : alive) {
+        if ((pass == 0) != (in_prev_forest[e] != 0)) continue;
+        const UncertainEdge& ed = graph.edge(e);
+        if (uf.Union(ed.u, ed.v)) forest.push_back(e);
+      }
+    }
+    UGS_CHECK(!forest.empty());  // Alive edges always yield a forest edge.
+    std::fill(in_prev_forest.begin(), in_prev_forest.end(), 0);
+    for (EdgeId e : forest) {
+      in_prev_forest[e] = 1;
+      if (--remaining[e] == 0) {
+        // Edge dies at round `round`: its NI index is this round.
+        double ell = std::min(log_n / (epsilon * epsilon * round), 1.0);
+        if (rng->Bernoulli(ell)) {
+          result.edges.push_back(e);
+          result.inflated_weights.push_back(
+              static_cast<double>(weights[e]) / ell);
+        }
+      }
+    }
+    // Compact the alive list.
+    std::erase_if(alive, [&](EdgeId e) { return remaining[e] == 0; });
+  }
+  result.rounds = round;
+  return result;
+}
+
+Result<NiResult> NiSparsify(const UncertainGraph& graph, double alpha,
+                            const NiOptions& options, Rng* rng) {
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0,1), got " +
+                                   std::to_string(alpha));
+  }
+  const std::size_t m = graph.num_edges();
+  const std::size_t n = graph.num_vertices();
+  const std::size_t target = TargetEdgeCount(graph, alpha);
+  if (target == 0 || target > m) {
+    return Status::InvalidArgument("invalid target edge count " +
+                                   std::to_string(target));
+  }
+
+  NiResult out;
+  double p_min = 1.0;
+  std::vector<int> weights =
+      TransformWeights(graph, options.max_weight, &p_min, &out.weight_cap_hit);
+
+  // Initial eps = sqrt(n log n / (alpha |E|)) (Section 3.2).
+  const double log_n = std::log(std::max<std::size_t>(n, 2));
+  double eps = std::sqrt(static_cast<double>(n) * log_n /
+                         (alpha * static_cast<double>(m)));
+
+  // Calibration: approximate the minimum eps with |E'| <= target.
+  NiCoreResult best;
+  bool have_best = false;
+  double best_eps = eps;
+  int runs = 0;
+  NiCoreResult first = RunNiCore(graph, weights, eps, rng);
+  ++runs;
+  if (first.edges.size() > target) {
+    // Too many edges: grow eps until the first run that fits.
+    while (runs < options.max_calibration_runs) {
+      eps *= options.theta;
+      NiCoreResult r = RunNiCore(graph, weights, eps, rng);
+      ++runs;
+      if (r.edges.size() <= target) {
+        best = std::move(r);
+        best_eps = eps;
+        have_best = true;
+        break;
+      }
+    }
+    if (!have_best) {
+      // Give up calibrating; fall back to an empty core result (the
+      // Monte-Carlo fill below produces the requested edge count).
+      best = NiCoreResult{};
+      best_eps = eps;
+    }
+  } else {
+    // Fits already: shrink eps while it keeps fitting, keep the last fit.
+    best = std::move(first);
+    best_eps = eps;
+    have_best = true;
+    while (runs < options.max_calibration_runs) {
+      double next_eps = eps / options.theta;
+      NiCoreResult r = RunNiCore(graph, weights, next_eps, rng);
+      ++runs;
+      if (r.edges.size() > target) break;
+      eps = next_eps;
+      best = std::move(r);
+      best_eps = eps;
+    }
+  }
+  out.epsilon_used = best_eps;
+  out.calibration_runs = runs;
+
+  // Convert kept edges back to probabilities: p' = min(w' p_min, 1).
+  std::vector<char> chosen(m, 0);
+  for (std::size_t i = 0; i < best.edges.size(); ++i) {
+    EdgeId e = best.edges[i];
+    chosen[e] = 1;
+    out.edges.push_back(e);
+    out.probabilities.push_back(
+        std::min(best.inflated_weights[i] * p_min, 1.0));
+  }
+
+  // Fill the remainder by Monte-Carlo sampling with original p.
+  std::vector<EdgeId> pool;
+  pool.reserve(m - out.edges.size());
+  for (EdgeId e = 0; e < m; ++e) {
+    if (!chosen[e] && graph.edge(e).p > 0.0) pool.push_back(e);
+  }
+  while (out.edges.size() < target) {
+    UGS_CHECK(!pool.empty());
+    std::size_t i = static_cast<std::size_t>(rng->NextIndex(pool.size()));
+    EdgeId e = pool[i];
+    if (rng->Bernoulli(graph.edge(e).p)) {
+      out.edges.push_back(e);
+      out.probabilities.push_back(graph.edge(e).p);
+      pool[i] = pool.back();
+      pool.pop_back();
+    }
+  }
+  return out;
+}
+
+}  // namespace ugs

@@ -1,0 +1,168 @@
+#ifndef UGS_SPARSIFY_SPARSE_STATE_H_
+#define UGS_SPARSIFY_SPARSE_STATE_H_
+
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+#include "util/check.h"
+
+namespace ugs {
+
+/// Which discrepancy a method optimizes (paper Section 3.1):
+/// absolute  delta_A(u) = d_G(u) - d_G'(u)
+/// relative  delta_R(u) = delta_A(u) / d_G(u)
+enum class DiscrepancyType { kAbsolute, kRelative };
+
+/// Mutable working state shared by the probability-assignment algorithms
+/// (GDB, EMD, and the LP wrapper): the original graph, the current backbone
+/// membership, current probabilities p-hat, and the incrementally
+/// maintained per-vertex absolute discrepancies plus the global
+/// discrepancy mass
+///
+///   T = sum_{e in E} (p_e - p_hat_e)
+///
+/// needed by the k >= 2 cut rules (Delta-hat of Eq. 12/14 falls out of T
+/// and the endpoint discrepancies in O(1)).
+///
+/// This type is an implementation detail of sparsify/ but is exposed for
+/// white-box unit tests.
+class SparseState {
+ public:
+  /// Starts from a backbone: probabilities initialized to the original
+  /// p_e for backbone edges and 0 elsewhere (Algorithm 2 lines 1-3).
+  SparseState(const UncertainGraph& graph,
+              const std::vector<EdgeId>& backbone_edges)
+      : graph_(&graph),
+        p_hat_(graph.num_edges(), 0.0),
+        in_backbone_(graph.num_edges(), 0),
+        delta_abs_(graph.num_vertices(), 0.0),
+        total_mass_(0.0) {
+    for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+      delta_abs_[u] = graph.ExpectedDegree(u);
+    }
+    for (const UncertainEdge& e : graph.edges()) total_mass_ += e.p;
+    for (EdgeId e : backbone_edges) {
+      AddEdge(e, graph.edge(e).p);
+    }
+  }
+
+  const UncertainGraph& graph() const { return *graph_; }
+
+  bool InBackbone(EdgeId e) const { return in_backbone_[e] != 0; }
+  double Probability(EdgeId e) const { return p_hat_[e]; }
+
+  /// Absolute degree discrepancy delta_A(u) of the current assignment.
+  double DeltaAbs(VertexId u) const { return delta_abs_[u]; }
+
+  /// Typed discrepancy: absolute or relative (divided by d_G(u)).
+  double Delta(VertexId u, DiscrepancyType type) const {
+    if (type == DiscrepancyType::kAbsolute) return delta_abs_[u];
+    double d = graph_->ExpectedDegree(u);
+    return d > 0.0 ? delta_abs_[u] / d : 0.0;
+  }
+
+  /// Global discrepancy mass T = sum_E (p_e - p_hat_e).
+  double TotalMass() const { return total_mass_; }
+
+  std::size_t BackboneSize() const { return backbone_size_; }
+
+  /// Changes the probability of a backbone edge.
+  void SetProbability(EdgeId e, double p) {
+    UGS_DCHECK(InBackbone(e));
+    UGS_DCHECK(p >= 0.0 && p <= 1.0);
+    double diff = p_hat_[e] - p;  // Positive when probability decreases.
+    if (diff == 0.0) return;
+    p_hat_[e] = p;
+    const UncertainEdge& ed = graph_->edge(e);
+    delta_abs_[ed.u] += diff;
+    delta_abs_[ed.v] += diff;
+    total_mass_ += diff;
+  }
+
+  /// Adds edge e to the backbone with probability p.
+  void AddEdge(EdgeId e, double p) {
+    UGS_DCHECK(!InBackbone(e));
+    in_backbone_[e] = 1;
+    ++backbone_size_;
+    p_hat_[e] = 0.0;
+    SetProbabilityUnchecked(e, p);
+  }
+
+  /// Removes edge e from the backbone (its probability becomes 0).
+  void RemoveEdge(EdgeId e) {
+    UGS_DCHECK(InBackbone(e));
+    SetProbabilityUnchecked(e, 0.0);
+    in_backbone_[e] = 0;
+    --backbone_size_;
+  }
+
+  /// Objective D1 = sum_u delta(u)^2 for the given discrepancy type
+  /// (Section 4.2). O(|V|).
+  double ObjectiveD1(DiscrepancyType type) const {
+    double obj = 0.0;
+    for (VertexId u = 0; u < graph_->num_vertices(); ++u) {
+      double d = Delta(u, type);
+      obj += d * d;
+    }
+    return obj;
+  }
+
+  /// Sum over vertices of |delta_typed(u)| (the Delta_1 of Problem 1).
+  double SumAbsDelta(DiscrepancyType type) const {
+    double s = 0.0;
+    for (VertexId u = 0; u < graph_->num_vertices(); ++u) {
+      s += std::abs(Delta(u, type));
+    }
+    return s;
+  }
+
+  /// Current backbone edge ids, in original-edge-list order.
+  std::vector<EdgeId> BackboneEdges() const {
+    std::vector<EdgeId> out;
+    out.reserve(backbone_size_);
+    for (EdgeId e = 0; e < in_backbone_.size(); ++e) {
+      if (in_backbone_[e]) out.push_back(e);
+    }
+    return out;
+  }
+
+  /// Materializes the sparsified uncertain graph G' = (V, E', p_hat) and
+  /// optionally the original edge ids parallel to its edge list.
+  UncertainGraph BuildGraph(std::vector<EdgeId>* original_ids = nullptr) const {
+    std::vector<UncertainEdge> edges;
+    edges.reserve(backbone_size_);
+    if (original_ids != nullptr) {
+      original_ids->clear();
+      original_ids->reserve(backbone_size_);
+    }
+    for (EdgeId e = 0; e < in_backbone_.size(); ++e) {
+      if (!in_backbone_[e]) continue;
+      const UncertainEdge& ed = graph_->edge(e);
+      edges.push_back({ed.u, ed.v, p_hat_[e]});
+      if (original_ids != nullptr) original_ids->push_back(e);
+    }
+    return UncertainGraph::FromEdges(graph_->num_vertices(),
+                                     std::move(edges));
+  }
+
+ private:
+  void SetProbabilityUnchecked(EdgeId e, double p) {
+    double diff = p_hat_[e] - p;
+    p_hat_[e] = p;
+    const UncertainEdge& ed = graph_->edge(e);
+    delta_abs_[ed.u] += diff;
+    delta_abs_[ed.v] += diff;
+    total_mass_ += diff;
+  }
+
+  const UncertainGraph* graph_;
+  std::vector<double> p_hat_;
+  std::vector<char> in_backbone_;
+  std::vector<double> delta_abs_;
+  double total_mass_;
+  std::size_t backbone_size_ = 0;
+};
+
+}  // namespace ugs
+
+#endif  // UGS_SPARSIFY_SPARSE_STATE_H_

@@ -1,0 +1,50 @@
+#include "util/binomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ugs {
+
+double LogBinomial(std::int64_t m, std::int64_t i) {
+  UGS_CHECK(i >= 0 && i <= m);
+  return std::lgamma(static_cast<double>(m) + 1.0) -
+         std::lgamma(static_cast<double>(i) + 1.0) -
+         std::lgamma(static_cast<double>(m - i) + 1.0);
+}
+
+double LogBinomialSum(std::int64_t m, std::int64_t k) {
+  if (k < 0) return -std::numeric_limits<double>::infinity();
+  UGS_CHECK(m >= 0);
+  k = std::min(k, m);
+  // log-sum-exp over log C(m, i), i = 0..k, anchored at the largest term.
+  // Terms increase up to i = m/2, so the largest term in the truncated sum
+  // is at i = min(k, m/2 rounded to the peak).
+  std::int64_t peak = std::min(k, m / 2);
+  double log_max = LogBinomial(m, peak);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i <= k; ++i) {
+    acc += std::exp(LogBinomial(m, i) - log_max);
+  }
+  return log_max + std::log(acc);
+}
+
+CutRuleCoefficients ComputeCutRuleCoefficients(std::int64_t n,
+                                               std::int64_t k) {
+  UGS_CHECK(n >= 4);
+  UGS_CHECK(k >= 1 && k <= n);
+  const double log_denominator = std::log(2.0) + LogBinomialSum(n - 2, k - 1);
+  CutRuleCoefficients coeffs;
+  coeffs.c_degree = std::exp(LogBinomialSum(n - 3, k - 1) - log_denominator);
+  if (k >= 2) {
+    coeffs.c_rest = 4.0 * std::exp(LogBinomialSum(n - 4, k - 2) -
+                                   log_denominator);
+  } else {
+    coeffs.c_rest = 0.0;  // (n-4 choose -1)_Sigma = 0.
+  }
+  return coeffs;
+}
+
+}  // namespace ugs

@@ -1,0 +1,42 @@
+#ifndef UGS_UTIL_BINOMIAL_H_
+#define UGS_UTIL_BINOMIAL_H_
+
+#include <cstdint>
+
+namespace ugs {
+
+/// Log-space binomial machinery for the general-k GDB update rule
+/// (Equation 14 of the paper). The rule's coefficients are ratios of
+/// truncated binomial sums
+///
+///   (m choose k)_Sigma := sum_{i=0..k} C(m, i)      (0 if k < 0)
+///
+/// whose terms overflow doubles for modest m, so everything is carried in
+/// log space and only the final ratios are exponentiated.
+
+/// Natural log of C(m, i). Requires 0 <= i <= m.
+double LogBinomial(std::int64_t m, std::int64_t i);
+
+/// Natural log of sum_{i=0}^{k} C(m, i), the paper's (m choose k)_Sigma,
+/// with k clamped to [0, m]. Returns -infinity when k < 0 (empty sum).
+double LogBinomialSum(std::int64_t m, std::int64_t k);
+
+/// Coefficients of the Eq. (14) step
+///
+///   stp = [ c_degree * (deltaA(u0)+deltaA(v0)) + c_rest * Delta(e) ]
+///
+/// with c_degree = (n-3 choose k-1)_Sigma / (2 (n-2 choose k-1)_Sigma) and
+/// c_rest = 4 (n-4 choose k-2)_Sigma / (2 (n-2 choose k-1)_Sigma).
+/// Requires n >= 4 (smaller graphs have no nontrivial cuts for k >= 2) and
+/// 1 <= k <= n.
+struct CutRuleCoefficients {
+  double c_degree = 0.0;
+  double c_rest = 0.0;
+};
+
+CutRuleCoefficients ComputeCutRuleCoefficients(std::int64_t n,
+                                               std::int64_t k);
+
+}  // namespace ugs
+
+#endif  // UGS_UTIL_BINOMIAL_H_

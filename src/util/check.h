@@ -1,0 +1,51 @@
+#ifndef UGS_UTIL_CHECK_H_
+#define UGS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// UGS_CHECK aborts the process when a library invariant is violated. These
+/// guard programming errors (misuse of the API, broken internal state), not
+/// recoverable runtime conditions -- those return ugs::Status instead.
+#define UGS_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "UGS_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Binary comparison checks that print both operand expressions.
+#define UGS_CHECK_OP(op, a, b)                                              \
+  do {                                                                      \
+    if (!((a)op(b))) {                                                      \
+      std::fprintf(stderr, "UGS_CHECK failed at %s:%d: %s %s %s\n",         \
+                   __FILE__, __LINE__, #a, #op, #b);                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define UGS_CHECK_EQ(a, b) UGS_CHECK_OP(==, a, b)
+#define UGS_CHECK_NE(a, b) UGS_CHECK_OP(!=, a, b)
+#define UGS_CHECK_LT(a, b) UGS_CHECK_OP(<, a, b)
+#define UGS_CHECK_LE(a, b) UGS_CHECK_OP(<=, a, b)
+#define UGS_CHECK_GT(a, b) UGS_CHECK_OP(>, a, b)
+#define UGS_CHECK_GE(a, b) UGS_CHECK_OP(>=, a, b)
+
+/// Debug-only checks compile away in release builds (NDEBUG).
+#ifdef NDEBUG
+#define UGS_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#define UGS_DCHECK_EQ(a, b) UGS_DCHECK((a) == (b))
+#define UGS_DCHECK_LT(a, b) UGS_DCHECK((a) < (b))
+#define UGS_DCHECK_LE(a, b) UGS_DCHECK((a) <= (b))
+#else
+#define UGS_DCHECK(cond) UGS_CHECK(cond)
+#define UGS_DCHECK_EQ(a, b) UGS_CHECK_EQ(a, b)
+#define UGS_DCHECK_LT(a, b) UGS_CHECK_LT(a, b)
+#define UGS_DCHECK_LE(a, b) UGS_CHECK_LE(a, b)
+#endif
+
+#endif  // UGS_UTIL_CHECK_H_

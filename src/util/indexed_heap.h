@@ -1,0 +1,157 @@
+#ifndef UGS_UTIL_INDEXED_HEAP_H_
+#define UGS_UTIL_INDEXED_HEAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ugs {
+
+/// Binary max-heap over a fixed key universe [0, n) with O(log n) priority
+/// updates addressed by key.
+///
+/// This is the vertex heap H_v of Algorithm 3 (EMD): vertices are keyed by
+/// id and prioritized by |discrepancy|; every edge swap updates the two
+/// endpoint priorities in place. Compared to a lazy std::priority_queue this
+/// keeps the E-phase heap overhead at O(alpha |E| log |V|) as analyzed in
+/// Section 4.3 of the paper.
+class IndexedMaxHeap {
+ public:
+  /// Creates an empty heap over keys [0, n).
+  explicit IndexedMaxHeap(std::size_t n)
+      : pos_(n, kAbsent), keys_(), priorities_() {}
+
+  std::size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+
+  /// True iff key currently has an entry.
+  bool Contains(std::uint32_t key) const {
+    UGS_DCHECK(key < pos_.size());
+    return pos_[key] != kAbsent;
+  }
+
+  /// Inserts key with the given priority. Key must not be present.
+  void Push(std::uint32_t key, double priority) {
+    UGS_DCHECK(!Contains(key));
+    pos_[key] = keys_.size();
+    keys_.push_back(key);
+    priorities_.push_back(priority);
+    SiftUp(keys_.size() - 1);
+  }
+
+  /// Inserts or updates a key's priority.
+  void Update(std::uint32_t key, double priority) {
+    if (!Contains(key)) {
+      Push(key, priority);
+      return;
+    }
+    std::size_t i = pos_[key];
+    double old = priorities_[i];
+    priorities_[i] = priority;
+    if (priority > old) {
+      SiftUp(i);
+    } else if (priority < old) {
+      SiftDown(i);
+    }
+  }
+
+  /// Returns the key with maximum priority without removing it.
+  std::uint32_t Top() const {
+    UGS_CHECK(!empty());
+    return keys_[0];
+  }
+
+  /// Priority of the max entry.
+  double TopPriority() const {
+    UGS_CHECK(!empty());
+    return priorities_[0];
+  }
+
+  /// Priority currently stored for key (must be present).
+  double PriorityOf(std::uint32_t key) const {
+    UGS_DCHECK(Contains(key));
+    return priorities_[pos_[key]];
+  }
+
+  /// Removes and returns the key with maximum priority.
+  std::uint32_t PopTop() {
+    std::uint32_t top = Top();
+    Remove(top);
+    return top;
+  }
+
+  /// Removes key (must be present).
+  void Remove(std::uint32_t key) {
+    UGS_DCHECK(Contains(key));
+    std::size_t i = pos_[key];
+    std::size_t last = keys_.size() - 1;
+    if (i != last) {
+      MoveEntry(last, i);
+      pos_[key] = kAbsent;
+      keys_.pop_back();
+      priorities_.pop_back();
+      // The moved element may need to go either direction.
+      SiftUp(i);
+      SiftDown(i);
+    } else {
+      pos_[key] = kAbsent;
+      keys_.pop_back();
+      priorities_.pop_back();
+    }
+  }
+
+  /// Drops all entries (key universe unchanged).
+  void Clear() {
+    for (std::uint32_t k : keys_) pos_[k] = kAbsent;
+    keys_.clear();
+    priorities_.clear();
+  }
+
+ private:
+  static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+
+  void MoveEntry(std::size_t from, std::size_t to) {
+    keys_[to] = keys_[from];
+    priorities_[to] = priorities_[from];
+    pos_[keys_[to]] = to;
+  }
+
+  void Swap(std::size_t a, std::size_t b) {
+    std::swap(keys_[a], keys_[b]);
+    std::swap(priorities_[a], priorities_[b]);
+    pos_[keys_[a]] = a;
+    pos_[keys_[b]] = b;
+  }
+
+  void SiftUp(std::size_t i) {
+    while (i > 0) {
+      std::size_t parent = (i - 1) / 2;
+      if (priorities_[parent] >= priorities_[i]) break;
+      Swap(parent, i);
+      i = parent;
+    }
+  }
+
+  void SiftDown(std::size_t i) {
+    std::size_t n = keys_.size();
+    for (;;) {
+      std::size_t left = 2 * i + 1;
+      if (left >= n) break;
+      std::size_t best = left;
+      std::size_t right = left + 1;
+      if (right < n && priorities_[right] > priorities_[left]) best = right;
+      if (priorities_[i] >= priorities_[best]) break;
+      Swap(i, best);
+      i = best;
+    }
+  }
+
+  std::vector<std::size_t> pos_;       // key -> index in keys_, or kAbsent.
+  std::vector<std::uint32_t> keys_;    // heap order.
+  std::vector<double> priorities_;     // parallel to keys_.
+};
+
+}  // namespace ugs
+
+#endif  // UGS_UTIL_INDEXED_HEAP_H_

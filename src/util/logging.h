@@ -1,0 +1,51 @@
+#ifndef UGS_UTIL_LOGGING_H_
+#define UGS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ugs {
+
+/// Log severities, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity; messages below it are dropped.
+/// Default is kInfo; benches raise it to kWarning in --quick mode.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style one-shot logger: accumulates a message and emits it on
+/// destruction. Use through the UGS_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace ugs
+
+/// Severity-name mapping for the UGS_LOG macro.
+#define UGS_INTERNAL_LEVEL_DEBUG ::ugs::LogLevel::kDebug
+#define UGS_INTERNAL_LEVEL_INFO ::ugs::LogLevel::kInfo
+#define UGS_INTERNAL_LEVEL_WARNING ::ugs::LogLevel::kWarning
+#define UGS_INTERNAL_LEVEL_ERROR ::ugs::LogLevel::kError
+
+/// UGS_LOG(INFO) << "loaded " << n << " edges";
+#define UGS_LOG(severity)                                             \
+  ::ugs::internal_logging::LogMessage(UGS_INTERNAL_LEVEL_##severity,  \
+                                      __FILE__, __LINE__)             \
+      .stream()
+
+#endif  // UGS_UTIL_LOGGING_H_

@@ -1,0 +1,123 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace ugs {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+std::uint64_t Rng::Next64() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  UGS_DCHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+std::uint64_t Rng::NextIndex(std::uint64_t n) {
+  UGS_DCHECK(n > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    std::uint64_t r = Next64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  UGS_DCHECK(lo <= hi);
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(NextIndex(span));
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double rate) {
+  UGS_DCHECK(rate > 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u == 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+std::uint64_t Rng::Geometric(double p) {
+  UGS_DCHECK(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  double u;
+  do {
+    u = NextDouble();
+  } while (u == 0.0);
+  return static_cast<std::uint64_t>(std::floor(std::log(u) /
+                                               std::log1p(-p)));
+}
+
+std::vector<std::uint64_t> Rng::SampleWithoutReplacement(std::uint64_t n,
+                                                         std::uint64_t k) {
+  UGS_CHECK(k <= n);
+  // Floyd's algorithm: k iterations, expected O(k) set operations.
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(k) * 2);
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    std::uint64_t t = NextIndex(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next64()); }
+
+}  // namespace ugs

@@ -1,0 +1,32 @@
+#ifndef UGS_UTIL_TIMER_H_
+#define UGS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ugs {
+
+/// Monotonic wall-clock stopwatch used by the execution-time experiments
+/// (Figures 4(b) and 9).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ugs
+
+#endif  // UGS_UTIL_TIMER_H_

@@ -1,0 +1,150 @@
+#include "sparsify/backbone.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "tests/test_util.h"
+
+namespace ugs {
+namespace {
+
+UncertainGraph MediumGraph(Rng* rng) {
+  ChungLuOptions options;
+  options.num_vertices = 400;
+  options.avg_degree = 12.0;
+  return GenerateChungLu(options,
+                         ProbabilityDistribution::Uniform(0.05, 0.6), rng);
+}
+
+TEST(TargetEdgeCountTest, Rounds) {
+  UncertainGraph g = testing_util::PaperFigure2Graph();  // 5 edges.
+  EXPECT_EQ(TargetEdgeCount(g, 0.6), 3u);
+  EXPECT_EQ(TargetEdgeCount(g, 0.5), 3u);   // round(2.5) = 3 (llround).
+  EXPECT_EQ(TargetEdgeCount(g, 0.39), 2u);
+}
+
+TEST(BackboneTest, SpanningBackboneExactSizeAndConnected) {
+  Rng rng(1);
+  UncertainGraph g = MediumGraph(&rng);
+  for (double alpha : {0.3, 0.5, 0.7}) {
+    BackboneOptions options;  // kSpanning default.
+    Result<std::vector<EdgeId>> b = BuildBackbone(g, alpha, options, &rng);
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(b->size(), TargetEdgeCount(g, alpha));
+    // Connectivity of the backbone structure.
+    std::vector<UncertainEdge> edges;
+    for (EdgeId e : *b) edges.push_back(g.edge(e));
+    UncertainGraph backbone_graph =
+        UncertainGraph::FromEdges(g.num_vertices(), std::move(edges));
+    EXPECT_TRUE(backbone_graph.IsStructurallyConnected())
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(BackboneTest, RandomBackboneExactSize) {
+  Rng rng(2);
+  UncertainGraph g = MediumGraph(&rng);
+  BackboneOptions options;
+  options.kind = BackboneKind::kRandom;
+  Result<std::vector<EdgeId>> b = BuildBackbone(g, 0.4, options, &rng);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->size(), TargetEdgeCount(g, 0.4));
+}
+
+TEST(BackboneTest, EdgeIdsAreDistinctAndValid) {
+  Rng rng(3);
+  UncertainGraph g = MediumGraph(&rng);
+  for (auto kind : {BackboneKind::kSpanning, BackboneKind::kRandom}) {
+    BackboneOptions options;
+    options.kind = kind;
+    Result<std::vector<EdgeId>> b = BuildBackbone(g, 0.5, options, &rng);
+    ASSERT_TRUE(b.ok());
+    std::set<EdgeId> distinct(b->begin(), b->end());
+    EXPECT_EQ(distinct.size(), b->size());
+    for (EdgeId e : *b) EXPECT_LT(e, g.num_edges());
+  }
+}
+
+TEST(BackboneTest, InvalidAlphaRejected) {
+  Rng rng(4);
+  UncertainGraph g = testing_util::CompleteK4(0.5);
+  BackboneOptions options;
+  EXPECT_FALSE(BuildBackbone(g, 0.0, options, &rng).ok());
+  EXPECT_FALSE(BuildBackbone(g, 1.0, options, &rng).ok());
+  EXPECT_FALSE(BuildBackbone(g, -0.3, options, &rng).ok());
+}
+
+TEST(BackboneTest, TooSmallAlphaForConnectivityRejected) {
+  Rng rng(5);
+  // Path of 100 vertices, 99 edges: alpha 0.5 --> 50 edges < n-1 = 99.
+  UncertainGraph g = testing_util::PathGraph(100, 0.5);
+  BackboneOptions options;  // kSpanning.
+  Result<std::vector<EdgeId>> b = BuildBackbone(g, 0.5, options, &rng);
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BackboneTest, RandomBackboneAllowsSmallAlpha) {
+  Rng rng(6);
+  UncertainGraph g = testing_util::PathGraph(100, 0.5);
+  BackboneOptions options;
+  options.kind = BackboneKind::kRandom;
+  Result<std::vector<EdgeId>> b = BuildBackbone(g, 0.5, options, &rng);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->size(), 50u);
+}
+
+TEST(BackboneTest, SpanningPrefersHighProbabilityEdges) {
+  // The first maximum spanning forest must grab the heavy edges: on a
+  // graph where one spanning tree has p=0.9 everywhere and all other
+  // edges are p=0.05, the backbone must contain the p=0.9 tree.
+  std::vector<UncertainEdge> edges;
+  const std::size_t n = 30;
+  for (VertexId i = 0; i + 1 < n; ++i) {
+    edges.push_back({i, static_cast<VertexId>(i + 1), 0.9});
+  }
+  for (VertexId i = 0; i + 2 < n; ++i) {
+    edges.push_back({i, static_cast<VertexId>(i + 2), 0.05});
+  }
+  UncertainGraph g = UncertainGraph::FromEdges(n, std::move(edges));
+  Rng rng(7);
+  BackboneOptions options;
+  Result<std::vector<EdgeId>> b = BuildBackbone(g, 0.58, options, &rng);
+  ASSERT_TRUE(b.ok());
+  std::set<EdgeId> chosen(b->begin(), b->end());
+  for (EdgeId e = 0; e + 1 < n; ++e) {  // Tree edges have ids 0..n-2.
+    EXPECT_TRUE(chosen.count(e)) << "tree edge " << e << " missing";
+  }
+}
+
+TEST(MaximumSpanningForestTest, ForestOfConnectedGraphIsTree) {
+  UncertainGraph g = testing_util::CompleteK4(0.5);
+  std::vector<EdgeId> all{0, 1, 2, 3, 4, 5};
+  std::vector<EdgeId> forest = MaximumSpanningForest(g, all);
+  EXPECT_EQ(forest.size(), 3u);  // n - 1.
+}
+
+TEST(MaximumSpanningForestTest, PicksHeaviestEdges) {
+  // Triangle with probabilities 0.9, 0.8, 0.1: the forest must use the
+  // two heavy edges.
+  UncertainGraph g = UncertainGraph::FromEdges(
+      3, {{0, 1, 0.9}, {1, 2, 0.8}, {0, 2, 0.1}});
+  std::vector<EdgeId> forest = MaximumSpanningForest(g, {0, 1, 2});
+  ASSERT_EQ(forest.size(), 2u);
+  EXPECT_TRUE(std::find(forest.begin(), forest.end(), 0u) != forest.end());
+  EXPECT_TRUE(std::find(forest.begin(), forest.end(), 1u) != forest.end());
+}
+
+TEST(MaximumSpanningForestTest, DisconnectedAvailableSetGivesForest) {
+  UncertainGraph g = UncertainGraph::FromEdges(
+      4, {{0, 1, 0.5}, {2, 3, 0.5}, {1, 2, 0.5}});
+  // Only the two disjoint edges are available.
+  std::vector<EdgeId> forest = MaximumSpanningForest(g, {0, 1});
+  EXPECT_EQ(forest.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ugs

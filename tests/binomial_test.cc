@@ -1,0 +1,114 @@
+#include "util/binomial.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ugs {
+namespace {
+
+double ExactBinomial(std::int64_t m, std::int64_t i) {
+  double c = 1.0;
+  for (std::int64_t j = 0; j < i; ++j) {
+    c = c * static_cast<double>(m - j) / static_cast<double>(j + 1);
+  }
+  return c;
+}
+
+TEST(BinomialTest, LogBinomialSmallValues) {
+  EXPECT_NEAR(std::exp(LogBinomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomial(10, 5)), 252.0, 1e-6);
+  EXPECT_NEAR(std::exp(LogBinomial(7, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(LogBinomial(7, 7)), 1.0, 1e-9);
+}
+
+TEST(BinomialTest, LogBinomialMatchesIterative) {
+  for (std::int64_t m = 1; m <= 40; ++m) {
+    for (std::int64_t i = 0; i <= m; ++i) {
+      double expected = std::log(ExactBinomial(m, i));
+      EXPECT_NEAR(LogBinomial(m, i), expected, 1e-8)
+          << "m=" << m << " i=" << i;
+    }
+  }
+}
+
+TEST(BinomialTest, SumNegativeKIsEmpty) {
+  EXPECT_EQ(LogBinomialSum(10, -1),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(BinomialTest, SumZeroKIsOne) {
+  EXPECT_NEAR(LogBinomialSum(10, 0), 0.0, 1e-12);  // log(1).
+}
+
+TEST(BinomialTest, SumFullRangeIsTwoPowM) {
+  for (std::int64_t m = 1; m <= 50; ++m) {
+    EXPECT_NEAR(LogBinomialSum(m, m), m * std::log(2.0), 1e-8) << "m=" << m;
+  }
+}
+
+TEST(BinomialTest, SumMatchesDirectSmall) {
+  for (std::int64_t m = 1; m <= 30; ++m) {
+    double direct = 0.0;
+    for (std::int64_t i = 0; i <= m; ++i) {
+      direct += ExactBinomial(m, i);
+      EXPECT_NEAR(LogBinomialSum(m, i), std::log(direct), 1e-8)
+          << "m=" << m << " k=" << i;
+    }
+  }
+}
+
+TEST(BinomialTest, SumStableForLargeM) {
+  // C(5000, i) overflows doubles around i ~ 170; the log-space sum must
+  // still be finite and ordered.
+  double low = LogBinomialSum(5000, 100);
+  double high = LogBinomialSum(5000, 2500);
+  EXPECT_TRUE(std::isfinite(low));
+  EXPECT_TRUE(std::isfinite(high));
+  EXPECT_LT(low, high);
+  EXPECT_NEAR(LogBinomialSum(5000, 5000), 5000 * std::log(2.0), 1e-6);
+}
+
+TEST(BinomialTest, SumClampsKAboveM) {
+  EXPECT_NEAR(LogBinomialSum(8, 100), 8 * std::log(2.0), 1e-10);
+}
+
+TEST(CutRuleCoefficientsTest, K1ReducesToDegreeRule) {
+  // Eq. (14) at k = 1: c_degree = (n-3 choose 0)_S / (2 (n-2 choose 0)_S)
+  // = 1/2 and c_rest = 0 -- exactly the absolute-discrepancy Eq. (9).
+  for (std::int64_t n : {4, 10, 100, 5000}) {
+    CutRuleCoefficients c = ComputeCutRuleCoefficients(n, 1);
+    EXPECT_NEAR(c.c_degree, 0.5, 1e-12) << "n=" << n;
+    EXPECT_DOUBLE_EQ(c.c_rest, 0.0) << "n=" << n;
+  }
+}
+
+TEST(CutRuleCoefficientsTest, K2ReducesToEquation15) {
+  // Eq. (15): stp = [(n-2)(du+dv) + 4 Delta] / (2n-2), so
+  // c_degree = (n-2)/(2n-2) and c_rest = 4/(2n-2).
+  for (std::int64_t n : {4, 7, 50, 1000}) {
+    CutRuleCoefficients c = ComputeCutRuleCoefficients(n, 2);
+    double denom = 2.0 * static_cast<double>(n) - 2.0;
+    EXPECT_NEAR(c.c_degree, static_cast<double>(n - 2) / denom, 1e-9)
+        << "n=" << n;
+    EXPECT_NEAR(c.c_rest, 4.0 / denom, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(CutRuleCoefficientsTest, LargeKStaysFinite) {
+  CutRuleCoefficients c = ComputeCutRuleCoefficients(2000, 1000);
+  EXPECT_TRUE(std::isfinite(c.c_degree));
+  EXPECT_TRUE(std::isfinite(c.c_rest));
+  EXPECT_GT(c.c_degree, 0.0);
+  EXPECT_GT(c.c_rest, 0.0);
+}
+
+TEST(CutRuleCoefficientsTest, CoefficientsDecreaseWithN) {
+  // More vertices dilute the per-cut influence of a single edge.
+  CutRuleCoefficients small = ComputeCutRuleCoefficients(10, 2);
+  CutRuleCoefficients large = ComputeCutRuleCoefficients(1000, 2);
+  EXPECT_GT(small.c_rest, large.c_rest);
+}
+
+}  // namespace
+}  // namespace ugs

@@ -1,0 +1,68 @@
+#include "gen/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+
+namespace ugs {
+namespace {
+
+TEST(DatasetsTest, FlickrLikeRegime) {
+  UncertainGraph g = MakeFlickrLike(0.5);
+  GraphStats s = ComputeStats(g);
+  EXPECT_GE(s.num_vertices, 64u);
+  EXPECT_TRUE(s.connected);
+  // Flickr regime: low mean probability (paper E[p] = 0.09).
+  EXPECT_NEAR(s.mean_probability, 0.09, 0.03);
+  EXPECT_GT(s.density, 5.0);
+}
+
+TEST(DatasetsTest, TwitterLikeRegime) {
+  UncertainGraph g = MakeTwitterLike(0.5);
+  GraphStats s = ComputeStats(g);
+  EXPECT_TRUE(s.connected);
+  // Twitter regime: higher mean probability (paper E[p] = 0.15) and some
+  // near-deterministic edges.
+  EXPECT_NEAR(s.mean_probability, 0.15, 0.04);
+  EXPECT_GT(s.max_probability, 0.9);
+}
+
+TEST(DatasetsTest, TwitterSparserThanFlickr) {
+  GraphStats f = ComputeStats(MakeFlickrLike(0.5));
+  GraphStats t = ComputeStats(MakeTwitterLike(0.5));
+  EXPECT_GT(f.density, t.density);
+}
+
+TEST(DatasetsTest, FlickrReducedIsSmaller) {
+  UncertainGraph g = MakeFlickrReduced(0.5);
+  GraphStats s = ComputeStats(g);
+  EXPECT_LE(s.num_vertices, 600u);
+  EXPECT_GE(s.num_vertices, 64u);
+}
+
+TEST(DatasetsTest, DensitySweepExactCounts) {
+  for (int density : {15, 30, 50}) {
+    UncertainGraph g = MakeDensitySweepGraph(density, 120);
+    std::size_t expected =
+        static_cast<std::size_t>((density / 100.0) * (120 * 119 / 2));
+    EXPECT_EQ(g.num_edges(), expected) << "density " << density;
+  }
+}
+
+TEST(DatasetsTest, ScaleChangesSize) {
+  UncertainGraph small = MakeFlickrLike(0.2);
+  UncertainGraph large = MakeFlickrLike(0.6);
+  EXPECT_LT(small.num_vertices(), large.num_vertices());
+}
+
+TEST(DatasetsTest, SeedsReproduce) {
+  UncertainGraph a = MakeTwitterLike(0.3, 7);
+  UncertainGraph b = MakeTwitterLike(0.3, 7);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); e += 37) {
+    EXPECT_DOUBLE_EQ(a.edge(e).p, b.edge(e).p);
+  }
+}
+
+}  // namespace
+}  // namespace ugs

@@ -1,0 +1,150 @@
+#include "flow/dinic.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ugs {
+namespace {
+
+TEST(DinicTest, SingleArc) {
+  DinicMaxFlow flow(2);
+  std::size_t a = flow.AddArc(0, 1, 3.5);
+  EXPECT_DOUBLE_EQ(flow.Solve(0, 1), 3.5);
+  EXPECT_DOUBLE_EQ(flow.FlowOn(a), 3.5);
+}
+
+TEST(DinicTest, SeriesBottleneck) {
+  DinicMaxFlow flow(3);
+  flow.AddArc(0, 1, 5.0);
+  flow.AddArc(1, 2, 2.0);
+  EXPECT_DOUBLE_EQ(flow.Solve(0, 2), 2.0);
+}
+
+TEST(DinicTest, ParallelPathsSum) {
+  DinicMaxFlow flow(4);
+  flow.AddArc(0, 1, 3.0);
+  flow.AddArc(1, 3, 3.0);
+  flow.AddArc(0, 2, 4.0);
+  flow.AddArc(2, 3, 4.0);
+  EXPECT_DOUBLE_EQ(flow.Solve(0, 3), 7.0);
+}
+
+TEST(DinicTest, ClassicTextbookNetwork) {
+  // CLRS-style example with a known max flow of 23.
+  DinicMaxFlow flow(6);
+  flow.AddArc(0, 1, 16);
+  flow.AddArc(0, 2, 13);
+  flow.AddArc(1, 2, 10);
+  flow.AddArc(2, 1, 4);
+  flow.AddArc(1, 3, 12);
+  flow.AddArc(3, 2, 9);
+  flow.AddArc(2, 4, 14);
+  flow.AddArc(4, 3, 7);
+  flow.AddArc(3, 5, 20);
+  flow.AddArc(4, 5, 4);
+  EXPECT_DOUBLE_EQ(flow.Solve(0, 5), 23.0);
+}
+
+TEST(DinicTest, DisconnectedSinkGivesZero) {
+  DinicMaxFlow flow(4);
+  flow.AddArc(0, 1, 5.0);
+  flow.AddArc(2, 3, 5.0);
+  EXPECT_DOUBLE_EQ(flow.Solve(0, 3), 0.0);
+}
+
+TEST(DinicTest, FractionalCapacities) {
+  DinicMaxFlow flow(3);
+  flow.AddArc(0, 1, 0.125);
+  flow.AddArc(0, 1, 0.25);
+  flow.AddArc(1, 2, 1.0);
+  EXPECT_NEAR(flow.Solve(0, 2), 0.375, 1e-12);
+}
+
+TEST(DinicTest, MinCutSideAfterSolve) {
+  DinicMaxFlow flow(3);
+  flow.AddArc(0, 1, 10.0);
+  flow.AddArc(1, 2, 1.0);  // Bottleneck: cut between 1 and 2.
+  flow.Solve(0, 2);
+  EXPECT_TRUE(flow.OnSourceSide(0));
+  EXPECT_TRUE(flow.OnSourceSide(1));
+  EXPECT_FALSE(flow.OnSourceSide(2));
+}
+
+TEST(DinicTest, FlowConservationOnRandomNetworks) {
+  // Property test: on random DAG-ish networks, flow is conserved at every
+  // interior node and never exceeds arc capacity.
+  Rng rng(333);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint32_t n = 10;
+    DinicMaxFlow flow(n);
+    struct ArcInfo {
+      std::uint32_t from, to;
+      double cap;
+      std::size_t idx;
+    };
+    std::vector<ArcInfo> arcs;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (std::uint32_t v = u + 1; v < n; ++v) {
+        if (rng.Bernoulli(0.4)) {
+          double cap = rng.Uniform(0.1, 2.0);
+          arcs.push_back({u, v, cap, flow.AddArc(u, v, cap)});
+        }
+      }
+    }
+    double value = flow.Solve(0, n - 1);
+    std::vector<double> net(n, 0.0);
+    for (const ArcInfo& a : arcs) {
+      double f = flow.FlowOn(a.idx);
+      EXPECT_GE(f, -1e-9);
+      EXPECT_LE(f, a.cap + 1e-9);
+      net[a.from] -= f;
+      net[a.to] += f;
+    }
+    EXPECT_NEAR(net[0], -value, 1e-9);
+    EXPECT_NEAR(net[n - 1], value, 1e-9);
+    for (std::uint32_t u = 1; u + 1 < n; ++u) {
+      EXPECT_NEAR(net[u], 0.0, 1e-9) << "node " << u;
+    }
+  }
+}
+
+TEST(DinicTest, MatchesBruteForceOnBipartiteMatching) {
+  // 3x3 bipartite unit-capacity matching instances vs exhaustive check.
+  Rng rng(777);
+  for (int trial = 0; trial < 30; ++trial) {
+    bool adj[3][3];
+    for (auto& row : adj) {
+      for (bool& x : row) x = rng.Bernoulli(0.5);
+    }
+    // Brute force maximum matching over all permutations/subsets.
+    int best = 0;
+    for (int mask = 0; mask < 8; ++mask) {
+      // Try to match the subset of left vertices in `mask` greedily over
+      // all 3! assignments.
+      int perm[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                        {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+      for (auto& p : perm) {
+        int size = 0;
+        for (int l = 0; l < 3; ++l) {
+          if ((mask >> l) & 1 && adj[l][p[l]]) ++size;
+        }
+        best = std::max(best, size);
+      }
+    }
+    DinicMaxFlow flow(8);  // 0 = s, 1..3 left, 4..6 right, 7 = t.
+    for (int l = 0; l < 3; ++l) flow.AddArc(0, 1 + l, 1.0);
+    for (int r = 0; r < 3; ++r) flow.AddArc(4 + r, 7, 1.0);
+    for (int l = 0; l < 3; ++l) {
+      for (int r = 0; r < 3; ++r) {
+        if (adj[l][r]) flow.AddArc(1 + l, 4 + r, 1.0);
+      }
+    }
+    EXPECT_NEAR(flow.Solve(0, 7), best, 1e-9) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace ugs

@@ -1,0 +1,115 @@
+#include "metrics/emd_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ugs {
+namespace {
+
+TEST(EmpiricalEmdTest, IdenticalSamplesZero) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(EmpiricalEmd(a, a), 0.0);
+}
+
+TEST(EmpiricalEmdTest, PointMassesDistance) {
+  // Two unit point masses at distance d have EMD d.
+  EXPECT_DOUBLE_EQ(EmpiricalEmd({0.0}, {3.5}), 3.5);
+  EXPECT_DOUBLE_EQ(EmpiricalEmd({-1.0}, {1.0}), 2.0);
+}
+
+TEST(EmpiricalEmdTest, Symmetry) {
+  std::vector<double> a{0.0, 1.0, 5.0};
+  std::vector<double> b{2.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(EmpiricalEmd(a, b), EmpiricalEmd(b, a));
+}
+
+TEST(EmpiricalEmdTest, TranslationInvariantShift) {
+  // Shifting both samples by c leaves EMD unchanged; shifting one by c
+  // changes it by at most c (and exactly c for equal-size sets).
+  std::vector<double> a{1.0, 2.0, 4.0};
+  std::vector<double> b{1.5, 3.0, 3.5};
+  double base = EmpiricalEmd(a, b);
+  std::vector<double> a_shift, b_shift;
+  for (double x : a) a_shift.push_back(x + 10.0);
+  for (double x : b) b_shift.push_back(x + 10.0);
+  EXPECT_NEAR(EmpiricalEmd(a_shift, b_shift), base, 1e-12);
+}
+
+TEST(EmpiricalEmdTest, KnownTwoPointValue) {
+  // a = {0, 1}, b = {0, 0}: CDFs differ by 1/2 on [0, 1) -> EMD = 0.5.
+  EXPECT_DOUBLE_EQ(EmpiricalEmd({0.0, 1.0}, {0.0, 0.0}), 0.5);
+}
+
+TEST(EmpiricalEmdTest, EqualSizeMatchesSortedAssignment) {
+  // For equal-size samples, 1D EMD is the mean absolute difference of the
+  // sorted sequences.
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 17; ++i) {
+      a.push_back(rng.Uniform(0.0, 10.0));
+      b.push_back(rng.Uniform(0.0, 10.0));
+    }
+    std::vector<double> sa = a, sb = b;
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    double expected = 0.0;
+    for (int i = 0; i < 17; ++i) expected += std::abs(sa[i] - sb[i]);
+    expected /= 17.0;
+    EXPECT_NEAR(EmpiricalEmd(a, b), expected, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(EmpiricalEmdTest, TriangleInequality) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a, b, c;
+    for (int i = 0; i < 9; ++i) {
+      a.push_back(rng.Uniform(0.0, 5.0));
+      b.push_back(rng.Uniform(0.0, 5.0));
+      c.push_back(rng.Uniform(0.0, 5.0));
+    }
+    EXPECT_LE(EmpiricalEmd(a, b),
+              EmpiricalEmd(a, c) + EmpiricalEmd(c, b) + 1e-9);
+  }
+}
+
+TEST(EmpiricalEmdTest, UnequalSizesSupported) {
+  // a = {0} (mass 1 at 0), b = {0, 1} (half mass at each): EMD = 0.5.
+  EXPECT_DOUBLE_EQ(EmpiricalEmd({0.0}, {0.0, 1.0}), 0.5);
+}
+
+TEST(EmpiricalEmdTest, EmptyInputsGiveZero) {
+  EXPECT_DOUBLE_EQ(EmpiricalEmd({}, {1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(EmpiricalEmd({}, {}), 0.0);
+}
+
+TEST(EmpiricalEmdTest, DuplicatesHandled) {
+  EXPECT_DOUBLE_EQ(EmpiricalEmd({1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(EmpiricalEmd({1.0, 1.0}, {2.0, 2.0}), 1.0);
+}
+
+TEST(MeanUnitEmdTest, AveragesOverUnits) {
+  McSamples a, b;
+  a.num_units = b.num_units = 2;
+  a.num_samples = b.num_samples = 2;
+  a.values = {0.0, 5.0, 0.0, 5.0};  // Unit 0: {0,0}; unit 1: {5,5}.
+  b.values = {1.0, 5.0, 1.0, 5.0};  // Unit 0: {1,1}; unit 1: {5,5}.
+  // Unit 0 EMD = 1, unit 1 EMD = 0 -> mean 0.5.
+  EXPECT_DOUBLE_EQ(MeanUnitEmd(a, b), 0.5);
+}
+
+TEST(MeanUnitEmdTest, RespectsValidityMasks) {
+  McSamples a, b;
+  a.num_units = b.num_units = 1;
+  a.num_samples = b.num_samples = 2;
+  a.values = {2.0, 99.0};
+  a.valid = {1, 0};
+  b.values = {3.0, 3.0};
+  // a's valid samples = {2}, b's = {3, 3} -> EMD = 1.
+  EXPECT_DOUBLE_EQ(MeanUnitEmd(a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace ugs

@@ -1,0 +1,63 @@
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+namespace ugs {
+namespace {
+
+TEST(ReportFormatTest, SciFormatting) {
+  EXPECT_EQ(FormatSci(0.000123), "1.23e-04");
+  EXPECT_EQ(FormatSci(1234.5), "1.23e+03");
+  EXPECT_EQ(FormatSci(0.0), "0.00e+00");
+}
+
+TEST(ReportFormatTest, FixedFormatting) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(3.14159, 0), "3");
+  EXPECT_EQ(FormatFixed(-0.5, 3), "-0.500");
+}
+
+TEST(ReportTableTest, RowsPadToHeaderCount) {
+  ReportTable table({"a", "b", "c"});
+  table.AddRow({"only-one"});
+  table.Print();  // Must not crash on the short row.
+}
+
+TEST(BenchArgsTest, DefaultsWithoutFlags) {
+  const char* argv[] = {"bench"};
+  BenchConfig config =
+      ParseBenchArgs(1, const_cast<char**>(argv), "test bench");
+  EXPECT_DOUBLE_EQ(config.scale, 1.0);
+  EXPECT_EQ(config.seed, 1u);
+  EXPECT_FALSE(config.quick);
+}
+
+TEST(BenchArgsTest, FlagsParsed) {
+  const char* argv[] = {"bench", "--scale=0.5", "--seed=99", "--quick"};
+  BenchConfig config =
+      ParseBenchArgs(4, const_cast<char**>(argv), "test bench");
+  EXPECT_DOUBLE_EQ(config.scale, 0.5);
+  EXPECT_EQ(config.seed, 99u);
+  EXPECT_TRUE(config.quick);
+}
+
+TEST(BenchArgsTest, SamplesSwitchesOnQuick) {
+  BenchConfig full;
+  full.quick = false;
+  EXPECT_EQ(full.Samples(100, 25), 100);
+  BenchConfig quick;
+  quick.quick = true;
+  EXPECT_EQ(quick.Samples(100, 25), 25);
+}
+
+TEST(BenchArgsTest, PaperConstants) {
+  EXPECT_EQ(PaperAlphas(),
+            (std::vector<double>{0.08, 0.16, 0.32, 0.64}));
+  EXPECT_EQ(PaperDensities(), (std::vector<int>{15, 30, 50, 90}));
+}
+
+}  // namespace
+}  // namespace ugs

@@ -1,0 +1,89 @@
+#include "gen/forest_fire.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+
+namespace ugs {
+namespace {
+
+UncertainGraph TestParent(std::size_t n, Rng* rng) {
+  ChungLuOptions options;
+  options.num_vertices = n;
+  options.avg_degree = 12.0;
+  return GenerateChungLu(options,
+                         ProbabilityDistribution::Uniform(0.05, 0.5), rng);
+}
+
+TEST(ForestFireTest, HitsTargetVertexCount) {
+  Rng rng(21);
+  UncertainGraph parent = TestParent(2000, &rng);
+  ForestFireOptions ff;
+  ff.target_vertices = 400;
+  UncertainGraph sample = ForestFireSample(parent, ff, &rng);
+  EXPECT_EQ(sample.num_vertices(), 400u);
+}
+
+TEST(ForestFireTest, TargetLargerThanGraphClamps) {
+  Rng rng(22);
+  UncertainGraph parent = TestParent(100, &rng);
+  ForestFireOptions ff;
+  ff.target_vertices = 5000;
+  UncertainGraph sample = ForestFireSample(parent, ff, &rng);
+  EXPECT_EQ(sample.num_vertices(), 100u);
+  // Whole graph burned: edge count preserved.
+  EXPECT_EQ(sample.num_edges(), parent.num_edges());
+}
+
+TEST(ForestFireTest, InducedSubgraphPreservesProbabilities) {
+  Rng rng(23);
+  UncertainGraph parent = TestParent(500, &rng);
+  ForestFireOptions ff;
+  ff.target_vertices = 200;
+  UncertainGraph sample = ForestFireSample(parent, ff, &rng);
+  // Every sampled edge probability must occur in the parent (induced
+  // semantics keep p as-is).
+  for (const UncertainEdge& e : sample.edges()) {
+    bool found = false;
+    for (const UncertainEdge& pe : parent.edges()) {
+      if (pe.p == e.p) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(ForestFireTest, SampleIsDenserThanUniform) {
+  // Forest fire burns neighborhoods, so the sample keeps a nontrivial
+  // share of intra-sample edges (unlike uniform vertex sampling).
+  Rng rng(24);
+  UncertainGraph parent = TestParent(2000, &rng);
+  ForestFireOptions ff;
+  ff.target_vertices = 500;
+  UncertainGraph sample = ForestFireSample(parent, ff, &rng);
+  double parent_density =
+      static_cast<double>(parent.num_edges()) / parent.num_vertices();
+  double sample_density =
+      static_cast<double>(sample.num_edges()) / sample.num_vertices();
+  EXPECT_GT(sample_density, 0.25 * parent_density);
+}
+
+TEST(ForestFireTest, DeterministicGivenSeed) {
+  Rng parent_rng(25);
+  UncertainGraph parent = TestParent(800, &parent_rng);
+  ForestFireOptions ff;
+  ff.target_vertices = 300;
+  Rng a(99), b(99);
+  UncertainGraph s1 = ForestFireSample(parent, ff, &a);
+  UncertainGraph s2 = ForestFireSample(parent, ff, &b);
+  ASSERT_EQ(s1.num_edges(), s2.num_edges());
+  for (EdgeId e = 0; e < s1.num_edges(); ++e) {
+    EXPECT_EQ(s1.edge(e).u, s2.edge(e).u);
+    EXPECT_EQ(s1.edge(e).v, s2.edge(e).v);
+  }
+}
+
+}  // namespace
+}  // namespace ugs

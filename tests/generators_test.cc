@@ -1,0 +1,147 @@
+#include "gen/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+
+namespace ugs {
+namespace {
+
+TEST(ProbabilityDistributionTest, UniformBounds) {
+  Rng rng(1);
+  auto d = ProbabilityDistribution::Uniform(0.2, 0.6);
+  for (int i = 0; i < 10000; ++i) {
+    double p = d.Sample(&rng);
+    EXPECT_GE(p, 0.2);
+    EXPECT_LE(p, 0.6);
+  }
+}
+
+TEST(ProbabilityDistributionTest, TruncatedExponentialInUnit) {
+  Rng rng(2);
+  auto d = ProbabilityDistribution::TruncatedExponential(12.5);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double p = d.Sample(&rng);
+    EXPECT_GE(p, 0.01);  // Quantization floor (see generators.cc).
+    EXPECT_LE(p, 1.0);
+    sum += p;
+  }
+  // Flickr regime: floored mean ~ 0.01 + 1/12.5 ~ 0.09.
+  EXPECT_NEAR(sum / n, 0.09, 0.01);
+}
+
+TEST(ProbabilityDistributionTest, MixtureHasHighMode) {
+  Rng rng(3);
+  auto d = ProbabilityDistribution::Mixture(12.0, 0.08, 0.75, 1.0);
+  int high = 0;
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double p = d.Sample(&rng);
+    sum += p;
+    if (p >= 0.75) ++high;
+  }
+  // ~8% of edges near-deterministic (Twitter regime), mean ~ 0.15.
+  EXPECT_NEAR(static_cast<double>(high) / n, 0.08, 0.02);
+  EXPECT_NEAR(sum / n, 0.15, 0.02);
+}
+
+TEST(ChungLuTest, RespectsTargetDegree) {
+  Rng rng(4);
+  ChungLuOptions options;
+  options.num_vertices = 2000;
+  options.avg_degree = 20.0;
+  UncertainGraph g = GenerateChungLu(
+      options, ProbabilityDistribution::Uniform(0.05, 0.15), &rng);
+  double avg_deg =
+      2.0 * static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_NEAR(avg_deg, 20.0, 3.0);
+}
+
+TEST(ChungLuTest, ConnectedWhenRequested) {
+  Rng rng(5);
+  ChungLuOptions options;
+  options.num_vertices = 500;
+  options.avg_degree = 6.0;
+  options.ensure_connected = true;
+  UncertainGraph g = GenerateChungLu(
+      options, ProbabilityDistribution::Uniform(0.1, 0.9), &rng);
+  EXPECT_TRUE(g.IsStructurallyConnected());
+}
+
+TEST(ChungLuTest, PowerLawSkew) {
+  // A power-law graph's max degree should far exceed the mean degree.
+  Rng rng(6);
+  ChungLuOptions options;
+  options.num_vertices = 3000;
+  options.avg_degree = 10.0;
+  options.exponent = 2.2;
+  UncertainGraph g = GenerateChungLu(
+      options, ProbabilityDistribution::Uniform(0.1, 0.9), &rng);
+  std::size_t max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.Degree(v));
+  }
+  EXPECT_GT(max_deg, 50u);
+}
+
+TEST(ChungLuTest, DeterministicGivenSeed) {
+  ChungLuOptions options;
+  options.num_vertices = 300;
+  options.avg_degree = 8.0;
+  auto dist = ProbabilityDistribution::Uniform(0.1, 0.9);
+  Rng rng1(7), rng2(7);
+  UncertainGraph a = GenerateChungLu(options, dist, &rng1);
+  UncertainGraph b = GenerateChungLu(options, dist, &rng2);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+    EXPECT_DOUBLE_EQ(a.edge(e).p, b.edge(e).p);
+  }
+}
+
+TEST(DensityFillTest, HitsExactDensity) {
+  Rng rng(8);
+  const std::size_t n = 200;
+  UncertainGraph g = GenerateDensityFill(
+      n, 0.30, 8.0, ProbabilityDistribution::Uniform(0.05, 0.15), &rng);
+  std::size_t expected = static_cast<std::size_t>(0.30 * n * (n - 1) / 2);
+  EXPECT_EQ(g.num_edges(), expected);
+}
+
+TEST(DensityFillTest, DensitySweepMonotone) {
+  Rng rng(9);
+  auto dist = ProbabilityDistribution::Uniform(0.05, 0.15);
+  std::size_t last = 0;
+  for (double density : {0.15, 0.30, 0.50, 0.90}) {
+    Rng local = rng.Fork();
+    UncertainGraph g = GenerateDensityFill(150, density, 8.0, dist, &local);
+    EXPECT_GT(g.num_edges(), last);
+    last = g.num_edges();
+  }
+}
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  Rng rng(10);
+  UncertainGraph g = GenerateErdosRenyi(
+      100, 500, ProbabilityDistribution::Uniform(0.1, 0.9), &rng,
+      /*ensure_connected=*/false);
+  EXPECT_EQ(g.num_edges(), 500u);
+  EXPECT_EQ(g.num_vertices(), 100u);
+}
+
+TEST(ErdosRenyiTest, ConnectedVariant) {
+  Rng rng(11);
+  UncertainGraph g = GenerateErdosRenyi(
+      200, 250, ProbabilityDistribution::Uniform(0.1, 0.9), &rng,
+      /*ensure_connected=*/true);
+  EXPECT_TRUE(g.IsStructurallyConnected());
+}
+
+}  // namespace
+}  // namespace ugs

@@ -1,0 +1,91 @@
+// Failure-injection tests for the edge-list parser: every malformed input
+// must produce a Status, never a crash or a silently wrong graph.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_io.h"
+
+namespace ugs {
+namespace {
+
+class MalformedInputTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MalformedInputTest, RejectedWithStatus) {
+  Result<UncertainGraph> r = ParseEdgeList(GetParam());
+  EXPECT_FALSE(r.ok()) << "input: '" << GetParam() << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inputs, MalformedInputTest,
+    ::testing::Values(
+        "0 1\n",                         // Missing probability.
+        "0\n",                           // Single token.
+        "a b 0.5\n",                     // Non-numeric ids.
+        "0 1 x\n",                       // Non-numeric probability.
+        "-3 1 0.5\n",                    // Negative id.
+        "0 -1 0.5\n",                    // Negative id (second).
+        "0 1 1.0001\n",                  // p > 1.
+        "0 1 -0.2\n",                    // p < 0.
+        "0 1 1e300\n",                   // Absurd probability.
+        "0 0 0.5\n",                     // Self loop.
+        "0 1 0.5\n0 1 0.6\n",            // Duplicate.
+        "0 1 0.5\n1 0 0.6\n",            // Duplicate, reversed.
+        "# vertices: 1\n0 1 0.5\n"));    // Header smaller than max id.
+
+TEST(ParserRobustnessTest, NanProbabilityRejected) {
+  Result<UncertainGraph> r = ParseEdgeList("0 1 nan\n");
+  // istream either fails to parse (IOError) or parses NaN, which the
+  // range check must reject; both are acceptable failures.
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserRobustnessTest, InfinityRejected) {
+  EXPECT_FALSE(ParseEdgeList("0 1 inf\n").ok());
+}
+
+TEST(ParserRobustnessTest, WhitespaceVariantsAccepted) {
+  Result<UncertainGraph> r =
+      ParseEdgeList("  0\t1\t0.5\n\n\t\n1   2   0.25\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_edges(), 2u);
+}
+
+TEST(ParserRobustnessTest, CrLfLineEndingsAccepted) {
+  Result<UncertainGraph> r = ParseEdgeList("0 1 0.5\r\n1 2 0.25\r\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_edges(), 2u);
+}
+
+TEST(ParserRobustnessTest, TrailingGarbageOnLineIgnored) {
+  // Extra columns after (u, v, p) are tolerated (some exports carry
+  // timestamps); the triple itself must parse.
+  Result<UncertainGraph> r = ParseEdgeList("0 1 0.5 extra tokens\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_edges(), 1u);
+}
+
+TEST(ParserRobustnessTest, LargeVertexIdsWork) {
+  Result<UncertainGraph> r = ParseEdgeList("0 99999 0.5\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_vertices(), 100000u);
+}
+
+TEST(ParserRobustnessTest, ScientificNotationProbability) {
+  Result<UncertainGraph> r = ParseEdgeList("0 1 5e-2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->edge(0).p, 0.05);
+}
+
+TEST(ParserRobustnessTest, BoundaryProbabilitiesAccepted) {
+  // p = 1 is legal input; p = 0 is legal for round-tripping sparsified
+  // graphs (GDB clamp rule).
+  Result<UncertainGraph> r = ParseEdgeList("0 1 1.0\n1 2 0.0\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->edge(0).p, 1.0);
+  EXPECT_DOUBLE_EQ(r->edge(1).p, 0.0);
+}
+
+}  // namespace
+}  // namespace ugs

@@ -1,0 +1,119 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ugs {
+namespace {
+
+TEST(GraphIoTest, ParseSimpleEdgeList) {
+  Result<UncertainGraph> r = ParseEdgeList("0 1 0.5\n1 2 0.25\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_vertices(), 3u);
+  EXPECT_EQ(r->num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(r->edge(1).p, 0.25);
+}
+
+TEST(GraphIoTest, SkipsCommentsAndBlankLines) {
+  Result<UncertainGraph> r =
+      ParseEdgeList("# a comment\n\n0 1 0.5\n# another\n1 2 0.3\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_edges(), 2u);
+}
+
+TEST(GraphIoTest, VertexCountHeaderRespected) {
+  Result<UncertainGraph> r =
+      ParseEdgeList("# vertices: 10\n0 1 0.5\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_vertices(), 10u);
+}
+
+TEST(GraphIoTest, InfersVertexCountFromMaxId) {
+  Result<UncertainGraph> r = ParseEdgeList("0 7 0.5\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_vertices(), 8u);
+}
+
+TEST(GraphIoTest, MalformedLineFails) {
+  Result<UncertainGraph> r = ParseEdgeList("0 1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(GraphIoTest, NegativeIdFails) {
+  Result<UncertainGraph> r = ParseEdgeList("-1 2 0.5\n");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(GraphIoTest, BadProbabilityFails) {
+  Result<UncertainGraph> r = ParseEdgeList("0 1 1.5\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphIoTest, DuplicateEdgeFails) {
+  Result<UncertainGraph> r = ParseEdgeList("0 1 0.5\n1 0 0.5\n");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(GraphIoTest, SelfLoopFails) {
+  Result<UncertainGraph> r = ParseEdgeList("2 2 0.5\n");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(GraphIoTest, EmptyInputGivesEmptyGraph) {
+  Result<UncertainGraph> r = ParseEdgeList("# nothing\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_vertices(), 0u);
+  EXPECT_EQ(r->num_edges(), 0u);
+}
+
+TEST(GraphIoTest, LoadMissingFileFails) {
+  Result<UncertainGraph> r = LoadEdgeList("/nonexistent/path/graph.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(GraphIoTest, SaveLoadRoundTrip) {
+  UncertainGraph g = testing_util::PaperFigure2Graph();
+  std::string path = ::testing::TempDir() + "/ugs_roundtrip.txt";
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  Result<UncertainGraph> r = LoadEdgeList(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_vertices(), g.num_vertices());
+  ASSERT_EQ(r->num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(r->edge(e).u, g.edge(e).u);
+    EXPECT_EQ(r->edge(e).v, g.edge(e).v);
+    EXPECT_DOUBLE_EQ(r->edge(e).p, g.edge(e).p);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, RoundTripPreservesTrailingIsolatedVertices) {
+  UncertainGraph g = UncertainGraph::FromEdges(6, {{0, 1, 0.5}});
+  std::string path = ::testing::TempDir() + "/ugs_isolated.txt";
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  Result<UncertainGraph> r = LoadEdgeList(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_vertices(), 6u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, RoundTripFullPrecision) {
+  UncertainGraph g =
+      UncertainGraph::FromEdges(2, {{0, 1, 0.123456789012345678}});
+  std::string path = ::testing::TempDir() + "/ugs_precision.txt";
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  Result<UncertainGraph> r = LoadEdgeList(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->edge(0).p, g.edge(0).p);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ugs

@@ -1,0 +1,51 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ugs {
+namespace {
+
+TEST(GraphStatsTest, PaperFigure2Graph) {
+  GraphStats s = ComputeStats(testing_util::PaperFigure2Graph());
+  EXPECT_EQ(s.num_vertices, 4u);
+  EXPECT_EQ(s.num_edges, 5u);
+  EXPECT_NEAR(s.density, 1.25, 1e-12);
+  EXPECT_NEAR(s.mean_probability, 1.3 / 5.0, 1e-12);
+  EXPECT_NEAR(s.mean_expected_degree, 2.0 * 1.3 / 4.0, 1e-12);
+  EXPECT_NEAR(s.min_probability, 0.1, 1e-12);
+  EXPECT_NEAR(s.max_probability, 0.4, 1e-12);
+  EXPECT_NEAR(s.entropy_bits, 3.855, 0.005);
+  EXPECT_TRUE(s.connected);
+}
+
+TEST(GraphStatsTest, DisconnectedFlag) {
+  UncertainGraph g = UncertainGraph::FromEdges(4, {{0, 1, 0.5}, {2, 3, 0.5}});
+  EXPECT_FALSE(ComputeStats(g).connected);
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  GraphStats s = ComputeStats(UncertainGraph());
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_EQ(s.num_edges, 0u);
+  EXPECT_DOUBLE_EQ(s.density, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_probability, 0.0);
+}
+
+TEST(GraphStatsTest, MeanExpectedDegreeIsHandshake) {
+  // Sum of expected degrees must be twice the probability mass.
+  UncertainGraph g = testing_util::CompleteK4(0.25);
+  GraphStats s = ComputeStats(g);
+  EXPECT_NEAR(s.mean_expected_degree * 4.0, 2.0 * 6.0 * 0.25, 1e-12);
+}
+
+TEST(GraphStatsTest, FormatContainsName) {
+  GraphStats s = ComputeStats(testing_util::CompleteK4(0.3));
+  std::string line = FormatStats("K4", s);
+  EXPECT_NE(line.find("K4"), std::string::npos);
+  EXPECT_NE(line.find("connected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ugs

@@ -1,0 +1,135 @@
+#include "util/indexed_heap.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ugs {
+namespace {
+
+TEST(IndexedHeapTest, EmptyInitially) {
+  IndexedMaxHeap heap(10);
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_FALSE(heap.Contains(3));
+}
+
+TEST(IndexedHeapTest, PushAndTop) {
+  IndexedMaxHeap heap(10);
+  heap.Push(3, 1.5);
+  heap.Push(7, 2.5);
+  heap.Push(1, 0.5);
+  EXPECT_EQ(heap.size(), 3u);
+  EXPECT_EQ(heap.Top(), 7u);
+  EXPECT_DOUBLE_EQ(heap.TopPriority(), 2.5);
+}
+
+TEST(IndexedHeapTest, PopTopDescendingOrder) {
+  IndexedMaxHeap heap(8);
+  double priorities[] = {3.0, 1.0, 4.0, 1.5, 5.0, 9.0, 2.0, 6.0};
+  for (std::uint32_t i = 0; i < 8; ++i) heap.Push(i, priorities[i]);
+  double last = 1e18;
+  while (!heap.empty()) {
+    double p = heap.TopPriority();
+    heap.PopTop();
+    EXPECT_LE(p, last);
+    last = p;
+  }
+}
+
+TEST(IndexedHeapTest, UpdateRaisesPriority) {
+  IndexedMaxHeap heap(5);
+  heap.Push(0, 1.0);
+  heap.Push(1, 2.0);
+  heap.Update(0, 3.0);
+  EXPECT_EQ(heap.Top(), 0u);
+  EXPECT_DOUBLE_EQ(heap.PriorityOf(0), 3.0);
+}
+
+TEST(IndexedHeapTest, UpdateLowersPriority) {
+  IndexedMaxHeap heap(5);
+  heap.Push(0, 5.0);
+  heap.Push(1, 2.0);
+  heap.Update(0, 1.0);
+  EXPECT_EQ(heap.Top(), 1u);
+}
+
+TEST(IndexedHeapTest, UpdateInsertsIfAbsent) {
+  IndexedMaxHeap heap(5);
+  heap.Update(2, 4.0);
+  EXPECT_TRUE(heap.Contains(2));
+  EXPECT_EQ(heap.Top(), 2u);
+}
+
+TEST(IndexedHeapTest, RemoveMiddleKey) {
+  IndexedMaxHeap heap(5);
+  for (std::uint32_t i = 0; i < 5; ++i) heap.Push(i, i * 1.0);
+  heap.Remove(2);
+  EXPECT_FALSE(heap.Contains(2));
+  EXPECT_EQ(heap.size(), 4u);
+  EXPECT_EQ(heap.Top(), 4u);
+}
+
+TEST(IndexedHeapTest, ClearResets) {
+  IndexedMaxHeap heap(5);
+  heap.Push(0, 1.0);
+  heap.Push(1, 2.0);
+  heap.Clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_FALSE(heap.Contains(0));
+  heap.Push(0, 3.0);  // Reusable after Clear.
+  EXPECT_EQ(heap.Top(), 0u);
+}
+
+TEST(IndexedHeapTest, TiedPrioritiesAllSurface) {
+  IndexedMaxHeap heap(4);
+  for (std::uint32_t i = 0; i < 4; ++i) heap.Push(i, 1.0);
+  std::vector<std::uint32_t> popped;
+  while (!heap.empty()) popped.push_back(heap.PopTop());
+  std::sort(popped.begin(), popped.end());
+  EXPECT_EQ(popped, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(IndexedHeapTest, RandomizedAgainstMapModel) {
+  // Differential test against a sorted-map reference model, exercising the
+  // exact operation mix EMD uses (Update-heavy with occasional Remove).
+  const std::uint32_t universe = 50;
+  IndexedMaxHeap heap(universe);
+  std::map<std::uint32_t, double> model;
+  Rng rng(2024);
+  for (int op = 0; op < 5000; ++op) {
+    int action = static_cast<int>(rng.NextIndex(10));
+    auto key = static_cast<std::uint32_t>(rng.NextIndex(universe));
+    if (action < 6) {  // Update (insert or change).
+      double priority = rng.Uniform(-10.0, 10.0);
+      heap.Update(key, priority);
+      model[key] = priority;
+    } else if (action < 8) {  // Remove if present.
+      if (model.count(key)) {
+        heap.Remove(key);
+        model.erase(key);
+      }
+    } else if (!model.empty()) {  // Check top priority matches model max.
+      double top = heap.TopPriority();
+      double best = -1e18;
+      for (const auto& [k, v] : model) best = std::max(best, v);
+      ASSERT_DOUBLE_EQ(top, best) << "op " << op;
+    }
+    ASSERT_EQ(heap.size(), model.size());
+  }
+}
+
+TEST(IndexedHeapTest, PriorityOfReflectsUpdates) {
+  IndexedMaxHeap heap(3);
+  heap.Push(1, 7.0);
+  EXPECT_DOUBLE_EQ(heap.PriorityOf(1), 7.0);
+  heap.Update(1, -2.0);
+  EXPECT_DOUBLE_EQ(heap.PriorityOf(1), -2.0);
+}
+
+}  // namespace
+}  // namespace ugs

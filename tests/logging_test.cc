@@ -1,0 +1,42 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace ugs {
+namespace {
+
+TEST(LoggingTest, DefaultLevelIsInfo) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST(LoggingTest, SetAndGetRoundTrip) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, MacroCompilesAndStreams) {
+  // Suppress output below Error, then exercise every severity; the
+  // assertions are that nothing crashes and levels filter.
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  UGS_LOG(DEBUG) << "debug " << 1;
+  UGS_LOG(INFO) << "info " << 2.5;
+  UGS_LOG(WARNING) << "warning " << "three";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SeverityOrdering) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarning));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarning),
+            static_cast<int>(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace ugs

@@ -1,0 +1,175 @@
+#include "sparsify/lp_assign.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "sparsify/backbone.h"
+#include "sparsify/gdb.h"
+#include "sparsify/sparse_state.h"
+#include "tests/test_util.h"
+
+namespace ugs {
+namespace {
+
+TEST(LpAssignTest, SingleEdgeCappedByUnit) {
+  // One edge, both endpoints allow d = 0.9: optimum is p = 0.9.
+  UncertainGraph g = UncertainGraph::FromEdges(2, {{0, 1, 0.9}});
+  std::vector<double> p = SolveDegreeLp(g, {0});
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_NEAR(p[0], 0.9, 1e-9);
+}
+
+TEST(LpAssignTest, UnitCapBinds) {
+  // Backbone edge whose endpoints have expected degree 3 each (via other
+  // non-backbone edges): the p <= 1 bound binds.
+  UncertainGraph g = UncertainGraph::FromEdges(
+      4, {{0, 1, 1.0}, {0, 2, 1.0}, {0, 3, 1.0}, {1, 2, 1.0}, {1, 3, 1.0}});
+  std::vector<double> p = SolveDegreeLp(g, {0});  // Only (0,1).
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_NEAR(p[0], 1.0, 1e-9);
+}
+
+TEST(LpAssignTest, StarDegreeConstraintBinds) {
+  // Star center 0 with expected degree 1.2 and three backbone edges whose
+  // leaves allow 1.0 each: the optimum total is the center's budget 1.2.
+  UncertainGraph g = UncertainGraph::FromEdges(
+      4, {{0, 1, 0.4}, {0, 2, 0.4}, {0, 3, 0.4}});
+  std::vector<double> p = SolveDegreeLp(g, {0, 1, 2});
+  EXPECT_NEAR(DegreeLpObjective(p), 1.2, 1e-9);
+  for (double x : p) {
+    EXPECT_GE(x, -1e-12);
+    EXPECT_LE(x, 1.0 + 1e-12);
+  }
+}
+
+TEST(LpAssignTest, PaperFigure2BackboneOptimum) {
+  // For the Figure 2 instance the LP maximizes p1+p2+p3 subject to
+  // p1 <= d(u1) = 0.8 (only backbone edge at u1), p1+p2+p3 <= d(u4) = 0.7,
+  // p2 <= 0.5, p3 <= 0.6: optimum value is 0.7 (u4's budget).
+  UncertainGraph g = testing_util::PaperFigure2Graph();
+  std::vector<double> p =
+      SolveDegreeLp(g, testing_util::PaperFigure2Backbone());
+  EXPECT_NEAR(DegreeLpObjective(p), 0.7, 1e-9);
+}
+
+TEST(LpAssignTest, Lemma1NoVertexOvershoots) {
+  // Lemma 1: an optimal assignment exists with d*(u) <= d(u) everywhere;
+  // the flow construction enforces it by capacity.
+  Rng rng(5);
+  UncertainGraph g = GenerateErdosRenyi(
+      50, 200, ProbabilityDistribution::Uniform(0.1, 0.9), &rng);
+  BackboneOptions bopt;
+  bopt.kind = BackboneKind::kRandom;
+  auto backbone = BuildBackbone(g, 0.4, bopt, &rng);
+  ASSERT_TRUE(backbone.ok());
+  std::vector<double> p = SolveDegreeLp(g, backbone.value());
+  std::vector<double> new_degree(g.num_vertices(), 0.0);
+  for (std::size_t i = 0; i < backbone->size(); ++i) {
+    const UncertainEdge& e = g.edge((*backbone)[i]);
+    new_degree[e.u] += p[i];
+    new_degree[e.v] += p[i];
+  }
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_LE(new_degree[u], g.ExpectedDegree(u) + 1e-7) << "vertex " << u;
+  }
+}
+
+TEST(LpAssignTest, FeasibleRange) {
+  Rng rng(6);
+  UncertainGraph g = GenerateErdosRenyi(
+      40, 150, ProbabilityDistribution::Uniform(0.05, 1.0), &rng);
+  BackboneOptions bopt;
+  bopt.kind = BackboneKind::kRandom;
+  auto backbone = BuildBackbone(g, 0.5, bopt, &rng);
+  ASSERT_TRUE(backbone.ok());
+  for (double x : SolveDegreeLp(g, backbone.value())) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(LpAssignTest, AtLeastOriginalProbabilitiesObjective) {
+  // Keeping the original probabilities on the backbone is feasible
+  // (d*(u) <= d(u) trivially), so the LP optimum is at least sum(p_e).
+  Rng rng(7);
+  UncertainGraph g = GenerateErdosRenyi(
+      40, 160, ProbabilityDistribution::Uniform(0.1, 0.8), &rng);
+  BackboneOptions bopt;
+  bopt.kind = BackboneKind::kRandom;
+  auto backbone = BuildBackbone(g, 0.4, bopt, &rng);
+  ASSERT_TRUE(backbone.ok());
+  double original_sum = 0.0;
+  for (EdgeId e : backbone.value()) original_sum += g.edge(e).p;
+  std::vector<double> p = SolveDegreeLp(g, backbone.value());
+  EXPECT_GE(DegreeLpObjective(p), original_sum - 1e-7);
+}
+
+TEST(LpAssignTest, BeatsGdbOnDelta1) {
+  // Theorem 1: the LP optimum minimizes Delta_1 over the backbone, so
+  // converged GDB can at best match it.
+  Rng rng(8);
+  UncertainGraph g = GenerateErdosRenyi(
+      60, 240, ProbabilityDistribution::Uniform(0.05, 0.6), &rng);
+  BackboneOptions bopt;
+  auto backbone = BuildBackbone(g, 0.4, bopt, &rng);
+  ASSERT_TRUE(backbone.ok());
+
+  std::vector<double> lp = SolveDegreeLp(g, backbone.value());
+  SparseState lp_state(g, backbone.value());
+  for (std::size_t i = 0; i < backbone->size(); ++i) {
+    lp_state.SetProbability((*backbone)[i], lp[i]);
+  }
+  SparseState gdb_state(g, backbone.value());
+  GdbOptions gdb;
+  gdb.h = 1.0;
+  gdb.max_sweeps = 300;
+  gdb.tolerance = 1e-13;
+  RunGdb(&gdb_state, gdb);
+
+  EXPECT_LE(lp_state.SumAbsDelta(DiscrepancyType::kAbsolute),
+            gdb_state.SumAbsDelta(DiscrepancyType::kAbsolute) + 1e-6);
+}
+
+TEST(LpAssignTest, MatchesBruteForceOnTinyInstances) {
+  // Exhaustive grid search over p in {0, 0.05, ..., 1}^3 for random tiny
+  // instances; the LP must match the best grid value to grid resolution.
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    UncertainGraph g = GenerateErdosRenyi(
+        4, 5, ProbabilityDistribution::Uniform(0.2, 0.9), &rng,
+        /*ensure_connected=*/false);
+    std::vector<EdgeId> backbone{0, 1, 2};
+    std::vector<double> p = SolveDegreeLp(g, backbone);
+    double lp_value = DegreeLpObjective(p);
+
+    double best = 0.0;
+    const int grid = 20;
+    for (int a = 0; a <= grid; ++a) {
+      for (int b = 0; b <= grid; ++b) {
+        for (int c = 0; c <= grid; ++c) {
+          double q[3] = {a / static_cast<double>(grid),
+                         b / static_cast<double>(grid),
+                         c / static_cast<double>(grid)};
+          std::vector<double> degree(g.num_vertices(), 0.0);
+          for (int i = 0; i < 3; ++i) {
+            degree[g.edge(backbone[i]).u] += q[i];
+            degree[g.edge(backbone[i]).v] += q[i];
+          }
+          bool feasible = true;
+          for (VertexId u = 0; u < g.num_vertices(); ++u) {
+            if (degree[u] > g.ExpectedDegree(u) + 1e-12) feasible = false;
+          }
+          if (feasible) best = std::max(best, q[0] + q[1] + q[2]);
+        }
+      }
+    }
+    // Grid resolution bounds the gap at 3 * (1/grid).
+    EXPECT_GE(lp_value, best - 1e-9) << "trial " << trial;
+    EXPECT_LE(lp_value, best + 3.0 / grid + 1e-9) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace ugs

@@ -1,0 +1,153 @@
+#include "sparsify/spanner.h"
+
+#include <cmath>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "sparsify/backbone.h"
+#include "tests/test_util.h"
+
+namespace ugs {
+namespace {
+
+/// Weighted shortest-path distances (Dijkstra) over a subset of edges.
+std::vector<double> Distances(const UncertainGraph& g,
+                              const std::vector<double>& weights,
+                              const std::set<EdgeId>& subset,
+                              VertexId source) {
+  std::vector<double> dist(g.num_vertices(), 1e30);
+  dist[source] = 0.0;
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  pq.push({0.0, source});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (const AdjacencyEntry& a : g.Neighbors(u)) {
+      if (!subset.empty() && !subset.count(a.edge)) continue;
+      double nd = d + weights[a.edge];
+      if (nd < dist[a.neighbor]) {
+        dist[a.neighbor] = nd;
+        pq.push({nd, a.neighbor});
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(BaswanaSenTest, SpannerConnectsConnectedGraph) {
+  Rng rng(1);
+  UncertainGraph g = GenerateErdosRenyi(
+      100, 600, ProbabilityDistribution::Uniform(0.1, 0.9), &rng);
+  std::vector<double> w(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    w[e] = -std::log(g.edge(e).p);
+  }
+  std::vector<EdgeId> spanner = BaswanaSenSpanner(g, w, 3, &rng);
+  std::vector<UncertainEdge> edges;
+  for (EdgeId e : spanner) edges.push_back(g.edge(e));
+  UncertainGraph sg = UncertainGraph::FromEdges(g.num_vertices(),
+                                                std::move(edges));
+  EXPECT_TRUE(sg.IsStructurallyConnected());
+}
+
+TEST(BaswanaSenTest, StretchBoundHolds) {
+  // A (2t-1)-spanner must satisfy dist_spanner <= (2t-1) dist_G for all
+  // pairs; check from a handful of sources on a small graph.
+  Rng rng(2);
+  UncertainGraph g = GenerateErdosRenyi(
+      60, 300, ProbabilityDistribution::Uniform(0.2, 0.9), &rng);
+  std::vector<double> w(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    w[e] = -std::log(g.edge(e).p) + 1e-6;  // Strictly positive weights.
+  }
+  const int t = 2;
+  std::vector<EdgeId> spanner = BaswanaSenSpanner(g, w, t, &rng);
+  std::set<EdgeId> subset(spanner.begin(), spanner.end());
+  std::set<EdgeId> all;  // Empty set means "all edges" in Distances.
+  for (VertexId source : {0u, 7u, 23u}) {
+    std::vector<double> dg = Distances(g, w, all, source);
+    std::vector<double> ds = Distances(g, w, subset, source);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (dg[v] >= 1e29) continue;
+      EXPECT_LE(ds[v], (2 * t - 1) * dg[v] + 1e-6)
+          << "source " << source << " target " << v;
+    }
+  }
+}
+
+TEST(BaswanaSenTest, LargerTGivesSparser) {
+  Rng rng(3);
+  UncertainGraph g = GenerateErdosRenyi(
+      200, 3000, ProbabilityDistribution::Uniform(0.2, 0.9), &rng);
+  std::vector<double> w(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    w[e] = -std::log(g.edge(e).p);
+  }
+  Rng r1(5), r2(5);
+  std::size_t size_t2 = BaswanaSenSpanner(g, w, 2, &r1).size();
+  std::size_t size_t5 = BaswanaSenSpanner(g, w, 5, &r2).size();
+  EXPECT_LT(size_t5, size_t2);
+}
+
+TEST(BaswanaSenTest, TOneKeepsEverythingUseful) {
+  // t = 1 runs zero clustering phases; phase 2 joins every vertex to all
+  // adjacent singleton clusters, i.e. keeps every edge.
+  UncertainGraph g = testing_util::CompleteK4(0.5);
+  std::vector<double> w(g.num_edges(), 1.0);
+  Rng rng(4);
+  std::vector<EdgeId> spanner = BaswanaSenSpanner(g, w, 1, &rng);
+  EXPECT_EQ(spanner.size(), g.num_edges());
+}
+
+TEST(SpannerSparsifyTest, ExactEdgeCount) {
+  Rng rng(5);
+  UncertainGraph g = GenerateErdosRenyi(
+      150, 2000, ProbabilityDistribution::Uniform(0.05, 0.8), &rng);
+  for (double alpha : {0.16, 0.32, 0.64}) {
+    Rng local = rng.Fork();
+    Result<SpannerResult> r = SpannerSparsify(g, alpha, {}, &local);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->edges.size(), TargetEdgeCount(g, alpha));
+  }
+}
+
+TEST(SpannerSparsifyTest, DistinctValidEdges) {
+  Rng rng(6);
+  UncertainGraph g = GenerateErdosRenyi(
+      100, 900, ProbabilityDistribution::Uniform(0.1, 0.9), &rng);
+  Result<SpannerResult> r = SpannerSparsify(g, 0.4, {}, &rng);
+  ASSERT_TRUE(r.ok());
+  std::set<EdgeId> distinct(r->edges.begin(), r->edges.end());
+  EXPECT_EQ(distinct.size(), r->edges.size());
+  for (EdgeId e : r->edges) EXPECT_LT(e, g.num_edges());
+  EXPECT_GE(r->t_used, 2);
+}
+
+TEST(SpannerSparsifyTest, TinyAlphaTrims) {
+  // Dense small graph at tiny alpha: even the sparsest spanner overshoots
+  // and the tree-preserving trim kicks in.
+  Rng rng(7);
+  UncertainGraph g = GenerateErdosRenyi(
+      40, 700, ProbabilityDistribution::Uniform(0.2, 0.9), &rng);
+  SpannerOptions options;
+  options.max_t = 4;
+  Result<SpannerResult> r = SpannerSparsify(g, 0.08, options, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->edges.size(), TargetEdgeCount(g, 0.08));
+}
+
+TEST(SpannerSparsifyTest, InvalidAlphaRejected) {
+  UncertainGraph g = testing_util::CompleteK4(0.5);
+  Rng rng(8);
+  EXPECT_FALSE(SpannerSparsify(g, -1.0, {}, &rng).ok());
+  EXPECT_FALSE(SpannerSparsify(g, 1.0, {}, &rng).ok());
+}
+
+}  // namespace
+}  // namespace ugs

@@ -1,0 +1,154 @@
+#include "sparsify/sparsifier.h"
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "tests/test_util.h"
+
+namespace ugs {
+namespace {
+
+/// Shared medium test graph: dense enough that every alpha in the paper's
+/// sweep admits a connected backbone (0.08 |E| >= |V| - 1, footnote 7).
+const UncertainGraph& TestGraph() {
+  static const UncertainGraph* graph = [] {
+    Rng rng(12345);
+    auto* g = new UncertainGraph(GenerateErdosRenyi(
+        120, 1800, ProbabilityDistribution::Uniform(0.05, 0.7), &rng));
+    return g;
+  }();
+  return *graph;
+}
+
+using VariantCase = std::tuple<std::string, double>;
+
+class SparsifierVariantTest
+    : public ::testing::TestWithParam<VariantCase> {};
+
+TEST_P(SparsifierVariantTest, ProducesValidSparsifiedGraph) {
+  const auto& [name, alpha] = GetParam();
+  auto method = MakeSparsifierByName(name);
+  ASSERT_TRUE(method.ok()) << method.status().ToString();
+  const UncertainGraph& g = TestGraph();
+  Rng rng(99);
+  Result<SparsifyOutput> result = (*method)->Sparsify(g, alpha, &rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // |E'| = alpha |E| exactly (Problem 1).
+  EXPECT_EQ(result->graph.num_edges(), TargetEdgeCount(g, alpha));
+  EXPECT_EQ(result->original_edge_ids.size(), result->graph.num_edges());
+  EXPECT_EQ(result->graph.num_vertices(), g.num_vertices());
+
+  // E' is a subset of E: ids valid and distinct, endpoints match.
+  std::set<EdgeId> distinct;
+  for (std::size_t i = 0; i < result->original_edge_ids.size(); ++i) {
+    EdgeId orig = result->original_edge_ids[i];
+    ASSERT_LT(orig, g.num_edges());
+    EXPECT_TRUE(distinct.insert(orig).second);
+    const UncertainEdge& oe = g.edge(orig);
+    const UncertainEdge& se = result->graph.edge(static_cast<EdgeId>(i));
+    EXPECT_EQ(std::min(oe.u, oe.v), std::min(se.u, se.v));
+    EXPECT_EQ(std::max(oe.u, oe.v), std::max(se.u, se.v));
+  }
+
+  // Probabilities are legal.
+  for (const UncertainEdge& e : result->graph.edges()) {
+    EXPECT_GE(e.p, 0.0);
+    EXPECT_LE(e.p, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariantsAllAlphas, SparsifierVariantTest,
+    ::testing::Combine(
+        ::testing::Values("LP", "LP-t", "GDBA", "GDBR", "GDBA2", "GDBAn",
+                          "GDBA-t", "GDBR-t", "EMDA", "EMDR", "EMDA-t",
+                          "EMDR-t", "NI", "SS", "GDBA-k3"),
+        ::testing::Values(0.08, 0.16, 0.32, 0.64)),
+    [](const ::testing::TestParamInfo<VariantCase>& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_a" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+TEST(SparsifierRegistryTest, KnownNamesAllConstruct) {
+  for (const std::string& name : KnownSparsifierNames()) {
+    auto method = MakeSparsifierByName(name);
+    ASSERT_TRUE(method.ok()) << name;
+    EXPECT_EQ((*method)->name(), name);
+  }
+}
+
+TEST(SparsifierRegistryTest, RepresentativeAliases) {
+  auto gdb = MakeSparsifierByName("GDB");
+  ASSERT_TRUE(gdb.ok());
+  EXPECT_EQ((*gdb)->name(), "GDBA");
+  auto emd = MakeSparsifierByName("EMD");
+  ASSERT_TRUE(emd.ok());
+  EXPECT_EQ((*emd)->name(), "EMDR-t");
+}
+
+TEST(SparsifierRegistryTest, UnknownNameRejected) {
+  EXPECT_FALSE(MakeSparsifierByName("FOO").ok());
+  EXPECT_FALSE(MakeSparsifierByName("GDBX").ok());
+  EXPECT_FALSE(MakeSparsifierByName("EMDA2").ok());  // EMD is k=1 only.
+  EXPECT_FALSE(MakeSparsifierByName("GDBA-k0").ok());
+}
+
+TEST(SparsifierRegistryTest, GeneralKName) {
+  auto m = MakeSparsifierByName("GDBA-k5");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ((*m)->name(), "GDBA-k5");
+}
+
+TEST(SparsifierTest, SpanningVariantsYieldConnectedGraphs) {
+  Rng rng(5);
+  const UncertainGraph& g = TestGraph();
+  for (std::string name : {"GDBA-t", "EMDR-t", "LP-t"}) {
+    auto method = MakeSparsifierByName(name);
+    ASSERT_TRUE(method.ok());
+    Result<SparsifyOutput> result = (*method)->Sparsify(g, 0.32, &rng);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->graph.IsStructurallyConnected()) << name;
+  }
+}
+
+TEST(SparsifierTest, ReportsPositiveTime) {
+  Rng rng(6);
+  auto method = MakeSparsifierByName("GDBA");
+  ASSERT_TRUE(method.ok());
+  Result<SparsifyOutput> result =
+      (*method)->Sparsify(TestGraph(), 0.32, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->seconds, 0.0);
+}
+
+TEST(SparsifierTest, GdbReducesEntropyVsBackboneSeed) {
+  // The central entropy claim: GDB's output entropy is below the original
+  // graph's entropy scaled by alpha-ish, and below seeding probabilities.
+  Rng rng(7);
+  auto method = MakeSparsifierByName("GDBA", /*h=*/0.05);
+  ASSERT_TRUE(method.ok());
+  const UncertainGraph& g = TestGraph();
+  Result<SparsifyOutput> result = (*method)->Sparsify(g, 0.32, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->graph.EntropyBits(), g.EntropyBits());
+}
+
+TEST(SparsifierTest, InvalidAlphaSurfacesStatus) {
+  Rng rng(8);
+  auto method = MakeSparsifierByName("GDBA");
+  ASSERT_TRUE(method.ok());
+  EXPECT_FALSE((*method)->Sparsify(TestGraph(), 0.0, &rng).ok());
+  EXPECT_FALSE((*method)->Sparsify(TestGraph(), 1.5, &rng).ok());
+}
+
+}  // namespace
+}  // namespace ugs

@@ -1,0 +1,155 @@
+#include "graph/uncertain_graph.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "tests/test_util.h"
+
+namespace ugs {
+namespace {
+
+using testing_util::PaperFigure2Graph;
+
+TEST(EdgeEntropyTest, DeterministicEdgesHaveZeroEntropy) {
+  EXPECT_DOUBLE_EQ(EdgeEntropyBits(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(EdgeEntropyBits(1.0), 0.0);
+}
+
+TEST(EdgeEntropyTest, HalfIsOneBit) {
+  EXPECT_NEAR(EdgeEntropyBits(0.5), 1.0, 1e-12);
+}
+
+TEST(EdgeEntropyTest, SymmetricAroundHalf) {
+  EXPECT_NEAR(EdgeEntropyBits(0.3), EdgeEntropyBits(0.7), 1e-12);
+  EXPECT_NEAR(EdgeEntropyBits(0.1), EdgeEntropyBits(0.9), 1e-12);
+}
+
+TEST(EdgeEntropyTest, KnownValue) {
+  // H(0.3) = -(0.3 log2 0.3 + 0.7 log2 0.7) = 0.8813 bits.
+  EXPECT_NEAR(EdgeEntropyBits(0.3), 0.881290899, 1e-8);
+}
+
+TEST(UncertainGraphTest, EmptyGraph) {
+  UncertainGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.IsStructurallyConnected());
+}
+
+TEST(UncertainGraphTest, BasicAccessors) {
+  UncertainGraph g = PaperFigure2Graph();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_DOUBLE_EQ(g.edge(0).p, 0.4);
+  EXPECT_DOUBLE_EQ(g.probability(3), 0.1);
+}
+
+TEST(UncertainGraphTest, PaperFigure2EntropyIs385) {
+  // The paper quotes H = 3.85 bits for the Figure 2 graph; this anchors
+  // our choice of log base (DESIGN.md note 1).
+  EXPECT_NEAR(PaperFigure2Graph().EntropyBits(), 3.85, 0.005);
+}
+
+TEST(UncertainGraphTest, ExpectedDegrees) {
+  UncertainGraph g = PaperFigure2Graph();
+  // u1 = 0: 0.4 + 0.2 + 0.2 = 0.8; u2: 0.4 + 0.1 = 0.5;
+  // u3: 0.2 + 0.4 = 0.6; u4: 0.2 + 0.1 + 0.4 = 0.7.
+  EXPECT_NEAR(g.ExpectedDegree(0), 0.8, 1e-12);
+  EXPECT_NEAR(g.ExpectedDegree(1), 0.5, 1e-12);
+  EXPECT_NEAR(g.ExpectedDegree(2), 0.6, 1e-12);
+  EXPECT_NEAR(g.ExpectedDegree(3), 0.7, 1e-12);
+}
+
+TEST(UncertainGraphTest, StructuralDegrees) {
+  UncertainGraph g = PaperFigure2Graph();
+  EXPECT_EQ(g.Degree(0), 3u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(2), 2u);
+  EXPECT_EQ(g.Degree(3), 3u);
+}
+
+TEST(UncertainGraphTest, NeighborsSortedWithEdgeIds) {
+  UncertainGraph g = PaperFigure2Graph();
+  auto nbrs = g.Neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0].neighbor, 1u);
+  EXPECT_EQ(nbrs[1].neighbor, 2u);
+  EXPECT_EQ(nbrs[2].neighbor, 3u);
+  EXPECT_EQ(nbrs[0].edge, 0u);
+  EXPECT_EQ(nbrs[1].edge, 1u);
+  EXPECT_EQ(nbrs[2].edge, 2u);
+}
+
+TEST(UncertainGraphTest, FindEdgeBothDirections) {
+  UncertainGraph g = PaperFigure2Graph();
+  EXPECT_EQ(g.FindEdge(0, 3), 2u);
+  EXPECT_EQ(g.FindEdge(3, 0), 2u);
+  EXPECT_EQ(g.FindEdge(1, 2), kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(0, 99), kInvalidEdge);
+}
+
+TEST(UncertainGraphTest, ExpectedEdgeCount) {
+  EXPECT_NEAR(PaperFigure2Graph().ExpectedEdgeCount(), 1.3, 1e-12);
+}
+
+TEST(UncertainGraphTest, ConnectivityDetection) {
+  EXPECT_TRUE(PaperFigure2Graph().IsStructurallyConnected());
+  UncertainGraph disconnected =
+      UncertainGraph::FromEdges(4, {{0, 1, 0.5}, {2, 3, 0.5}});
+  EXPECT_FALSE(disconnected.IsStructurallyConnected());
+  UncertainGraph isolated = UncertainGraph::FromEdges(3, {{0, 1, 0.5}});
+  EXPECT_FALSE(isolated.IsStructurallyConnected());
+}
+
+TEST(UncertainGraphTest, SingleVertexIsConnected) {
+  UncertainGraph g = UncertainGraph::FromEdges(1, {});
+  EXPECT_TRUE(g.IsStructurallyConnected());
+}
+
+TEST(UncertainGraphTest, ZeroProbabilityEdgeAllowed) {
+  // Sparsified graphs may carry p = 0 edges (GDB clamp rule).
+  UncertainGraph g = UncertainGraph::FromEdges(2, {{0, 1, 0.0}});
+  EXPECT_DOUBLE_EQ(g.probability(0), 0.0);
+  EXPECT_DOUBLE_EQ(g.ExpectedDegree(0), 0.0);
+  EXPECT_DOUBLE_EQ(g.EntropyBits(), 0.0);
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoop) {
+  GraphBuilder b(3);
+  EXPECT_EQ(b.AddEdge(1, 1, 0.5).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_EQ(b.AddEdge(0, 3, 0.5).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsBadProbability) {
+  GraphBuilder b(3);
+  EXPECT_EQ(b.AddEdge(0, 1, 1.5).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.AddEdge(0, 1, -0.1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsDuplicateEitherOrientation) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.5).ok());
+  EXPECT_EQ(b.AddEdge(0, 1, 0.6).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.AddEdge(1, 0, 0.6).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, HasEdgeAndBuild) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.5).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 0.25).ok());
+  EXPECT_TRUE(b.HasEdge(1, 0));
+  EXPECT_FALSE(b.HasEdge(0, 2));
+  EXPECT_EQ(b.num_edges(), 2u);
+  UncertainGraph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_NEAR(g.ExpectedDegree(1), 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace ugs

@@ -1,0 +1,111 @@
+#include "util/union_find.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ugs {
+namespace {
+
+TEST(UnionFindTest, InitiallySingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.ComponentSize(i), 1u);
+  }
+}
+
+TEST(UnionFindTest, UnionMerges) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.num_components(), 3u);
+}
+
+TEST(UnionFindTest, UnionSameSetReturnsFalse) {
+  UnionFind uf(3);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_FALSE(uf.Union(0, 0));
+  EXPECT_EQ(uf.num_components(), 2u);
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 3));
+  EXPECT_FALSE(uf.Connected(0, 4));
+  EXPECT_EQ(uf.ComponentSize(3), 4u);
+}
+
+TEST(UnionFindTest, ChainAll) {
+  const std::uint32_t n = 1000;
+  UnionFind uf(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.num_components(), 1u);
+  EXPECT_TRUE(uf.Connected(0, n - 1));
+  EXPECT_EQ(uf.ComponentSize(500), n);
+}
+
+TEST(UnionFindTest, ResetRestoresSingletons) {
+  UnionFind uf(4);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Reset();
+  EXPECT_EQ(uf.num_components(), 4u);
+  EXPECT_FALSE(uf.Connected(0, 1));
+}
+
+TEST(UnionFindTest, MatchesNaiveModel) {
+  // Randomized differential test against a quadratic label model.
+  const std::uint32_t n = 60;
+  Rng rng(99);
+  UnionFind uf(n);
+  std::vector<std::uint32_t> label(n);
+  for (std::uint32_t i = 0; i < n; ++i) label[i] = i;
+  for (int op = 0; op < 500; ++op) {
+    auto a = static_cast<std::uint32_t>(rng.NextIndex(n));
+    auto b = static_cast<std::uint32_t>(rng.NextIndex(n));
+    ASSERT_EQ(uf.Connected(a, b), label[a] == label[b]) << "op " << op;
+    uf.Union(a, b);
+    std::uint32_t from = label[b], to = label[a];
+    for (auto& l : label) {
+      if (l == from) l = to;
+    }
+  }
+}
+
+TEST(UnionFindTest, ComponentCountMatchesModel) {
+  const std::uint32_t n = 40;
+  Rng rng(101);
+  UnionFind uf(n);
+  std::vector<std::uint32_t> label(n);
+  for (std::uint32_t i = 0; i < n; ++i) label[i] = i;
+  for (int op = 0; op < 200; ++op) {
+    auto a = static_cast<std::uint32_t>(rng.NextIndex(n));
+    auto b = static_cast<std::uint32_t>(rng.NextIndex(n));
+    uf.Union(a, b);
+    std::uint32_t from = label[b], to = label[a];
+    for (auto& l : label) {
+      if (l == from) l = to;
+    }
+    std::vector<bool> seen(n, false);
+    std::size_t components = 0;
+    for (auto l : label) {
+      if (!seen[l]) {
+        seen[l] = true;
+        ++components;
+      }
+    }
+    ASSERT_EQ(uf.num_components(), components);
+  }
+}
+
+}  // namespace
+}  // namespace ugs

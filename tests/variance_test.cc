@@ -1,0 +1,77 @@
+#include "metrics/variance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ugs {
+namespace {
+
+TEST(VarianceTest, ConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(UnbiasedVariance({3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(VarianceTest, TooFewSamplesIsZero) {
+  EXPECT_DOUBLE_EQ(UnbiasedVariance({}), 0.0);
+  EXPECT_DOUBLE_EQ(UnbiasedVariance({5.0}), 0.0);
+}
+
+TEST(VarianceTest, KnownTwoPointValue) {
+  // Var({0, 2}) with n-1 divisor = ((0-1)^2 + (2-1)^2) / 1 = 2.
+  EXPECT_DOUBLE_EQ(UnbiasedVariance({0.0, 2.0}), 2.0);
+}
+
+TEST(VarianceTest, ScalesQuadratically) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> scaled;
+  for (double x : xs) scaled.push_back(3.0 * x);
+  EXPECT_NEAR(UnbiasedVariance(scaled), 9.0 * UnbiasedVariance(xs), 1e-12);
+}
+
+TEST(MeanEstimatorVarianceTest, DeterministicEstimatorIsZero) {
+  Rng rng(1);
+  auto estimator = [](Rng*) { return std::vector<double>{1.0, 2.0}; };
+  EXPECT_DOUBLE_EQ(MeanEstimatorVariance(estimator, 10, &rng), 0.0);
+}
+
+TEST(MeanEstimatorVarianceTest, UniformEstimatorMatchesTheory) {
+  // A U(0,1) estimate has variance 1/12; the estimator returns a single
+  // uniform draw per unit.
+  Rng rng(2);
+  auto estimator = [](Rng* r) {
+    return std::vector<double>{r->NextDouble(), r->NextDouble()};
+  };
+  double v = MeanEstimatorVariance(estimator, 4000, &rng);
+  EXPECT_NEAR(v, 1.0 / 12.0, 0.01);
+}
+
+TEST(MeanEstimatorVarianceTest, AveragesAcrossUnits) {
+  // Unit 0 deterministic, unit 1 uniform: mean variance = (0 + 1/12)/2.
+  Rng rng(3);
+  auto estimator = [](Rng* r) {
+    return std::vector<double>{7.0, r->NextDouble()};
+  };
+  double v = MeanEstimatorVariance(estimator, 4000, &rng);
+  EXPECT_NEAR(v, 1.0 / 24.0, 0.01);
+}
+
+TEST(ConfidenceWidthTest, Formula) {
+  EXPECT_NEAR(ConfidenceWidth(4.0, 100), 3.92 * 2.0 / 10.0, 1e-12);
+}
+
+TEST(ConfidenceWidthTest, ShrinksWithSamples) {
+  EXPECT_GT(ConfidenceWidth(1.0, 10), ConfidenceWidth(1.0, 1000));
+}
+
+TEST(EquivalentSampleCountTest, RatioOfVariances) {
+  // N' = N * var' / var: half the variance needs half the samples.
+  EXPECT_NEAR(EquivalentSampleCount(2.0, 1.0, 500), 250.0, 1e-9);
+  EXPECT_NEAR(EquivalentSampleCount(1.0, 4.0, 500), 2000.0, 1e-9);
+}
+
+TEST(EquivalentSampleCountTest, ZeroOriginalVarianceReturnsN) {
+  EXPECT_DOUBLE_EQ(EquivalentSampleCount(0.0, 1.0, 500), 500.0);
+}
+
+}  // namespace
+}  // namespace ugs
