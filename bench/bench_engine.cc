@@ -1,0 +1,137 @@
+// SampleEngine throughput bench: the end-to-end perf trajectory for the
+// parallel Monte-Carlo possible-world engine. Runs the reliability and
+// PageRank evaluators over the Twitter-like stand-in at a ladder of
+// thread counts, verifies the bit-identical-results determinism contract
+// across the ladder, and writes BENCH_engine.json with (bench, dataset,
+// threads, wall ms, samples/sec, speedup vs 1 thread) so future PRs can
+// diff the trajectory. The 1-thread row IS the serial path: a 1-thread
+// engine runs the sample loop inline with zero synchronization.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "query/pagerank.h"
+#include "query/reliability.h"
+#include "query/sample_engine.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+struct Measurement {
+  double wall_ms = 0.0;
+  ugs::McSamples samples;
+};
+
+using QueryFn = std::function<ugs::McSamples(const ugs::SampleEngine&,
+                                             ugs::Rng*)>;
+
+Measurement Measure(const QueryFn& query, const ugs::SampleEngine& engine,
+                    std::uint64_t seed) {
+  // Warm-up run (untimed) so pool spin-up and page faults don't pollute
+  // the measurement, then one timed run.
+  {
+    ugs::Rng rng(seed);
+    query(engine, &rng);
+  }
+  ugs::Rng rng(seed);
+  ugs::Timer timer;
+  Measurement m;
+  m.samples = query(engine, &rng);
+  m.wall_ms = timer.ElapsedMillis();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ugs::BenchConfig config = ugs::ParseBenchArgs(
+      argc, argv,
+      "SampleEngine: parallel possible-world sampling throughput");
+
+  ugs::UncertainGraph graph = ugs::bench::LoadDataset("Twitter", config);
+  const int num_samples = config.Samples(400, 40);
+  const int num_pairs = config.Samples(64, 16);
+
+  ugs::Rng pair_rng(config.seed + 99);
+  std::vector<ugs::VertexPair> pairs =
+      ugs::SampleDistinctPairs(graph.num_vertices(), num_pairs, &pair_rng);
+
+  std::vector<std::pair<std::string, QueryFn>> queries;
+  queries.emplace_back(
+      "reliability", [&](const ugs::SampleEngine& engine, ugs::Rng* rng) {
+        return ugs::McReliability(graph, pairs, num_samples, rng, engine);
+      });
+  queries.emplace_back(
+      "pagerank", [&](const ugs::SampleEngine& engine, ugs::Rng* rng) {
+        return ugs::McPageRank(graph, num_samples, rng, {}, engine);
+      });
+
+  // Thread ladder: 1 (the serial path), 2, 4, the hardware width, and
+  // whatever --threads/UGS_THREADS asked for.
+  std::vector<int> ladder = {1, 2, 4, ugs::ThreadPool::HardwareThreads()};
+  if (config.threads > 0) ladder.push_back(config.threads);
+  std::sort(ladder.begin(), ladder.end());
+  ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+
+  ugs::BenchJsonWriter json;
+  ugs::ReportTable table({"query", "threads", "wall ms", "samples/s",
+                          "speedup", "identical"});
+  bool deterministic = true;
+  for (const auto& [name, query] : queries) {
+    double serial_ms = 0.0;
+    const ugs::McSamples* reference = nullptr;
+    std::vector<Measurement> runs;
+    runs.reserve(ladder.size());
+    for (int threads : ladder) {
+      ugs::SampleEngine engine(
+          ugs::SampleEngineOptions{.num_threads = threads});
+      runs.push_back(Measure(query, engine, config.seed));
+      const Measurement& m = runs.back();
+      if (threads == 1) {
+        serial_ms = m.wall_ms;
+        reference = &m.samples;
+      }
+      const bool identical =
+          reference == nullptr || *reference == m.samples;
+      deterministic = deterministic && identical;
+      const double samples_per_sec =
+          static_cast<double>(num_samples) / (m.wall_ms / 1e3);
+      const double speedup = serial_ms > 0.0 ? serial_ms / m.wall_ms : 1.0;
+      table.AddRow({name, std::to_string(threads),
+                    ugs::FormatFixed(m.wall_ms, 1),
+                    ugs::FormatFixed(samples_per_sec, 1),
+                    ugs::FormatFixed(speedup, 2), identical ? "yes" : "NO"});
+      json.Add({"bench_engine/" + name,
+                "Twitter",
+                threads,
+                m.wall_ms,
+                samples_per_sec,
+                {{"speedup_vs_1t", speedup},
+                 {"num_samples", static_cast<double>(num_samples)},
+                 {"identical_to_1t", identical ? 1.0 : 0.0}}});
+    }
+  }
+  table.Print();
+
+  const std::string out_path = "BENCH_engine.json";
+  if (!json.WriteFile(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "DETERMINISM VIOLATION: results differ across thread "
+                 "counts\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite and collects machine-readable BENCH_*.json
+# perf records into an output directory, so successive PRs have a perf
+# trajectory to compare against.
+#
+# Usage: bench/run_benchmarks.sh [build_dir] [out_dir]
+#   build_dir  cmake build tree with the bench binaries (default: build)
+#   out_dir    where BENCH_*.json and bench_output.txt land
+#              (default: bench_out)
+# Environment:
+#   UGS_THREADS      pool size for the engine benches (default: hardware)
+#   UGS_BENCH_QUICK  set to 1 for a fast smoke run
+#   UGS_BENCH_SCALE  dataset scale factor (default 1.0)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench_out}"
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  echo "build dir '${BUILD_DIR}' not found; run: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+OUT_DIR="$(cd "${OUT_DIR}" && pwd)"
+LOG="${OUT_DIR}/bench_output.txt"
+: > "${LOG}"
+
+# bench_engine emits BENCH_engine.json in its working directory; run all
+# benches from OUT_DIR so every BENCH_*.json lands there.
+run_bench() {
+  local name="$1"
+  local bin="${BUILD_DIR}/${name}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "skip ${name} (not built)" | tee -a "${LOG}"
+    return 0
+  fi
+  bin="$(cd "$(dirname "${bin}")" && pwd)/$(basename "${bin}")"
+  echo "=== ${name} ===" | tee -a "${LOG}"
+  (cd "${OUT_DIR}" && "${bin}") 2>&1 | tee -a "${LOG}"
+}
+
+# The perf-trajectory bench (always) plus a representative figure bench
+# as an end-to-end smoke of the full sparsify+query pipeline.
+run_bench bench_engine
+if [[ "${UGS_BENCH_QUICK:-0}" != "1" ]]; then
+  run_bench bench_fig7
+fi
+
+echo
+echo "collected perf records:"
+ls -l "${OUT_DIR}"/BENCH_*.json 2>/dev/null || echo "  (none)"

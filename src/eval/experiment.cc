@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace ugs {
 
@@ -17,16 +18,21 @@ BenchConfig ParseBenchArgs(int argc, char** argv,
   if (const char* env = std::getenv("UGS_BENCH_QUICK")) {
     config.quick = std::atoi(env) != 0;
   }
+  if (const char* env = std::getenv("UGS_THREADS")) {
+    config.threads = std::atoi(env);
+  }
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--scale=", 8) == 0) {
       config.scale = std::atof(arg + 8);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       config.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      config.threads = std::atoi(arg + 10);
     } else if (std::strcmp(arg, "--quick") == 0) {
       config.quick = true;
     } else if (std::strcmp(arg, "--help") == 0) {
-      std::printf("%s\nflags: --scale=<f> --seed=<u> --quick\n",
+      std::printf("%s\nflags: --scale=<f> --seed=<u> --quick --threads=<n>\n",
                   description.c_str());
       std::exit(0);
     } else {
@@ -35,9 +41,14 @@ BenchConfig ParseBenchArgs(int argc, char** argv,
     }
   }
   UGS_CHECK(config.scale > 0.0);
+  UGS_CHECK(config.threads >= 0);
+  // Size the shared pool before any query runs; every evaluator routed
+  // through SampleEngine::Default() / ThreadPool::Default() picks it up.
+  ThreadPool::SetDefaultThreads(config.threads);
   std::printf("== %s ==\n", description.c_str());
-  std::printf("scale=%.2f seed=%llu%s\n", config.scale,
+  std::printf("scale=%.2f seed=%llu threads=%d%s\n", config.scale,
               static_cast<unsigned long long>(config.seed),
+              ThreadPool::Default().num_threads(),
               config.quick ? " (quick)" : "");
   return config;
 }

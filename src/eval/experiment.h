@@ -16,10 +16,14 @@ namespace ugs {
 ///   --scale=<f>   multiply dataset sizes (default 1.0, env UGS_BENCH_SCALE)
 ///   --seed=<u>    RNG seed (default 1)
 ///   --quick       cut sample counts for smoke runs (env UGS_BENCH_QUICK)
+///   --threads=<n> size of the shared sampling pool (default hardware
+///                 concurrency, env UGS_THREADS); results are
+///                 bit-identical at any value (SampleEngine contract)
 struct BenchConfig {
   double scale = 1.0;
   std::uint64_t seed = 1;
   bool quick = false;
+  int threads = 0;  ///< 0 = hardware concurrency.
 
   /// Scales an iteration/sample count down in --quick mode.
   int Samples(int full, int quick_value) const {

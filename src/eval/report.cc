@@ -50,4 +50,63 @@ std::string FormatFixed(double value, int precision) {
   return buf;
 }
 
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+void BenchJsonWriter::Add(BenchRecord record) {
+  records_.push_back(std::move(record));
+}
+
+std::string BenchJsonWriter::ToJson() const {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const BenchRecord& r = records_[i];
+    out += "  {\"bench\": \"" + JsonEscape(r.bench) + "\"";
+    out += ", \"dataset\": \"" + JsonEscape(r.dataset) + "\"";
+    out += ", \"threads\": " + std::to_string(r.threads);
+    out += ", \"wall_ms\": " + JsonNumber(r.wall_ms);
+    out += ", \"samples_per_sec\": " + JsonNumber(r.samples_per_sec);
+    for (const auto& [key, value] : r.extra) {
+      out += ", \"" + JsonEscape(key) + "\": " + JsonNumber(value);
+    }
+    out += i + 1 < records_.size() ? "},\n" : "}\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+bool BenchJsonWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
 }  // namespace ugs

@@ -2,6 +2,7 @@
 #define UGS_EVAL_REPORT_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ugs {
@@ -29,6 +30,35 @@ std::string FormatSci(double value);
 
 /// Fixed formatting with the given precision.
 std::string FormatFixed(double value, int precision);
+
+/// One machine-readable benchmark measurement. The fields every record
+/// carries; extras go through the free-form `extra` map-as-pairs.
+struct BenchRecord {
+  std::string bench;       ///< e.g. "bench_engine/reliability".
+  std::string dataset;     ///< dataset or graph label.
+  int threads = 1;         ///< pool size the measurement ran at.
+  double wall_ms = 0.0;    ///< wall-clock time of the measured region.
+  double samples_per_sec = 0.0;  ///< throughput in worlds (samples)/s.
+  /// Additional key/value pairs (values emitted as JSON numbers).
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Accumulates BenchRecords and writes them as a JSON array, one object
+/// per record, so future runs have a perf trajectory to diff against
+/// (bench/run_benchmarks.sh collects the emitted BENCH_*.json files).
+class BenchJsonWriter {
+ public:
+  void Add(BenchRecord record);
+
+  /// Serializes all records as a JSON array.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path` (overwrites); returns false on I/O error.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<BenchRecord> records_;
+};
 
 }  // namespace ugs
 

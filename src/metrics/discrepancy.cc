@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace ugs {
 namespace {
@@ -76,19 +77,40 @@ namespace {
 /// Shared core: MAE of |delta_A(S)| over random sets of the given sizes
 /// (repeated `sets_per_size` times each), using the incremental formula
 /// delta_A(S) = sum_{u in S} delta_A(u) - 2 sum_{edges inside S} dp_e.
+///
+/// Each (set size, repetition) draws from its own seed-split RNG stream,
+/// so the size ladder parallelizes across the default pool while the MAE
+/// stays bit-identical at any thread count (per-cut values land in fixed
+/// slots and are reduced in slot order).
 double SampledCutMae(const UncertainGraph& original,
                      const std::vector<double>& delta_abs,
                      const std::vector<double>& diff,
                      const std::vector<std::size_t>& set_sizes,
                      int sets_per_size, Rng* rng) {
   const std::size_t n = original.num_vertices();
-  std::vector<char> in_set(n, 0);
-  double total = 0.0;
-  std::size_t count = 0;
-  for (std::size_t set_size : set_sizes) {
-    for (int rep = 0; rep < sets_per_size; ++rep) {
+  const std::size_t reps =
+      sets_per_size > 0 ? static_cast<std::size_t>(sets_per_size) : 0;
+  const std::uint64_t base = rng->Next64();
+  std::vector<double> cut_values(set_sizes.size() * reps, 0.0);
+  // Flatten to (size, rep-chunk) tasks: big set sizes dominate the work,
+  // so splitting their reps across tasks load-balances the pool while a
+  // chunk of reps still amortizes the per-task in_set scratch. Chunking
+  // never affects results -- each cut's value depends only on its
+  // (k, rep) seed-split stream and lands in its own slot.
+  constexpr std::size_t kRepsPerTask = 8;
+  const std::size_t chunks_per_size =
+      reps == 0 ? 0 : (reps + kRepsPerTask - 1) / kRepsPerTask;
+  ThreadPool::Default().ParallelFor(
+      set_sizes.size() * chunks_per_size, [&](std::size_t task) {
+    const std::size_t k = task / chunks_per_size;
+    const std::size_t set_size = set_sizes[k];
+    const std::size_t rep_begin = (task % chunks_per_size) * kRepsPerTask;
+    const std::size_t rep_end = std::min(rep_begin + kRepsPerTask, reps);
+    std::vector<char> in_set(n, 0);
+    for (std::size_t rep = rep_begin; rep < rep_end; ++rep) {
+      Rng cut_rng = SplitRng(base, k * reps + rep);
       std::vector<std::uint64_t> sample =
-          rng->SampleWithoutReplacement(n, set_size);
+          cut_rng.SampleWithoutReplacement(n, set_size);
       for (std::uint64_t u : sample) in_set[u] = 1;
       double delta_cut = 0.0;
       for (std::uint64_t u : sample) {
@@ -101,11 +123,13 @@ double SampledCutMae(const UncertainGraph& original,
         }
       }
       for (std::uint64_t u : sample) in_set[u] = 0;
-      total += std::abs(delta_cut);
-      ++count;
+      cut_values[k * reps + rep] = std::abs(delta_cut);
     }
-  }
-  return count > 0 ? total / static_cast<double>(count) : 0.0;
+  });
+  if (cut_values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : cut_values) total += v;
+  return total / static_cast<double>(cut_values.size());
 }
 
 }  // namespace

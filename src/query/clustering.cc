@@ -62,21 +62,22 @@ std::vector<double> LocalClusteringOnWorld(const UncertainGraph& graph,
 }
 
 McSamples McClusteringCoefficient(const UncertainGraph& graph,
+                                  int num_samples, Rng* rng,
+                                  const SampleEngine& engine) {
+  return engine.Run(
+      graph, graph.num_vertices(), num_samples, rng, /*track_valid=*/false,
+      [&graph]() -> SampleEngine::WorldEval {
+        return [&graph](std::vector<char>& present, double* row, char*) {
+          std::vector<double> cc = LocalClusteringOnWorld(graph, present);
+          std::copy(cc.begin(), cc.end(), row);
+        };
+      });
+}
+
+McSamples McClusteringCoefficient(const UncertainGraph& graph,
                                   int num_samples, Rng* rng) {
-  UGS_CHECK(num_samples > 0);
-  McSamples out;
-  out.num_units = graph.num_vertices();
-  out.num_samples = static_cast<std::size_t>(num_samples);
-  out.values.resize(out.num_units * out.num_samples);
-  std::vector<char> present;
-  for (int s = 0; s < num_samples; ++s) {
-    SampleWorld(graph, rng, &present);
-    std::vector<double> cc = LocalClusteringOnWorld(graph, present);
-    std::copy(cc.begin(), cc.end(),
-              out.values.begin() +
-                  static_cast<std::size_t>(s) * out.num_units);
-  }
-  return out;
+  return McClusteringCoefficient(graph, num_samples, rng,
+                                 SampleEngine::Default());
 }
 
 }  // namespace ugs

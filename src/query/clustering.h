@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/uncertain_graph.h"
+#include "query/sample_engine.h"
 #include "query/world_sampler.h"
 #include "util/random.h"
 
@@ -17,7 +18,12 @@ std::vector<double> LocalClusteringOnWorld(const UncertainGraph& graph,
                                            const std::vector<char>& present);
 
 /// Monte-Carlo clustering coefficient (query (iv) of Section 6.3);
-/// unit = vertex.
+/// unit = vertex. Worlds are dispatched through `engine` (deterministic
+/// at any thread count); the Rng*-only overload uses
+/// SampleEngine::Default().
+McSamples McClusteringCoefficient(const UncertainGraph& graph,
+                                  int num_samples, Rng* rng,
+                                  const SampleEngine& engine);
 McSamples McClusteringCoefficient(const UncertainGraph& graph,
                                   int num_samples, Rng* rng);
 

@@ -1,15 +1,20 @@
 #include "query/exact.h"
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "query/shortest_path.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 #include "util/union_find.h"
 
 namespace ugs {
 namespace {
 
-/// Iterates all 2^m worlds; calls visit(present, probability).
+/// Iterates all 2^m worlds serially; calls visit(present, probability).
+/// Kept for ExactWorldProbability, whose caller-supplied predicate is a
+/// single instance that may hold mutable scratch.
 void ForEachWorld(
     const UncertainGraph& graph,
     const std::function<void(const std::vector<char>&, double)>& visit) {
@@ -29,6 +34,62 @@ void ForEachWorld(
   }
 }
 
+/// A per-chunk reduction visitor: adds a world's contribution into
+/// acc[0..num_accumulators).
+using ChunkVisitor =
+    std::function<void(const std::vector<char>&, double, double*)>;
+
+/// Worlds per enumeration chunk. Fixed (never derived from the thread
+/// count) so the per-chunk partial sums -- and therefore the final
+/// ordered reduction -- are bit-identical at any pool size. Graphs with
+/// <= 12 edges run as a single chunk, which also matches the historical
+/// serial summation order exactly.
+constexpr std::uint64_t kWorldChunk = 1ULL << 12;
+
+/// Enumerates all 2^m worlds in fixed chunks on the default pool. The
+/// factory builds one visitor (plus scratch) per chunk; chunk partials
+/// are summed in chunk order into out[0..num_accumulators).
+void ParallelWorldReduce(const UncertainGraph& graph, int num_accumulators,
+                         const std::function<ChunkVisitor()>& factory,
+                         double* out) {
+  const std::size_t m = graph.num_edges();
+  UGS_CHECK_LE(m, kMaxExactEdges);
+  const std::uint64_t worlds = 1ULL << m;
+  const std::uint64_t chunk = std::min(worlds, kWorldChunk);
+  const std::size_t num_chunks =
+      static_cast<std::size_t>((worlds + chunk - 1) / chunk);
+  const std::size_t k = static_cast<std::size_t>(num_accumulators);
+  std::vector<double> partial(num_chunks * k, 0.0);
+
+  std::vector<double> probabilities(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    probabilities[e] = graph.edge(static_cast<EdgeId>(e)).p;
+  }
+
+  ThreadPool::Default().ParallelFor(num_chunks, [&](std::size_t c) {
+    ChunkVisitor visit = factory();
+    std::vector<char> present(m, 0);
+    double* acc = partial.data() + c * k;
+    const std::uint64_t begin = static_cast<std::uint64_t>(c) * chunk;
+    const std::uint64_t end = std::min(begin + chunk, worlds);
+    for (std::uint64_t mask = begin; mask < end; ++mask) {
+      double probability = 1.0;
+      for (std::size_t e = 0; e < m; ++e) {
+        bool on = (mask >> e) & 1ULL;
+        present[e] = on ? 1 : 0;
+        probability *= on ? probabilities[e] : (1.0 - probabilities[e]);
+      }
+      if (probability > 0.0) visit(present, probability, acc);
+    }
+  });
+
+  for (std::size_t a = 0; a < k; ++a) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < num_chunks; ++c) sum += partial[c * k + a];
+    out[a] = sum;
+  }
+}
+
 }  // namespace
 
 double ExactWorldProbability(
@@ -44,45 +105,67 @@ double ExactWorldProbability(
 double ExactConnectivityProbability(const UncertainGraph& graph) {
   const std::size_t n = graph.num_vertices();
   if (n <= 1) return 1.0;
-  UnionFind uf(n);
-  return ExactWorldProbability(graph, [&](const std::vector<char>& present) {
-    uf.Reset();
-    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-      if (present[e]) uf.Union(graph.edge(e).u, graph.edge(e).v);
-    }
-    return uf.num_components() == 1;
-  });
+  double total = 0.0;
+  ParallelWorldReduce(
+      graph, 1,
+      [&graph, n]() -> ChunkVisitor {
+        auto uf = std::make_shared<UnionFind>(n);
+        return [&graph, uf](const std::vector<char>& present, double prob,
+                            double* acc) {
+          uf->Reset();
+          for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+            if (present[e]) uf->Union(graph.edge(e).u, graph.edge(e).v);
+          }
+          if (uf->num_components() == 1) acc[0] += prob;
+        };
+      },
+      &total);
+  return total;
 }
 
 double ExactReliability(const UncertainGraph& graph, VertexId s, VertexId t) {
   UGS_CHECK(s < graph.num_vertices() && t < graph.num_vertices());
-  UnionFind uf(graph.num_vertices());
-  return ExactWorldProbability(graph, [&](const std::vector<char>& present) {
-    uf.Reset();
-    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-      if (present[e]) uf.Union(graph.edge(e).u, graph.edge(e).v);
-    }
-    return uf.Connected(s, t);
-  });
+  double total = 0.0;
+  ParallelWorldReduce(
+      graph, 1,
+      [&graph, s, t]() -> ChunkVisitor {
+        auto uf = std::make_shared<UnionFind>(graph.num_vertices());
+        return [&graph, uf, s, t](const std::vector<char>& present,
+                                  double prob, double* acc) {
+          uf->Reset();
+          for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+            if (present[e]) uf->Union(graph.edge(e).u, graph.edge(e).v);
+          }
+          if (uf->Connected(s, t)) acc[0] += prob;
+        };
+      },
+      &total);
+  return total;
 }
 
 double ExactExpectedDistance(const UncertainGraph& graph, VertexId s,
                              VertexId t, double* connectivity_probability) {
   UGS_CHECK(s < graph.num_vertices() && t < graph.num_vertices());
-  double connected_mass = 0.0;
-  double weighted_distance = 0.0;
-  std::vector<int> dist;
-  ForEachWorld(graph, [&](const std::vector<char>& present, double prob) {
-    BfsOnWorld(graph, present, s, &dist);
-    if (dist[t] != kUnreachable) {
-      connected_mass += prob;
-      weighted_distance += prob * static_cast<double>(dist[t]);
-    }
-  });
+  // acc[0] = Pr[s ~ t], acc[1] = sum prob * dist over connected worlds.
+  double acc[2] = {0.0, 0.0};
+  ParallelWorldReduce(
+      graph, 2,
+      [&graph, s, t]() -> ChunkVisitor {
+        auto dist = std::make_shared<std::vector<int>>();
+        return [&graph, dist, s, t](const std::vector<char>& present,
+                                    double prob, double* a) {
+          BfsOnWorld(graph, present, s, dist.get());
+          if ((*dist)[t] != kUnreachable) {
+            a[0] += prob;
+            a[1] += prob * static_cast<double>((*dist)[t]);
+          }
+        };
+      },
+      acc);
   if (connectivity_probability != nullptr) {
-    *connectivity_probability = connected_mass;
+    *connectivity_probability = acc[0];
   }
-  return connected_mass > 0.0 ? weighted_distance / connected_mass : 0.0;
+  return acc[0] > 0.0 ? acc[1] / acc[0] : 0.0;
 }
 
 }  // namespace ugs

@@ -13,6 +13,12 @@ namespace ugs {
 /// kMaxExactEdges edges. These are the ground-truth oracles for testing
 /// the Monte-Carlo estimators (e.g., the paper's Figure 1 values
 /// Pr[G connected] = 0.219 and Pr[G' connected] = 0.216).
+///
+/// The named oracles below enumerate worlds in fixed 4096-world chunks on
+/// ThreadPool::Default(), reducing chunk partials in chunk order, so they
+/// parallelize while staying bit-identical at any thread count.
+/// ExactWorldProbability itself stays serial: its caller-supplied
+/// predicate is a single instance that may hold mutable scratch.
 inline constexpr std::size_t kMaxExactEdges = 24;
 
 /// Sum of Pr(world) over worlds where predicate(present_flags) is true.

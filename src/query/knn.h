@@ -23,6 +23,13 @@ struct KnnResult {
 std::vector<KnnResult> MostProbableKnn(const UncertainGraph& graph,
                                        VertexId source, std::size_t k);
 
+/// Batch kNN: one MostProbableKnn per source, computed in parallel on
+/// ThreadPool::Default() (sources are independent Dijkstra runs).
+/// result[i] corresponds to sources[i].
+std::vector<std::vector<KnnResult>> MostProbableKnnBatch(
+    const UncertainGraph& graph, const std::vector<VertexId>& sources,
+    std::size_t k);
+
 }  // namespace ugs
 
 #endif  // UGS_QUERY_KNN_H_

@@ -27,6 +27,12 @@ MostProbablePath FindMostProbablePath(const UncertainGraph& graph,
 std::vector<double> MostProbablePathProbabilities(const UncertainGraph& graph,
                                                   VertexId s);
 
+/// Batch variant: one MostProbablePathProbabilities run per source,
+/// computed in parallel on ThreadPool::Default() (runs are independent).
+/// result[i] corresponds to sources[i].
+std::vector<std::vector<double>> MostProbablePathProbabilitiesBatch(
+    const UncertainGraph& graph, const std::vector<VertexId>& sources);
+
 }  // namespace ugs
 
 #endif  // UGS_QUERY_MOST_PROBABLE_PATH_H_

@@ -1,5 +1,6 @@
 #include "query/pagerank.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
@@ -48,21 +49,23 @@ std::vector<double> PageRankOnWorld(const UncertainGraph& graph,
 }
 
 McSamples McPageRank(const UncertainGraph& graph, int num_samples, Rng* rng,
+                     const PageRankOptions& options,
+                     const SampleEngine& engine) {
+  return engine.Run(
+      graph, graph.num_vertices(), num_samples, rng, /*track_valid=*/false,
+      [&graph, options]() -> SampleEngine::WorldEval {
+        return [&graph, options](std::vector<char>& present, double* row,
+                                 char*) {
+          std::vector<double> pr = PageRankOnWorld(graph, present, options);
+          std::copy(pr.begin(), pr.end(), row);
+        };
+      });
+}
+
+McSamples McPageRank(const UncertainGraph& graph, int num_samples, Rng* rng,
                      const PageRankOptions& options) {
-  UGS_CHECK(num_samples > 0);
-  McSamples out;
-  out.num_units = graph.num_vertices();
-  out.num_samples = static_cast<std::size_t>(num_samples);
-  out.values.resize(out.num_units * out.num_samples);
-  std::vector<char> present;
-  for (int s = 0; s < num_samples; ++s) {
-    SampleWorld(graph, rng, &present);
-    std::vector<double> pr = PageRankOnWorld(graph, present, options);
-    std::copy(pr.begin(), pr.end(),
-              out.values.begin() +
-                  static_cast<std::size_t>(s) * out.num_units);
-  }
-  return out;
+  return McPageRank(graph, num_samples, rng, options,
+                    SampleEngine::Default());
 }
 
 }  // namespace ugs

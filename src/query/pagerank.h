@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/uncertain_graph.h"
+#include "query/sample_engine.h"
 #include "query/world_sampler.h"
 #include "util/random.h"
 
@@ -24,7 +25,12 @@ std::vector<double> PageRankOnWorld(const UncertainGraph& graph,
                                     const PageRankOptions& options = {});
 
 /// Monte-Carlo PageRank over `num_samples` sampled worlds; unit = vertex.
-/// This is evaluation query (i) of Section 6.3.
+/// This is evaluation query (i) of Section 6.3. Worlds are dispatched
+/// through `engine` (deterministic at any thread count); the Rng*-only
+/// overload uses SampleEngine::Default().
+McSamples McPageRank(const UncertainGraph& graph, int num_samples, Rng* rng,
+                     const PageRankOptions& options,
+                     const SampleEngine& engine);
 McSamples McPageRank(const UncertainGraph& graph, int num_samples, Rng* rng,
                      const PageRankOptions& options = {});
 

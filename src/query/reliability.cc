@@ -1,6 +1,6 @@
 #include "query/reliability.h"
 
-#include <unordered_map>
+#include <memory>
 
 #include "util/check.h"
 #include "util/union_find.h"
@@ -9,28 +9,30 @@ namespace ugs {
 
 McSamples McReliability(const UncertainGraph& graph,
                         const std::vector<VertexPair>& pairs,
-                        int num_samples, Rng* rng) {
-  UGS_CHECK(num_samples > 0);
-  McSamples out;
-  out.num_units = pairs.size();
-  out.num_samples = static_cast<std::size_t>(num_samples);
-  out.values.assign(out.num_units * out.num_samples, 0.0);
+                        int num_samples, Rng* rng,
+                        const SampleEngine& engine) {
+  return engine.Run(
+      graph, pairs.size(), num_samples, rng, /*track_valid=*/false,
+      [&graph, &pairs]() -> SampleEngine::WorldEval {
+        auto uf = std::make_shared<UnionFind>(graph.num_vertices());
+        return [&graph, &pairs, uf](std::vector<char>& present, double* row,
+                                    char*) {
+          uf->Reset();
+          for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+            if (present[e]) uf->Union(graph.edge(e).u, graph.edge(e).v);
+          }
+          for (std::size_t i = 0; i < pairs.size(); ++i) {
+            row[i] = uf->Connected(pairs[i].s, pairs[i].t) ? 1.0 : 0.0;
+          }
+        };
+      });
+}
 
-  std::vector<char> present;
-  UnionFind uf(graph.num_vertices());
-  for (int s = 0; s < num_samples; ++s) {
-    SampleWorld(graph, rng, &present);
-    uf.Reset();
-    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-      if (present[e]) uf.Union(graph.edge(e).u, graph.edge(e).v);
-    }
-    const std::size_t row = static_cast<std::size_t>(s) * out.num_units;
-    for (std::size_t i = 0; i < pairs.size(); ++i) {
-      out.values[row + i] =
-          uf.Connected(pairs[i].s, pairs[i].t) ? 1.0 : 0.0;
-    }
-  }
-  return out;
+McSamples McReliability(const UncertainGraph& graph,
+                        const std::vector<VertexPair>& pairs,
+                        int num_samples, Rng* rng) {
+  return McReliability(graph, pairs, num_samples, rng,
+                       SampleEngine::Default());
 }
 
 std::vector<double> EstimateReliability(const UncertainGraph& graph,
@@ -45,21 +47,26 @@ std::vector<double> EstimateReliability(const UncertainGraph& graph,
 }
 
 double EstimateConnectivity(const UncertainGraph& graph, int num_samples,
-                            Rng* rng) {
+                            Rng* rng, const SampleEngine& engine) {
   UGS_CHECK(num_samples > 0);
   if (graph.num_vertices() <= 1) return 1.0;
-  std::vector<char> present;
-  UnionFind uf(graph.num_vertices());
-  int connected = 0;
-  for (int s = 0; s < num_samples; ++s) {
-    SampleWorld(graph, rng, &present);
-    uf.Reset();
-    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-      if (present[e]) uf.Union(graph.edge(e).u, graph.edge(e).v);
-    }
-    if (uf.num_components() == 1) ++connected;
-  }
-  return static_cast<double>(connected) / static_cast<double>(num_samples);
+  return engine.RunMean(
+      graph, num_samples, rng, [&graph]() -> SampleEngine::WorldStat {
+        auto uf = std::make_shared<UnionFind>(graph.num_vertices());
+        return [&graph, uf](std::vector<char>& present) {
+          uf->Reset();
+          for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+            if (present[e]) uf->Union(graph.edge(e).u, graph.edge(e).v);
+          }
+          return uf->num_components() == 1 ? 1.0 : 0.0;
+        };
+      });
+}
+
+double EstimateConnectivity(const UncertainGraph& graph, int num_samples,
+                            Rng* rng) {
+  return EstimateConnectivity(graph, num_samples, rng,
+                              SampleEngine::Default());
 }
 
 }  // namespace ugs

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/uncertain_graph.h"
+#include "query/sample_engine.h"
 #include "query/shortest_path.h"
 #include "query/world_sampler.h"
 #include "util/random.h"
@@ -13,6 +14,12 @@ namespace ugs {
 /// Monte-Carlo reliability (query (iii) of Section 6.3): for each pair,
 /// each sample is the 0/1 indicator that t is reachable from s in the
 /// world; its mean over samples estimates Pr[s ~ t]. Unit = pair.
+/// Worlds are dispatched through `engine` (deterministic at any thread
+/// count); the Rng*-only overload uses SampleEngine::Default().
+McSamples McReliability(const UncertainGraph& graph,
+                        const std::vector<VertexPair>& pairs,
+                        int num_samples, Rng* rng,
+                        const SampleEngine& engine);
 McSamples McReliability(const UncertainGraph& graph,
                         const std::vector<VertexPair>& pairs,
                         int num_samples, Rng* rng);
@@ -24,6 +31,8 @@ std::vector<double> EstimateReliability(const UncertainGraph& graph,
 
 /// Monte-Carlo estimate of Pr[world is a single connected component]
 /// (the running example of Figure 1).
+double EstimateConnectivity(const UncertainGraph& graph, int num_samples,
+                            Rng* rng, const SampleEngine& engine);
 double EstimateConnectivity(const UncertainGraph& graph, int num_samples,
                             Rng* rng);
 

@@ -1,6 +1,7 @@
 #include "query/shortest_path.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 
 #include "util/check.h"
@@ -51,37 +52,41 @@ std::vector<VertexPair> SampleDistinctPairs(std::size_t num_vertices,
 
 McSamples McShortestPath(const UncertainGraph& graph,
                          const std::vector<VertexPair>& pairs,
-                         int num_samples, Rng* rng) {
-  UGS_CHECK(num_samples > 0);
-  McSamples out;
-  out.num_units = pairs.size();
-  out.num_samples = static_cast<std::size_t>(num_samples);
-  out.values.assign(out.num_units * out.num_samples, 0.0);
-  out.valid.assign(out.num_units * out.num_samples, 0);
-
-  // Group pair indices by source so one BFS serves all of them.
-  std::unordered_map<VertexId, std::vector<std::size_t>> by_source;
+                         int num_samples, Rng* rng,
+                         const SampleEngine& engine) {
+  // Group pair indices by source so one BFS serves all of them; built
+  // once and shared read-only by every worker.
+  auto by_source = std::make_shared<
+      std::unordered_map<VertexId, std::vector<std::size_t>>>();
   for (std::size_t i = 0; i < pairs.size(); ++i) {
-    by_source[pairs[i].s].push_back(i);
+    (*by_source)[pairs[i].s].push_back(i);
   }
 
-  std::vector<char> present;
-  std::vector<int> dist;
-  for (int s = 0; s < num_samples; ++s) {
-    SampleWorld(graph, rng, &present);
-    const std::size_t row = static_cast<std::size_t>(s) * out.num_units;
-    for (const auto& [source, indices] : by_source) {
-      BfsOnWorld(graph, present, source, &dist);
-      for (std::size_t i : indices) {
-        int d = dist[pairs[i].t];
-        if (d != kUnreachable) {
-          out.values[row + i] = static_cast<double>(d);
-          out.valid[row + i] = 1;
-        }
-      }
-    }
-  }
-  return out;
+  return engine.Run(
+      graph, pairs.size(), num_samples, rng, /*track_valid=*/true,
+      [&graph, &pairs, by_source]() -> SampleEngine::WorldEval {
+        auto dist = std::make_shared<std::vector<int>>();
+        return [&graph, &pairs, by_source, dist](std::vector<char>& present,
+                                                 double* row, char* valid) {
+          for (const auto& [source, indices] : *by_source) {
+            BfsOnWorld(graph, present, source, dist.get());
+            for (std::size_t i : indices) {
+              int d = (*dist)[pairs[i].t];
+              if (d != kUnreachable) {
+                row[i] = static_cast<double>(d);
+                valid[i] = 1;
+              }
+            }
+          }
+        };
+      });
+}
+
+McSamples McShortestPath(const UncertainGraph& graph,
+                         const std::vector<VertexPair>& pairs,
+                         int num_samples, Rng* rng) {
+  return McShortestPath(graph, pairs, num_samples, rng,
+                        SampleEngine::Default());
 }
 
 }  // namespace ugs

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/uncertain_graph.h"
+#include "query/sample_engine.h"
 #include "query/world_sampler.h"
 #include "util/random.h"
 
@@ -32,7 +33,13 @@ std::vector<VertexPair> SampleDistinctPairs(std::size_t num_vertices,
 /// Monte-Carlo shortest-path distance (query (ii) of Section 6.3):
 /// unit = pair; a sample is valid only when the pair is connected in that
 /// world ("excluding the ones that disconnect them"). Pairs sharing a
-/// source share one BFS per world.
+/// source share one BFS per world. Worlds are dispatched through `engine`
+/// (deterministic at any thread count); the Rng*-only overload uses
+/// SampleEngine::Default().
+McSamples McShortestPath(const UncertainGraph& graph,
+                         const std::vector<VertexPair>& pairs,
+                         int num_samples, Rng* rng,
+                         const SampleEngine& engine);
 McSamples McShortestPath(const UncertainGraph& graph,
                          const std::vector<VertexPair>& pairs,
                          int num_samples, Rng* rng);

@@ -29,6 +29,12 @@ namespace ugs {
 /// Produces exactly the same per-edge inclusion distribution as
 /// SampleWorld (each edge independently present with p_e); the random
 /// streams differ, so worlds are not bitwise-identical across samplers.
+///
+/// To run any engine-based evaluator on skip-sampled worlds, set
+/// SampleEngineOptions::use_skip_sampler -- the engine then constructs
+/// one SkipWorldSampler per Run and drives it with the same per-sample
+/// seed-split RNGs as the plain sampler (deterministic at any thread
+/// count).
 class SkipWorldSampler {
  public:
   explicit SkipWorldSampler(const UncertainGraph& graph);

@@ -21,29 +21,50 @@ std::vector<EdgeId> HighestEntropyEdges(const UncertainGraph& graph, int r) {
   return ids;
 }
 
+namespace {
+
+/// Engine for the single-query overloads: the one WorldQuery instance may
+/// hold mutable scratch, so it must never be called from two threads.
+const SampleEngine& SerialEngine() {
+  static const SampleEngine* engine =
+      new SampleEngine(SampleEngineOptions{.num_threads = 1});
+  return *engine;
+}
+
+}  // namespace
+
+double MonteCarloEstimate(const UncertainGraph& graph,
+                          const WorldQueryFactory& factory,
+                          int total_samples, Rng* rng,
+                          const SampleEngine& engine) {
+  UGS_CHECK(total_samples > 0);
+  return engine.RunMean(graph, total_samples, rng,
+                        [&factory]() -> SampleEngine::WorldStat {
+                          WorldQuery query = factory();
+                          return [query = std::move(query)](
+                                     std::vector<char>& present) {
+                            return query(present);
+                          };
+                        });
+}
+
 double MonteCarloEstimate(const UncertainGraph& graph,
                           const WorldQuery& query, int total_samples,
                           Rng* rng) {
-  UGS_CHECK(total_samples > 0);
-  std::vector<char> present(graph.num_edges());
-  double sum = 0.0;
-  for (int s = 0; s < total_samples; ++s) {
-    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-      present[e] = rng->Bernoulli(graph.edge(e).p) ? 1 : 0;
-    }
-    sum += query(present);
-  }
-  return sum / static_cast<double>(total_samples);
+  return MonteCarloEstimate(
+      graph, [&query]() { return query; }, total_samples, rng,
+      SerialEngine());
 }
 
 double StratifiedEstimate(const UncertainGraph& graph,
-                          const WorldQuery& query,
-                          const StratifiedOptions& options, Rng* rng) {
+                          const WorldQueryFactory& factory,
+                          const StratifiedOptions& options, Rng* rng,
+                          const SampleEngine& engine) {
   UGS_CHECK(options.total_samples > 0);
   const std::size_t m = graph.num_edges();
   if (m == 0) {
     std::vector<char> empty;
-    return query(empty);
+    return factory()(empty);
   }
   std::vector<EdgeId> pivots =
       HighestEntropyEdges(graph, options.num_pivot_edges);
@@ -51,7 +72,6 @@ double StratifiedEstimate(const UncertainGraph& graph,
   UGS_CHECK(r < 63);
   const std::uint64_t strata = 1ULL << r;
 
-  std::vector<char> present(m);
   double estimate = 0.0;
   double allocated_probability = 0.0;
   for (std::uint64_t stratum = 0; stratum < strata; ++stratum) {
@@ -67,23 +87,34 @@ double StratifiedEstimate(const UncertainGraph& graph,
     int samples = std::max(
         1, static_cast<int>(std::llround(stratum_probability *
                                          options.total_samples)));
-    double sum = 0.0;
-    for (int s = 0; s < samples; ++s) {
-      for (EdgeId e = 0; e < m; ++e) {
-        present[e] = rng->Bernoulli(graph.edge(e).p) ? 1 : 0;
-      }
-      for (std::size_t i = 0; i < r; ++i) {
-        present[pivots[i]] = static_cast<char>((stratum >> i) & 1ULL);
-      }
-      sum += query(present);
-    }
-    estimate += stratum_probability * sum / static_cast<double>(samples);
+    // Condition the sampled world on this stratum's pivot assignment,
+    // then evaluate; the engine hands each batch its own query instance.
+    double mean = engine.RunMean(
+        graph, samples, rng,
+        [&factory, &pivots, stratum, r]() -> SampleEngine::WorldStat {
+          WorldQuery query = factory();
+          return [query = std::move(query), &pivots, stratum,
+                  r](std::vector<char>& present) {
+            for (std::size_t i = 0; i < r; ++i) {
+              present[pivots[i]] = static_cast<char>((stratum >> i) & 1ULL);
+            }
+            return query(present);
+          };
+        });
+    estimate += stratum_probability * mean;
   }
   // Strata with zero probability carry no mass; renormalization guards
   // against the (p = 0 / p = 1 pivot) corner where some strata are
   // impossible.
   UGS_CHECK(allocated_probability > 0.0);
   return estimate / allocated_probability;
+}
+
+double StratifiedEstimate(const UncertainGraph& graph,
+                          const WorldQuery& query,
+                          const StratifiedOptions& options, Rng* rng) {
+  return StratifiedEstimate(
+      graph, [&query]() { return query; }, options, rng, SerialEngine());
 }
 
 }  // namespace ugs

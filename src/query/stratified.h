@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/uncertain_graph.h"
+#include "query/sample_engine.h"
 #include "util/random.h"
 
 namespace ugs {
@@ -30,12 +31,33 @@ struct StratifiedOptions {
 /// flags (parallel to graph.edges()) and returns a scalar.
 using WorldQuery = std::function<double(const std::vector<char>&)>;
 
-/// Stratified estimate of E[query(world)].
+/// Builds a WorldQuery together with its scratch state. The factory is
+/// invoked once per engine batch, so queries built through it may hold
+/// mutable scratch without being thread-safe themselves.
+using WorldQueryFactory = std::function<WorldQuery()>;
+
+/// Stratified estimate of E[query(world)], sampling within each stratum
+/// through `engine` (deterministic at any thread count).
+double StratifiedEstimate(const UncertainGraph& graph,
+                          const WorldQueryFactory& factory,
+                          const StratifiedOptions& options, Rng* rng,
+                          const SampleEngine& engine);
+
+/// Single-query convenience overload. The one query instance may hold
+/// mutable scratch, so it is evaluated serially (a 1-thread engine)
+/// regardless of the default engine's size; use the factory overload for
+/// the parallel path.
 double StratifiedEstimate(const UncertainGraph& graph,
                           const WorldQuery& query,
                           const StratifiedOptions& options, Rng* rng);
 
 /// Plain Monte-Carlo estimate with the same budget, for comparison.
+double MonteCarloEstimate(const UncertainGraph& graph,
+                          const WorldQueryFactory& factory,
+                          int total_samples, Rng* rng,
+                          const SampleEngine& engine);
+
+/// Serial single-query convenience overload (see StratifiedEstimate).
 double MonteCarloEstimate(const UncertainGraph& graph,
                           const WorldQuery& query, int total_samples,
                           Rng* rng);

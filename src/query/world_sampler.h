@@ -46,6 +46,13 @@ struct McSamples {
   /// Pulls unit u's valid entries into a vector (for distribution
   /// comparisons).
   std::vector<double> UnitSamples(std::size_t unit) const;
+
+  /// Bitwise equality of the full matrices -- the comparison behind the
+  /// engine's identical-at-any-thread-count determinism checks.
+  friend bool operator==(const McSamples& a, const McSamples& b) {
+    return a.num_units == b.num_units && a.num_samples == b.num_samples &&
+           a.values == b.values && a.valid == b.valid;
+  }
 };
 
 }  // namespace ugs

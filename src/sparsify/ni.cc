@@ -6,6 +6,7 @@
 
 #include "sparsify/backbone.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 #include "util/union_find.h"
 
 namespace ugs {
@@ -113,44 +114,87 @@ Result<NiResult> NiSparsify(const UncertainGraph& graph, double alpha,
                          (alpha * static_cast<double>(m)));
 
   // Calibration: approximate the minimum eps with |E'| <= target.
+  //
+  // Every calibration run r is a pure function of its index: it evaluates
+  // eps * theta^(+/- r) with its own seed-split RNG stream. That makes the
+  // grow/shrink scans embarrassingly parallel -- candidates are evaluated
+  // speculatively in pool-sized batches, then scanned in sequential index
+  // order, so the selected (eps, core result) and the reported run count
+  // are identical to the serial walk at any thread count.
+  const double initial_eps = eps;
+  const std::uint64_t calibration_base = rng->Next64();
+  auto eps_at = [&](int exponent) {
+    return initial_eps * std::pow(options.theta, exponent);
+  };
+  auto run_at = [&](int run_index, double run_eps) {
+    Rng run_rng = SplitRng(calibration_base, run_index);
+    return RunNiCore(graph, weights, run_eps, &run_rng);
+  };
+
+  ThreadPool& thread_pool = ThreadPool::Default();
   NiCoreResult best;
   bool have_best = false;
   double best_eps = eps;
   int runs = 0;
-  NiCoreResult first = RunNiCore(graph, weights, eps, rng);
+  NiCoreResult first = run_at(0, eps);
   ++runs;
   if (first.edges.size() > target) {
-    // Too many edges: grow eps until the first run that fits.
-    while (runs < options.max_calibration_runs) {
-      eps *= options.theta;
-      NiCoreResult r = RunNiCore(graph, weights, eps, rng);
-      ++runs;
-      if (r.edges.size() <= target) {
-        best = std::move(r);
-        best_eps = eps;
-        have_best = true;
-        break;
+    // Too many edges: grow eps by theta per run until the first that fits.
+    int index = 1;
+    while (runs < options.max_calibration_runs && !have_best) {
+      const int budget = options.max_calibration_runs - runs;
+      const int batch =
+          std::min(budget, std::max(1, thread_pool.num_threads()));
+      std::vector<NiCoreResult> results(batch);
+      thread_pool.ParallelFor(static_cast<std::size_t>(batch),
+                              [&](std::size_t b) {
+        int i = index + static_cast<int>(b);
+        results[b] = run_at(i, eps_at(i));
+      });
+      for (int b = 0; b < batch; ++b) {
+        ++runs;
+        if (results[b].edges.size() <= target) {
+          best = std::move(results[b]);
+          best_eps = eps_at(index + b);
+          have_best = true;
+          break;
+        }
       }
+      index += batch;
     }
     if (!have_best) {
       // Give up calibrating; fall back to an empty core result (the
       // Monte-Carlo fill below produces the requested edge count).
       best = NiCoreResult{};
-      best_eps = eps;
+      best_eps = eps_at(options.max_calibration_runs - 1);
     }
   } else {
     // Fits already: shrink eps while it keeps fitting, keep the last fit.
     best = std::move(first);
     best_eps = eps;
     have_best = true;
-    while (runs < options.max_calibration_runs) {
-      double next_eps = eps / options.theta;
-      NiCoreResult r = RunNiCore(graph, weights, next_eps, rng);
-      ++runs;
-      if (r.edges.size() > target) break;
-      eps = next_eps;
-      best = std::move(r);
-      best_eps = eps;
+    int index = 1;
+    bool overflowed = false;
+    while (runs < options.max_calibration_runs && !overflowed) {
+      const int budget = options.max_calibration_runs - runs;
+      const int batch =
+          std::min(budget, std::max(1, thread_pool.num_threads()));
+      std::vector<NiCoreResult> results(batch);
+      thread_pool.ParallelFor(static_cast<std::size_t>(batch),
+                              [&](std::size_t b) {
+        int i = index + static_cast<int>(b);
+        results[b] = run_at(i, eps_at(-i));
+      });
+      for (int b = 0; b < batch; ++b) {
+        ++runs;
+        if (results[b].edges.size() > target) {
+          overflowed = true;
+          break;
+        }
+        best = std::move(results[b]);
+        best_eps = eps_at(-(index + b));
+      }
+      index += batch;
     }
   }
   out.epsilon_used = best_eps;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace ugs {
 
@@ -31,21 +32,33 @@ std::vector<EdgeId> GreedyDegreeRepresentative(const UncertainGraph& graph,
   for (VertexId u = 0; u < n; ++u) order[u] = u;
   rng->Shuffle(&order);
 
-  std::vector<char> used(graph.num_edges(), 0);
-  std::vector<EdgeId> chosen;
-  std::vector<EdgeId> incident;
-  for (VertexId u : order) {
-    if (budget[u] <= 0) continue;
-    // Highest-probability unused incident edges first.
-    incident.clear();
-    for (const AdjacencyEntry& a : graph.Neighbors(u)) {
-      if (!used[a.edge]) incident.push_back(a.edge);
+  // Probability-sorted incidence lists (tie-broken by edge id so the
+  // order is a pure function of the graph). Computed once per vertex, in
+  // parallel, instead of re-sorting the unused remainder inside the
+  // greedy loop; the loop then just skips used edges.
+  std::vector<std::vector<EdgeId>> sorted_incident(n);
+  ThreadPool::Default().ParallelFor(n, [&](std::size_t u) {
+    std::vector<EdgeId>& incident = sorted_incident[u];
+    incident.reserve(graph.Degree(static_cast<VertexId>(u)));
+    for (const AdjacencyEntry& a :
+         graph.Neighbors(static_cast<VertexId>(u))) {
+      incident.push_back(a.edge);
     }
     std::sort(incident.begin(), incident.end(), [&](EdgeId a, EdgeId b) {
-      return graph.edge(a).p > graph.edge(b).p;
+      double pa = graph.edge(a).p;
+      double pb = graph.edge(b).p;
+      if (pa != pb) return pa > pb;
+      return a < b;
     });
-    for (EdgeId e : incident) {
+  });
+
+  std::vector<char> used(graph.num_edges(), 0);
+  std::vector<EdgeId> chosen;
+  for (VertexId u : order) {
+    if (budget[u] <= 0) continue;
+    for (EdgeId e : sorted_incident[u]) {
       if (budget[u] <= 0) break;
+      if (used[e]) continue;
       const UncertainEdge& ed = graph.edge(e);
       VertexId other = (ed.u == u) ? ed.v : ed.u;
       if (budget[other] <= 0) continue;

@@ -120,4 +120,8 @@ std::vector<std::uint64_t> Rng::SampleWithoutReplacement(std::uint64_t n,
 
 Rng Rng::Fork() { return Rng(Next64()); }
 
+Rng SplitRng(std::uint64_t base, std::uint64_t index) {
+  return Rng(base + 0x9e3779b97f4a7c15ULL * (index + 1));
+}
+
 }  // namespace ugs

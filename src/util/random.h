@@ -75,6 +75,15 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// Seed-splitting: the deterministic generator for stream `index` under
+/// base seed `base`. Index-addressable (unlike Fork, which advances the
+/// parent), so parallel work items can each derive their own stream no
+/// matter which thread runs them or in what order -- the primitive behind
+/// SampleEngine's per-sample RNGs and NI's parallel calibration. The Rng
+/// constructor splitmixes the seed, so a golden-ratio stride is enough to
+/// decorrelate adjacent streams.
+Rng SplitRng(std::uint64_t base, std::uint64_t index);
+
 }  // namespace ugs
 
 #endif  // UGS_UTIL_RANDOM_H_

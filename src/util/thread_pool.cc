@@ -1,0 +1,119 @@
+#include "util/thread_pool.h"
+
+#include <memory>
+
+#include "util/check.h"
+
+namespace ugs {
+
+thread_local bool ThreadPool::inside_task_ = false;
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = HardwareThreads();
+  num_threads_ = num_threads;
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::HardwareThreads() {
+  unsigned int n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::RunTasks() {
+  inside_task_ = true;
+  for (;;) {
+    std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= total_) break;
+    (*job_)(i);
+  }
+  inside_task_ = false;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    RunTasks();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t num_tasks,
+                             const std::function<void(std::size_t)>& fn) {
+  if (num_tasks == 0) return;
+  // Inline paths: no workers, a single task, or a nested call from inside
+  // a running task (workers are all busy with the outer loop).
+  if (workers_.empty() || num_tasks == 1 || inside_task_) {
+    bool was_inside = inside_task_;
+    inside_task_ = true;
+    for (std::size_t i = 0; i < num_tasks; ++i) fn(i);
+    inside_task_ = was_inside;
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    total_ = num_tasks;
+    next_.store(0, std::memory_order_relaxed);
+    active_workers_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunTasks();  // The calling thread is pool member number num_threads.
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  job_ = nullptr;
+}
+
+namespace {
+
+std::mutex default_pool_mutex;
+std::unique_ptr<ThreadPool>& DefaultPoolSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Default() {
+  std::lock_guard<std::mutex> lock(default_pool_mutex);
+  std::unique_ptr<ThreadPool>& slot = DefaultPoolSlot();
+  if (slot == nullptr) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void ThreadPool::SetDefaultThreads(int num_threads) {
+  std::lock_guard<std::mutex> lock(default_pool_mutex);
+  std::unique_ptr<ThreadPool>& slot = DefaultPoolSlot();
+  if (slot != nullptr && slot->num_threads() ==
+                             (num_threads <= 0 ? HardwareThreads()
+                                               : num_threads)) {
+    return;
+  }
+  slot = std::make_unique<ThreadPool>(num_threads);
+}
+
+}  // namespace ugs

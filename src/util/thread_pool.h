@@ -1,0 +1,78 @@
+#ifndef UGS_UTIL_THREAD_POOL_H_
+#define UGS_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ugs {
+
+/// Fixed-size worker pool for data-parallel loops. A pool of `num_threads`
+/// uses num_threads - 1 background workers plus the calling thread, so a
+/// 1-thread pool runs everything inline with zero synchronization -- the
+/// serial path stays the serial path.
+///
+/// Work is handed out as loop indices claimed from a shared atomic
+/// counter, so callers that need determinism must make each index's work
+/// self-contained (own RNG stream, disjoint output slots); SampleEngine
+/// builds exactly that contract on top.
+///
+/// ParallelFor calls are serialized against each other (one loop at a
+/// time); nested ParallelFor from inside a task runs the inner loop
+/// inline on the calling worker.
+class ThreadPool {
+ public:
+  /// num_threads <= 0 selects the hardware concurrency.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(i) for every i in [0, num_tasks), distributing indices across
+  /// the pool; blocks until all complete. Tasks must not throw.
+  void ParallelFor(std::size_t num_tasks,
+                   const std::function<void(std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int HardwareThreads();
+
+  /// Process-wide shared pool. Sized at HardwareThreads() unless
+  /// SetDefaultThreads was called first.
+  static ThreadPool& Default();
+
+  /// Resizes the pool Default() returns (0 = hardware concurrency). Call
+  /// at startup (e.g. from a --threads flag), not while loops are running
+  /// on the default pool.
+  static void SetDefaultThreads(int num_threads);
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs indices of the current loop until none remain.
+  void RunTasks();
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex run_mutex_;  // Serializes ParallelFor calls.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::atomic<std::size_t> next_{0};
+  std::size_t total_ = 0;
+  std::size_t generation_ = 0;
+  std::size_t active_workers_ = 0;
+  bool stop_ = false;
+  static thread_local bool inside_task_;
+};
+
+}  // namespace ugs
+
+#endif  // UGS_UTIL_THREAD_POOL_H_

@@ -119,8 +119,11 @@ TEST(CutDiscrepancyTest, MatchesDirectComputation) {
   options.sets_per_k = 8;
   Rng sample_rng1(42);
   double incremental = CutDiscrepancyMae(g, s, options, &sample_rng1);
-  // Reproduce the sampling loop manually.
+  // Reproduce the sampling manually: the metric draws one seed-split base
+  // from the caller's rng and gives cut (k, rep) the stream
+  // SplitRng(base, k * sets_per_k + rep).
   Rng sample_rng2(42);
+  const std::uint64_t base = sample_rng2.Next64();
   const std::size_t n = 25;
   std::vector<std::size_t> ks;
   double k = 1.0;
@@ -134,9 +137,12 @@ TEST(CutDiscrepancyTest, MatchesDirectComputation) {
   }
   double total = 0.0;
   std::size_t count = 0;
-  for (std::size_t set_size : ks) {
+  for (std::size_t ki = 0; ki < ks.size(); ++ki) {
     for (int rep = 0; rep < options.sets_per_k; ++rep) {
-      auto sample = sample_rng2.SampleWithoutReplacement(n, set_size);
+      Rng cut_rng = SplitRng(
+          base, ki * static_cast<std::size_t>(options.sets_per_k) +
+                    static_cast<std::size_t>(rep));
+      auto sample = cut_rng.SampleWithoutReplacement(n, ks[ki]);
       std::vector<VertexId> set;
       for (auto x : sample) set.push_back(static_cast<VertexId>(x));
       total += std::abs(ExpectedCutSize(g, set) - ExpectedCutSize(s, set));
@@ -155,9 +161,11 @@ TEST(CutDiscrepancyTest, FixedSetSizeMatchesDirect) {
   UncertainGraph s = UncertainGraph::FromEdges(20, std::move(kept));
   Rng r1(77), r2(77);
   double via_metric = CutDiscrepancyMaeForSetSize(g, s, 4, 25, &r1);
+  const std::uint64_t base = r2.Next64();
   double direct = 0.0;
   for (int rep = 0; rep < 25; ++rep) {
-    auto sample = r2.SampleWithoutReplacement(20, 4);
+    Rng cut_rng = SplitRng(base, static_cast<std::uint64_t>(rep));
+    auto sample = cut_rng.SampleWithoutReplacement(20, 4);
     std::vector<VertexId> set(sample.begin(), sample.end());
     direct += std::abs(ExpectedCutSize(g, set) - ExpectedCutSize(s, set));
   }

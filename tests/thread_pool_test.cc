@@ -1,0 +1,97 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ugs {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kTasks = 1000;
+    std::vector<std::atomic<int>> hits(kTasks);
+    pool.ParallelFor(kTasks, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads "
+                                   << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ZeroTasksIsANoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInOrderOnCallingThread) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.ParallelFor(16, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  std::vector<std::size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossLoops) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.ParallelFor(100, [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 100u * 99u / 2u);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(8 * 8);
+  pool.ParallelFor(8, [&](std::size_t outer) {
+    // A nested loop on the same (busy) pool must not deadlock; it runs
+    // inline on the claiming worker.
+    pool.ParallelFor(8, [&](std::size_t inner) {
+      hits[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultPoolResize) {
+  ThreadPool::SetDefaultThreads(3);
+  EXPECT_EQ(ThreadPool::Default().num_threads(), 3);
+  std::atomic<int> count{0};
+  ThreadPool::Default().ParallelFor(50, [&](std::size_t) {
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 50);
+  // Restore the hardware-sized default for other tests in this binary.
+  ThreadPool::SetDefaultThreads(0);
+  EXPECT_EQ(ThreadPool::Default().num_threads(),
+            ThreadPool::HardwareThreads());
+}
+
+TEST(ThreadPoolTest, ManyMoreTasksThanThreads) {
+  ThreadPool pool(8);
+  constexpr std::size_t kTasks = 10000;
+  std::atomic<std::size_t> sum{0};
+  pool.ParallelFor(kTasks, [&](std::size_t i) { sum.fetch_add(i + 1); });
+  EXPECT_EQ(sum.load(), kTasks * (kTasks + 1) / 2);
+}
+
+}  // namespace
+}  // namespace ugs
