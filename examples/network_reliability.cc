@@ -1,8 +1,9 @@
 // Communication-network reliability scenario: each link has a probability
 // of staying up (the paper's router-network use case). We estimate
-// two-terminal reliability for a set of critical routes, and use the
-// variance machinery of Section 6.3 to show how many Monte-Carlo samples
-// the sparsified graph saves for the same confidence width.
+// two-terminal reliability for a set of critical routes through the
+// unified Query API, and use the variance machinery of Section 6.3 to
+// show how many Monte-Carlo samples the sparsified graph saves for the
+// same confidence width.
 
 #include <cstdio>
 #include <vector>
@@ -10,7 +11,7 @@
 #include "gen/generators.h"
 #include "graph/graph_stats.h"
 #include "metrics/variance.h"
-#include "query/reliability.h"
+#include "query/graph_session.h"
 #include "sparsify/sparsifier.h"
 
 int main() {
@@ -42,33 +43,44 @@ int main() {
     return 1;
   }
 
+  // One serving session per graph; the same typed request runs on both.
+  ugs::GraphSession full_session(std::move(network));
+  ugs::GraphSession sparse_session(std::move(sparse->graph));
   const int kSamplesPerRun = 150;
-  ugs::Rng q1(11), q2(12);
-  std::vector<double> rel_full =
-      ugs::EstimateReliability(network, routes, kSamplesPerRun, &q1);
-  std::vector<double> rel_sparse =
-      ugs::EstimateReliability(sparse->graph, routes, kSamplesPerRun, &q2);
+  ugs::QueryRequest request;
+  request.query = "reliability";
+  request.pairs = routes;
+  request.num_samples = kSamplesPerRun;
+
+  request.seed = 11;
+  auto rel_full = full_session.Run(request);
+  request.seed = 12;
+  auto rel_sparse = sparse_session.Run(request);
+  if (!rel_full.ok() || !rel_sparse.ok()) return 1;
 
   std::printf("\nroute reliability (original vs sparsified, %d samples):\n",
               kSamplesPerRun);
   for (std::size_t i = 0; i < routes.size(); ++i) {
     std::printf("  v%-5u -> v%-5u : %.3f vs %.3f\n", routes[i].s,
-                routes[i].t, rel_full[i], rel_sparse[i]);
+                routes[i].t, rel_full->means[i], rel_sparse->means[i]);
   }
 
   // Variance protocol: how many samples does each graph need for the
-  // same confidence width?
+  // same confidence width? Each run is the same request re-seeded from
+  // the protocol's RNG.
   const int kRuns = 30;
-  auto estimator = [&](const ugs::UncertainGraph& g) {
-    return [&g, &routes](ugs::Rng* r) {
-      return ugs::EstimateReliability(g, routes, kSamplesPerRun, r);
+  auto estimator = [&request](const ugs::GraphSession& session) {
+    return [&session, request](ugs::Rng* r) mutable {
+      request.seed = r->Next64();
+      auto result = session.Run(request);
+      return result.ok() ? result->means : std::vector<double>();
     };
   };
   ugs::Rng v1(21), v2(22);
   double var_full =
-      ugs::MeanEstimatorVariance(estimator(network), kRuns, &v1);
+      ugs::MeanEstimatorVariance(estimator(full_session), kRuns, &v1);
   double var_sparse =
-      ugs::MeanEstimatorVariance(estimator(sparse->graph), kRuns, &v2);
+      ugs::MeanEstimatorVariance(estimator(sparse_session), kRuns, &v2);
   std::printf("\nestimator variance original  : %.3e\n", var_full);
   std::printf("estimator variance sparsified: %.3e (ratio %.3f)\n",
               var_sparse, var_sparse / var_full);

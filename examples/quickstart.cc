@@ -2,12 +2,15 @@
 //
 // Part 1 reproduces the paper's running example (Figure 1): exact
 // possible-world evaluation of Pr[G connected] on a 4-vertex uncertain
-// graph, against Monte-Carlo estimation.
+// graph, against Monte-Carlo estimation -- both expressed as the same
+// "connectivity" request through the unified Query API, switching only
+// the estimator.
 //
 // Part 2 is the real workflow: take a mid-size uncertain social graph,
 // sparsify it to 30% of its edges with EMD (the representative method),
 // and check that structure (expected degrees), entropy, and a pairwise
-// reliability query all survive.
+// reliability query all survive -- the query served by a GraphSession
+// per graph.
 
 #include <cstdio>
 
@@ -15,8 +18,7 @@
 #include "graph/graph_builder.h"
 #include "graph/graph_stats.h"
 #include "metrics/discrepancy.h"
-#include "query/exact.h"
-#include "query/reliability.h"
+#include "query/graph_session.h"
 #include "sparsify/sparsifier.h"
 #include "util/random.h"
 
@@ -38,13 +40,25 @@ int main() {
       if (!s.ok()) return Fail(s);
     }
   }
-  ugs::UncertainGraph k4 = std::move(builder).Build();
-  ugs::Rng mc_rng(1);
+  ugs::GraphSession k4(std::move(builder).Build());
+
+  // One request, two estimators: full 2^|E| enumeration versus plain
+  // Monte-Carlo over 20000 possible worlds.
+  ugs::QueryRequest connectivity;
+  connectivity.query = "connectivity";
+  connectivity.estimator = ugs::Estimator::kExact;
+  auto exact = k4.Run(connectivity);
+  if (!exact.ok()) return Fail(exact.status());
+  connectivity.estimator = ugs::Estimator::kSampled;
+  connectivity.num_samples = 20000;
+  connectivity.seed = 1;
+  auto sampled = k4.Run(connectivity);
+  if (!sampled.ok()) return Fail(sampled.status());
   std::printf("Figure 1(a): K4 with p = 0.3 on every edge\n");
   std::printf("  Pr[connected] exact       : %.4f (paper: 0.219)\n",
-              ugs::ExactConnectivityProbability(k4));
+              exact->scalar);
   std::printf("  Pr[connected] Monte-Carlo : %.4f (20000 worlds)\n\n",
-              ugs::EstimateConnectivity(k4, 20000, &mc_rng));
+              sampled->scalar);
 
   // ---- Part 2: sparsify a realistic uncertain graph. ----
   // Low edge probabilities (E[p] ~ 0.17) as in the paper's datasets;
@@ -77,19 +91,26 @@ int main() {
   std::printf("  relative entropy       : %.3f (lower = cheaper MC)\n",
               ugs::RelativeEntropy(graph, sparse->graph));
 
-  // Same query, both graphs: reliability of a few vertex pairs.
+  // Same query, both graphs: one session per graph, one request.
   ugs::Rng pair_rng(9);
-  std::vector<ugs::VertexPair> pairs =
+  ugs::QueryRequest reliability;
+  reliability.query = "reliability";
+  reliability.pairs =
       ugs::SampleDistinctPairs(graph.num_vertices(), 5, &pair_rng);
-  ugs::Rng q1(11), q2(12);
-  std::vector<double> rel_orig =
-      ugs::EstimateReliability(graph, pairs, 3000, &q1);
-  std::vector<double> rel_sparse =
-      ugs::EstimateReliability(sparse->graph, pairs, 3000, &q2);
+  reliability.num_samples = 3000;
+  ugs::GraphSession full_session(std::move(graph));
+  ugs::GraphSession sparse_session(std::move(sparse->graph));
+  reliability.seed = 11;
+  auto rel_orig = full_session.Run(reliability);
+  if (!rel_orig.ok()) return Fail(rel_orig.status());
+  reliability.seed = 12;
+  auto rel_sparse = sparse_session.Run(reliability);
+  if (!rel_sparse.ok()) return Fail(rel_sparse.status());
   std::printf("\nreliability Pr[s ~ t] (original vs sparsified):\n");
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    std::printf("  v%-4u -> v%-4u : %.3f vs %.3f\n", pairs[i].s, pairs[i].t,
-                rel_orig[i], rel_sparse[i]);
+  for (std::size_t i = 0; i < reliability.pairs.size(); ++i) {
+    std::printf("  v%-4u -> v%-4u : %.3f vs %.3f\n", reliability.pairs[i].s,
+                reliability.pairs[i].t, rel_orig->means[i],
+                rel_sparse->means[i]);
   }
   return 0;
 }

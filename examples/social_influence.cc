@@ -1,8 +1,8 @@
 // Social-influence scenario: rank the most influential users of an
 // uncertain social network (edges weighted by influence probability, the
-// paper's Twitter use case) via Monte-Carlo PageRank -- then show that the
-// same ranking is obtained from a 4x smaller EMD-sparsified graph at a
-// fraction of the sampling cost.
+// paper's Twitter use case) via Monte-Carlo PageRank served through the
+// unified Query API -- then show that the same ranking is obtained from a
+// 4x smaller EMD-sparsified graph at a fraction of the sampling cost.
 
 #include <algorithm>
 #include <cstdio>
@@ -11,18 +11,20 @@
 #include "gen/datasets.h"
 #include "graph/graph_stats.h"
 #include "metrics/emd_distance.h"
-#include "query/pagerank.h"
+#include "query/graph_session.h"
 #include "sparsify/sparsifier.h"
-#include "util/timer.h"
 
 namespace {
 
-std::vector<ugs::VertexId> TopK(const ugs::McSamples& pr, std::size_t k) {
-  std::vector<ugs::VertexId> order(pr.num_units);
-  for (ugs::VertexId v = 0; v < pr.num_units; ++v) order[v] = v;
+std::vector<ugs::VertexId> TopK(const std::vector<double>& means,
+                                std::size_t k) {
+  std::vector<ugs::VertexId> order(means.size());
+  for (std::size_t v = 0; v < means.size(); ++v) {
+    order[v] = static_cast<ugs::VertexId>(v);
+  }
   std::sort(order.begin(), order.end(),
             [&](ugs::VertexId a, ugs::VertexId b) {
-              return pr.UnitMean(a) > pr.UnitMean(b);
+              return means[a] > means[b];
             });
   order.resize(k);
   return order;
@@ -41,11 +43,6 @@ int main() {
   const int kSamples = 80;
   const std::size_t kTop = 10;
 
-  ugs::Timer t_full;
-  ugs::Rng q_full(1);
-  ugs::McSamples pr_full = ugs::McPageRank(graph, kSamples, &q_full);
-  double full_seconds = t_full.ElapsedSeconds();
-
   auto method = ugs::MakeSparsifierByName("EMD");
   if (!method.ok()) return 1;
   ugs::Rng rng(7);
@@ -57,15 +54,20 @@ int main() {
   std::printf("sparsified to %zu edges (25%%) in %.2fs\n",
               sparse->graph.num_edges(), sparse->seconds);
 
-  ugs::Timer t_sparse;
-  ugs::Rng q_sparse(2);
-  ugs::McSamples pr_sparse =
-      ugs::McPageRank(sparse->graph, kSamples, &q_sparse);
-  double sparse_seconds = t_sparse.ElapsedSeconds();
+  ugs::GraphSession full_session(std::move(graph));
+  ugs::GraphSession sparse_session(std::move(sparse->graph));
+  ugs::QueryRequest request;
+  request.query = "pagerank";
+  request.num_samples = kSamples;
+  request.seed = 1;
+  auto pr_full = full_session.Run(request);
+  request.seed = 2;
+  auto pr_sparse = sparse_session.Run(request);
+  if (!pr_full.ok() || !pr_sparse.ok()) return 1;
 
   // Ranking agreement on the top-k influencers.
-  std::vector<ugs::VertexId> top_full = TopK(pr_full, kTop);
-  std::vector<ugs::VertexId> top_sparse = TopK(pr_sparse, kTop);
+  std::vector<ugs::VertexId> top_full = TopK(pr_full->means, kTop);
+  std::vector<ugs::VertexId> top_sparse = TopK(pr_sparse->means, kTop);
   std::size_t overlap = 0;
   for (ugs::VertexId v : top_full) {
     if (std::find(top_sparse.begin(), top_sparse.end(), v) !=
@@ -77,14 +79,15 @@ int main() {
   std::printf("\ntop-%zu influencers (original vs sparsified):\n", kTop);
   for (std::size_t i = 0; i < kTop; ++i) {
     std::printf("  #%zu: v%-6u (pr %.5f)   v%-6u (pr %.5f)\n", i + 1,
-                top_full[i], pr_full.UnitMean(top_full[i]), top_sparse[i],
-                pr_sparse.UnitMean(top_sparse[i]));
+                top_full[i], pr_full->means[top_full[i]], top_sparse[i],
+                pr_sparse->means[top_sparse[i]]);
   }
   std::printf("\ntop-%zu overlap      : %zu / %zu\n", kTop, overlap, kTop);
   std::printf("PageRank D_em       : %.5f\n",
-              ugs::MeanUnitEmd(pr_full, pr_sparse));
-  std::printf("MC time original    : %.2fs\n", full_seconds);
-  std::printf("MC time sparsified  : %.2fs (%.1fx faster)\n", sparse_seconds,
-              full_seconds / std::max(sparse_seconds, 1e-9));
+              ugs::MeanUnitEmd(pr_full->samples, pr_sparse->samples));
+  std::printf("MC time original    : %.2fs\n", pr_full->seconds);
+  std::printf("MC time sparsified  : %.2fs (%.1fx faster)\n",
+              pr_sparse->seconds,
+              pr_full->seconds / std::max(pr_sparse->seconds, 1e-9));
   return 0;
 }

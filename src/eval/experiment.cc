@@ -3,32 +3,37 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "util/check.h"
+#include "util/parse.h"
 #include "util/thread_pool.h"
 
 namespace ugs {
 
 BenchConfig ParseBenchArgs(int argc, char** argv,
                            const std::string& description) {
+  // Strict flag parsing (std::atof-style silent zeroes rejected): a bad
+  // value aborts with the offending text instead of running at a default.
   BenchConfig config;
   if (const char* env = std::getenv("UGS_BENCH_SCALE")) {
-    config.scale = std::atof(env);
+    config.scale = ParseDoubleOrExit("UGS_BENCH_SCALE", env);
   }
   if (const char* env = std::getenv("UGS_BENCH_QUICK")) {
-    config.quick = std::atoi(env) != 0;
+    config.quick = ParseInt64OrExit("UGS_BENCH_QUICK", env) != 0;
   }
   if (const char* env = std::getenv("UGS_THREADS")) {
-    config.threads = std::atoi(env);
+    config.threads = static_cast<int>(ParseInt64OrExit("UGS_THREADS", env));
   }
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--scale=", 8) == 0) {
-      config.scale = std::atof(arg + 8);
+      config.scale = ParseDoubleOrExit("--scale", arg + 8);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      config.seed = std::strtoull(arg + 7, nullptr, 10);
+      config.seed = ParseUint64OrExit("--seed", arg + 7);
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      config.threads = std::atoi(arg + 10);
+      config.threads =
+          static_cast<int>(ParseInt64OrExit("--threads", arg + 10));
     } else if (std::strcmp(arg, "--quick") == 0) {
       config.quick = true;
     } else if (std::strcmp(arg, "--help") == 0) {
@@ -64,6 +69,17 @@ SparsifyOutput MustSparsify(const Sparsifier& method,
   if (!result.ok()) {
     std::fprintf(stderr, "sparsifier %s failed at alpha=%.3f: %s\n",
                  method.name().c_str(), alpha,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result.value());
+}
+
+QueryResult MustQuery(const GraphSession& session,
+                      const QueryRequest& request) {
+  Result<QueryResult> result = session.Run(request);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query '%s' failed: %s\n", request.query.c_str(),
                  result.status().ToString().c_str());
     std::abort();
   }

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "graph/uncertain_graph.h"
+#include "query/graph_session.h"
+#include "query/query.h"
 #include "sparsify/sparsifier.h"
 #include "util/random.h"
 
@@ -47,6 +49,12 @@ std::vector<int> PaperDensities();
 SparsifyOutput MustSparsify(const Sparsifier& method,
                             const UncertainGraph& graph, double alpha,
                             Rng* rng);
+
+/// Runs a query request through a GraphSession and aborts on failure
+/// (bench context: requests are known-valid). The facade counterpart of
+/// MustSparsify for evaluation workloads.
+QueryResult MustQuery(const GraphSession& session,
+                      const QueryRequest& request);
 
 }  // namespace ugs
 

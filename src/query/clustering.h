@@ -10,6 +10,11 @@
 
 namespace ugs {
 
+/// DEPRECATED for direct use: prefer the unified Query API -- request
+/// "clustering" through GraphSession (query/graph_session.h).
+/// McClusteringCoefficient remains as the compute kernel the registry
+/// dispatches to, so results are bit-identical either way.
+
 /// Local clustering coefficient of every vertex in one world:
 /// cc(v) = 2 * triangles(v) / (deg(v) * (deg(v)-1)); 0 when deg(v) < 2.
 /// Triangles are counted by sorted-adjacency intersection over present

@@ -1,0 +1,51 @@
+#ifndef UGS_QUERY_ESTIMATOR_POLICY_H_
+#define UGS_QUERY_ESTIMATOR_POLICY_H_
+
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+#include "query/query.h"
+
+namespace ugs {
+
+/// Tunables of the estimator-selection policy. The defaults encode the
+/// paper's operating points; a serving layer can override per deployment.
+struct EstimatorPolicyOptions {
+  /// Auto picks kSkipSampler when the graph's mean edge probability is
+  /// below this: geometric skipping draws O(p |E|) RNG values per world
+  /// instead of |E|, which pays off exactly on low-probability graphs
+  /// (the paper's datasets average p ~ 0.1-0.2).
+  double skip_sampler_max_mean_probability = 0.25;
+};
+
+/// Resolves the execution strategy for `request` among the query's
+/// `supported` estimators.
+///
+/// Explicit (non-kAuto) choices are honored after two checks: the query
+/// must support the estimator (InvalidArgument otherwise), and kExact
+/// additionally needs |E| <= kMaxExactEdges (FailedPrecondition --
+/// enumeration is 2^|E| worlds by definition).
+///
+/// kAuto resolves, in order:
+///   1. kDeterministic when supported -- the query never needed
+///      possible-world sampling.
+///   2. kExact when supported and enumeration is both feasible
+///      (|E| <= kMaxExactEdges) and no more expensive than the sampling
+///      budget (2^|E| * max(1, |pairs|) <= num_samples -- the exact
+///      oracles enumerate once per pair, one sampled world serves all
+///      pairs): no extra cost, zero variance.
+///   3. kSkipSampler when supported and the graph's worlds are sparse
+///      enough for skipping to win (see EstimatorPolicyOptions).
+///   4. kSampled.
+/// kStratified is never auto-selected: its variance win depends on the
+/// entropy concentration of the pivot edges, which the policy cannot
+/// cheaply certify, and its random stream differs from plain sampling --
+/// callers opt in per request.
+Result<Estimator> SelectEstimator(const UncertainGraph& graph,
+                                  const QueryRequest& request,
+                                  const std::vector<Estimator>& supported,
+                                  const EstimatorPolicyOptions& options = {});
+
+}  // namespace ugs
+
+#endif  // UGS_QUERY_ESTIMATOR_POLICY_H_

@@ -7,6 +7,12 @@
 
 namespace ugs {
 
+/// DEPRECATED for direct use: prefer the unified Query API -- request any
+/// supported query with Estimator::kExact through GraphSession
+/// (query/graph_session.h); the selection policy also auto-picks exact
+/// when enumeration fits the sample budget. These oracles remain as the
+/// compute kernels the registry dispatches to.
+
 /// Exact possible-world enumeration (Equation 1): evaluates a predicate or
 /// statistic on all 2^|E| deterministic worlds and aggregates by world
 /// probability. Exponential by definition -- the graph must have at most

@@ -1,0 +1,64 @@
+#include "query/graph_session.h"
+
+#include <utility>
+
+#include "graph/graph_io.h"
+#include "util/timer.h"
+
+namespace ugs {
+namespace {
+
+SampleEngineOptions WithSkipSampler(SampleEngineOptions options, bool skip) {
+  options.use_skip_sampler = skip;
+  return options;
+}
+
+}  // namespace
+
+GraphSession::GraphSession(UncertainGraph graph, GraphSessionOptions options)
+    : graph_(std::move(graph)),
+      options_(options),
+      stats_(ComputeStats(graph_)),
+      engine_(WithSkipSampler(options.engine, false)),
+      skip_engine_(WithSkipSampler(options.engine, true)) {}
+
+Result<std::unique_ptr<GraphSession>> GraphSession::Open(
+    const std::string& path, GraphSessionOptions options) {
+  Result<UncertainGraph> graph = LoadEdgeList(path);
+  if (!graph.ok()) return graph.status();
+  return std::make_unique<GraphSession>(std::move(graph.value()), options);
+}
+
+Result<QueryResult> GraphSession::Run(const QueryRequest& request) const {
+  Result<std::unique_ptr<Query>> query = MakeQueryByName(request.query);
+  if (!query.ok()) return query.status();
+  UGS_RETURN_IF_ERROR((*query)->Validate(graph_, request));
+  Result<Estimator> estimator = SelectEstimator(
+      graph_, request, (*query)->SupportedEstimators(), options_.policy);
+  if (!estimator.ok()) return estimator.status();
+  const SampleEngine& engine =
+      *estimator == Estimator::kSkipSampler ? skip_engine_ : engine_;
+  Timer timer;
+  Result<QueryResult> result =
+      (*query)->Run(graph_, request, *estimator, engine);
+  if (!result.ok()) return result;
+  result->query = (*query)->name();
+  result->estimator = *estimator;
+  result->seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+std::vector<Result<QueryResult>> GraphSession::RunBatch(
+    const std::vector<QueryRequest>& requests) const {
+  std::vector<Result<QueryResult>> results;
+  results.reserve(requests.size());
+  // Requests are issued in order; each one's worlds fan out across the
+  // engine's pool. Results are position-stable and independent of any
+  // scheduling (see the determinism note in the class comment).
+  for (const QueryRequest& request : requests) {
+    results.push_back(Run(request));
+  }
+  return results;
+}
+
+}  // namespace ugs

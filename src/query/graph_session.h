@@ -1,0 +1,84 @@
+#ifndef UGS_QUERY_GRAPH_SESSION_H_
+#define UGS_QUERY_GRAPH_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph_stats.h"
+#include "graph/uncertain_graph.h"
+#include "query/estimator_policy.h"
+#include "query/query.h"
+#include "query/sample_engine.h"
+#include "util/status.h"
+
+namespace ugs {
+
+/// Configuration of a GraphSession.
+struct GraphSessionOptions {
+  /// Engine configuration shared by the session's plain and skip-sampler
+  /// engines. num_threads = 0 shares the process-wide default pool.
+  SampleEngineOptions engine;
+  /// Estimator auto-selection tunables.
+  EstimatorPolicyOptions policy;
+};
+
+/// The serving facade of the query layer: owns one loaded UncertainGraph
+/// together with the per-graph state every request needs (cached stats,
+/// a plain and a skip-sampler SampleEngine), and executes QueryRequests
+/// through the query registry under the estimator-selection policy.
+///
+///   auto session = ugs::GraphSession::Open("graph.txt");
+///   ugs::QueryRequest request{.query = "reliability"};
+///   request.pairs = {{0, 5}};
+///   auto result = (*session)->Run(request);
+///
+/// Determinism: a request's result is a pure function of (graph,
+/// request) -- the request's seed feeds the engine's seed-split contract,
+/// so results are bit-identical at any thread count and identical to
+/// calling the legacy free-function entry point with Rng(request.seed).
+/// Batches inherit this per request: order and concurrency never change
+/// any result.
+class GraphSession {
+ public:
+  explicit GraphSession(UncertainGraph graph, GraphSessionOptions options = {});
+
+  /// Loads an edge-list file into a fresh session.
+  static Result<std::unique_ptr<GraphSession>> Open(
+      const std::string& path, GraphSessionOptions options = {});
+
+  const UncertainGraph& graph() const { return graph_; }
+
+  /// Graph statistics, computed once at session construction.
+  const GraphStats& stats() const { return stats_; }
+
+  /// The session's plain sampling engine (skip-sampler requests are
+  /// routed to a twin engine with use_skip_sampler set).
+  const SampleEngine& engine() const { return engine_; }
+
+  const GraphSessionOptions& options() const { return options_; }
+
+  /// Executes one request: registry lookup, validation, estimator
+  /// selection, then the query itself. The result records the estimator
+  /// that ran and the wall time spent.
+  Result<QueryResult> Run(const QueryRequest& request) const;
+
+  /// Executes a batch of heterogeneous requests; result i answers
+  /// request i. Failures are per-request: a malformed request yields an
+  /// error slot without affecting the rest. Each request's samples are
+  /// dispatched concurrently on the session's engine; cross-request
+  /// overlap is bounded by the pool's one-loop-at-a-time discipline.
+  std::vector<Result<QueryResult>> RunBatch(
+      const std::vector<QueryRequest>& requests) const;
+
+ private:
+  UncertainGraph graph_;
+  GraphSessionOptions options_;
+  GraphStats stats_;
+  SampleEngine engine_;
+  SampleEngine skip_engine_;
+};
+
+}  // namespace ugs
+
+#endif  // UGS_QUERY_GRAPH_SESSION_H_

@@ -7,6 +7,11 @@
 
 namespace ugs {
 
+/// DEPRECATED for direct use: prefer the unified Query API -- request
+/// "knn" through GraphSession (query/graph_session.h). MostProbableKnn
+/// remains as the compute kernel the registry dispatches to (the session
+/// parallelizes sources on its own engine pool).
+
 /// K-nearest-neighbor queries on uncertain graphs under the
 /// most-probable-path distance (Potamias et al., PVLDB 2010 -- the
 /// paper's reference [32]): the k vertices whose best path from the

@@ -7,6 +7,11 @@
 
 namespace ugs {
 
+/// DEPRECATED for direct use: prefer the unified Query API -- request
+/// "most-probable-path" through GraphSession (query/graph_session.h).
+/// FindMostProbablePath remains as the compute kernel the registry
+/// dispatches to, so results are bit-identical either way.
+
 /// Most-probable-path queries (Potamias et al., PVLDB 2010 -- the paper's
 /// reference [32], whose -log p weight transform the SS benchmark
 /// reuses): the path P maximizing prod_{e in P} p_e, i.e. the shortest

@@ -10,6 +10,11 @@
 
 namespace ugs {
 
+/// DEPRECATED for direct use: prefer the unified Query API -- request
+/// "pagerank" through GraphSession (query/graph_session.h). McPageRank
+/// remains as the compute kernel the registry dispatches to, so results
+/// are bit-identical either way.
+
 /// PageRank settings. Worlds are undirected, so each present edge conducts
 /// rank both ways; dangling vertices (no present edge) spread uniformly.
 struct PageRankOptions {

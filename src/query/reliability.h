@@ -11,6 +11,12 @@
 
 namespace ugs {
 
+/// DEPRECATED for direct use: prefer the unified Query API -- request
+/// "reliability" / "connectivity" through GraphSession
+/// (query/graph_session.h). These free functions remain as the compute
+/// kernels the registry dispatches to, so results are bit-identical
+/// either way.
+
 /// Monte-Carlo reliability (query (iii) of Section 6.3): for each pair,
 /// each sample is the 0/1 indicator that t is reachable from s in the
 /// world; its mean over samples estimates Pr[s ~ t]. Unit = pair.

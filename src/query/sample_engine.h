@@ -28,7 +28,9 @@ struct SampleEngineOptions {
   bool use_skip_sampler = false;
 };
 
-/// Shared parallel Monte-Carlo possible-world engine. Owns the sample
+/// Shared parallel Monte-Carlo possible-world engine. The serving entry
+/// point above it is GraphSession (query/graph_session.h), which owns one
+/// plain and one skip-sampler engine per loaded graph. Owns the sample
 /// loop every sampling-based evaluator used to hand-roll: allocate the
 /// McSamples matrix, derive one deterministic RNG per sample by
 /// seed-splitting, dispatch batches of worlds to the pool, and let each

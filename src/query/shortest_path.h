@@ -10,6 +10,11 @@
 
 namespace ugs {
 
+/// DEPRECATED for direct use: prefer the unified Query API -- request
+/// "shortest-path" through GraphSession (query/graph_session.h).
+/// McShortestPath remains as the compute kernel the registry dispatches
+/// to, so results are bit-identical either way.
+
 /// Distance marker for unreachable vertices in a world.
 inline constexpr int kUnreachable = -1;
 

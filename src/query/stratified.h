@@ -10,6 +10,12 @@
 
 namespace ugs {
 
+/// DEPRECATED for direct use: prefer the unified Query API -- request any
+/// supported query with Estimator::kStratified through GraphSession
+/// (query/graph_session.h). StratifiedEstimate remains as the compute
+/// kernel the registry dispatches to, so results are bit-identical
+/// either way.
+
 /// Stratified Monte-Carlo estimation for uncertain-graph queries, after
 /// the recursive stratified sampling of Li et al., ICDE 2014 (the paper's
 /// reference [23] for sampling cost and variance).

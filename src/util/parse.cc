@@ -1,0 +1,64 @@
+#include "util/parse.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <system_error>
+
+namespace ugs {
+namespace {
+
+template <typename T>
+T ValueOrExit(const char* what, const Result<T>& value) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", what,
+                 value.status().message().c_str());
+    std::exit(2);
+  }
+  return *value;
+}
+
+template <typename T>
+Result<T> ParseWith(const std::string& text, const char* what) {
+  T value{};
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::InvalidArgument(std::string(what) + " out of range: '" +
+                                   text + "'");
+  }
+  if (ec != std::errc() || ptr != last || text.empty()) {
+    return Status::InvalidArgument("not a valid " + std::string(what) +
+                                   ": '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<std::int64_t> ParseInt64(const std::string& text) {
+  return ParseWith<std::int64_t>(text, "integer");
+}
+
+Result<std::uint64_t> ParseUint64(const std::string& text) {
+  return ParseWith<std::uint64_t>(text, "unsigned integer");
+}
+
+Result<double> ParseDouble(const std::string& text) {
+  return ParseWith<double>(text, "number");
+}
+
+std::int64_t ParseInt64OrExit(const char* what, const std::string& text) {
+  return ValueOrExit(what, ParseInt64(text));
+}
+
+std::uint64_t ParseUint64OrExit(const char* what, const std::string& text) {
+  return ValueOrExit(what, ParseUint64(text));
+}
+
+double ParseDoubleOrExit(const char* what, const std::string& text) {
+  return ValueOrExit(what, ParseDouble(text));
+}
+
+}  // namespace ugs

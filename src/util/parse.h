@@ -1,0 +1,29 @@
+#ifndef UGS_UTIL_PARSE_H_
+#define UGS_UTIL_PARSE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace ugs {
+
+/// Strict whole-string numeric parsing for CLI flags and config values.
+/// Unlike std::atoi / std::atof (which silently return 0 on junk), these
+/// reject empty input, leading whitespace, trailing garbage, and
+/// out-of-range values with an InvalidArgument status naming the input.
+
+Result<std::int64_t> ParseInt64(const std::string& text);
+Result<std::uint64_t> ParseUint64(const std::string& text);
+Result<double> ParseDouble(const std::string& text);
+
+/// CLI conveniences for the tools and bench binaries: parse or exit(2)
+/// with "error: <what>: <reason>" on stderr, where `what` names the flag
+/// or environment variable being parsed.
+std::int64_t ParseInt64OrExit(const char* what, const std::string& text);
+std::uint64_t ParseUint64OrExit(const char* what, const std::string& text);
+double ParseDoubleOrExit(const char* what, const std::string& text);
+
+}  // namespace ugs
+
+#endif  // UGS_UTIL_PARSE_H_

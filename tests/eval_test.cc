@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/test_util.h"
+
 namespace ugs {
 namespace {
 
@@ -57,6 +59,18 @@ TEST(BenchArgsTest, PaperConstants) {
   EXPECT_EQ(PaperAlphas(),
             (std::vector<double>{0.08, 0.16, 0.32, 0.64}));
   EXPECT_EQ(PaperDensities(), (std::vector<int>{15, 30, 50, 90}));
+}
+
+TEST(MustQueryTest, ReturnsResultOnValidRequest) {
+  GraphSession session(testing_util::CompleteK4(0.5));
+  QueryRequest request;
+  request.query = "connectivity";
+  request.num_samples = 16;
+  QueryResult result = MustQuery(session, request);
+  EXPECT_EQ(result.query, "connectivity");
+  EXPECT_TRUE(result.has_scalar);
+  EXPECT_GE(result.scalar, 0.0);
+  EXPECT_LE(result.scalar, 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,164 @@
+#include "query/graph_session.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "tests/test_util.h"
+
+namespace ugs {
+namespace {
+
+QueryRequest ConnectivityRequest(std::uint64_t seed) {
+  QueryRequest request;
+  request.query = "connectivity";
+  request.num_samples = 32;
+  request.seed = seed;
+  request.estimator = Estimator::kSampled;
+  return request;
+}
+
+TEST(GraphSessionTest, OpenMissingFileFails) {
+  Result<std::unique_ptr<GraphSession>> session =
+      GraphSession::Open("/nonexistent/graph.txt");
+  ASSERT_FALSE(session.ok());
+}
+
+TEST(GraphSessionTest, OpenLoadsGraphAndCachesStats) {
+  UncertainGraph g = testing_util::PaperFigure2Graph();
+  std::string path = ::testing::TempDir() + "/session_graph.txt";
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  Result<std::unique_ptr<GraphSession>> session = GraphSession::Open(path);
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->graph().num_vertices(), g.num_vertices());
+  EXPECT_EQ((*session)->graph().num_edges(), g.num_edges());
+  GraphStats expected = ComputeStats(g);
+  EXPECT_EQ((*session)->stats().num_edges, expected.num_edges);
+  EXPECT_DOUBLE_EQ((*session)->stats().entropy_bits, expected.entropy_bits);
+}
+
+TEST(GraphSessionTest, ResultRecordsCanonicalNameEstimatorAndTime) {
+  GraphSession session(testing_util::CompleteK4(0.5));
+  QueryRequest request;
+  request.query = "cc";  // Alias; the result reports the canonical name.
+  request.num_samples = 8;
+  Result<QueryResult> result = session.Run(request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->query, "clustering");
+  EXPECT_NE(result->estimator, Estimator::kAuto);
+  EXPECT_GE(result->seconds, 0.0);
+}
+
+TEST(GraphSessionTest, UnknownQuerySurfacesNotFound) {
+  GraphSession session(testing_util::CompleteK4(0.5));
+  QueryRequest request;
+  request.query = "nope";
+  Result<QueryResult> result = session.Run(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphSessionTest, BatchAnswersEveryRequestInOrder) {
+  GraphSession session(testing_util::CompleteK4(0.5));
+  std::vector<QueryRequest> batch;
+  batch.push_back(ConnectivityRequest(1));
+  QueryRequest reliability;
+  reliability.query = "reliability";
+  reliability.pairs = {{0, 3}};
+  reliability.num_samples = 32;
+  reliability.seed = 5;
+  batch.push_back(reliability);
+  QueryRequest knn;
+  knn.query = "knn";
+  knn.sources = {0};
+  knn.k = 2;
+  batch.push_back(knn);
+
+  std::vector<Result<QueryResult>> results = session.RunBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "request " << i;
+  }
+  EXPECT_EQ(results[0]->query, "connectivity");
+  EXPECT_EQ(results[1]->query, "reliability");
+  EXPECT_EQ(results[2]->query, "knn");
+}
+
+TEST(GraphSessionTest, BatchFailuresAreIsolatedPerRequest) {
+  GraphSession session(testing_util::CompleteK4(0.5));
+  QueryRequest bad;
+  bad.query = "definitely-not-registered";
+  std::vector<QueryRequest> batch{ConnectivityRequest(1), bad,
+                                  ConnectivityRequest(2)};
+  std::vector<Result<QueryResult>> results = session.RunBatch(batch);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(results[2].ok());
+}
+
+TEST(GraphSessionTest, BatchResultsMatchIndividualRunsAtEveryThreadCount) {
+  // Batch execution must neither reorder nor couple requests: each slot
+  // is bit-identical to running the request alone, at any thread count.
+  std::vector<QueryRequest> batch;
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    batch.push_back(ConnectivityRequest(seed));
+  }
+  QueryRequest pagerank;
+  pagerank.query = "pagerank";
+  pagerank.num_samples = 16;
+  pagerank.seed = 44;
+  batch.push_back(pagerank);
+
+  GraphSession reference(testing_util::CompleteK4(0.5));
+  std::vector<double> expected_scalars;
+  for (std::size_t i = 0; i + 1 < batch.size(); ++i) {
+    Result<QueryResult> r = reference.Run(batch[i]);
+    ASSERT_TRUE(r.ok());
+    expected_scalars.push_back(r->scalar);
+  }
+  Result<QueryResult> expected_pr = reference.Run(batch.back());
+  ASSERT_TRUE(expected_pr.ok());
+
+  for (int threads : {1, 2, 8}) {
+    GraphSessionOptions options;
+    options.engine.num_threads = threads;
+    GraphSession session(testing_util::CompleteK4(0.5), options);
+    std::vector<Result<QueryResult>> results = session.RunBatch(batch);
+    ASSERT_EQ(results.size(), batch.size());
+    for (std::size_t i = 0; i + 1 < batch.size(); ++i) {
+      ASSERT_TRUE(results[i].ok());
+      EXPECT_EQ(results[i]->scalar, expected_scalars[i])
+          << "slot " << i << " at " << threads << " threads";
+    }
+    ASSERT_TRUE(results.back().ok());
+    EXPECT_TRUE(results.back()->samples == expected_pr->samples)
+        << threads << " threads";
+  }
+}
+
+TEST(GraphSessionTest, IdenticalRequestsAgreeAcrossSessions) {
+  GraphSessionOptions wide;
+  wide.engine.num_threads = 8;
+  GraphSession a(testing_util::PathGraph(12, 0.4));
+  GraphSession b(testing_util::PathGraph(12, 0.4), wide);
+  QueryRequest request;
+  request.query = "shortest-path";
+  request.pairs = {{0, 11}, {3, 7}};
+  request.num_samples = 48;
+  request.seed = 9;
+  request.estimator = Estimator::kSampled;
+  Result<QueryResult> ra = a.Run(request);
+  Result<QueryResult> rb = b.Run(request);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_TRUE(ra->samples == rb->samples);
+  EXPECT_EQ(ra->means, rb->means);
+}
+
+}  // namespace
+}  // namespace ugs

@@ -3,7 +3,7 @@
 //
 //   ugs_generate --dataset=flickr|twitter|flickr-reduced|density<P>|er
 //                [--scale=<f>] [--seed=<u>] [--vertices=<n>]
-//                [--edges=<m>] --out=<path>
+//                [--edges=<m>] [--threads=<n>] --out=<path>
 //
 // 'er' generates an Erdos-Renyi graph with --vertices/--edges and
 // uniform probabilities; the named datasets are the paper stand-ins of
@@ -18,6 +18,8 @@
 #include "gen/generators.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "util/parse.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -29,7 +31,14 @@ void Usage() {
       "  --scale     size multiplier for named datasets (default 1.0)\n"
       "  --seed      RNG seed (default 1)\n"
       "  --vertices  vertex count for 'er' (default 1000)\n"
-      "  --edges     edge count for 'er' (default 8000)\n");
+      "  --edges     edge count for 'er' (default 8000)\n"
+      "  --threads   worker pool size (default 0 = hardware;\n"
+      "              env UGS_THREADS)\n");
+  std::exit(2);
+}
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
   std::exit(2);
 }
 
@@ -39,7 +48,11 @@ int main(int argc, char** argv) {
   std::string dataset, out;
   double scale = 1.0;
   std::uint64_t seed = 1;
-  std::size_t vertices = 1000, edges = 8000;
+  std::uint64_t vertices = 1000, edges = 8000;
+  std::int64_t threads = 0;
+  if (const char* env = std::getenv("UGS_THREADS")) {
+    threads = ugs::ParseInt64OrExit("UGS_THREADS", env);
+  }
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--dataset=", 10) == 0) {
@@ -47,18 +60,24 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       out = arg + 6;
     } else if (std::strncmp(arg, "--scale=", 8) == 0) {
-      scale = std::atof(arg + 8);
+      scale = ugs::ParseDoubleOrExit("--scale", arg + 8);
+      if (scale <= 0.0) Die("--scale must be positive");
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      seed = std::strtoull(arg + 7, nullptr, 10);
+      seed = ugs::ParseUint64OrExit("--seed", arg + 7);
     } else if (std::strncmp(arg, "--vertices=", 11) == 0) {
-      vertices = std::strtoull(arg + 11, nullptr, 10);
+      vertices = ugs::ParseUint64OrExit("--vertices", arg + 11);
+      if (vertices == 0) Die("--vertices must be positive");
     } else if (std::strncmp(arg, "--edges=", 8) == 0) {
-      edges = std::strtoull(arg + 8, nullptr, 10);
+      edges = ugs::ParseUint64OrExit("--edges", arg + 8);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = ugs::ParseInt64OrExit("--threads", arg + 10);
     } else {
       Usage();
     }
   }
   if (dataset.empty() || out.empty()) Usage();
+  if (threads < 0) Die("--threads must be >= 0");
+  ugs::ThreadPool::SetDefaultThreads(static_cast<int>(threads));
 
   ugs::UncertainGraph graph;
   if (dataset == "flickr") {
@@ -68,10 +87,14 @@ int main(int argc, char** argv) {
   } else if (dataset == "flickr-reduced") {
     graph = ugs::MakeFlickrReduced(scale, seed);
   } else if (dataset.rfind("density", 0) == 0) {
-    int percent = std::atoi(dataset.c_str() + 7);
-    if (percent <= 0 || percent > 100) Usage();
+    std::int64_t percent = ugs::ParseInt64OrExit("--dataset=density<P>",
+                                                  dataset.substr(7));
+    if (percent <= 0 || percent > 100) {
+      Die("density percentage must be in (0, 100]");
+    }
     std::size_t n = static_cast<std::size_t>(1000 * scale);
-    graph = ugs::MakeDensitySweepGraph(percent, n < 64 ? 64 : n, seed);
+    graph = ugs::MakeDensitySweepGraph(static_cast<int>(percent),
+                                       n < 64 ? 64 : n, seed);
   } else if (dataset == "er") {
     ugs::Rng rng(seed);
     graph = ugs::GenerateErdosRenyi(

@@ -1,10 +1,13 @@
-// ugs_query: run a Monte-Carlo query on an uncertain graph file.
+// ugs_query: execute any registered query on an uncertain graph file
+// through the unified Query API (query/query.h + query/graph_session.h).
 //
-//   ugs_query --in=<path> --query=connectivity|pagerank|reliability|cc
-//             [--samples=<n>] [--pairs=<k>] [--top=<k>] [--seed=<u>]
+//   ugs_query --in=<path> --query=<name> [--samples=500] [--pairs=10]
+//             [--sources=5] [--k=10] [--top=10] [--seed=1]
+//             [--estimator=auto] [--pivots=8] [--threads=0]
 //
-// pagerank prints the top-k vertices by mean rank; reliability samples
-// random vertex pairs; cc prints the mean local clustering coefficient.
+// The query and estimator names come from the registry; run with no
+// arguments for the full list. Pair queries draw --pairs random s/t
+// pairs; knn draws --sources random source vertices.
 
 #include <algorithm>
 #include <cstdio>
@@ -13,95 +16,190 @@
 #include <string>
 #include <vector>
 
-#include "graph/graph_io.h"
 #include "graph/graph_stats.h"
-#include "query/clustering.h"
-#include "query/pagerank.h"
-#include "query/reliability.h"
+#include "query/graph_session.h"
+#include "query/query.h"
+#include "util/parse.h"
+#include "util/thread_pool.h"
 
 namespace {
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string joined;
+  for (const std::string& name : names) {
+    if (!joined.empty()) joined += " | ";
+    joined += name;
+  }
+  return joined;
+}
 
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: ugs_query --in=<path> --query=<q> [--samples=500]\n"
-      "                 [--pairs=10] [--top=10] [--seed=1]\n"
-      "  queries: connectivity | pagerank | reliability | cc\n");
+      "usage: ugs_query --in=<path> --query=<name>\n"
+      "  --samples=<n>    Monte-Carlo world budget          (default 500)\n"
+      "  --pairs=<k>      random s/t pairs for pair queries (default 10)\n"
+      "  --sources=<k>    random sources for knn            (default 5)\n"
+      "  --k=<n>          neighbors per source for knn      (default 10)\n"
+      "  --top=<k>        rows printed for vertex queries   (default 10)\n"
+      "  --seed=<u>       RNG seed                          (default 1)\n"
+      "  --estimator=<e>  auto | sampled | skip | stratified | exact\n"
+      "  --pivots=<r>     stratified pivot edges            (default 8)\n"
+      "  --threads=<n>    sampling pool size (env UGS_THREADS; 0 = hw)\n"
+      "  queries: %s\n"
+      "  aliases: cc = clustering, sp = shortest-path,\n"
+      "           mpp = most-probable-path\n",
+      JoinNames(ugs::KnownQueryNames()).c_str());
   std::exit(2);
+}
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  std::exit(2);
+}
+
+std::int64_t PositiveFlag(const char* flag, const std::string& text) {
+  std::int64_t value = ugs::ParseInt64OrExit(flag, text);
+  if (value <= 0) Die(std::string(flag) + " must be positive");
+  return value;
+}
+
+/// Top-k unit ids by descending mean.
+std::vector<ugs::VertexId> TopUnits(const std::vector<double>& means,
+                                    std::size_t k) {
+  std::vector<ugs::VertexId> order(means.size());
+  for (std::size_t v = 0; v < means.size(); ++v) {
+    order[v] = static_cast<ugs::VertexId>(v);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](ugs::VertexId a, ugs::VertexId b) {
+              return means[a] > means[b];
+            });
+  order.resize(std::min(k, order.size()));
+  return order;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string in, query;
-  int samples = 500, pairs = 10, top = 10;
+  std::string in, query_name, estimator_name = "auto";
+  std::int64_t samples = 500, pairs = 10, sources = 5, k = 10, top = 10;
+  std::int64_t pivots = 8, threads = 0;
   std::uint64_t seed = 1;
+  if (const char* env = std::getenv("UGS_THREADS")) {
+    threads = ugs::ParseInt64OrExit("UGS_THREADS", env);
+  }
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--in=", 5) == 0) {
       in = arg + 5;
     } else if (std::strncmp(arg, "--query=", 8) == 0) {
-      query = arg + 8;
+      query_name = arg + 8;
     } else if (std::strncmp(arg, "--samples=", 10) == 0) {
-      samples = std::atoi(arg + 10);
+      samples = PositiveFlag("--samples", arg + 10);
     } else if (std::strncmp(arg, "--pairs=", 8) == 0) {
-      pairs = std::atoi(arg + 8);
+      pairs = PositiveFlag("--pairs", arg + 8);
+    } else if (std::strncmp(arg, "--sources=", 10) == 0) {
+      sources = PositiveFlag("--sources", arg + 10);
+    } else if (std::strncmp(arg, "--k=", 4) == 0) {
+      k = PositiveFlag("--k", arg + 4);
     } else if (std::strncmp(arg, "--top=", 6) == 0) {
-      top = std::atoi(arg + 6);
+      top = PositiveFlag("--top", arg + 6);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      seed = std::strtoull(arg + 7, nullptr, 10);
+      seed = ugs::ParseUint64OrExit("--seed", arg + 7);
+    } else if (std::strncmp(arg, "--estimator=", 12) == 0) {
+      estimator_name = arg + 12;
+    } else if (std::strncmp(arg, "--pivots=", 9) == 0) {
+      pivots = PositiveFlag("--pivots", arg + 9);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = ugs::ParseInt64OrExit("--threads", arg + 10);
     } else {
       Usage();
     }
   }
-  if (in.empty() || query.empty() || samples <= 0) Usage();
+  if (in.empty() || query_name.empty()) Usage();
+  if (threads < 0) Die("threads must be >= 0");
 
-  ugs::Result<ugs::UncertainGraph> graph = ugs::LoadEdgeList(in);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
-    return 1;
-  }
+  ugs::Result<ugs::Estimator> estimator = ugs::ParseEstimator(estimator_name);
+  if (!estimator.ok()) Die(estimator.status().message());
+  ugs::ThreadPool::SetDefaultThreads(static_cast<int>(threads));
+
+  auto session = ugs::GraphSession::Open(in);
+  if (!session.ok()) Die(session.status().ToString());
+  const ugs::UncertainGraph& graph = (*session)->graph();
   std::printf("%s\n",
-              ugs::FormatStats("graph", ugs::ComputeStats(*graph)).c_str());
-  ugs::Rng rng(seed);
+              ugs::FormatStats("graph", (*session)->stats()).c_str());
 
-  if (query == "connectivity") {
-    double p = ugs::EstimateConnectivity(*graph, samples, &rng);
-    std::printf("Pr[connected] = %.4f (%d worlds)\n", p, samples);
-  } else if (query == "pagerank") {
-    ugs::McSamples pr = ugs::McPageRank(*graph, samples, &rng);
-    std::vector<ugs::VertexId> order(pr.num_units);
-    for (ugs::VertexId v = 0; v < pr.num_units; ++v) order[v] = v;
-    std::sort(order.begin(), order.end(),
-              [&](ugs::VertexId a, ugs::VertexId b) {
-                return pr.UnitMean(a) > pr.UnitMean(b);
-              });
-    int k = std::min<int>(top, static_cast<int>(order.size()));
-    std::printf("top-%d vertices by mean PageRank (%d worlds):\n", k,
-                samples);
-    for (int i = 0; i < k; ++i) {
-      std::printf("  v%-8u %.6f\n", order[i], pr.UnitMean(order[i]));
+  ugs::QueryRequest request;
+  request.query = query_name;
+  request.num_samples = static_cast<int>(samples);
+  request.seed = seed;
+  request.estimator = *estimator;
+  request.k = static_cast<std::size_t>(k);
+  request.num_pivot_edges = static_cast<int>(pivots);
+  // Pair and source sets are drawn from seed-split streams so the
+  // request's own seed stays dedicated to the estimator.
+  if (graph.num_vertices() >= 2) {
+    ugs::Rng pair_rng = ugs::SplitRng(seed, 1);
+    request.pairs = ugs::SampleDistinctPairs(
+        graph.num_vertices(), static_cast<std::size_t>(pairs), &pair_rng);
+  }
+  ugs::Rng source_rng = ugs::SplitRng(seed, 2);
+  for (std::int64_t i = 0; i < sources; ++i) {
+    request.sources.push_back(static_cast<ugs::VertexId>(
+        source_rng.NextIndex(std::max<std::size_t>(graph.num_vertices(), 1))));
+  }
+
+  ugs::Result<ugs::QueryResult> result = (*session)->Run(request);
+  if (!result.ok()) Die(result.status().ToString());
+  const ugs::QueryResult& r = *result;
+  std::printf("query=%s estimator=%s samples=%lld time=%.3fs\n",
+              r.query.c_str(), ugs::EstimatorName(r.estimator),
+              static_cast<long long>(samples), r.seconds);
+
+  if (r.query == "connectivity") {
+    std::printf("Pr[connected] = %.4f\n", r.scalar);
+  } else if (r.query == "reliability") {
+    std::printf("reliability of %zu random pairs:\n", request.pairs.size());
+    for (std::size_t i = 0; i < request.pairs.size(); ++i) {
+      std::printf("  v%-6u -> v%-6u : %.4f\n", request.pairs[i].s,
+                  request.pairs[i].t, r.means[i]);
     }
-  } else if (query == "reliability") {
-    std::vector<ugs::VertexPair> vertex_pairs = ugs::SampleDistinctPairs(
-        graph->num_vertices(), static_cast<std::size_t>(pairs), &rng);
-    std::vector<double> rel =
-        ugs::EstimateReliability(*graph, vertex_pairs, samples, &rng);
-    std::printf("reliability of %d random pairs (%d worlds):\n", pairs,
-                samples);
-    for (std::size_t i = 0; i < vertex_pairs.size(); ++i) {
-      std::printf("  v%-6u -> v%-6u : %.4f\n", vertex_pairs[i].s,
-                  vertex_pairs[i].t, rel[i]);
+  } else if (r.query == "shortest-path") {
+    std::printf("E[d(s, t) | connected] of %zu random pairs:\n",
+                request.pairs.size());
+    for (std::size_t i = 0; i < request.pairs.size(); ++i) {
+      std::printf("  v%-6u -> v%-6u : %.3f\n", request.pairs[i].s,
+                  request.pairs[i].t, r.means[i]);
     }
-  } else if (query == "cc") {
-    ugs::McSamples cc = ugs::McClusteringCoefficient(*graph, samples, &rng);
+  } else if (r.query == "pagerank") {
+    std::vector<ugs::VertexId> order =
+        TopUnits(r.means, static_cast<std::size_t>(top));
+    std::printf("top-%zu vertices by mean PageRank:\n", order.size());
+    for (ugs::VertexId v : order) {
+      std::printf("  v%-8u %.6f\n", v, r.means[v]);
+    }
+  } else if (r.query == "clustering") {
     double mean = 0.0;
-    for (std::size_t v = 0; v < cc.num_units; ++v) mean += cc.UnitMean(v);
-    mean /= static_cast<double>(cc.num_units);
-    std::printf("mean local clustering coefficient = %.5f (%d worlds)\n",
-                mean, samples);
-  } else {
-    Usage();
+    for (double m : r.means) mean += m;
+    if (!r.means.empty()) mean /= static_cast<double>(r.means.size());
+    std::printf("mean local clustering coefficient = %.5f\n", mean);
+  } else if (r.query == "knn") {
+    for (std::size_t i = 0; i < request.sources.size(); ++i) {
+      std::printf("top-%zu most-probable neighbors of v%u:\n", request.k,
+                  request.sources[i]);
+      for (const ugs::KnnResult& neighbor : r.knn[i]) {
+        std::printf("  v%-8u p=%.4f\n", neighbor.vertex,
+                    neighbor.path_probability);
+      }
+    }
+  } else if (r.query == "most-probable-path") {
+    for (std::size_t i = 0; i < request.pairs.size(); ++i) {
+      const ugs::MostProbablePath& path = r.paths[i];
+      std::printf("  v%-6u -> v%-6u : p=%.4f hops=%zu\n", request.pairs[i].s,
+                  request.pairs[i].t, path.probability,
+                  path.vertices.empty() ? 0 : path.vertices.size() - 1);
+    }
   }
   return 0;
 }

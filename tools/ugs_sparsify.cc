@@ -2,7 +2,7 @@
 // paper and write the sparsified graph.
 //
 //   ugs_sparsify --in=<path> --out=<path> --alpha=<a>
-//                [--method=<name>] [--h=<h>] [--seed=<u>]
+//                [--method=<name>] [--h=<h>] [--seed=<u>] [--threads=<n>]
 //
 // Methods: GDB, EMD (representative variants), or any registry name
 // (GDBA, GDBR-t, GDBA2, GDBAn, GDBA-k<k>, EMDA, EMDR-t, LP, LP-t, NI,
@@ -17,13 +17,22 @@
 #include "graph/graph_stats.h"
 #include "metrics/discrepancy.h"
 #include "sparsify/sparsifier.h"
+#include "util/parse.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 void Usage() {
   std::fprintf(stderr,
                "usage: ugs_sparsify --in=<path> --out=<path> --alpha=<a>\n"
-               "                    [--method=EMD] [--h=0.05] [--seed=1]\n");
+               "                    [--method=EMD] [--h=0.05] [--seed=1]\n"
+               "                    [--threads=0]  (env UGS_THREADS)\n"
+               "  alpha: target edge ratio |E'| / |E|, in (0, 1]\n");
+  std::exit(2);
+}
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
   std::exit(2);
 }
 
@@ -33,6 +42,10 @@ int main(int argc, char** argv) {
   std::string in, out, method_name = "EMD";
   double alpha = 0.0, h = 0.05;
   std::uint64_t seed = 1;
+  std::int64_t threads = 0;
+  if (const char* env = std::getenv("UGS_THREADS")) {
+    threads = ugs::ParseInt64OrExit("UGS_THREADS", env);
+  }
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--in=", 5) == 0) {
@@ -40,18 +53,25 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       out = arg + 6;
     } else if (std::strncmp(arg, "--alpha=", 8) == 0) {
-      alpha = std::atof(arg + 8);
+      alpha = ugs::ParseDoubleOrExit("--alpha", arg + 8);
     } else if (std::strncmp(arg, "--method=", 9) == 0) {
       method_name = arg + 9;
     } else if (std::strncmp(arg, "--h=", 4) == 0) {
-      h = std::atof(arg + 4);
+      h = ugs::ParseDoubleOrExit("--h", arg + 4);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      seed = std::strtoull(arg + 7, nullptr, 10);
+      seed = ugs::ParseUint64OrExit("--seed", arg + 7);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = ugs::ParseInt64OrExit("--threads", arg + 10);
     } else {
       Usage();
     }
   }
-  if (in.empty() || out.empty() || alpha <= 0.0) Usage();
+  if (in.empty() || out.empty()) Usage();
+  if (alpha <= 0.0 || alpha > 1.0) {
+    Die("--alpha must be in (0, 1], got " + std::to_string(alpha));
+  }
+  if (threads < 0) Die("--threads must be >= 0");
+  ugs::ThreadPool::SetDefaultThreads(static_cast<int>(threads));
 
   ugs::Result<ugs::UncertainGraph> graph = ugs::LoadEdgeList(in);
   if (!graph.ok()) {
