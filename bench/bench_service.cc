@@ -1,0 +1,183 @@
+// Serving-layer round-trip throughput bench: starts an in-process Server
+// on a loopback socket over a temp graph directory, fires a fixed request
+// set from concurrent clients at a ladder of worker counts, and verifies
+// every response is bit-identical to a local GraphSession::Run of the
+// same request (the serving determinism contract). Writes
+// BENCH_service.json with (threads = server workers, wall ms, samples/s,
+// requests/s, overhead vs local) so future serving PRs (sharding,
+// caching, async backends) have a trajectory to diff.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench/bench_common.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "graph/graph_io.h"
+#include "query/graph_session.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/wire.h"
+#include "util/timer.h"
+
+namespace {
+
+struct RunResult {
+  double wall_ms = 0.0;
+  bool identical = true;
+};
+
+/// Fires `requests` across `num_clients` concurrent connections;
+/// request i's response is compared against expected[i].
+RunResult FireRequests(int port, const std::string& graph_id,
+                       const std::vector<ugs::QueryRequest>& requests,
+                       const std::vector<ugs::QueryResult>& expected,
+                       int num_clients) {
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> identical{true};
+  ugs::Timer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&] {
+      ugs::Result<ugs::Client> client =
+          ugs::Client::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        identical.store(false);
+        return;
+      }
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= requests.size()) break;
+        ugs::Result<ugs::QueryResult> result =
+            client->Query(graph_id, requests[i]);
+        if (!result.ok() || !ugs::PayloadEquals(*result, expected[i])) {
+          identical.store(false);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  RunResult run;
+  run.wall_ms = timer.ElapsedMillis();
+  run.identical = identical.load();
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ugs::BenchConfig config = ugs::ParseBenchArgs(
+      argc, argv, "Serving layer: wire round-trip throughput (ugs_serve)");
+
+  // The served dataset lives in a temp graph directory, like production.
+  char dir_template[] = "/tmp/ugs_bench_service_XXXXXX";
+  if (mkdtemp(dir_template) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  const std::string graph_dir = dir_template;
+  ugs::UncertainGraph graph = ugs::bench::LoadDataset("Twitter", config);
+  if (!ugs::SaveEdgeList(graph, graph_dir + "/twitter.txt").ok()) {
+    std::fprintf(stderr, "cannot write %s/twitter.txt\n", graph_dir.c_str());
+    return 1;
+  }
+
+  const int num_samples = config.Samples(100, 16);
+  const int num_requests = config.Samples(48, 12);
+  std::vector<ugs::QueryRequest> requests;
+  requests.reserve(static_cast<std::size_t>(num_requests));
+  ugs::Rng pair_rng(config.seed + 7);
+  for (int i = 0; i < num_requests; ++i) {
+    ugs::QueryRequest request;
+    request.query = "reliability";
+    request.pairs =
+        ugs::SampleDistinctPairs(graph.num_vertices(), 4, &pair_rng);
+    request.num_samples = num_samples;
+    request.seed = config.seed + static_cast<std::uint64_t>(i);
+    requests.push_back(std::move(request));
+  }
+
+  // Local reference: both the determinism baseline and the overhead
+  // yardstick (request time without framing/socket/registry).
+  ugs::GraphSession local(graph);
+  std::vector<ugs::QueryResult> expected;
+  expected.reserve(requests.size());
+  ugs::Timer local_timer;
+  for (const ugs::QueryRequest& request : requests) {
+    expected.push_back(ugs::MustQuery(local, request));
+  }
+  const double local_ms = local_timer.ElapsedMillis();
+
+  ugs::BenchJsonWriter json;
+  ugs::ReportTable table({"workers", "wall ms", "req/s", "samples/s",
+                          "overhead", "identical"});
+  bool all_identical = true;
+  for (int workers : {1, 2, 4}) {
+    ugs::ServerOptions options;
+    options.port = 0;
+    options.num_workers = workers;
+    options.registry.graph_dir = graph_dir;
+    ugs::Server server(options);
+    ugs::Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    // Warm-up: populate the registry so the measured region serves hits.
+    FireRequests(server.port(), "twitter", {requests[0]}, {expected[0]}, 1);
+    RunResult run = FireRequests(server.port(), "twitter", requests,
+                                 expected, workers);
+    server.Stop();
+    all_identical = all_identical && run.identical;
+
+    const double seconds = run.wall_ms / 1e3;
+    const double requests_per_sec =
+        static_cast<double>(num_requests) / seconds;
+    const double samples_per_sec =
+        static_cast<double>(num_requests) * num_samples / seconds;
+    const double overhead = local_ms > 0.0 ? run.wall_ms / local_ms : 1.0;
+    table.AddRow({std::to_string(workers), ugs::FormatFixed(run.wall_ms, 1),
+                  ugs::FormatFixed(requests_per_sec, 1),
+                  ugs::FormatFixed(samples_per_sec, 1),
+                  ugs::FormatFixed(overhead, 2),
+                  run.identical ? "yes" : "NO"});
+    json.Add({"bench_service/reliability",
+              "Twitter",
+              workers,
+              run.wall_ms,
+              samples_per_sec,
+              {{"requests_per_sec", requests_per_sec},
+               {"num_requests", static_cast<double>(num_requests)},
+               {"num_samples", static_cast<double>(num_samples)},
+               {"local_ms", local_ms},
+               {"overhead_vs_local", overhead},
+               {"identical_to_local", run.identical ? 1.0 : 0.0}}});
+  }
+  table.Print();
+  std::printf("local (no service): %s ms for %d requests\n",
+              ugs::FormatFixed(local_ms, 1).c_str(), num_requests);
+
+  std::remove((graph_dir + "/twitter.txt").c_str());
+  ::rmdir(graph_dir.c_str());
+
+  const std::string out_path = "BENCH_service.json";
+  if (!json.WriteFile(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "DETERMINISM VIOLATION: a served response differed from "
+                 "the local run\n");
+    return 1;
+  }
+  return 0;
+}

@@ -40,9 +40,10 @@ run_bench() {
   (cd "${OUT_DIR}" && "${bin}") 2>&1 | tee -a "${LOG}"
 }
 
-# The perf-trajectory bench (always) plus a representative figure bench
+# The perf-trajectory benches (always) plus a representative figure bench
 # as an end-to-end smoke of the full sparsify+query pipeline.
 run_bench bench_engine
+run_bench bench_service
 if [[ "${UGS_BENCH_QUICK:-0}" != "1" ]]; then
   run_bench bench_fig7
 fi

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the serving layer: starts ugs_serve over a directory
+# of generated graphs with an eviction-forcing 1-session registry budget,
+# runs every query kind through ugs_client, diffs each JSON answer against
+# ugs_query on the same graph file (byte-identical is the contract), checks
+# the stats verb reports evictions, and shuts the daemon down cleanly.
+#
+# Usage: scripts/serve_smoke.sh [build_dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+for bin in ugs_generate ugs_serve ugs_client ugs_query; do
+  if [[ ! -x "${BUILD_DIR}/${bin}" ]]; then
+    echo "missing ${BUILD_DIR}/${bin}; build the tools first" >&2
+    exit 1
+  fi
+done
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  if [[ -n "${SERVE_PID}" ]] && kill -0 "${SERVE_PID}" 2>/dev/null; then
+    kill -KILL "${SERVE_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+mkdir -p "${WORK}/graphs"
+"${BUILD_DIR}/ugs_generate" --dataset=er --vertices=60 --edges=150 --seed=7 \
+  --out="${WORK}/graphs/g1.txt" > /dev/null
+"${BUILD_DIR}/ugs_generate" --dataset=er --vertices=40 --edges=90 --seed=8 \
+  --out="${WORK}/graphs/g2.txt" > /dev/null
+"${BUILD_DIR}/ugs_generate" --dataset=er --vertices=30 --edges=70 --seed=9 \
+  --out="${WORK}/graphs/g3.txt" > /dev/null
+
+# --max-sessions=1 forces an eviction every time the query loop below
+# switches graphs -- the smoke exercises the LRU path, not just the cache.
+"${BUILD_DIR}/ugs_serve" --dir="${WORK}/graphs" --port=0 --workers=2 \
+  --max-sessions=1 --port-file="${WORK}/port" > "${WORK}/serve.log" 2>&1 &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+  [[ -s "${WORK}/port" ]] && break
+  if ! kill -0 "${SERVE_PID}" 2>/dev/null; then
+    echo "ugs_serve died during startup:" >&2
+    cat "${WORK}/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+PORT="$(cat "${WORK}/port")"
+echo "ugs_serve up on port ${PORT} (pid ${SERVE_PID})"
+
+# Every query kind, interleaved across the three graphs so the 1-entry
+# registry evicts between consecutive queries.
+QUERIES=(reliability connectivity shortest-path pagerank clustering knn \
+         most-probable-path)
+CHECKS=0
+for query in "${QUERIES[@]}"; do
+  for g in g1 g2 g3; do
+    "${BUILD_DIR}/ugs_client" --port="${PORT}" --graph="${g}" \
+      --query="${query}" --samples=64 --pairs=4 --sources=2 --k=3 --seed=5 \
+      --json > "${WORK}/client.json"
+    "${BUILD_DIR}/ugs_query" --in="${WORK}/graphs/${g}.txt" \
+      --query="${query}" --samples=64 --pairs=4 --sources=2 --k=3 --seed=5 \
+      --json > "${WORK}/query.json"
+    if ! diff "${WORK}/client.json" "${WORK}/query.json"; then
+      echo "MISMATCH: ${query} on ${g} differs between ugs_client and" \
+           "ugs_query" >&2
+      exit 1
+    fi
+    CHECKS=$((CHECKS + 1))
+  done
+done
+echo "${CHECKS} served answers byte-identical to local ugs_query"
+
+STATS="$("${BUILD_DIR}/ugs_client" --port="${PORT}" --stats)"
+echo "stats: ${STATS}"
+case "${STATS}" in
+  *'"evictions":0'*)
+    echo "expected evictions under --max-sessions=1, got none" >&2
+    exit 1
+    ;;
+esac
+
+kill -TERM "${SERVE_PID}"
+if ! wait "${SERVE_PID}"; then
+  echo "ugs_serve did not shut down cleanly:" >&2
+  cat "${WORK}/serve.log" >&2
+  exit 1
+fi
+SERVE_PID=""
+echo "clean shutdown; serve log:"
+cat "${WORK}/serve.log"
+echo "serve smoke OK"

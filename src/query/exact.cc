@@ -46,12 +46,13 @@ using ChunkVisitor =
 /// serial summation order exactly.
 constexpr std::uint64_t kWorldChunk = 1ULL << 12;
 
-/// Enumerates all 2^m worlds in fixed chunks on the default pool. The
-/// factory builds one visitor (plus scratch) per chunk; chunk partials
-/// are summed in chunk order into out[0..num_accumulators).
+/// Enumerates all 2^m worlds in fixed chunks on `pool`. The factory
+/// builds one visitor (plus scratch) per chunk; chunk partials are summed
+/// in chunk order into out[0..num_accumulators), so the result is
+/// bit-identical on any pool.
 void ParallelWorldReduce(const UncertainGraph& graph, int num_accumulators,
                          const std::function<ChunkVisitor()>& factory,
-                         double* out) {
+                         double* out, ThreadPool& pool) {
   const std::size_t m = graph.num_edges();
   UGS_CHECK_LE(m, kMaxExactEdges);
   const std::uint64_t worlds = 1ULL << m;
@@ -66,7 +67,7 @@ void ParallelWorldReduce(const UncertainGraph& graph, int num_accumulators,
     probabilities[e] = graph.edge(static_cast<EdgeId>(e)).p;
   }
 
-  ThreadPool::Default().ParallelFor(num_chunks, [&](std::size_t c) {
+  pool.ParallelFor(num_chunks, [&](std::size_t c) {
     ChunkVisitor visit = factory();
     std::vector<char> present(m, 0);
     double* acc = partial.data() + c * k;
@@ -102,7 +103,8 @@ double ExactWorldProbability(
   return total;
 }
 
-double ExactConnectivityProbability(const UncertainGraph& graph) {
+double ExactConnectivityProbability(const UncertainGraph& graph,
+                                    ThreadPool& pool) {
   const std::size_t n = graph.num_vertices();
   if (n <= 1) return 1.0;
   double total = 0.0;
@@ -119,11 +121,16 @@ double ExactConnectivityProbability(const UncertainGraph& graph) {
           if (uf->num_components() == 1) acc[0] += prob;
         };
       },
-      &total);
+      &total, pool);
   return total;
 }
 
-double ExactReliability(const UncertainGraph& graph, VertexId s, VertexId t) {
+double ExactConnectivityProbability(const UncertainGraph& graph) {
+  return ExactConnectivityProbability(graph, ThreadPool::Default());
+}
+
+double ExactReliability(const UncertainGraph& graph, VertexId s, VertexId t,
+                        ThreadPool& pool) {
   UGS_CHECK(s < graph.num_vertices() && t < graph.num_vertices());
   double total = 0.0;
   ParallelWorldReduce(
@@ -139,12 +146,17 @@ double ExactReliability(const UncertainGraph& graph, VertexId s, VertexId t) {
           if (uf->Connected(s, t)) acc[0] += prob;
         };
       },
-      &total);
+      &total, pool);
   return total;
 }
 
+double ExactReliability(const UncertainGraph& graph, VertexId s, VertexId t) {
+  return ExactReliability(graph, s, t, ThreadPool::Default());
+}
+
 double ExactExpectedDistance(const UncertainGraph& graph, VertexId s,
-                             VertexId t, double* connectivity_probability) {
+                             VertexId t, double* connectivity_probability,
+                             ThreadPool& pool) {
   UGS_CHECK(s < graph.num_vertices() && t < graph.num_vertices());
   // acc[0] = Pr[s ~ t], acc[1] = sum prob * dist over connected worlds.
   double acc[2] = {0.0, 0.0};
@@ -161,11 +173,17 @@ double ExactExpectedDistance(const UncertainGraph& graph, VertexId s,
           }
         };
       },
-      acc);
+      acc, pool);
   if (connectivity_probability != nullptr) {
     *connectivity_probability = acc[0];
   }
   return acc[0] > 0.0 ? acc[1] / acc[0] : 0.0;
+}
+
+double ExactExpectedDistance(const UncertainGraph& graph, VertexId s,
+                             VertexId t, double* connectivity_probability) {
+  return ExactExpectedDistance(graph, s, t, connectivity_probability,
+                               ThreadPool::Default());
 }
 
 }  // namespace ugs

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "graph/uncertain_graph.h"
+#include "util/thread_pool.h"
 
 namespace ugs {
 
@@ -21,10 +22,13 @@ namespace ugs {
 /// Pr[G connected] = 0.219 and Pr[G' connected] = 0.216).
 ///
 /// The named oracles below enumerate worlds in fixed 4096-world chunks on
-/// ThreadPool::Default(), reducing chunk partials in chunk order, so they
-/// parallelize while staying bit-identical at any thread count.
-/// ExactWorldProbability itself stays serial: its caller-supplied
-/// predicate is a single instance that may hold mutable scratch.
+/// the given pool, reducing chunk partials in chunk order, so they
+/// parallelize while staying bit-identical at any thread count. The
+/// pool-less overloads chunk on ThreadPool::Default(); GraphSession routes
+/// them through its own engine pool so sessions built with a dedicated
+/// pool isolate exact work too. ExactWorldProbability itself stays serial:
+/// its caller-supplied predicate is a single instance that may hold
+/// mutable scratch.
 inline constexpr std::size_t kMaxExactEdges = 24;
 
 /// Sum of Pr(world) over worlds where predicate(present_flags) is true.
@@ -34,14 +38,21 @@ double ExactWorldProbability(
 
 /// Pr[the world is a single connected component] (isolated vertices count
 /// as disconnecting; a 1-vertex graph is connected).
+double ExactConnectivityProbability(const UncertainGraph& graph,
+                                    ThreadPool& pool);
 double ExactConnectivityProbability(const UncertainGraph& graph);
 
 /// Pr[t reachable from s].
+double ExactReliability(const UncertainGraph& graph, VertexId s, VertexId t,
+                        ThreadPool& pool);
 double ExactReliability(const UncertainGraph& graph, VertexId s, VertexId t);
 
 /// Expected BFS distance from s to t conditioned on connectivity
 /// (the paper's SP semantics). If connectivity_probability is non-null it
 /// receives Pr[s ~ t]. Returns 0 when the pair is never connected.
+double ExactExpectedDistance(const UncertainGraph& graph, VertexId s,
+                             VertexId t, double* connectivity_probability,
+                             ThreadPool& pool);
 double ExactExpectedDistance(const UncertainGraph& graph, VertexId s,
                              VertexId t, double* connectivity_probability);
 

@@ -1,5 +1,8 @@
 #include "query/graph_session.h"
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
 #include <utility>
 
 #include "graph/graph_io.h"
@@ -50,14 +53,41 @@ Result<QueryResult> GraphSession::Run(const QueryRequest& request) const {
 
 std::vector<Result<QueryResult>> GraphSession::RunBatch(
     const std::vector<QueryRequest>& requests) const {
-  std::vector<Result<QueryResult>> results;
-  results.reserve(requests.size());
-  // Requests are issued in order; each one's worlds fan out across the
-  // engine's pool. Results are position-stable and independent of any
-  // scheduling (see the determinism note in the class comment).
-  for (const QueryRequest& request : requests) {
-    results.push_back(Run(request));
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(
+          requests.size(),
+          static_cast<std::size_t>(std::max(options_.batch_workers, 1))));
+  if (workers <= 1) {
+    std::vector<Result<QueryResult>> results;
+    results.reserve(requests.size());
+    // Requests are issued in order; each one's worlds fan out across the
+    // engine's pool. Results are position-stable and independent of any
+    // scheduling (see the determinism note in the class comment).
+    for (const QueryRequest& request : requests) {
+      results.push_back(Run(request));
+    }
+    return results;
   }
+  // Request-level overlap: workers claim request indices from a shared
+  // counter and write disjoint result slots. Run is const and
+  // thread-safe (the engines' pools serialize their sampling loops
+  // internally), and each result is a pure function of (graph, request),
+  // so this is bit-identical to the sequential path.
+  std::vector<Result<QueryResult>> results(
+      requests.size(), Status::Internal("batch slot never ran"));
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= requests.size()) break;
+        results[i] = Run(requests[i]);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
   return results;
 }
 

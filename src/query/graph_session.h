@@ -21,6 +21,14 @@ struct GraphSessionOptions {
   SampleEngineOptions engine;
   /// Estimator auto-selection tunables.
   EstimatorPolicyOptions policy;
+  /// Requests RunBatch keeps in flight concurrently (request-level
+  /// overlap). <= 1 runs the batch sequentially. Each in-flight request
+  /// still fans its samples out on the session's engine pool -- the pool
+  /// runs one sampling loop at a time, so overlap buys back the
+  /// non-sampling portions (validation, exact enumeration setup,
+  /// deterministic queries, reductions). Results are bit-identical to the
+  /// sequential path at any value.
+  int batch_workers = 1;
 };
 
 /// The serving facade of the query layer: owns one loaded UncertainGraph
@@ -65,9 +73,10 @@ class GraphSession {
 
   /// Executes a batch of heterogeneous requests; result i answers
   /// request i. Failures are per-request: a malformed request yields an
-  /// error slot without affecting the rest. Each request's samples are
-  /// dispatched concurrently on the session's engine; cross-request
-  /// overlap is bounded by the pool's one-loop-at-a-time discipline.
+  /// error slot without affecting the rest. With batch_workers > 1 up to
+  /// that many requests run concurrently (each slot is written by exactly
+  /// one worker, and every result is a pure function of (graph, request),
+  /// so order and concurrency never change any result).
   std::vector<Result<QueryResult>> RunBatch(
       const std::vector<QueryRequest>& requests) const;
 

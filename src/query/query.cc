@@ -158,8 +158,11 @@ class ReliabilityQuery final : public Query {
       }
       case Estimator::kExact:
         result.means.reserve(request.pairs.size());
+        // Enumeration chunks on the session's engine pool, so a session
+        // with a dedicated pool isolates exact work too.
         for (const VertexPair& pair : request.pairs) {
-          result.means.push_back(ExactReliability(graph, pair.s, pair.t));
+          result.means.push_back(
+              ExactReliability(graph, pair.s, pair.t, engine.pool()));
         }
         break;
       default:
@@ -211,7 +214,7 @@ class ConnectivityQuery final : public Query {
         break;
       }
       case Estimator::kExact:
-        result.scalar = ExactConnectivityProbability(graph);
+        result.scalar = ExactConnectivityProbability(graph, engine.pool());
         break;
       default:
         return Status::Internal("connectivity: unreachable estimator");
@@ -267,8 +270,8 @@ class ShortestPathQuery final : public Query {
       case Estimator::kExact:
         result.means.reserve(request.pairs.size());
         for (const VertexPair& pair : request.pairs) {
-          result.means.push_back(
-              ExactExpectedDistance(graph, pair.s, pair.t, nullptr));
+          result.means.push_back(ExactExpectedDistance(
+              graph, pair.s, pair.t, nullptr, engine.pool()));
         }
         break;
       default:

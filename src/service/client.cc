@@ -1,0 +1,102 @@
+#include "service/client.h"
+
+#include <netdb.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ugs {
+
+Result<Client> Client::Connect(const std::string& host, int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* infos = nullptr;
+  const std::string service = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &infos);
+  if (rc != 0) {
+    return Status::IOError("client: cannot resolve " + host + ":" + service +
+                           ": " + gai_strerror(rc));
+  }
+  int fd = -1;
+  int last_errno = 0;
+  for (addrinfo* info = infos; info != nullptr; info = info->ai_next) {
+    fd = ::socket(info->ai_family, info->ai_socktype, info->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd, info->ai_addr, info->ai_addrlen) == 0) break;
+    last_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(infos);
+  if (fd < 0) {
+    return Status::IOError("client: cannot connect to " + host + ":" +
+                           service + ": " + std::strerror(last_errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd);
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Frame> Client::RoundTrip(FrameType type, std::string_view payload) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client: not connected");
+  }
+  UGS_RETURN_IF_ERROR(WriteFrame(fd_, type, payload));
+  Result<std::optional<Frame>> reply = ReadFrame(fd_);
+  if (!reply.ok()) return reply.status();
+  if (!reply->has_value()) {
+    return Status::IOError("client: server closed before replying");
+  }
+  return std::move(**reply);
+}
+
+Result<QueryResult> Client::Query(const std::string& graph,
+                                  const QueryRequest& request) {
+  Result<Frame> reply =
+      RoundTrip(FrameType::kRequest, EncodeRequest({graph, request}));
+  if (!reply.ok()) return reply.status();
+  if (reply->type == FrameType::kError) {
+    Status carried;
+    UGS_RETURN_IF_ERROR(DecodeError(reply->payload, &carried));
+    return carried;
+  }
+  if (reply->type != FrameType::kResult) {
+    return Status::InvalidArgument(
+        "client: unexpected reply frame type " +
+        std::to_string(static_cast<int>(reply->type)));
+  }
+  return DecodeResult(reply->payload);
+}
+
+Result<std::string> Client::Stats(const std::string& graph) {
+  Result<Frame> reply = RoundTrip(FrameType::kStats, graph);
+  if (!reply.ok()) return reply.status();
+  if (reply->type == FrameType::kError) {
+    Status carried;
+    UGS_RETURN_IF_ERROR(DecodeError(reply->payload, &carried));
+    return carried;
+  }
+  if (reply->type != FrameType::kStatsReply) {
+    return Status::InvalidArgument(
+        "client: unexpected reply frame type " +
+        std::to_string(static_cast<int>(reply->type)));
+  }
+  return std::move(reply->payload);
+}
+
+}  // namespace ugs

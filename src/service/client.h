@@ -1,0 +1,61 @@
+#ifndef UGS_SERVICE_CLIENT_H_
+#define UGS_SERVICE_CLIENT_H_
+
+#include <string>
+
+#include "service/wire.h"
+#include "util/status.h"
+
+namespace ugs {
+
+/// A blocking client connection to a ugs_serve daemon: one TCP stream,
+/// one outstanding request at a time (send a frame, read its reply).
+/// Move-only; the destructor closes the connection.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to host:port (hostname or address literal; getaddrinfo).
+  static Result<Client> Connect(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Runs one query against the named graph on the server. The returned
+  /// payload is bit-identical to GraphSession::Run on the same graph and
+  /// request (compare with PayloadEquals; the wall-time field reflects
+  /// the server's clock). A kError reply surfaces as the carried Status.
+  Result<QueryResult> Query(const std::string& graph,
+                            const QueryRequest& request);
+
+  /// The stats admin verb: empty `graph` returns the server's counter
+  /// JSON, a graph id returns that graph's description (vertices, edges),
+  /// opening it on demand.
+  Result<std::string> Stats(const std::string& graph = "");
+
+  void Close();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Sends one frame and reads the single reply frame.
+  Result<Frame> RoundTrip(FrameType type, std::string_view payload);
+
+  int fd_ = -1;
+};
+
+}  // namespace ugs
+
+#endif  // UGS_SERVICE_CLIENT_H_

@@ -1,0 +1,228 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <utility>
+
+namespace ugs {
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), registry_(options_.registry) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("server: already started");
+  }
+  if (options_.num_workers <= 0) {
+    return Status::InvalidArgument("server: num_workers must be positive");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("server: socket failed: ") +
+                           std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("server: invalid bind address '" +
+                                   options_.host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status(StatusCode::kIOError,
+                  "server: bind to " + options_.host + ":" +
+                      std::to_string(options_.port) +
+                      " failed: " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status status(StatusCode::kIOError,
+                  std::string("server: listen failed: ") +
+                      std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    Status status(StatusCode::kIOError,
+                  std::string("server: getsockname failed: ") +
+                      std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false);
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true);
+  // Wake workers blocked in accept(); the fd is closed only after the
+  // join so no worker can race a recycled descriptor.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    // Wake workers blocked reading an idle connection; each worker still
+    // owns and closes its fd.
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (int fd : active_conns_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Server::WorkerLoop() {
+  while (!stopping_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (stopping_.load()) break;
+      // Only a dead listener (closed / shut down) ends the loop; every
+      // other failure -- aborted handshakes, momentary fd or memory
+      // exhaustion (ECONNABORTED, EMFILE, ENFILE, ENOMEM...) -- is
+      // transient, and exiting on it would silently strand the daemon
+      // with no workers. Back off briefly so a persistent error cannot
+      // spin the CPU.
+      if (errno == EBADF || errno == EINVAL) break;
+      timespec nap{0, 10 * 1000 * 1000};  // 10 ms.
+      nanosleep(&nap, nullptr);
+      continue;
+    }
+    connections_.fetch_add(1);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      active_conns_.insert(fd);
+    }
+    // A connection accepted while Stop() was broadcasting shutdowns may
+    // have missed it; re-check so the serve loop below cannot block on
+    // an idle peer past shutdown.
+    if (stopping_.load()) ::shutdown(fd, SHUT_RDWR);
+    ServeConnection(fd);
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      active_conns_.erase(fd);
+    }
+    ::close(fd);
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  for (;;) {
+    Result<std::optional<Frame>> frame = ReadFrame(fd);
+    if (!frame.ok()) {
+      // Transport-level garbage: report once and drop the connection
+      // (after an unparseable header there is no frame boundary left to
+      // resynchronize on).
+      errors_.fetch_add(1);
+      WriteFrame(fd, FrameType::kError, EncodeError(frame.status()))
+          .ok();  // Best effort; the peer may already be gone.
+      return;
+    }
+    if (!frame->has_value()) return;  // Clean end-of-stream.
+
+    Status write_status = Status::OK();
+    switch ((*frame)->type) {
+      case FrameType::kRequest:
+        write_status = HandleRequest(fd, **frame);
+        break;
+      case FrameType::kStats:
+        write_status = HandleStats(fd, **frame);
+        break;
+      default:
+        errors_.fetch_add(1);
+        write_status = WriteFrame(
+            fd, FrameType::kError,
+            EncodeError(Status::InvalidArgument(
+                "server: unexpected frame type " +
+                std::to_string(static_cast<int>((*frame)->type)))));
+        break;
+    }
+    if (!write_status.ok()) return;  // Peer hung up mid-reply.
+  }
+}
+
+Status Server::HandleRequest(int fd, const Frame& frame) {
+  Result<WireRequest> request = DecodeRequest(frame.payload);
+  Status failure = Status::OK();
+  if (!request.ok()) {
+    failure = request.status();
+  } else {
+    Result<SessionRegistry::Handle> session =
+        registry_.Acquire(request->graph);
+    if (!session.ok()) {
+      failure = session.status();
+    } else {
+      // The pin (`session`) keeps the graph alive for the whole run even
+      // if a concurrent open evicts it from the registry.
+      Result<QueryResult> result = (*session)->Run(request->request);
+      if (result.ok()) {
+        requests_.fetch_add(1);
+        return WriteFrame(fd, FrameType::kResult, EncodeResult(*result));
+      }
+      failure = result.status();
+    }
+  }
+  errors_.fetch_add(1);
+  return WriteFrame(fd, FrameType::kError, EncodeError(failure));
+}
+
+Status Server::HandleStats(int fd, const Frame& frame) {
+  if (frame.payload.empty()) {
+    return WriteFrame(fd, FrameType::kStatsReply, StatsJson());
+  }
+  // Non-empty payload: describe one graph (opening it if needed), so
+  // clients can size requests without shipping the graph.
+  Result<SessionRegistry::Handle> session = registry_.Acquire(frame.payload);
+  if (!session.ok()) {
+    errors_.fetch_add(1);
+    return WriteFrame(fd, FrameType::kError, EncodeError(session.status()));
+  }
+  const GraphStats& stats = (*session)->stats();
+  std::string json =
+      "{\"graph\":" + JsonEscaped(frame.payload) +
+      ",\"vertices\":" + std::to_string(stats.num_vertices) +
+      ",\"edges\":" + std::to_string(stats.num_edges) + "}";
+  return WriteFrame(fd, FrameType::kStatsReply, json);
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.connections = connections_.load();
+  stats.requests = requests_.load();
+  stats.errors = errors_.load();
+  return stats;
+}
+
+std::string Server::StatsJson() const {
+  ServerStats server = stats();
+  return "{\"server\":{\"workers\":" + std::to_string(options_.num_workers) +
+         ",\"connections\":" + std::to_string(server.connections) +
+         ",\"requests\":" + std::to_string(server.requests) +
+         ",\"errors\":" + std::to_string(server.errors) +
+         "},\"registry\":" + registry_.StatsJson() + "}";
+}
+
+}  // namespace ugs

@@ -1,0 +1,112 @@
+#ifndef UGS_SERVICE_SERVER_H_
+#define UGS_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "service/session_registry.h"
+#include "service/wire.h"
+#include "util/status.h"
+
+namespace ugs {
+
+/// Configuration of a Server.
+struct ServerOptions {
+  /// Bind address (IPv4 dotted-quad literal; "0.0.0.0" for all
+  /// interfaces).
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back with port() --
+  /// what the tests and the smoke script do).
+  int port = 0;
+  /// Worker threads, each serving one connection at a time: the
+  /// request-level overlap knob. Requests on different graphs overlap
+  /// fully; requests on the same graph overlap everywhere except inside
+  /// the engine's sampling loops (the pool runs one loop at a time).
+  /// Responses are bit-identical at any worker count either way, because
+  /// every result is a pure function of (graph, request).
+  int num_workers = 1;
+  /// The multi-graph registry behind the server.
+  SessionRegistryOptions registry;
+};
+
+/// Monotonic counters of server traffic.
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;  ///< Query frames answered with a result.
+  std::uint64_t errors = 0;    ///< Frames answered with an error.
+};
+
+/// A blocking TCP daemon serving the wire protocol (service/wire.h) over
+/// a SessionRegistry. Protocol per connection: the client sends kRequest
+/// or kStats frames and reads one reply frame for each (kResult /
+/// kStatsReply on success, kError carrying the typed Status otherwise);
+/// either side closes when done. Request errors (unknown graph, malformed
+/// payload, failed validation) are per-frame -- the connection stays
+/// usable; only transport-level garbage (an unparseable frame header)
+/// closes it.
+///
+///   ugs::Server server({.port = 7471, .registry = {.graph_dir = "graphs"}});
+///   UGS_CHECK(server.Start().ok());
+///   ...
+///   server.Stop();
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the worker threads; returns once the
+  /// socket is accepting. IOError when the address cannot be bound.
+  Status Start();
+
+  /// The bound port (after Start); useful with port = 0.
+  int port() const { return port_; }
+
+  /// Shuts down: stops accepting, wakes workers blocked on idle
+  /// connections, and joins them. In-flight requests finish and their
+  /// responses are delivered. Idempotent.
+  void Stop();
+
+  SessionRegistry& registry() { return registry_; }
+
+  ServerStats stats() const;
+
+  /// One-line JSON of server + registry counters (the stats verb's
+  /// reply).
+  std::string StatsJson() const;
+
+ private:
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  /// Answers one query frame; returns the reply write status.
+  Status HandleRequest(int fd, const Frame& frame);
+  /// Answers one stats frame (empty payload = server stats, otherwise a
+  /// graph id to describe).
+  Status HandleStats(int fd, const Frame& frame);
+
+  ServerOptions options_;
+  SessionRegistry registry_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mutex_;
+  std::unordered_set<int> active_conns_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace ugs
+
+#endif  // UGS_SERVICE_SERVER_H_

@@ -1,0 +1,182 @@
+#include "service/session_registry.h"
+
+#include <utility>
+
+#include "service/wire.h"
+
+namespace ugs {
+
+SessionRegistry::SessionRegistry(SessionRegistryOptions options)
+    : options_(std::move(options)) {}
+
+Status SessionRegistry::ValidateId(const std::string& id) {
+  if (id.empty()) {
+    return Status::InvalidArgument("registry: empty graph id");
+  }
+  if (id.find('/') != std::string::npos ||
+      id.find('\\') != std::string::npos ||
+      id.find("..") != std::string::npos) {
+    return Status::InvalidArgument(
+        "registry: graph id '" + id +
+        "' must not contain path separators or '..'");
+  }
+  return Status::OK();
+}
+
+void SessionRegistry::Touch(Entry* entry) {
+  lru_.splice(lru_.begin(), lru_, entry->lru);
+}
+
+void SessionRegistry::EvictToBudget(const std::string& keep) {
+  while (!lru_.empty()) {
+    const bool over_entries =
+        options_.max_sessions > 0 && lru_.size() > options_.max_sessions;
+    const bool over_bytes = options_.max_resident_bytes > 0 &&
+                            resident_bytes_ > options_.max_resident_bytes;
+    if (!over_entries && !over_bytes) break;
+    const std::string& victim = lru_.back();
+    if (victim == keep) break;  // Never evict the entry being returned.
+    auto it = entries_.find(victim);
+    resident_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+SessionRegistry::Handle SessionRegistry::Commit(
+    const std::string& id, std::shared_ptr<const GraphSession> session) {
+  Entry& entry = entries_[id];
+  entry.session = session;
+  entry.opening = false;
+  entry.bytes = ApproxSessionBytes(*session);
+  lru_.push_front(id);
+  entry.lru = lru_.begin();
+  resident_bytes_ += entry.bytes;
+  EvictToBudget(id);
+  return Handle(std::move(session));
+}
+
+Result<SessionRegistry::Handle> SessionRegistry::Acquire(
+    const std::string& id) {
+  UGS_RETURN_IF_ERROR(ValidateId(id));
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) break;
+    if (it->second.session != nullptr) {
+      ++counters_.hits;
+      Touch(&it->second);
+      return Handle(it->second.session);
+    }
+    // Another thread is loading this id; wait for its open to settle
+    // instead of loading the same graph twice.
+    opened_cv_.wait(lock);
+  }
+
+  ++counters_.misses;
+  if (options_.graph_dir.empty()) {
+    ++counters_.open_failures;
+    return Status::NotFound("registry: graph '" + id +
+                            "' is not resident and the registry has no "
+                            "graph directory to open it from");
+  }
+  Entry& slot = entries_[id];
+  slot.opening = true;
+  slot.lru = lru_.end();
+  lock.unlock();
+
+  // The open itself runs unlocked: a slow load must not block hits on
+  // other graphs. Ids without an extension fall back to "<id>.txt".
+  const std::string path = options_.graph_dir + "/" + id;
+  Result<std::unique_ptr<GraphSession>> opened =
+      GraphSession::Open(path, options_.session);
+  if (!opened.ok() && id.find('.') == std::string::npos) {
+    Result<std::unique_ptr<GraphSession>> retry =
+        GraphSession::Open(path + ".txt", options_.session);
+    if (retry.ok()) opened = std::move(retry);
+  }
+
+  lock.lock();
+  if (!opened.ok()) {
+    entries_.erase(id);
+    ++counters_.open_failures;
+    opened_cv_.notify_all();
+    return opened.status();
+  }
+  Handle handle = Commit(
+      id, std::shared_ptr<const GraphSession>(std::move(opened.value())));
+  opened_cv_.notify_all();
+  return handle;
+}
+
+Status SessionRegistry::Insert(const std::string& id,
+                               std::unique_ptr<GraphSession> session) {
+  UGS_RETURN_IF_ERROR(ValidateId(id));
+  if (session == nullptr) {
+    return Status::InvalidArgument("registry: null session for '" + id + "'");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.find(id) != entries_.end()) {
+    return Status::FailedPrecondition("registry: graph '" + id +
+                                      "' is already resident");
+  }
+  Commit(id, std::shared_ptr<const GraphSession>(std::move(session)));
+  return Status::OK();
+}
+
+RegistryCounters SessionRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::vector<std::string> SessionRegistry::ResidentIds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {lru_.begin(), lru_.end()};
+}
+
+std::size_t SessionRegistry::resident_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::size_t SessionRegistry::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_;
+}
+
+std::string SessionRegistry::StatsJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"hits\":" + std::to_string(counters_.hits) +
+                    ",\"misses\":" + std::to_string(counters_.misses) +
+                    ",\"evictions\":" + std::to_string(counters_.evictions) +
+                    ",\"open_failures\":" +
+                    std::to_string(counters_.open_failures) +
+                    ",\"resident_sessions\":" +
+                    std::to_string(lru_.size()) +
+                    ",\"resident_bytes\":" +
+                    std::to_string(resident_bytes_) +
+                    ",\"max_sessions\":" +
+                    std::to_string(options_.max_sessions) +
+                    ",\"max_resident_bytes\":" +
+                    std::to_string(options_.max_resident_bytes) +
+                    ",\"resident\":[";
+  bool first = true;
+  for (const std::string& id : lru_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append(JsonEscaped(id));
+  }
+  out += "]}";
+  return out;
+}
+
+std::size_t ApproxSessionBytes(const GraphSession& session) {
+  const UncertainGraph& graph = session.graph();
+  return sizeof(GraphSession) +
+         graph.num_edges() *
+             (sizeof(UncertainEdge) + 2 * sizeof(AdjacencyEntry)) +
+         graph.num_vertices() * (sizeof(std::size_t) + sizeof(double));
+}
+
+}  // namespace ugs

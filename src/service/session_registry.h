@@ -1,0 +1,137 @@
+#ifndef UGS_SERVICE_SESSION_REGISTRY_H_
+#define UGS_SERVICE_SESSION_REGISTRY_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/graph_session.h"
+#include "util/status.h"
+
+namespace ugs {
+
+/// Configuration of a SessionRegistry.
+struct SessionRegistryOptions {
+  /// Directory the registry opens graphs from: id "g" resolves to
+  /// <graph_dir>/g, falling back to <graph_dir>/g.txt when the id carries
+  /// no extension. Empty disables open-on-demand (only Insert()ed
+  /// sessions are served -- the in-memory mode tests and benches use).
+  std::string graph_dir;
+  /// Most sessions resident at once; opening past the budget evicts the
+  /// least-recently-used unpinned entries. 0 = unlimited.
+  std::size_t max_sessions = 8;
+  /// Approximate resident-memory budget over all cached sessions
+  /// (graph + adjacency + cached stats). 0 = unlimited. A single session
+  /// larger than the budget still loads (the registry never evicts the
+  /// entry it is about to return).
+  std::size_t max_resident_bytes = 0;
+  /// Options applied to every session the registry opens.
+  GraphSessionOptions session;
+};
+
+/// Monotonic counters of registry traffic (returned by copy -- a
+/// consistent snapshot under the registry lock).
+struct RegistryCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t open_failures = 0;
+};
+
+/// Thread-safe graph-id -> GraphSession cache: the multi-graph core of the
+/// serving layer. Sessions open on demand from a graph directory, stay
+/// resident under an LRU policy bounded by entry and byte budgets, and are
+/// handed out as ref-counted pins so an in-flight request keeps its
+/// session alive even when eviction drops it from the cache -- eviction
+/// unmaps an id, the memory goes when the last pin does.
+class SessionRegistry {
+ public:
+  /// A pin on a resident session. Holding one keeps the session valid;
+  /// destruction releases it. Copyable (shared pin).
+  class Handle {
+   public:
+    Handle() = default;
+    explicit Handle(std::shared_ptr<const GraphSession> session)
+        : session_(std::move(session)) {}
+
+    bool valid() const { return session_ != nullptr; }
+    const GraphSession& operator*() const { return *session_; }
+    const GraphSession* operator->() const { return session_.get(); }
+
+   private:
+    std::shared_ptr<const GraphSession> session_;
+  };
+
+  explicit SessionRegistry(SessionRegistryOptions options);
+
+  /// Returns a pinned session for `id`, opening it from graph_dir on a
+  /// miss (concurrent misses on the same id wait for one open instead of
+  /// loading twice). InvalidArgument on ids that are empty or escape the
+  /// graph directory ('/', '\', ".."); the loader's error (IOError /
+  /// InvalidArgument) when the graph file is missing or malformed.
+  Result<Handle> Acquire(const std::string& id);
+
+  /// Registers an already-built session under `id` (subject to the same
+  /// eviction policy). InvalidArgument on invalid ids, FailedPrecondition
+  /// when the id is already resident.
+  Status Insert(const std::string& id, std::unique_ptr<GraphSession> session);
+
+  RegistryCounters counters() const;
+
+  /// Resident ids in most-recently-used-first order.
+  std::vector<std::string> ResidentIds() const;
+
+  std::size_t resident_sessions() const;
+  std::size_t resident_bytes() const;
+
+  /// One-line JSON snapshot of counters, budgets, and residency (the
+  /// server's stats verb embeds it).
+  std::string StatsJson() const;
+
+  const SessionRegistryOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const GraphSession> session;  ///< null while opening.
+    std::list<std::string>::iterator lru;  ///< into lru_, MRU at front.
+    std::size_t bytes = 0;
+    bool opening = false;
+  };
+
+  /// Checks id syntax (non-empty, no path separators or "..").
+  static Status ValidateId(const std::string& id);
+
+  /// Moves `it` to the MRU position. Caller holds mutex_.
+  void Touch(Entry* entry);
+
+  /// Evicts LRU entries until both budgets hold, never touching `keep`.
+  /// Caller holds mutex_.
+  void EvictToBudget(const std::string& keep);
+
+  /// Inserts a freshly opened session for `id` (entry exists in opening
+  /// state) and applies the budgets. Caller holds mutex_.
+  Handle Commit(const std::string& id,
+                std::shared_ptr<const GraphSession> session);
+
+  SessionRegistryOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable opened_cv_;  ///< Signaled when an open settles.
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< Resident ids, MRU first.
+  std::size_t resident_bytes_ = 0;
+  RegistryCounters counters_;
+};
+
+/// Approximate resident footprint of a session: edge list + CSR adjacency
+/// + per-vertex arrays. The registry's byte budget is denominated in this.
+std::size_t ApproxSessionBytes(const GraphSession& session);
+
+}  // namespace ugs
+
+#endif  // UGS_SERVICE_SESSION_REGISTRY_H_

@@ -1,0 +1,113 @@
+#ifndef UGS_SERVICE_WIRE_H_
+#define UGS_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "query/query.h"
+#include "util/status.h"
+
+namespace ugs {
+
+/// The wire protocol of the serving layer: a versioned binary
+/// (de)serialization of the query layer's typed request/result pair, plus
+/// a line-oriented JSON rendering of the same payloads for debuggability
+/// (ugs_query --json and ugs_client --json emit it, the server's stats
+/// verb replies with it).
+///
+/// Framing on a socket is length-prefixed:
+///
+///   u32 payload_length (little-endian) | u8 frame_type | payload bytes
+///
+/// and every *binary* payload (kRequest / kResult / kError) starts with a
+/// u8 format version (kWireVersion); the stats verb's payloads are raw
+/// UTF-8 text (a graph id out, a JSON line back) and are unversioned.
+/// Integers are little-endian fixed-width; doubles travel as their IEEE-754
+/// bit patterns, so decode(encode(x)) is bit-identical to x -- the serving
+/// determinism contract rests on this.
+///
+/// Decoding never aborts on hostile input: truncated buffers return
+/// OutOfRange, unsupported versions FailedPrecondition, and anything
+/// malformed (bad enum bytes, impossible lengths, trailing garbage)
+/// InvalidArgument.
+
+/// Version byte leading every payload. Bump when the payload layout
+/// changes; decoders reject everything else.
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Upper bound on a frame payload; larger length prefixes are rejected
+/// before any allocation happens.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
+
+/// What a frame carries. The request/reply pairs are
+/// kRequest -> kResult | kError and kStats -> kStatsReply | kError.
+enum class FrameType : std::uint8_t {
+  kRequest = 1,     ///< WireRequest payload (graph id + QueryRequest).
+  kResult = 2,      ///< QueryResult payload.
+  kError = 3,       ///< Status payload (code + message).
+  kStats = 4,       ///< Admin verb: server/registry counters; empty payload.
+  kStatsReply = 5,  ///< One-line JSON text payload.
+};
+
+/// A query request addressed to one graph of a multi-graph server: `graph`
+/// names the SessionRegistry entry that should answer `request`.
+struct WireRequest {
+  std::string graph;
+  QueryRequest request;
+};
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Binary payload (de)serialization. Encoders never fail; decoders return
+/// the typed errors described above and otherwise reconstruct the value
+/// bit-exactly.
+std::string EncodeRequest(const WireRequest& request);
+Result<WireRequest> DecodeRequest(std::string_view payload);
+
+std::string EncodeResult(const QueryResult& result);
+Result<QueryResult> DecodeResult(std::string_view payload);
+
+std::string EncodeError(const Status& status);
+/// Decodes an error payload into `*decoded`, the (always non-OK) Status
+/// it carries. The return value reports the decode itself: non-OK only
+/// when the payload is malformed, in which case `*decoded` is untouched.
+Status DecodeError(std::string_view payload, Status* decoded);
+
+/// One-line JSON renderings of the wire payloads (no trailing newline).
+/// Doubles are printed round-trippably (%.17g), so two bit-identical
+/// payloads render to byte-identical JSON -- the property the CI smoke
+/// diff between ugs_client and ugs_query relies on. `include_timing`
+/// controls the result's wall-time field: drop it to make renderings of
+/// repeated runs diffable.
+std::string RequestToJson(const WireRequest& request);
+std::string ResultToJson(const QueryResult& result, bool include_timing = true);
+
+/// `s` as a quoted, escaped JSON string literal (used by the hand-rolled
+/// JSON emitters across the serving layer).
+std::string JsonEscaped(const std::string& s);
+
+/// Bit-exact equality of everything a QueryResult answers (query,
+/// estimator, samples matrix, means, scalar, knn, paths) *except* the
+/// wall-time field -- the serving contract: a response from ugs_serve must
+/// PayloadEquals the same request run through GraphSession::Run locally.
+bool PayloadEquals(const QueryResult& a, const QueryResult& b);
+
+/// Writes one frame to a file descriptor (blocking, handles short
+/// writes). IOError on write failure or oversized payload.
+Status WriteFrame(int fd, FrameType type, std::string_view payload);
+
+/// Reads one frame from a file descriptor (blocking, handles short
+/// reads). std::nullopt on clean end-of-stream (peer closed before any
+/// byte of a frame); IOError on mid-frame EOF or read failure;
+/// InvalidArgument on an oversized or unknown-type frame header.
+Result<std::optional<Frame>> ReadFrame(int fd);
+
+}  // namespace ugs
+
+#endif  // UGS_SERVICE_WIRE_H_

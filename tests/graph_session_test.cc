@@ -141,6 +141,46 @@ TEST(GraphSessionTest, BatchResultsMatchIndividualRunsAtEveryThreadCount) {
   }
 }
 
+TEST(GraphSessionTest, OverlappedBatchIsBitIdenticalToSequential) {
+  // batch_workers > 1 claims requests concurrently; every slot must stay
+  // bit-identical to the sequential batch (and so to individual runs).
+  std::vector<QueryRequest> batch;
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    batch.push_back(ConnectivityRequest(seed));
+  }
+  QueryRequest pagerank;
+  pagerank.query = "pagerank";
+  pagerank.num_samples = 16;
+  pagerank.seed = 66;
+  batch.push_back(pagerank);
+  QueryRequest bad;
+  bad.query = "not-a-query";  // Error slots must stay per-request too.
+  batch.insert(batch.begin() + 2, bad);
+
+  GraphSession sequential(testing_util::CompleteK4(0.5));
+  std::vector<Result<QueryResult>> expected = sequential.RunBatch(batch);
+
+  for (int workers : {2, 4, 16}) {
+    GraphSessionOptions options;
+    options.batch_workers = workers;
+    GraphSession session(testing_util::CompleteK4(0.5), options);
+    std::vector<Result<QueryResult>> results = session.RunBatch(batch);
+    ASSERT_EQ(results.size(), expected.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(results[i].ok(), expected[i].ok())
+          << "slot " << i << " at " << workers << " workers";
+      if (!results[i].ok()) {
+        EXPECT_EQ(results[i].status().code(), expected[i].status().code());
+        continue;
+      }
+      EXPECT_TRUE(results[i]->samples == expected[i]->samples)
+          << "slot " << i << " at " << workers << " workers";
+      EXPECT_EQ(results[i]->scalar, expected[i]->scalar) << "slot " << i;
+      EXPECT_EQ(results[i]->means, expected[i]->means) << "slot " << i;
+    }
+  }
+}
+
 TEST(GraphSessionTest, IdenticalRequestsAgreeAcrossSessions) {
   GraphSessionOptions wide;
   wide.engine.num_threads = 8;

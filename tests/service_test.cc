@@ -1,0 +1,325 @@
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_io.h"
+#include "query/graph_session.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/wire.h"
+#include "tests/test_util.h"
+
+namespace ugs {
+namespace {
+
+/// End-to-end tests of ugs_serve's engine: Server + Client over a real
+/// loopback socket, asserting the serving determinism contract -- a
+/// response is bit-identical (PayloadEquals) to GraphSession::Run locally
+/// at any worker count, with registry eviction active.
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    ASSERT_TRUE(
+        SaveEdgeList(testing_util::CompleteK4(0.5), Path("g1")).ok());
+    ASSERT_TRUE(
+        SaveEdgeList(testing_util::PathGraph(12, 0.4), Path("g2")).ok());
+    ASSERT_TRUE(
+        SaveEdgeList(testing_util::StarGraph(8, 0.3), Path("g3")).ok());
+  }
+
+  std::string Path(const std::string& id) const {
+    return dir_ + "/" + Id(id) + ".txt";
+  }
+  std::string Id(const std::string& id) const { return "svctest_" + id; }
+
+  std::unique_ptr<Server> StartServer(int workers,
+                                      std::size_t max_sessions = 8) {
+    ServerOptions options;
+    options.port = 0;  // Ephemeral; tests read it back from port().
+    options.num_workers = workers;
+    options.registry.graph_dir = dir_;
+    options.registry.max_sessions = max_sessions;
+    auto server = std::make_unique<Server>(options);
+    Status started = server->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    return server;
+  }
+
+  Client ConnectTo(const Server& server) {
+    Result<Client> client = Client::Connect("127.0.0.1", server.port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client.value());
+  }
+
+  /// A request per query kind / estimator shape (all valid on every test
+  /// graph: >= 8 vertices is not required, pairs and sources stay < 4).
+  static std::vector<QueryRequest> CoveringRequests() {
+    std::vector<QueryRequest> requests;
+    QueryRequest reliability;
+    reliability.query = "reliability";
+    reliability.pairs = {{0, 3}};
+    reliability.num_samples = 32;
+    reliability.seed = 3;
+    requests.push_back(reliability);
+
+    QueryRequest skip = reliability;
+    skip.estimator = Estimator::kSkipSampler;
+    skip.seed = 4;
+    requests.push_back(skip);
+
+    QueryRequest stratified = reliability;
+    stratified.estimator = Estimator::kStratified;
+    stratified.num_pivot_edges = 3;
+    stratified.seed = 5;
+    requests.push_back(stratified);
+
+    QueryRequest connectivity;
+    connectivity.query = "connectivity";
+    connectivity.num_samples = 32;
+    connectivity.estimator = Estimator::kExact;
+    requests.push_back(connectivity);
+
+    QueryRequest sp;
+    sp.query = "shortest-path";
+    sp.pairs = {{0, 2}, {1, 3}};
+    sp.num_samples = 32;
+    sp.seed = 6;
+    requests.push_back(sp);
+
+    QueryRequest pagerank;
+    pagerank.query = "pagerank";
+    pagerank.num_samples = 16;
+    pagerank.seed = 7;
+    requests.push_back(pagerank);
+
+    QueryRequest clustering;
+    clustering.query = "clustering";
+    clustering.num_samples = 16;
+    clustering.seed = 8;
+    requests.push_back(clustering);
+
+    QueryRequest knn;
+    knn.query = "knn";
+    knn.sources = {0, 2};
+    knn.k = 3;
+    requests.push_back(knn);
+
+    QueryRequest mpp;
+    mpp.query = "most-probable-path";
+    mpp.pairs = {{0, 3}};
+    requests.push_back(mpp);
+    return requests;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ServiceTest, ResponsesBitIdenticalToLocalRunsAtEveryWorkerCount) {
+  // The acceptance contract: every query kind, served through a
+  // 1-session registry (so graph cycling keeps eviction active), at 1, 2
+  // and 8 server workers, answers bit-identically to a local
+  // GraphSession::Run of the same request.
+  const std::vector<QueryRequest> requests = CoveringRequests();
+  const std::vector<std::string> graphs = {"g1", "g2", "g3"};
+
+  // Local reference results, one session per graph.
+  std::vector<std::vector<QueryResult>> expected;
+  for (const std::string& g : graphs) {
+    Result<std::unique_ptr<GraphSession>> session =
+        GraphSession::Open(Path(g));
+    ASSERT_TRUE(session.ok());
+    std::vector<QueryResult> per_graph;
+    for (const QueryRequest& request : requests) {
+      Result<QueryResult> result = (*session)->Run(request);
+      ASSERT_TRUE(result.ok()) << request.query << ": "
+                               << result.status().ToString();
+      per_graph.push_back(*result);
+    }
+    expected.push_back(std::move(per_graph));
+  }
+
+  for (int workers : {1, 2, 8}) {
+    std::unique_ptr<Server> server = StartServer(workers,
+                                                 /*max_sessions=*/1);
+    Client client = ConnectTo(*server);
+    // Interleave graphs per request so every query lands on a freshly
+    // re-opened session (the 1-entry registry evicts on each switch).
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+      for (std::size_t g = 0; g < graphs.size(); ++g) {
+        Result<QueryResult> result =
+            client.Query(Id(graphs[g]), requests[r]);
+        ASSERT_TRUE(result.ok())
+            << requests[r].query << " on " << graphs[g] << " at " << workers
+            << " workers: " << result.status().ToString();
+        EXPECT_TRUE(PayloadEquals(*result, expected[g][r]))
+            << requests[r].query << " on " << graphs[g] << " at " << workers
+            << " workers";
+      }
+    }
+    EXPECT_GT(server->registry().counters().evictions, 0u);
+    server->Stop();
+  }
+}
+
+TEST_F(ServiceTest, ConcurrentClientsAllGetCorrectAnswers) {
+  std::unique_ptr<Server> server = StartServer(/*workers=*/4);
+  QueryRequest request;
+  request.query = "reliability";
+  request.pairs = {{0, 3}};
+  request.num_samples = 64;
+  request.seed = 11;
+
+  Result<std::unique_ptr<GraphSession>> local =
+      GraphSession::Open(Path("g2"));
+  ASSERT_TRUE(local.ok());
+  Result<QueryResult> expected = (*local)->Run(request);
+  ASSERT_TRUE(expected.ok());
+
+  constexpr int kClients = 6;
+  std::vector<int> ok(kClients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([this, &server, &request, &expected, &ok, i] {
+      Result<Client> client = Client::Connect("127.0.0.1", server->port());
+      if (!client.ok()) return;
+      for (int repeat = 0; repeat < 3; ++repeat) {
+        Result<QueryResult> result =
+            client->Query(Id("g2"), request);
+        if (!result.ok() || !PayloadEquals(*result, *expected)) return;
+      }
+      ok[static_cast<std::size_t>(i)] = 1;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(i)], 1) << "client " << i;
+  }
+  EXPECT_EQ(server->stats().requests,
+            static_cast<std::uint64_t>(kClients * 3));
+}
+
+TEST_F(ServiceTest, RequestErrorsAreTypedAndConnectionSurvives) {
+  std::unique_ptr<Server> server = StartServer(1);
+  Client client = ConnectTo(*server);
+
+  QueryRequest request;
+  request.query = "reliability";
+  request.pairs = {{0, 1}};
+  request.num_samples = 8;
+
+  // Unknown graph id.
+  Result<QueryResult> missing = client.Query("svctest_nope", request);
+  ASSERT_FALSE(missing.ok());
+
+  // Path-escaping graph id.
+  Result<QueryResult> escape = client.Query("../etc/passwd", request);
+  ASSERT_FALSE(escape.ok());
+  EXPECT_EQ(escape.status().code(), StatusCode::kInvalidArgument);
+
+  // Unknown query name -> the registry's NotFound, carried end to end.
+  QueryRequest bad = request;
+  bad.query = "no-such-query";
+  Result<QueryResult> unknown = client.Query(Id("g1"), bad);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+
+  // Validation failure (out-of-range pair).
+  QueryRequest invalid = request;
+  invalid.pairs = {{0, 4000}};
+  Result<QueryResult> out_of_range = client.Query(Id("g1"), invalid);
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kInvalidArgument);
+
+  // After all those per-request errors the connection still answers.
+  Result<QueryResult> good = client.Query(Id("g1"), request);
+  EXPECT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_GE(server->stats().errors, 4u);
+}
+
+TEST_F(ServiceTest, MalformedPayloadGetsTypedErrorAndConnectionSurvives) {
+  std::unique_ptr<Server> server = StartServer(1);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(server->port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // A well-framed but undecodable request payload.
+  ASSERT_TRUE(WriteFrame(fd, FrameType::kRequest, "garbage").ok());
+  Result<std::optional<Frame>> reply = ReadFrame(fd);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_TRUE(reply->has_value());
+  ASSERT_EQ((*reply)->type, FrameType::kError);
+  Status carried;
+  ASSERT_TRUE(DecodeError((*reply)->payload, &carried).ok());
+  EXPECT_FALSE(carried.ok());
+
+  // The framing survived, so the connection still serves stats.
+  ASSERT_TRUE(WriteFrame(fd, FrameType::kStats, "").ok());
+  reply = ReadFrame(fd);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(reply->has_value());
+  EXPECT_EQ((*reply)->type, FrameType::kStatsReply);
+  ::close(fd);
+}
+
+TEST_F(ServiceTest, StatsVerbReportsServerAndRegistry) {
+  std::unique_ptr<Server> server = StartServer(2);
+  Client client = ConnectTo(*server);
+  QueryRequest request;
+  request.query = "connectivity";
+  request.num_samples = 8;
+  ASSERT_TRUE(client.Query(Id("g1"), request).ok());
+
+  Result<std::string> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats->find("\"server\""), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"registry\""), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"requests\":1"), std::string::npos) << *stats;
+
+  // The graph-description form sizes client-side request draws.
+  Result<std::string> describe = client.Stats(Id("g2"));
+  ASSERT_TRUE(describe.ok());
+  EXPECT_NE(describe->find("\"vertices\":12"), std::string::npos)
+      << *describe;
+  EXPECT_NE(describe->find("\"edges\":11"), std::string::npos) << *describe;
+}
+
+TEST_F(ServiceTest, StopWithIdleConnectedClientReturns) {
+  std::unique_ptr<Server> server = StartServer(2);
+  Client idle = ConnectTo(*server);  // Connected but never sends.
+  QueryRequest request;
+  request.query = "connectivity";
+  request.num_samples = 8;
+  Client busy = ConnectTo(*server);
+  ASSERT_TRUE(busy.Query(Id("g1"), request).ok());
+  // Stop must not hang on the idle connection (it is shut down and its
+  // worker joins); this call returning IS the assertion.
+  server->Stop();
+  // After shutdown the server answers nothing.
+  EXPECT_FALSE(busy.Query(Id("g1"), request).ok());
+}
+
+TEST_F(ServiceTest, EphemeralPortsAreIndependent) {
+  std::unique_ptr<Server> a = StartServer(1);
+  std::unique_ptr<Server> b = StartServer(1);
+  EXPECT_NE(a->port(), 0);
+  EXPECT_NE(b->port(), 0);
+  EXPECT_NE(a->port(), b->port());
+}
+
+}  // namespace
+}  // namespace ugs

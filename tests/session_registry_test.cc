@@ -1,0 +1,226 @@
+#include "service/session_registry.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_io.h"
+#include "service/wire.h"
+#include "tests/test_util.h"
+
+namespace ugs {
+namespace {
+
+class SessionRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    ASSERT_TRUE(
+        SaveEdgeList(testing_util::CompleteK4(0.5), Path("g1")).ok());
+    ASSERT_TRUE(
+        SaveEdgeList(testing_util::PathGraph(12, 0.4), Path("g2")).ok());
+    ASSERT_TRUE(
+        SaveEdgeList(testing_util::StarGraph(8, 0.3), Path("g3")).ok());
+  }
+
+  std::string Path(const std::string& id) const {
+    return dir_ + "/" + Id(id) + ".txt";
+  }
+
+  /// Per-test-suite-run unique ids so temp files never collide.
+  std::string Id(const std::string& id) const { return "regtest_" + id; }
+
+  SessionRegistryOptions Options(std::size_t max_sessions,
+                                 std::size_t max_bytes = 0) const {
+    SessionRegistryOptions options;
+    options.graph_dir = dir_;
+    options.max_sessions = max_sessions;
+    options.max_resident_bytes = max_bytes;
+    return options;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(SessionRegistryTest, OpensOnDemandAndCountsHitsAndMisses) {
+  SessionRegistry registry(Options(4));
+  Result<SessionRegistry::Handle> first = registry.Acquire(Id("g1"));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ((*first)->graph().num_vertices(), 4u);
+  Result<SessionRegistry::Handle> second = registry.Acquire(Id("g1"));
+  ASSERT_TRUE(second.ok());
+  // Both pins share one session instance.
+  EXPECT_EQ(&**first, &**second);
+  RegistryCounters counters = registry.counters();
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.evictions, 0u);
+  EXPECT_EQ(registry.resident_sessions(), 1u);
+  EXPECT_GT(registry.resident_bytes(), 0u);
+}
+
+TEST_F(SessionRegistryTest, MissingGraphFailsTypedAndCounts) {
+  SessionRegistry registry(Options(4));
+  Result<SessionRegistry::Handle> missing = registry.Acquire("no_such");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(registry.counters().open_failures, 1u);
+  EXPECT_EQ(registry.resident_sessions(), 0u);
+  // A later retry is a fresh miss, not a cached failure.
+  EXPECT_FALSE(registry.Acquire("no_such").ok());
+  EXPECT_EQ(registry.counters().misses, 2u);
+}
+
+TEST_F(SessionRegistryTest, RejectsPathEscapingIds) {
+  SessionRegistry registry(Options(4));
+  for (const std::string& id :
+       {std::string("../secrets"), std::string("a/b"), std::string("a\\b"),
+        std::string("..")}) {
+    Result<SessionRegistry::Handle> handle = registry.Acquire(id);
+    ASSERT_FALSE(handle.ok()) << id;
+    EXPECT_EQ(handle.status().code(), StatusCode::kInvalidArgument) << id;
+  }
+  EXPECT_FALSE(registry.Acquire("").ok());
+}
+
+TEST_F(SessionRegistryTest, EvictsLeastRecentlyUsedPastEntryBudget) {
+  SessionRegistry registry(Options(2));
+  ASSERT_TRUE(registry.Acquire(Id("g1")).ok());
+  ASSERT_TRUE(registry.Acquire(Id("g2")).ok());
+  // Touch g1 so g2 is the LRU entry when g3 arrives.
+  ASSERT_TRUE(registry.Acquire(Id("g1")).ok());
+  ASSERT_TRUE(registry.Acquire(Id("g3")).ok());
+  EXPECT_EQ(registry.counters().evictions, 1u);
+  std::vector<std::string> resident = registry.ResidentIds();
+  ASSERT_EQ(resident.size(), 2u);
+  EXPECT_EQ(resident[0], Id("g3"));  // MRU first.
+  EXPECT_EQ(resident[1], Id("g1"));
+  // g2 was evicted: acquiring it again is a miss.
+  const std::uint64_t misses_before = registry.counters().misses;
+  ASSERT_TRUE(registry.Acquire(Id("g2")).ok());
+  EXPECT_EQ(registry.counters().misses, misses_before + 1);
+}
+
+TEST_F(SessionRegistryTest, EvictsPastByteBudgetButKeepsNewestEntry) {
+  // A byte budget below a single session's footprint: every open evicts
+  // everything else but the entry being returned always survives.
+  SessionRegistry registry(Options(0, 1));
+  Result<SessionRegistry::Handle> g1 = registry.Acquire(Id("g1"));
+  ASSERT_TRUE(g1.ok());
+  EXPECT_EQ(registry.resident_sessions(), 1u);
+  Result<SessionRegistry::Handle> g2 = registry.Acquire(Id("g2"));
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(registry.resident_sessions(), 1u);
+  EXPECT_EQ(registry.ResidentIds()[0], Id("g2"));
+  EXPECT_EQ(registry.counters().evictions, 1u);
+}
+
+TEST_F(SessionRegistryTest, PinnedSessionSurvivesEviction) {
+  SessionRegistry registry(Options(1));
+  Result<SessionRegistry::Handle> pinned = registry.Acquire(Id("g1"));
+  ASSERT_TRUE(pinned.ok());
+  // Opening g2 with a 1-entry budget evicts g1 while it is pinned.
+  ASSERT_TRUE(registry.Acquire(Id("g2")).ok());
+  EXPECT_EQ(registry.ResidentIds(), std::vector<std::string>{Id("g2")});
+  EXPECT_EQ(registry.counters().evictions, 1u);
+  // The pin still works: the session answers queries after eviction.
+  QueryRequest request;
+  request.query = "connectivity";
+  request.num_samples = 16;
+  Result<QueryResult> result = (*pinned)->Run(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->has_scalar);
+}
+
+TEST_F(SessionRegistryTest, InsertRegistersPrebuiltSessions) {
+  SessionRegistry registry(Options(4));
+  ASSERT_TRUE(registry
+                  .Insert("inmem", std::make_unique<GraphSession>(
+                                       testing_util::CompleteK4(0.5)))
+                  .ok());
+  EXPECT_EQ(registry
+                .Insert("inmem", std::make_unique<GraphSession>(
+                                     testing_util::CompleteK4(0.5)))
+                .code(),
+            StatusCode::kFailedPrecondition);
+  Result<SessionRegistry::Handle> handle = registry.Acquire("inmem");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ((*handle)->graph().num_edges(), 6u);
+}
+
+TEST_F(SessionRegistryTest,
+       ResultsThroughEvictingRegistryMatchDirectSessions) {
+  // Acceptance: with eviction active (1-entry budget, 3 graphs cycling),
+  // every result served through the registry is bit-identical to a fresh
+  // local GraphSession::Run of the same request.
+  QueryRequest request;
+  request.query = "reliability";
+  request.pairs = {{0, 3}};
+  request.num_samples = 48;
+  request.seed = 21;
+
+  std::vector<QueryResult> direct;
+  for (const char* id : {"g1", "g2", "g3"}) {
+    Result<std::unique_ptr<GraphSession>> session =
+        GraphSession::Open(Path(id));
+    ASSERT_TRUE(session.ok());
+    Result<QueryResult> result = (*session)->Run(request);
+    ASSERT_TRUE(result.ok());
+    direct.push_back(*result);
+  }
+
+  SessionRegistry registry(Options(1));
+  for (int round = 0; round < 2; ++round) {
+    for (int g = 0; g < 3; ++g) {
+      Result<SessionRegistry::Handle> handle =
+          registry.Acquire(Id(std::string("g") + char('1' + g)));
+      ASSERT_TRUE(handle.ok());
+      Result<QueryResult> result = (*handle)->Run(request);
+      ASSERT_TRUE(result.ok());
+      EXPECT_TRUE(PayloadEquals(*result, direct[static_cast<std::size_t>(g)]))
+          << "round " << round << " graph " << g;
+    }
+  }
+  // Cycling 3 graphs through 1 slot evicts on every switch.
+  EXPECT_GE(registry.counters().evictions, 4u);
+  EXPECT_EQ(registry.counters().hits, 0u);
+  EXPECT_EQ(registry.counters().misses, 6u);
+}
+
+TEST_F(SessionRegistryTest, ConcurrentAcquiresShareOneOpen) {
+  SessionRegistry registry(Options(4));
+  constexpr int kThreads = 8;
+  std::vector<const GraphSession*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([this, &registry, &seen, i] {
+      Result<SessionRegistry::Handle> handle = registry.Acquire(Id("g2"));
+      if (handle.ok()) seen[static_cast<std::size_t>(i)] = &**handle;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_NE(seen[static_cast<std::size_t>(i)], nullptr) << i;
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], seen[0]);
+  }
+  RegistryCounters counters = registry.counters();
+  EXPECT_EQ(counters.misses, 1u);  // Exactly one thread opened the file.
+  EXPECT_EQ(counters.hits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST_F(SessionRegistryTest, StatsJsonReflectsCounters) {
+  SessionRegistry registry(Options(2));
+  ASSERT_TRUE(registry.Acquire(Id("g1")).ok());
+  ASSERT_TRUE(registry.Acquire(Id("g1")).ok());
+  std::string json = registry.StatsJson();
+  EXPECT_NE(json.find("\"hits\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"misses\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max_sessions\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find(Id("g1")), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace ugs

@@ -1,0 +1,283 @@
+#include "service/wire.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ugs {
+namespace {
+
+WireRequest FullRequest() {
+  WireRequest wire;
+  wire.graph = "twitter.txt";
+  QueryRequest& q = wire.request;
+  q.query = "shortest-path";
+  q.pairs = {{0, 5}, {3, 7}, {4294967295u, 2}};
+  q.sources = {1, 2, 9};
+  q.k = 17;
+  q.num_samples = 1234;
+  q.seed = 0xdeadbeefcafef00dULL;
+  q.estimator = Estimator::kStratified;
+  q.pagerank.damping = 0.72;
+  q.pagerank.max_iterations = 33;
+  q.pagerank.tolerance = 1e-12;
+  q.num_pivot_edges = 11;
+  return wire;
+}
+
+void ExpectRequestsEqual(const WireRequest& a, const WireRequest& b) {
+  EXPECT_EQ(a.graph, b.graph);
+  EXPECT_EQ(a.request.query, b.request.query);
+  ASSERT_EQ(a.request.pairs.size(), b.request.pairs.size());
+  for (std::size_t i = 0; i < a.request.pairs.size(); ++i) {
+    EXPECT_EQ(a.request.pairs[i].s, b.request.pairs[i].s);
+    EXPECT_EQ(a.request.pairs[i].t, b.request.pairs[i].t);
+  }
+  EXPECT_EQ(a.request.sources, b.request.sources);
+  EXPECT_EQ(a.request.k, b.request.k);
+  EXPECT_EQ(a.request.num_samples, b.request.num_samples);
+  EXPECT_EQ(a.request.seed, b.request.seed);
+  EXPECT_EQ(a.request.estimator, b.request.estimator);
+  EXPECT_EQ(a.request.pagerank.damping, b.request.pagerank.damping);
+  EXPECT_EQ(a.request.pagerank.max_iterations,
+            b.request.pagerank.max_iterations);
+  EXPECT_EQ(a.request.pagerank.tolerance, b.request.pagerank.tolerance);
+  EXPECT_EQ(a.request.num_pivot_edges, b.request.num_pivot_edges);
+}
+
+TEST(WireRequestTest, RoundTripsEveryField) {
+  WireRequest wire = FullRequest();
+  Result<WireRequest> decoded = DecodeRequest(EncodeRequest(wire));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectRequestsEqual(wire, *decoded);
+}
+
+TEST(WireRequestTest, RoundTripsEveryQueryKindAndEstimator) {
+  // Every registry name under every estimator value (whether or not the
+  // combination is executable -- the wire layer must carry it either way).
+  for (const std::string& name : KnownQueryNames()) {
+    for (Estimator estimator :
+         {Estimator::kAuto, Estimator::kSampled, Estimator::kSkipSampler,
+          Estimator::kStratified, Estimator::kExact,
+          Estimator::kDeterministic}) {
+      WireRequest wire;
+      wire.graph = "g";
+      wire.request.query = name;
+      wire.request.estimator = estimator;
+      wire.request.pairs = {{0, 1}};
+      wire.request.sources = {0};
+      Result<WireRequest> decoded = DecodeRequest(EncodeRequest(wire));
+      ASSERT_TRUE(decoded.ok())
+          << name << "/" << EstimatorName(estimator) << ": "
+          << decoded.status().ToString();
+      ExpectRequestsEqual(wire, *decoded);
+    }
+  }
+}
+
+TEST(WireRequestTest, RoundTripsEmptyRequest) {
+  WireRequest wire;  // All defaults, no pairs/sources, empty names.
+  Result<WireRequest> decoded = DecodeRequest(EncodeRequest(wire));
+  ASSERT_TRUE(decoded.ok());
+  ExpectRequestsEqual(wire, *decoded);
+}
+
+TEST(WireRequestTest, EveryTruncationFailsTyped) {
+  const std::string payload = EncodeRequest(FullRequest());
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    Result<WireRequest> decoded =
+        DecodeRequest(std::string_view(payload).substr(0, len));
+    ASSERT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange)
+        << "prefix " << len << ": " << decoded.status().ToString();
+  }
+}
+
+TEST(WireRequestTest, WrongVersionFailsTyped) {
+  std::string payload = EncodeRequest(FullRequest());
+  payload[0] = static_cast<char>(kWireVersion + 1);
+  Result<WireRequest> decoded = DecodeRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WireRequestTest, TrailingGarbageFailsTyped) {
+  std::string payload = EncodeRequest(FullRequest());
+  payload.push_back('\0');
+  Result<WireRequest> decoded = DecodeRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireRequestTest, BadEstimatorByteFailsTyped) {
+  WireRequest wire;
+  wire.request.pairs.clear();
+  wire.request.sources.clear();
+  std::string payload = EncodeRequest(wire);
+  // The estimator byte sits 25 bytes before the end: damping(8)
+  // max_iterations(4) tolerance(8) pivots(4) follow it.
+  payload[payload.size() - 25] = 99;
+  Result<WireRequest> decoded = DecodeRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+QueryResult SampledResult() {
+  QueryResult result;
+  result.query = "shortest-path";
+  result.estimator = Estimator::kSkipSampler;
+  result.samples.num_units = 2;
+  result.samples.num_samples = 3;
+  result.samples.values = {1.0, 2.5, 0.0, 3.25, 1e-300, -7.5};
+  result.samples.valid = {1, 0, 1, 1, 0, 1};
+  result.means = {1.75, 0.125};
+  result.seconds = 0.25;
+  return result;
+}
+
+void ExpectResultsBitEqual(const QueryResult& a, const QueryResult& b) {
+  EXPECT_TRUE(PayloadEquals(a, b));
+  EXPECT_EQ(a.seconds, b.seconds);  // Full decode also restores timing.
+}
+
+TEST(WireResultTest, RoundTripsSampledResultBitExactly) {
+  QueryResult result = SampledResult();
+  Result<QueryResult> decoded = DecodeResult(EncodeResult(result));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectResultsBitEqual(result, *decoded);
+}
+
+TEST(WireResultTest, RoundTripsScalarResult) {
+  QueryResult result;
+  result.query = "connectivity";
+  result.estimator = Estimator::kExact;
+  result.has_scalar = true;
+  result.scalar = 0.21899999999999997;  // An exact-oracle-style value.
+  Result<QueryResult> decoded = DecodeResult(EncodeResult(result));
+  ASSERT_TRUE(decoded.ok());
+  ExpectResultsBitEqual(result, *decoded);
+}
+
+TEST(WireResultTest, RoundTripsKnnResult) {
+  QueryResult result;
+  result.query = "knn";
+  result.estimator = Estimator::kDeterministic;
+  result.knn = {{{3, 0.5}, {7, 0.25}}, {}, {{1, 0.125}}};
+  Result<QueryResult> decoded = DecodeResult(EncodeResult(result));
+  ASSERT_TRUE(decoded.ok());
+  ExpectResultsBitEqual(result, *decoded);
+}
+
+TEST(WireResultTest, RoundTripsPathResult) {
+  QueryResult result;
+  result.query = "most-probable-path";
+  result.estimator = Estimator::kDeterministic;
+  result.paths.resize(2);
+  result.paths[0].vertices = {0, 4, 9};
+  result.paths[0].probability = 0.032;
+  result.paths[1].vertices = {};  // Unreachable pair.
+  result.paths[1].probability = 0.0;
+  result.means = {0.032, 0.0};
+  Result<QueryResult> decoded = DecodeResult(EncodeResult(result));
+  ASSERT_TRUE(decoded.ok());
+  ExpectResultsBitEqual(result, *decoded);
+}
+
+TEST(WireResultTest, EveryTruncationFailsTyped) {
+  QueryResult full = SampledResult();
+  full.knn = {{{3, 0.5}}};
+  full.paths.resize(1);
+  full.paths[0].vertices = {0, 1};
+  full.paths[0].probability = 0.5;
+  const std::string payload = EncodeResult(full);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    Result<QueryResult> decoded =
+        DecodeResult(std::string_view(payload).substr(0, len));
+    ASSERT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange)
+        << "prefix " << len;
+  }
+}
+
+TEST(WireResultTest, ShapeMismatchFailsTyped) {
+  QueryResult result = SampledResult();
+  std::string payload = EncodeResult(result);
+  // Corrupt num_units (bytes 1 + (4+13) + 1 = offset right after query
+  // string and estimator byte): bump it so values no longer fit the
+  // shape.
+  const std::size_t units_offset = 1 + 4 + result.query.size() + 1;
+  payload[units_offset] = 3;
+  Result<QueryResult> decoded = DecodeResult(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireResultTest, WrongVersionFailsTyped) {
+  std::string payload = EncodeResult(SampledResult());
+  payload[0] = 0;
+  Result<QueryResult> decoded = DecodeResult(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WireErrorTest, RoundTripsStatus) {
+  Status original = Status::NotFound("graph 'nope' is not resident");
+  Status decoded;
+  Status parse = DecodeError(EncodeError(original), &decoded);
+  ASSERT_TRUE(parse.ok()) << parse.ToString();
+  EXPECT_EQ(decoded.code(), original.code());
+  EXPECT_EQ(decoded.message(), original.message());
+}
+
+TEST(WireErrorTest, OkCodeIsMalformed) {
+  Status decoded;
+  Status parse = DecodeError(EncodeError(Status::OK()), &decoded);
+  ASSERT_FALSE(parse.ok());
+  EXPECT_EQ(parse.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireJsonTest, RequestJsonCarriesEveryField) {
+  std::string json = RequestToJson(FullRequest());
+  EXPECT_NE(json.find("\"graph\":\"twitter.txt\""), std::string::npos);
+  EXPECT_NE(json.find("\"query\":\"shortest-path\""), std::string::npos);
+  EXPECT_NE(json.find("\"estimator\":\"stratified\""), std::string::npos);
+  EXPECT_NE(json.find("\"pairs\":[[0,5],[3,7],[4294967295,2]]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"seed\":16045690984503111693"), std::string::npos);
+}
+
+TEST(WireJsonTest, ResultJsonIsDeterministicAndTimingIsOptional) {
+  QueryResult a = SampledResult();
+  QueryResult b = SampledResult();
+  b.seconds = 99.0;  // Timing differs between a server and a local run...
+  EXPECT_NE(ResultToJson(a), ResultToJson(b));
+  // ...but the diffable form is byte-identical.
+  EXPECT_EQ(ResultToJson(a, /*include_timing=*/false),
+            ResultToJson(b, /*include_timing=*/false));
+  EXPECT_EQ(ResultToJson(a, false).find("seconds"), std::string::npos);
+}
+
+TEST(WireJsonTest, EscapesHostileStrings) {
+  WireRequest wire;
+  wire.graph = "a\"b\\c\nd";
+  std::string json = RequestToJson(wire);
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+TEST(WirePayloadEqualsTest, IgnoresTimingOnly) {
+  QueryResult a = SampledResult();
+  QueryResult b = a;
+  b.seconds = 123.0;
+  EXPECT_TRUE(PayloadEquals(a, b));
+  b = a;
+  b.means[0] = std::nextafter(b.means[0], 2.0);  // One ulp.
+  EXPECT_FALSE(PayloadEquals(a, b));
+  b = a;
+  b.samples.values[3] = -b.samples.values[3];
+  EXPECT_FALSE(PayloadEquals(a, b));
+}
+
+}  // namespace
+}  // namespace ugs

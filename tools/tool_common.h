@@ -1,0 +1,60 @@
+#ifndef UGS_TOOLS_TOOL_COMMON_H_
+#define UGS_TOOLS_TOOL_COMMON_H_
+
+// Request-construction helpers shared by ugs_query and ugs_client. Both
+// tools draw the random pair/source sets of a request from the same
+// seed-split streams, so a client query against ugs_serve and a local
+// ugs_query over the same graph build bit-identical QueryRequests -- the
+// property the CI serve-smoke diff relies on.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "query/query.h"
+#include "query/shortest_path.h"
+#include "util/parse.h"
+#include "util/random.h"
+
+namespace ugs {
+namespace tools {
+
+/// Prints "error: <message>" and exits 2 (the tools' usage-error code).
+[[noreturn]] inline void Die(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  std::exit(2);
+}
+
+/// Strictly parses a flag value that must be a positive integer.
+inline std::int64_t PositiveFlag(const char* flag, const std::string& text) {
+  std::int64_t value = ParseInt64OrExit(flag, text);
+  if (value <= 0) Die(std::string(flag) + " must be positive");
+  return value;
+}
+
+/// Fills request->pairs with `pairs` random distinct s/t pairs and
+/// request->sources with `sources` random vertices, drawn from split
+/// streams of request->seed (stream 1 for pairs, 2 for sources) so the
+/// request's own seed stays dedicated to the estimator. Needs only the
+/// vertex count, not the graph -- a remote client can size the draw from
+/// the server's graph description.
+inline void DrawRequestUnits(std::size_t num_vertices, std::int64_t pairs,
+                             std::int64_t sources, QueryRequest* request) {
+  if (num_vertices >= 2) {
+    Rng pair_rng = SplitRng(request->seed, 1);
+    request->pairs = SampleDistinctPairs(
+        num_vertices, static_cast<std::size_t>(pairs), &pair_rng);
+  }
+  Rng source_rng = SplitRng(request->seed, 2);
+  for (std::int64_t i = 0; i < sources; ++i) {
+    request->sources.push_back(static_cast<VertexId>(
+        source_rng.NextIndex(std::max<std::size_t>(num_vertices, 1))));
+  }
+}
+
+}  // namespace tools
+}  // namespace ugs
+
+#endif  // UGS_TOOLS_TOOL_COMMON_H_

@@ -1,0 +1,255 @@
+// ugs_client: issue queries against a running ugs_serve daemon over the
+// wire protocol (service/wire.h).
+//
+//   ugs_client --port=<p> [--host=127.0.0.1] --graph=<id> --query=<name>
+//              [--samples=500] [--pairs=10] [--sources=5] [--k=10]
+//              [--seed=1] [--estimator=auto] [--pivots=8]
+//              [--pair=s,t ...] [--source=v ...] [--json]
+//   ugs_client --port=<p> --stats [--graph=<id>]
+//   ugs_client --port=<p> --batch=<file> [--json]
+//
+// Random pair/source sets are drawn exactly like ugs_query draws them
+// (same seed-split streams, sized from the server's graph description),
+// so `ugs_client --json` against a server and `ugs_query --json` on the
+// same graph file print byte-identical lines -- the CI smoke asserts
+// this. Explicit --pair/--source entries override the random draw. A
+// batch file holds one query per line in the same --flag=value syntax
+// (without --host/--port); '#' lines are comments. All queries of a batch
+// ride one connection.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "query/query.h"
+#include "service/client.h"
+#include "service/wire.h"
+#include "tools/tool_common.h"
+#include "util/parse.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ugs_client --port=<p> [--host=127.0.0.1] <mode>\n"
+      "  query mode: --graph=<id> --query=<name>\n"
+      "    --samples=<n> --pairs=<k> --sources=<k> --k=<n> --seed=<u>\n"
+      "    --estimator=<e> --pivots=<r>       (as ugs_query)\n"
+      "    --pair=<s>,<t>  explicit query pair (repeatable; overrides\n"
+      "                    the --pairs random draw)\n"
+      "    --source=<v>    explicit knn source (repeatable)\n"
+      "    --json          emit the wire-schema JSON result line\n"
+      "  admin mode:  --stats [--graph=<id>]\n"
+      "  batch mode:  --batch=<file>  one query per line, same flags\n");
+  std::exit(2);
+}
+
+using ugs::tools::Die;
+using ugs::tools::PositiveFlag;
+
+/// One query spec in the shared --flag=value syntax (command line or
+/// batch-file line).
+struct QuerySpec {
+  std::string graph;
+  std::string query;
+  std::string estimator = "auto";
+  std::int64_t samples = 500, pairs = 10, sources = 5, k = 10, pivots = 8;
+  std::uint64_t seed = 1;
+  std::vector<ugs::VertexPair> explicit_pairs;
+  std::vector<ugs::VertexId> explicit_sources;
+};
+
+ugs::VertexPair ParsePair(const std::string& text) {
+  const std::size_t comma = text.find(',');
+  if (comma == std::string::npos) {
+    Die("--pair needs the form <s>,<t>, got '" + text + "'");
+  }
+  ugs::VertexPair pair;
+  pair.s = static_cast<ugs::VertexId>(
+      ugs::ParseUint64OrExit("--pair", text.substr(0, comma)));
+  pair.t = static_cast<ugs::VertexId>(
+      ugs::ParseUint64OrExit("--pair", text.substr(comma + 1)));
+  return pair;
+}
+
+/// Applies one --flag=value token to the spec; false when unrecognized.
+bool ApplySpecFlag(const std::string& token, QuerySpec* spec) {
+  auto value = [&token](std::size_t prefix) {
+    return token.substr(prefix);
+  };
+  if (token.rfind("--graph=", 0) == 0) {
+    spec->graph = value(8);
+  } else if (token.rfind("--query=", 0) == 0) {
+    spec->query = value(8);
+  } else if (token.rfind("--estimator=", 0) == 0) {
+    spec->estimator = value(12);
+  } else if (token.rfind("--samples=", 0) == 0) {
+    spec->samples = PositiveFlag("--samples", value(10));
+  } else if (token.rfind("--pairs=", 0) == 0) {
+    spec->pairs = PositiveFlag("--pairs", value(8));
+  } else if (token.rfind("--sources=", 0) == 0) {
+    spec->sources = PositiveFlag("--sources", value(10));
+  } else if (token.rfind("--k=", 0) == 0) {
+    spec->k = PositiveFlag("--k", value(4));
+  } else if (token.rfind("--pivots=", 0) == 0) {
+    spec->pivots = PositiveFlag("--pivots", value(9));
+  } else if (token.rfind("--seed=", 0) == 0) {
+    spec->seed = ugs::ParseUint64OrExit("--seed", value(7));
+  } else if (token.rfind("--pair=", 0) == 0) {
+    spec->explicit_pairs.push_back(ParsePair(value(7)));
+  } else if (token.rfind("--source=", 0) == 0) {
+    spec->explicit_sources.push_back(static_cast<ugs::VertexId>(
+        ugs::ParseUint64OrExit("--source", value(9))));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Extracts the "vertices" count from a graph-description JSON line (the
+/// stats verb's reply; see Server::HandleStats).
+std::size_t VerticesFromDescription(const std::string& json) {
+  const std::string key = "\"vertices\":";
+  const std::size_t at = json.find(key);
+  if (at == std::string::npos) {
+    Die("server description lacks a vertex count: " + json);
+  }
+  return static_cast<std::size_t>(
+      ugs::ParseUint64OrExit("vertices", json.substr(
+          at + key.size(),
+          json.find_first_of(",}", at + key.size()) - at - key.size())));
+}
+
+/// Vertex counts already fetched from the server, so a batch over one
+/// graph describes it once instead of once per line.
+using VertexCountCache = std::map<std::string, std::size_t>;
+
+/// Builds the QueryRequest a spec describes, fetching the graph's vertex
+/// count from the server when a random pair/source draw needs sizing.
+ugs::QueryRequest BuildRequest(const QuerySpec& spec, ugs::Client* client,
+                               VertexCountCache* vertex_counts) {
+  ugs::Result<ugs::Estimator> estimator = ugs::ParseEstimator(spec.estimator);
+  if (!estimator.ok()) Die(estimator.status().message());
+  ugs::QueryRequest request;
+  request.query = spec.query;
+  request.num_samples = static_cast<int>(spec.samples);
+  request.seed = spec.seed;
+  request.estimator = *estimator;
+  request.k = static_cast<std::size_t>(spec.k);
+  request.num_pivot_edges = static_cast<int>(spec.pivots);
+  if (!spec.explicit_pairs.empty() || !spec.explicit_sources.empty()) {
+    request.pairs = spec.explicit_pairs;
+    request.sources = spec.explicit_sources;
+    return request;
+  }
+  auto cached = vertex_counts->find(spec.graph);
+  if (cached == vertex_counts->end()) {
+    ugs::Result<std::string> description = client->Stats(spec.graph);
+    if (!description.ok()) Die(description.status().ToString());
+    cached = vertex_counts
+                 ->emplace(spec.graph, VerticesFromDescription(*description))
+                 .first;
+  }
+  ugs::tools::DrawRequestUnits(cached->second, spec.pairs, spec.sources,
+                               &request);
+  return request;
+}
+
+/// Runs one spec and prints its result (JSON or a compact summary).
+void RunSpec(const QuerySpec& spec, bool json, ugs::Client* client,
+             VertexCountCache* vertex_counts) {
+  if (spec.graph.empty() || spec.query.empty()) {
+    Die("each query needs --graph and --query");
+  }
+  ugs::QueryRequest request = BuildRequest(spec, client, vertex_counts);
+  ugs::Result<ugs::QueryResult> result = client->Query(spec.graph, request);
+  if (!result.ok()) Die(result.status().ToString());
+  if (json) {
+    std::printf("%s\n",
+                ugs::ResultToJson(*result, /*include_timing=*/false).c_str());
+    return;
+  }
+  std::printf("graph=%s query=%s estimator=%s time=%.3fs", spec.graph.c_str(),
+              result->query.c_str(), ugs::EstimatorName(result->estimator),
+              result->seconds);
+  if (result->has_scalar) std::printf(" scalar=%.6f", result->scalar);
+  if (!result->means.empty()) {
+    double mean = 0.0;
+    for (double m : result->means) mean += m;
+    std::printf(" mean=%.6f (%zu units)",
+                mean / static_cast<double>(result->means.size()),
+                result->means.size());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1", batch_file;
+  std::int64_t port = 7471;
+  bool stats = false, json = false;
+  QuerySpec spec;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--host=", 0) == 0) {
+      host = arg.substr(7);
+    } else if (arg.rfind("--port=", 0) == 0) {
+      port = ugs::ParseInt64OrExit("--port", arg.substr(7));
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      batch_file = arg.substr(8);
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (!ApplySpecFlag(arg, &spec)) {
+      Usage();
+    }
+  }
+  if (port <= 0 || port > 65535) Die("--port must be in [1, 65535]");
+
+  ugs::Result<ugs::Client> connected =
+      ugs::Client::Connect(host, static_cast<int>(port));
+  if (!connected.ok()) Die(connected.status().ToString());
+  ugs::Client client = std::move(connected.value());
+  VertexCountCache vertex_counts;
+
+  if (stats) {
+    ugs::Result<std::string> reply = client.Stats(spec.graph);
+    if (!reply.ok()) Die(reply.status().ToString());
+    std::printf("%s\n", reply->c_str());
+    return 0;
+  }
+
+  if (!batch_file.empty()) {
+    std::ifstream in(batch_file);
+    if (!in) Die("cannot open batch file '" + batch_file + "'");
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(in, line)) {
+      ++line_number;
+      if (line.empty() || line[0] == '#') continue;
+      QuerySpec line_spec;
+      std::istringstream tokens(line);
+      std::string token;
+      while (tokens >> token) {
+        if (!ApplySpecFlag(token, &line_spec)) {
+          Die("batch line " + std::to_string(line_number) +
+              ": unknown flag '" + token + "'");
+        }
+      }
+      RunSpec(line_spec, json, &client, &vertex_counts);
+    }
+    return 0;
+  }
+
+  RunSpec(spec, json, &client, &vertex_counts);
+  return 0;
+}

@@ -3,11 +3,14 @@
 //
 //   ugs_query --in=<path> --query=<name> [--samples=500] [--pairs=10]
 //             [--sources=5] [--k=10] [--top=10] [--seed=1]
-//             [--estimator=auto] [--pivots=8] [--threads=0]
+//             [--estimator=auto] [--pivots=8] [--threads=0] [--json]
 //
 // The query and estimator names come from the registry; run with no
 // arguments for the full list. Pair queries draw --pairs random s/t
-// pairs; knn draws --sources random source vertices.
+// pairs; knn draws --sources random source vertices. --json replaces the
+// human-readable report with the wire protocol's one-line JSON result
+// (service/wire.h) -- the same schema ugs_client emits, with the
+// wall-time field dropped so repeated runs diff clean.
 
 #include <algorithm>
 #include <cstdio>
@@ -19,6 +22,8 @@
 #include "graph/graph_stats.h"
 #include "query/graph_session.h"
 #include "query/query.h"
+#include "service/wire.h"
+#include "tools/tool_common.h"
 #include "util/parse.h"
 #include "util/thread_pool.h"
 
@@ -46,6 +51,7 @@ void Usage() {
       "  --estimator=<e>  auto | sampled | skip | stratified | exact\n"
       "  --pivots=<r>     stratified pivot edges            (default 8)\n"
       "  --threads=<n>    sampling pool size (env UGS_THREADS; 0 = hw)\n"
+      "  --json           emit the wire-schema JSON result line only\n"
       "  queries: %s\n"
       "  aliases: cc = clustering, sp = shortest-path,\n"
       "           mpp = most-probable-path\n",
@@ -53,16 +59,8 @@ void Usage() {
   std::exit(2);
 }
 
-[[noreturn]] void Die(const std::string& message) {
-  std::fprintf(stderr, "error: %s\n", message.c_str());
-  std::exit(2);
-}
-
-std::int64_t PositiveFlag(const char* flag, const std::string& text) {
-  std::int64_t value = ugs::ParseInt64OrExit(flag, text);
-  if (value <= 0) Die(std::string(flag) + " must be positive");
-  return value;
-}
+using ugs::tools::Die;
+using ugs::tools::PositiveFlag;
 
 /// Top-k unit ids by descending mean.
 std::vector<ugs::VertexId> TopUnits(const std::vector<double>& means,
@@ -86,6 +84,7 @@ int main(int argc, char** argv) {
   std::int64_t samples = 500, pairs = 10, sources = 5, k = 10, top = 10;
   std::int64_t pivots = 8, threads = 0;
   std::uint64_t seed = 1;
+  bool json = false;
   if (const char* env = std::getenv("UGS_THREADS")) {
     threads = ugs::ParseInt64OrExit("UGS_THREADS", env);
   }
@@ -113,6 +112,8 @@ int main(int argc, char** argv) {
       pivots = PositiveFlag("--pivots", arg + 9);
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       threads = ugs::ParseInt64OrExit("--threads", arg + 10);
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json = true;
     } else {
       Usage();
     }
@@ -127,8 +128,10 @@ int main(int argc, char** argv) {
   auto session = ugs::GraphSession::Open(in);
   if (!session.ok()) Die(session.status().ToString());
   const ugs::UncertainGraph& graph = (*session)->graph();
-  std::printf("%s\n",
-              ugs::FormatStats("graph", (*session)->stats()).c_str());
+  if (!json) {
+    std::printf("%s\n",
+                ugs::FormatStats("graph", (*session)->stats()).c_str());
+  }
 
   ugs::QueryRequest request;
   request.query = query_name;
@@ -137,22 +140,17 @@ int main(int argc, char** argv) {
   request.estimator = *estimator;
   request.k = static_cast<std::size_t>(k);
   request.num_pivot_edges = static_cast<int>(pivots);
-  // Pair and source sets are drawn from seed-split streams so the
-  // request's own seed stays dedicated to the estimator.
-  if (graph.num_vertices() >= 2) {
-    ugs::Rng pair_rng = ugs::SplitRng(seed, 1);
-    request.pairs = ugs::SampleDistinctPairs(
-        graph.num_vertices(), static_cast<std::size_t>(pairs), &pair_rng);
-  }
-  ugs::Rng source_rng = ugs::SplitRng(seed, 2);
-  for (std::int64_t i = 0; i < sources; ++i) {
-    request.sources.push_back(static_cast<ugs::VertexId>(
-        source_rng.NextIndex(std::max<std::size_t>(graph.num_vertices(), 1))));
-  }
+  ugs::tools::DrawRequestUnits(graph.num_vertices(), pairs, sources,
+                               &request);
 
   ugs::Result<ugs::QueryResult> result = (*session)->Run(request);
   if (!result.ok()) Die(result.status().ToString());
   const ugs::QueryResult& r = *result;
+  if (json) {
+    std::printf("%s\n",
+                ugs::ResultToJson(r, /*include_timing=*/false).c_str());
+    return 0;
+  }
   std::printf("query=%s estimator=%s samples=%lld time=%.3fs\n",
               r.query.c_str(), ugs::EstimatorName(r.estimator),
               static_cast<long long>(samples), r.seconds);
