@@ -2,10 +2,12 @@
 // on a loopback socket over a temp graph directory, fires a fixed request
 // set from concurrent clients at a ladder of worker counts, and verifies
 // every response is bit-identical to a local GraphSession::Run of the
-// same request (the serving determinism contract). Writes
+// same request (the serving determinism contract). Also measures the
+// result cache's hit-path vs miss-path round-trip latency and how the
+// epoll backend's round trip scales with parked idle connections. Writes
 // BENCH_service.json with (threads = server workers, wall ms, samples/s,
 // requests/s, overhead vs local) so future serving PRs (sharding,
-// caching, async backends) have a trajectory to diff.
+// batching, multi-reactor) have a trajectory to diff.
 
 #include <atomic>
 #include <cstdio>
@@ -22,6 +24,7 @@
 #include "graph/graph_io.h"
 #include "query/graph_session.h"
 #include "service/client.h"
+#include "service/result_cache.h"
 #include "service/server.h"
 #include "service/wire.h"
 #include "util/timer.h"
@@ -163,6 +166,142 @@ int main(int argc, char** argv) {
   table.Print();
   std::printf("local (no service): %s ms for %d requests\n",
               ugs::FormatFixed(local_ms, 1).c_str(), num_requests);
+
+  // --- Result cache: hit-path vs miss-path round trip. ---
+  // One sequential client against a cache big enough for the whole
+  // request set: pass 1 misses (decode + registry + engine + encode),
+  // pass 2 hits (decode + lookup + replay) -- the difference is what the
+  // cache buys a steady-state workload of repeated requests.
+  {
+    ugs::ServerOptions options;
+    options.port = 0;
+    options.num_workers = 2;
+    options.registry.graph_dir = graph_dir;
+    options.cache.max_entries = requests.size() + 8;
+    ugs::Server server(options);
+    ugs::Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    double pass_ms[2];  // [0] = miss pass, [1] = hit pass.
+    bool identical = true;
+    {
+      ugs::Result<ugs::Client> client =
+          ugs::Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+        return 1;
+      }
+      // Warm the registry without touching the cache (the stats verb
+      // opens the graph) so the miss pass measures the query path, not
+      // the one-time graph load.
+      if (!client->Stats("twitter").ok()) {
+        std::fprintf(stderr, "warm-up stats failed\n");
+        return 1;
+      }
+      for (double& ms : pass_ms) {
+        ugs::Timer timer;
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          ugs::Result<ugs::QueryResult> result =
+              client->Query("twitter", requests[i]);
+          if (!result.ok() || !ugs::PayloadEquals(*result, expected[i])) {
+            identical = false;
+          }
+        }
+        ms = timer.ElapsedMillis();
+      }
+    }
+    const ugs::ResultCacheCounters cache = server.cache().counters();
+    server.Stop();
+    // The hit pass must actually have hit: a silent all-miss second pass
+    // would report a bogus "hit" latency.
+    all_identical = all_identical && identical &&
+                    cache.hits >= requests.size();
+
+    const char* kind[2] = {"miss", "hit"};
+    for (int pass = 0; pass < 2; ++pass) {
+      const double rtt_us =
+          pass_ms[pass] * 1e3 / static_cast<double>(num_requests);
+      std::printf("cache %s path: %s ms (%s us/round trip)\n", kind[pass],
+                  ugs::FormatFixed(pass_ms[pass], 1).c_str(),
+                  ugs::FormatFixed(rtt_us, 1).c_str());
+      json.Add({std::string("bench_service/cache_") + kind[pass] + "_rtt",
+                "Twitter",
+                2,
+                pass_ms[pass],
+                static_cast<double>(num_requests) * num_samples /
+                    (pass_ms[pass] / 1e3),
+                {{"rtt_us", rtt_us},
+                 {"num_requests", static_cast<double>(num_requests)},
+                 {"hit_vs_miss_speedup",
+                  pass == 1 && pass_ms[1] > 0.0 ? pass_ms[0] / pass_ms[1]
+                                                : 1.0},
+                 {"identical_to_local", identical ? 1.0 : 0.0}}});
+    }
+  }
+
+  // --- Idle-connection scaling (the epoll backend's reason to exist):
+  // parked connections must not slow the active one down or starve it of
+  // workers. The blocking backend can't run this shape at all -- idle
+  // connections would pin every worker.
+  {
+    for (int idle_count : {0, 64, 256}) {
+      ugs::ServerOptions options;
+      options.port = 0;
+      options.num_workers = 2;
+      options.registry.graph_dir = graph_dir;
+      ugs::Server server(options);
+      ugs::Status started = server.Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "%s\n", started.ToString().c_str());
+        return 1;
+      }
+      std::vector<ugs::Client> idle;
+      idle.reserve(static_cast<std::size_t>(idle_count));
+      bool connected = true;
+      for (int i = 0; i < idle_count; ++i) {
+        ugs::Result<ugs::Client> client =
+            ugs::Client::Connect("127.0.0.1", server.port());
+        if (!client.ok()) {
+          connected = false;
+          break;
+        }
+        idle.push_back(std::move(client.value()));
+      }
+      if (!connected) {
+        std::fprintf(stderr, "idle scaling: connect failed at %d conns\n",
+                     idle_count);
+        return 1;
+      }
+      // Warm the registry, then measure a sequential request stream on
+      // one active connection while the idle ones sit on the reactor.
+      FireRequests(server.port(), "twitter", {requests[0]}, {expected[0]},
+                   1);
+      RunResult run =
+          FireRequests(server.port(), "twitter", requests, expected, 1);
+      server.Stop();
+      all_identical = all_identical && run.identical;
+
+      const double rtt_us =
+          run.wall_ms * 1e3 / static_cast<double>(num_requests);
+      std::printf("idle scaling: %3d idle conns -> %s ms (%s us/round "
+                  "trip)%s\n",
+                  idle_count, ugs::FormatFixed(run.wall_ms, 1).c_str(),
+                  ugs::FormatFixed(rtt_us, 1).c_str(),
+                  run.identical ? "" : "  NOT IDENTICAL");
+      json.Add({"bench_service/idle_connections",
+                "Twitter",
+                2,
+                run.wall_ms,
+                static_cast<double>(num_requests) * num_samples /
+                    (run.wall_ms / 1e3),
+                {{"idle_connections", static_cast<double>(idle_count)},
+                 {"rtt_us", rtt_us},
+                 {"num_requests", static_cast<double>(num_requests)},
+                 {"identical_to_local", run.identical ? 1.0 : 0.0}}});
+    }
+  }
 
   std::remove((graph_dir + "/twitter.txt").c_str());
   ::rmdir(graph_dir.c_str());

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Checks that markdown cross-references in this repo resolve.
+
+Scans README.md, docs/**/*.md, and src/*/README.md (plus any extra paths
+given on the command line) for inline links and images. For every
+relative target it verifies the file exists; for fragment links it
+verifies the anchor matches a heading (GitHub slug rules) in the target
+file. External links (http/https/mailto) are recorded but not fetched --
+CI must stay hermetic.
+
+Usage: scripts/check_md_links.py [file-or-dir ...]
+Exit status: 0 when every link resolves, 1 otherwise (each broken link
+is reported as file:line: message).
+"""
+
+import glob
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def default_targets(root):
+    files = []
+    readme = os.path.join(root, "README.md")
+    if os.path.isfile(readme):
+        files.append(readme)
+    files.extend(sorted(glob.glob(os.path.join(root, "docs", "**", "*.md"),
+                                  recursive=True)))
+    files.extend(sorted(glob.glob(os.path.join(root, "src", "*",
+                                               "README.md"))))
+    return files
+
+
+def expand(paths):
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(sorted(glob.glob(os.path.join(path, "**", "*.md"),
+                                          recursive=True)))
+        else:
+            files.append(path)
+    return files
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->dashes."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)  # Inline formatting markers.
+    slug = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", slug)  # Link text only.
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    slug = slug.replace(" ", "-")
+    return slug
+
+
+def headings_of(path, cache={}):
+    if path not in cache:
+        slugs = set()
+        in_fence = False
+        try:
+            with open(path, encoding="utf-8") as f:
+                for line in f:
+                    if line.lstrip().startswith("```"):
+                        in_fence = not in_fence
+                        continue
+                    if in_fence:
+                        continue
+                    match = HEADING_RE.match(line)
+                    if match:
+                        slugs.add(github_slug(match.group(1)))
+        except OSError:
+            pass
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_file(md_path, errors):
+    checked = 0
+    in_fence = False
+    with open(md_path, encoding="utf-8") as f:
+        for line_number, line in enumerate(f, start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(EXTERNAL):
+                    continue
+                checked += 1
+                path_part, _, fragment = target.partition("#")
+                if path_part:
+                    resolved = os.path.normpath(
+                        os.path.join(os.path.dirname(md_path), path_part))
+                    if not os.path.exists(resolved):
+                        errors.append("%s:%d: broken link '%s' (no such "
+                                      "file %s)" % (md_path, line_number,
+                                                    target, resolved))
+                        continue
+                else:
+                    resolved = md_path  # Same-file fragment.
+                if fragment and resolved.endswith(".md"):
+                    if fragment not in headings_of(resolved):
+                        errors.append("%s:%d: broken anchor '#%s' (no such "
+                                      "heading in %s)" %
+                                      (md_path, line_number, fragment,
+                                       resolved))
+    return checked
+
+
+def main(argv):
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = expand(argv[1:]) if len(argv) > 1 else default_targets(root)
+    if not files:
+        print("check_md_links: no markdown files found", file=sys.stderr)
+        return 1
+    errors = []
+    total = 0
+    for md_path in files:
+        total += check_file(md_path, errors)
+    for error in errors:
+        print(error, file=sys.stderr)
+    print("check_md_links: %d files, %d relative links checked, %d broken"
+          % (len(files), total, len(errors)))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

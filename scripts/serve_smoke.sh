@@ -2,13 +2,24 @@
 # End-to-end smoke of the serving layer: starts ugs_serve over a directory
 # of generated graphs with an eviction-forcing 1-session registry budget,
 # runs every query kind through ugs_client, diffs each JSON answer against
-# ugs_query on the same graph file (byte-identical is the contract), checks
-# the stats verb reports evictions, and shuts the daemon down cleanly.
+# ugs_query on the same graph file (byte-identical is the contract),
+# re-runs one query to check repeat answers are byte-stable (the result
+# cache's hit path when it is enabled), checks the stats verb reports
+# evictions (and cache hits when caching), and shuts the daemon down
+# cleanly.
 #
-# Usage: scripts/serve_smoke.sh [build_dir]
+# Usage: scripts/serve_smoke.sh [build_dir] [extra ugs_serve flags...]
+#   e.g. scripts/serve_smoke.sh build --backend=epoll --cache-entries=64
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
+# Both arguments are optional: a leading --flag means the build dir was
+# omitted and everything belongs to ugs_serve.
+BUILD_DIR="build"
+if [[ $# -gt 0 && "$1" != --* ]]; then
+  BUILD_DIR="$1"
+  shift
+fi
+EXTRA_FLAGS=("$@")
 for bin in ugs_generate ugs_serve ugs_client ugs_query; do
   if [[ ! -x "${BUILD_DIR}/${bin}" ]]; then
     echo "missing ${BUILD_DIR}/${bin}; build the tools first" >&2
@@ -36,8 +47,11 @@ mkdir -p "${WORK}/graphs"
 
 # --max-sessions=1 forces an eviction every time the query loop below
 # switches graphs -- the smoke exercises the LRU path, not just the cache.
+# Extra flags (backend selection, result-cache budgets) ride along from
+# the command line.
 "${BUILD_DIR}/ugs_serve" --dir="${WORK}/graphs" --port=0 --workers=2 \
-  --max-sessions=1 --port-file="${WORK}/port" > "${WORK}/serve.log" 2>&1 &
+  --max-sessions=1 --port-file="${WORK}/port" ${EXTRA_FLAGS[@]+"${EXTRA_FLAGS[@]}"} \
+  > "${WORK}/serve.log" 2>&1 &
 SERVE_PID=$!
 
 for _ in $(seq 1 100); do
@@ -50,7 +64,8 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 PORT="$(cat "${WORK}/port")"
-echo "ugs_serve up on port ${PORT} (pid ${SERVE_PID})"
+echo "ugs_serve up on port ${PORT} (pid ${SERVE_PID})" \
+     "flags: ${EXTRA_FLAGS[*]:-"(defaults)"}"
 
 # Every query kind, interleaved across the three graphs so the 1-entry
 # registry evicts between consecutive queries.
@@ -75,12 +90,46 @@ for query in "${QUERIES[@]}"; do
 done
 echo "${CHECKS} served answers byte-identical to local ugs_query"
 
+# Repeat one query verbatim: the answer must be byte-stable across runs.
+# With the result cache enabled the second run is the hit path, so this
+# is the cache's byte-identity check end to end.
+"${BUILD_DIR}/ugs_client" --port="${PORT}" --graph=g1 --query=reliability \
+  --samples=64 --pairs=4 --seed=5 --json > "${WORK}/repeat1.json"
+"${BUILD_DIR}/ugs_client" --port="${PORT}" --graph=g1 --query=reliability \
+  --samples=64 --pairs=4 --seed=5 --json > "${WORK}/repeat2.json"
+if ! diff "${WORK}/repeat1.json" "${WORK}/repeat2.json"; then
+  echo "MISMATCH: repeated query is not byte-stable" >&2
+  exit 1
+fi
+echo "repeated query byte-stable"
+
 STATS="$("${BUILD_DIR}/ugs_client" --port="${PORT}" --stats)"
 echo "stats: ${STATS}"
+# The registry object is the last of the three stats objects, so an
+# "evictions":0 after "registry": can only be the registry's counter
+# (the cache's own evictions counter appears earlier).
 case "${STATS}" in
-  *'"evictions":0'*)
-    echo "expected evictions under --max-sessions=1, got none" >&2
+  *'"registry":'*'"evictions":0'*)
+    echo "expected registry evictions under --max-sessions=1, got none" >&2
     exit 1
+    ;;
+esac
+case " ${EXTRA_FLAGS[*]:-} " in
+  *--cache-*)
+    # Caching was requested: the repeat above must have hit.
+    case "${STATS}" in
+      *'"cache":{"enabled":true,"hits":0,'*)
+        echo "result cache enabled but the repeated query never hit" >&2
+        exit 1
+        ;;
+      *'"cache":{"enabled":true'*)
+        echo "result cache hit path covered"
+        ;;
+      *)
+        echo "expected an enabled result cache in stats" >&2
+        exit 1
+        ;;
+    esac
     ;;
 esac
 

@@ -83,6 +83,58 @@ Result<QueryResult> Client::Query(const std::string& graph,
   return DecodeResult(reply->payload);
 }
 
+std::vector<Result<QueryResult>> Client::QueryPipelined(
+    const std::vector<WireRequest>& requests) {
+  std::vector<Result<QueryResult>> results;
+  results.reserve(requests.size());
+  if (fd_ < 0) {
+    results.assign(requests.size(),
+                   Status::FailedPrecondition("client: not connected"));
+    return results;
+  }
+  // Phase 1: all requests onto the wire, no reads in between.
+  std::size_t sent = 0;
+  Status transport = Status::OK();
+  for (const WireRequest& request : requests) {
+    transport = WriteFrame(fd_, FrameType::kRequest, EncodeRequest(request));
+    if (!transport.ok()) break;
+    ++sent;
+  }
+  // Phase 2: replies come back in request order.
+  for (std::size_t i = 0; i < sent; ++i) {
+    Result<std::optional<Frame>> reply = ReadFrame(fd_);
+    if (!reply.ok()) {
+      transport = reply.status();
+      sent = i;  // Poison this slot and everything after it.
+      break;
+    }
+    if (!reply->has_value()) {
+      transport = Status::IOError("client: server closed before replying");
+      sent = i;
+      break;
+    }
+    const Frame& frame = **reply;
+    if (frame.type == FrameType::kError) {
+      Status carried;
+      Status decoded = DecodeError(frame.payload, &carried);
+      results.push_back(decoded.ok() ? carried : decoded);
+    } else if (frame.type == FrameType::kResult) {
+      results.push_back(DecodeResult(frame.payload));
+    } else {
+      results.push_back(Status::InvalidArgument(
+          "client: unexpected reply frame type " +
+          std::to_string(static_cast<int>(frame.type))));
+    }
+  }
+  if (results.size() < requests.size() && transport.ok()) {
+    // Defensive: every early exit above records its failure, but an
+    // unfilled slot must never carry an OK status.
+    transport = Status::IOError("client: pipelined send failed");
+  }
+  while (results.size() < requests.size()) results.push_back(transport);
+  return results;
+}
+
 Result<std::string> Client::Stats(const std::string& graph) {
   Result<Frame> reply = RoundTrip(FrameType::kStats, graph);
   if (!reply.ok()) return reply.status();

@@ -2,6 +2,7 @@
 #define UGS_SERVICE_CLIENT_H_
 
 #include <string>
+#include <vector>
 
 #include "service/wire.h"
 #include "util/status.h"
@@ -9,8 +10,9 @@
 namespace ugs {
 
 /// A blocking client connection to a ugs_serve daemon: one TCP stream,
-/// one outstanding request at a time (send a frame, read its reply).
-/// Move-only; the destructor closes the connection.
+/// one outstanding request at a time (send a frame, read its reply) --
+/// or a whole pipelined batch via QueryPipelined. Move-only; the
+/// destructor closes the connection.
 class Client {
  public:
   Client() = default;
@@ -39,6 +41,21 @@ class Client {
   /// the server's clock). A kError reply surfaces as the carried Status.
   Result<QueryResult> Query(const std::string& graph,
                             const QueryRequest& request);
+
+  /// Pipelined batch: writes every request frame back-to-back, then
+  /// reads the replies -- the server answers in request order
+  /// (docs/wire-protocol.md), so result[i] answers requests[i], each
+  /// bit-identical to its local run. Per-request failures (kError
+  /// replies) fill their slot without affecting the rest; a transport
+  /// failure poisons every remaining slot with its status.
+  ///
+  /// Pipelining depth is unbounded only against the epoll backend, which
+  /// buffers replies in user space; the blocking backend writes each
+  /// reply before reading the next request, so batches there are limited
+  /// by the kernel socket buffers (tens of frames -- fine in practice,
+  /// documented in docs/operations.md).
+  std::vector<Result<QueryResult>> QueryPipelined(
+      const std::vector<WireRequest>& requests);
 
   /// The stats admin verb: empty `graph` returns the server's counter
   /// JSON, a graph id returns that graph's description (vertices, edges),

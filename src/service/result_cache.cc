@@ -1,0 +1,98 @@
+#include "service/result_cache.h"
+
+#include <utility>
+
+namespace ugs {
+
+ResultCache::ResultCache(ResultCacheOptions options) : options_(options) {}
+
+std::string ResultCache::Key(const std::string& graph,
+                             const QueryRequest& request) {
+  // EncodeRequest is the canonical serialization: fixed field order,
+  // fixed widths, no optional fields -- equal requests encode to equal
+  // bytes and unequal requests to unequal bytes (the graph id travels
+  // length-prefixed, so it cannot collide with request fields).
+  return EncodeRequest({graph, request});
+}
+
+std::shared_ptr<const std::string> ResultCache::Lookup(
+    const std::string& key) {
+  if (!enabled()) return nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  return it->second.payload;
+}
+
+void ResultCache::Insert(const std::string& key,
+                         std::shared_ptr<const std::string> payload) {
+  if (!enabled() || payload == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.find(key) != entries_.end()) return;  // First write wins.
+  if (options_.max_bytes > 0 &&
+      key.size() + payload->size() > options_.max_bytes) {
+    return;  // Larger than the whole budget: would evict everything.
+  }
+  Entry& entry = entries_[key];
+  entry.payload = std::move(payload);
+  lru_.push_front(key);
+  entry.lru = lru_.begin();
+  bytes_ += EntryBytes(key, entry);
+  ++counters_.insertions;
+  EvictToBudget();
+}
+
+void ResultCache::Insert(const std::string& key, std::string payload) {
+  Insert(key, std::make_shared<const std::string>(std::move(payload)));
+}
+
+void ResultCache::EvictToBudget() {
+  while (!lru_.empty()) {
+    const bool over_entries =
+        options_.max_entries > 0 && lru_.size() > options_.max_entries;
+    const bool over_bytes =
+        options_.max_bytes > 0 && bytes_ > options_.max_bytes;
+    if (!over_entries && !over_bytes) break;
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    bytes_ -= EntryBytes(victim, it->second);
+    entries_.erase(it);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+ResultCacheCounters ResultCache::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::string ResultCache::StatsJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::string("{\"enabled\":") + (enabled() ? "true" : "false") +
+         ",\"hits\":" + std::to_string(counters_.hits) +
+         ",\"misses\":" + std::to_string(counters_.misses) +
+         ",\"insertions\":" + std::to_string(counters_.insertions) +
+         ",\"evictions\":" + std::to_string(counters_.evictions) +
+         ",\"entries\":" + std::to_string(lru_.size()) +
+         ",\"bytes\":" + std::to_string(bytes_) +
+         ",\"max_entries\":" + std::to_string(options_.max_entries) +
+         ",\"max_bytes\":" + std::to_string(options_.max_bytes) + "}";
+}
+
+}  // namespace ugs

@@ -1,0 +1,122 @@
+#ifndef UGS_SERVICE_RESULT_CACHE_H_
+#define UGS_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "service/wire.h"
+
+namespace ugs {
+
+/// Configuration of a ResultCache. The cache is disabled (every lookup
+/// misses, nothing is stored) when both budgets are zero.
+struct ResultCacheOptions {
+  /// Most responses resident at once; 0 = no entry bound.
+  std::size_t max_entries = 0;
+  /// Byte budget over all cached response payloads (payload bytes plus a
+  /// fixed per-entry overhead for the key); 0 = no byte bound. A single
+  /// response larger than the budget is never cached.
+  std::size_t max_bytes = 0;
+
+  bool enabled() const { return max_entries > 0 || max_bytes > 0; }
+};
+
+/// Monotonic counters of cache traffic (returned by copy -- a consistent
+/// snapshot under the cache lock).
+struct ResultCacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// A thread-safe LRU cache of encoded query responses, keyed on the
+/// canonical wire encoding of (graph id, QueryRequest).
+///
+/// Soundness: a QueryResult is a pure function of (graph, request) -- the
+/// request seed feeds the engine's seed-split contract, so two runs of
+/// the same request on the same graph are bit-identical (the same purity
+/// argument the serving determinism contract rests on). The cache stores
+/// the *encoded response payload*, so a hit replays the exact bytes the
+/// cold run produced: caching is exact, not approximate. The only field
+/// that could differ between runs, the wall-time `seconds`, is frozen at
+/// the cold run's value -- by design, so hits stay byte-identical.
+///
+/// Keys use EncodeRequest's canonical bytes rather than the client's raw
+/// payload: decoding and re-encoding normalizes nothing today (the wire
+/// format has a single canonical encoding), but keying on re-encoded
+/// bytes makes the cache immune to any future encoder laxity and ties the
+/// key to the *decoded* request actually executed.
+///
+/// The registry's graph ids name immutable on-disk graphs; if an id were
+/// remapped to different graph bytes mid-flight, cached entries for it
+/// would be stale. ugs_serve never does this (a graph dir is append-only
+/// while served); see docs/operations.md.
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions options);
+
+  bool enabled() const { return options_.enabled(); }
+
+  /// The canonical cache key for a request against a graph.
+  static std::string Key(const std::string& graph,
+                         const QueryRequest& request);
+
+  /// Returns the cached encoded-response payload for `key`, refreshing
+  /// its LRU position; null on a miss (or when disabled). Payloads are
+  /// shared, not copied, so a multi-megabyte sampled response costs the
+  /// hit path a pointer, not a memcpy under the cache lock (the pin also
+  /// keeps a hit valid after a concurrent eviction).
+  std::shared_ptr<const std::string> Lookup(const std::string& key);
+
+  /// Stores `payload` under `key` (the pointer is shared, not the
+  /// bytes), evicting LRU entries past the budgets. No-ops when
+  /// disabled, when the payload is null, when the key is already
+  /// resident (first write wins; both writers hold byte-identical
+  /// payloads), or when the payload alone exceeds the byte budget.
+  void Insert(const std::string& key,
+              std::shared_ptr<const std::string> payload);
+  /// Convenience overload copying a plain string payload.
+  void Insert(const std::string& key, std::string payload);
+
+  ResultCacheCounters counters() const;
+
+  std::size_t entries() const;
+  std::size_t bytes() const;
+
+  /// One-line JSON snapshot of counters, budgets, and occupancy -- the
+  /// "cache" object of the stats schema (docs/operations.md).
+  std::string StatsJson() const;
+
+  const ResultCacheOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const std::string> payload;
+    std::list<std::string>::iterator lru;  ///< Into lru_, MRU at front.
+  };
+
+  /// Charged bytes of one entry. Caller holds mutex_.
+  static std::size_t EntryBytes(const std::string& key, const Entry& entry) {
+    return key.size() + entry.payload->size();
+  }
+
+  /// Evicts LRU entries until both budgets hold. Caller holds mutex_.
+  void EvictToBudget();
+
+  ResultCacheOptions options_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< Resident keys, MRU first.
+  std::size_t bytes_ = 0;
+  ResultCacheCounters counters_;
+};
+
+}  // namespace ugs
+
+#endif  // UGS_SERVICE_RESULT_CACHE_H_

@@ -2,18 +2,46 @@
 #define UGS_SERVICE_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "service/result_cache.h"
 #include "service/session_registry.h"
 #include "service/wire.h"
 #include "util/status.h"
 
 namespace ugs {
+
+/// How the server moves bytes. Both backends speak the same wire
+/// protocol and produce bit-identical responses; they differ only in how
+/// connections map to threads.
+enum class ServerBackend : std::uint8_t {
+  /// num_workers accept-threads, each serving one connection at a time
+  /// with blocking reads. Simple, but an idle connection parks a whole
+  /// worker. Kept selectable for one release while the epoll backend
+  /// soaks; see docs/operations.md.
+  kBlocking = 0,
+  /// One reactor thread multiplexes every connection (nonblocking
+  /// sockets, epoll), decoding frames incrementally and dispatching
+  /// requests to a pool of num_workers query threads. Idle connections
+  /// cost one fd, zero workers; a single connection can pipeline
+  /// requests and receives the replies in request order. The default.
+  kEpoll = 1,
+};
+
+/// Lower-case display name ("blocking", "epoll").
+const char* ServerBackendName(ServerBackend backend);
+
+/// Inverse of ServerBackendName; NotFound on unknown names.
+Result<ServerBackend> ParseServerBackend(const std::string& name);
 
 /// Configuration of a Server.
 struct ServerOptions {
@@ -23,13 +51,22 @@ struct ServerOptions {
   /// TCP port; 0 binds an ephemeral port (read it back with port() --
   /// what the tests and the smoke script do).
   int port = 0;
-  /// Worker threads, each serving one connection at a time: the
-  /// request-level overlap knob. Requests on different graphs overlap
-  /// fully; requests on the same graph overlap everywhere except inside
-  /// the engine's sampling loops (the pool runs one loop at a time).
+  /// Query execution threads: the request-level overlap knob. Under the
+  /// epoll backend these are the dispatch pool draining decoded requests
+  /// from all connections; under the blocking backend each one serves a
+  /// whole connection. Requests on different graphs overlap fully;
+  /// requests on the same graph overlap everywhere except inside the
+  /// engine's sampling loops (the pool runs one loop at a time).
   /// Responses are bit-identical at any worker count either way, because
   /// every result is a pure function of (graph, request).
   int num_workers = 1;
+  /// Connection handling strategy.
+  ServerBackend backend = ServerBackend::kEpoll;
+  /// Result cache in front of dispatch (disabled by default). Sound and
+  /// exact: responses are pure functions of (graph id, request) -- the
+  /// seed is part of the key -- so a hit replays the byte-identical
+  /// payload of the cold run. See service/result_cache.h.
+  ResultCacheOptions cache;
   /// The multi-graph registry behind the server.
   SessionRegistryOptions registry;
 };
@@ -41,14 +78,16 @@ struct ServerStats {
   std::uint64_t errors = 0;    ///< Frames answered with an error.
 };
 
-/// A blocking TCP daemon serving the wire protocol (service/wire.h) over
-/// a SessionRegistry. Protocol per connection: the client sends kRequest
-/// or kStats frames and reads one reply frame for each (kResult /
+/// A TCP daemon serving the wire protocol (service/wire.h) over a
+/// SessionRegistry, with an optional exact result cache in front of
+/// query dispatch. Protocol per connection: the client sends kRequest or
+/// kStats frames and reads one reply frame for each (kResult /
 /// kStatsReply on success, kError carrying the typed Status otherwise);
-/// either side closes when done. Request errors (unknown graph, malformed
-/// payload, failed validation) are per-frame -- the connection stays
-/// usable; only transport-level garbage (an unparseable frame header)
-/// closes it.
+/// replies always arrive in request order, so clients may pipeline
+/// (docs/wire-protocol.md); either side closes when done. Request errors
+/// (unknown graph, malformed payload, failed validation) are per-frame
+/// -- the connection stays usable; only transport-level garbage (an
+/// unparseable frame header) closes it.
 ///
 ///   ugs::Server server({.port = 7471, .registry = {.graph_dir = "graphs"}});
 ///   UGS_CHECK(server.Start().ok());
@@ -62,45 +101,113 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and spawns the worker threads; returns once the
+  /// Binds, listens, and spawns the backend's threads; returns once the
   /// socket is accepting. IOError when the address cannot be bound.
   Status Start();
 
   /// The bound port (after Start); useful with port = 0.
   int port() const { return port_; }
 
-  /// Shuts down: stops accepting, wakes workers blocked on idle
-  /// connections, and joins them. In-flight requests finish and their
-  /// responses are delivered. Idempotent.
+  /// Shuts down: stops accepting, stops reading new requests, and joins
+  /// all threads. In-flight requests finish and their responses are
+  /// delivered (best effort: a peer that stops reading forfeits its
+  /// replies). Idempotent.
   void Stop();
 
   SessionRegistry& registry() { return registry_; }
+  ResultCache& cache() { return cache_; }
 
   ServerStats stats() const;
 
-  /// One-line JSON of server + registry counters (the stats verb's
-  /// reply).
+  /// One-line JSON of server + cache + registry counters (the stats
+  /// verb's reply; schema documented in docs/operations.md).
   std::string StatsJson() const;
 
  private:
+  /// One multiplexed connection of the epoll backend (defined in
+  /// server.cc; shared_ptr-held so a dispatched request outlives an
+  /// eviction of its connection).
+  struct Conn;
+
+  /// One decoded frame awaiting execution on the dispatch pool.
+  struct Job {
+    std::shared_ptr<Conn> conn;
+    std::uint64_t seq = 0;  ///< Reply slot within the connection.
+    FrameType type = FrameType::kError;
+    std::string payload;
+  };
+
+  /// One computed reply frame. The payload travels as a shared pointer
+  /// so a response moves cache -> reply slot -> write buffer without
+  /// copying multi-megabyte encodings (a cache hit shares the cached
+  /// bytes outright).
+  struct ReplyFrame {
+    FrameType type = FrameType::kError;
+    std::shared_ptr<const std::string> payload;
+  };
+
+  // --- Shared request execution (both backends). ---
+
+  /// Decodes and runs one query payload into a reply frame, consulting
+  /// the result cache before GraphSession::Run and filling it after.
+  ReplyFrame ExecuteQuery(const std::string& payload);
+  /// Runs one stats payload (empty = counters JSON, otherwise a graph id
+  /// to describe) into a reply frame.
+  ReplyFrame ExecuteStats(const std::string& payload);
+  /// Reply to a frame whose type a server never accepts.
+  ReplyFrame ExecuteUnexpected(FrameType received);
+
+  // --- Blocking backend. ---
+
   void WorkerLoop();
   void ServeConnection(int fd);
-  /// Answers one query frame; returns the reply write status.
-  Status HandleRequest(int fd, const Frame& frame);
-  /// Answers one stats frame (empty payload = server stats, otherwise a
-  /// graph id to describe).
-  Status HandleStats(int fd, const Frame& frame);
+
+  // --- Epoll backend (all Handle*/reactor state is reactor-thread-only
+  // except the reply slots, which workers fill under Conn::mutex). ---
+
+  Status StartEpoll();
+  void StopEpoll();
+  void ReactorLoop();
+  void DispatchLoop();
+  void AcceptNewConnections();
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  void HandleWritable(const std::shared_ptr<Conn>& conn);
+  /// Appends ready reply frames (in request order, prefix only) to the
+  /// write buffer and flushes what the socket accepts.
+  void PumpConnection(const std::shared_ptr<Conn>& conn);
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  /// Re-arms the epoll interest mask from the connection's state.
+  void UpdateEpollMask(const std::shared_ptr<Conn>& conn);
+  /// Worker-side: fills reply slot `seq` and wakes the reactor.
+  void CompleteJob(const std::shared_ptr<Conn>& conn, std::uint64_t seq,
+                   ReplyFrame reply);
+  void WakeReactor();
 
   ServerOptions options_;
   SessionRegistry registry_;
+  ResultCache cache_;
 
   int listen_fd_ = -1;
   int port_ = 0;
-  std::vector<std::thread> workers_;
   std::atomic<bool> stopping_{false};
 
+  // Blocking backend.
+  std::vector<std::thread> workers_;
   std::mutex conn_mutex_;
   std::unordered_set<int> active_conns_;
+
+  // Epoll backend.
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread reactor_;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;  ///< Reactor-only.
+  std::vector<std::thread> dispatchers_;
+  std::mutex jobs_mutex_;
+  std::condition_variable jobs_cv_;
+  std::deque<Job> jobs_;
+  bool jobs_stop_ = false;
+  std::mutex completions_mutex_;
+  std::vector<std::shared_ptr<Conn>> completions_;
 
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> requests_{0};

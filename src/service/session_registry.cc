@@ -162,10 +162,17 @@ std::string SessionRegistry::StatsJson() const {
                     std::to_string(options_.max_resident_bytes) +
                     ",\"resident\":[";
   bool first = true;
+  // MRU first, one object per resident session. Ids in lru_ are always
+  // committed (opening slots join the list only at Commit), so the
+  // session pointer is never null here.
   for (const std::string& id : lru_) {
     if (!first) out.push_back(',');
     first = false;
-    out.append(JsonEscaped(id));
+    const Entry& entry = entries_.at(id);
+    out += "{\"id\":" + JsonEscaped(id) +
+           ",\"bytes\":" + std::to_string(entry.bytes) +
+           ",\"engine_threads\":" +
+           std::to_string(entry.session->engine().num_threads()) + "}";
   }
   out += "]}";
   return out;

@@ -229,6 +229,29 @@ Status ReadExact(int fd, char* data, std::size_t size, bool allow_eof,
   return Status::OK();
 }
 
+/// Validates the fixed 5-byte frame header shared by ReadFrame and
+/// FrameDecoder: little-endian payload length, then the type byte.
+Status ParseFrameHeader(const char* header, std::uint32_t* size,
+                        FrameType* type) {
+  *size = 0;
+  for (int i = 0; i < 4; ++i) {
+    *size |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[i]))
+             << (8 * i);
+  }
+  if (*size > kMaxFramePayload) {
+    return Status::InvalidArgument("wire: frame of " + std::to_string(*size) +
+                                   " bytes exceeds the limit");
+  }
+  const std::uint8_t raw_type = static_cast<std::uint8_t>(header[4]);
+  if (raw_type < static_cast<std::uint8_t>(FrameType::kRequest) ||
+      raw_type > static_cast<std::uint8_t>(FrameType::kStatsReply)) {
+    return Status::InvalidArgument("wire: unknown frame type " +
+                                   std::to_string(raw_type));
+  }
+  *type = static_cast<FrameType>(raw_type);
+  return Status::OK();
+}
+
 Status WriteAll(int fd, const char* data, std::size_t size) {
   std::size_t done = 0;
   while (done < size) {
@@ -592,23 +615,27 @@ bool PayloadEquals(const QueryResult& a, const QueryResult& b) {
          a.has_scalar == b.has_scalar && a.scalar == b.scalar;
 }
 
+void AppendFrame(std::string* out, FrameType type, std::string_view payload) {
+  // One buffer, one send: a header-only segment followed by the payload
+  // would trip the Nagle / delayed-ACK interaction and stall every
+  // request-reply round trip by tens of milliseconds.
+  out->reserve(out->size() + 5 + payload.size());
+  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((size >> (8 * i)) & 0xff));
+  }
+  out->push_back(static_cast<char>(type));
+  out->append(payload);
+}
+
 Status WriteFrame(int fd, FrameType type, std::string_view payload) {
   if (payload.size() > kMaxFramePayload) {
     return Status::IOError("wire: frame payload of " +
                            std::to_string(payload.size()) +
                            " bytes exceeds the limit");
   }
-  // One buffer, one send: a header-only segment followed by the payload
-  // would trip the Nagle / delayed-ACK interaction and stall every
-  // request-reply round trip by tens of milliseconds.
   std::string frame;
-  frame.reserve(5 + payload.size());
-  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
-  for (int i = 0; i < 4; ++i) {
-    frame.push_back(static_cast<char>((size >> (8 * i)) & 0xff));
-  }
-  frame.push_back(static_cast<char>(type));
-  frame.append(payload);
+  AppendFrame(&frame, type, payload);
   return WriteAll(fd, frame.data(), frame.size());
 }
 
@@ -618,27 +645,44 @@ Result<std::optional<Frame>> ReadFrame(int fd) {
   UGS_RETURN_IF_ERROR(ReadExact(fd, header, sizeof(header),
                                 /*allow_eof=*/true, &eof));
   if (eof) return std::optional<Frame>();
-  std::uint32_t size = 0;
-  for (int i = 0; i < 4; ++i) {
-    size |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[i]))
-            << (8 * i);
-  }
-  if (size > kMaxFramePayload) {
-    return Status::InvalidArgument("wire: frame of " + std::to_string(size) +
-                                   " bytes exceeds the limit");
-  }
-  const std::uint8_t raw_type = static_cast<std::uint8_t>(header[4]);
-  if (raw_type < static_cast<std::uint8_t>(FrameType::kRequest) ||
-      raw_type > static_cast<std::uint8_t>(FrameType::kStatsReply)) {
-    return Status::InvalidArgument("wire: unknown frame type " +
-                                   std::to_string(raw_type));
-  }
+  std::uint32_t size;
   Frame frame;
-  frame.type = static_cast<FrameType>(raw_type);
+  UGS_RETURN_IF_ERROR(ParseFrameHeader(header, &size, &frame.type));
   frame.payload.resize(size);
   if (size > 0) {
     UGS_RETURN_IF_ERROR(ReadExact(fd, frame.payload.data(), size,
                                   /*allow_eof=*/false, &eof));
+  }
+  return std::optional<Frame>(std::move(frame));
+}
+
+void FrameDecoder::Append(std::string_view data) {
+  // Compact lazily: dropping the consumed prefix on every frame would be
+  // quadratic on a buffer holding many pipelined frames.
+  if (consumed_ > 0 &&
+      (consumed_ == buffer_.size() || consumed_ >= 4096)) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data);
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  if (buffered() < 5) return std::optional<Frame>();
+  std::uint32_t size;
+  Frame frame;
+  // A bad header is permanent: consumed_ is left pointing at it, so the
+  // same error returns on every later call.
+  UGS_RETURN_IF_ERROR(
+      ParseFrameHeader(buffer_.data() + consumed_, &size, &frame.type));
+  if (buffered() < 5 + static_cast<std::size_t>(size)) {
+    return std::optional<Frame>();
+  }
+  frame.payload.assign(buffer_, consumed_ + 5, size);
+  consumed_ += 5 + static_cast<std::size_t>(size);
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
   }
   return std::optional<Frame>(std::move(frame));
 }

@@ -98,9 +98,41 @@ std::string JsonEscaped(const std::string& s);
 /// PayloadEquals the same request run through GraphSession::Run locally.
 bool PayloadEquals(const QueryResult& a, const QueryResult& b);
 
+/// Appends one framed message (header + payload) to `out` -- the
+/// buffer-building half of WriteFrame, used by the epoll backend's
+/// per-connection write queues. The caller is responsible for the
+/// kMaxFramePayload check (WriteFrame performs it).
+void AppendFrame(std::string* out, FrameType type, std::string_view payload);
+
 /// Writes one frame to a file descriptor (blocking, handles short
 /// writes). IOError on write failure or oversized payload.
 Status WriteFrame(int fd, FrameType type, std::string_view payload);
+
+/// Incremental frame decoder for nonblocking transports (the epoll
+/// backend): Append() bytes exactly as they arrive off the socket, then
+/// pull complete frames out with Next() until it reports "need more".
+/// The byte stream it accepts is identical to what ReadFrame consumes --
+/// one decoder per connection replaces the blocking read loop.
+class FrameDecoder {
+ public:
+  /// Buffers `data` (any split: partial headers and payloads welcome).
+  void Append(std::string_view data);
+
+  /// Extracts the next complete frame: a Frame once its last byte is
+  /// buffered, std::nullopt when more bytes are needed, InvalidArgument
+  /// on an oversized or unknown-type header. A header error is
+  /// unrecoverable -- there is no frame boundary left to resynchronize
+  /// on, so callers must drop the connection (the error sticks: every
+  /// later Next() repeats it).
+  Result<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet consumed by Next().
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+};
 
 /// Reads one frame from a file descriptor (blocking, handles short
 /// reads). std::nullopt on clean end-of-stream (peer closed before any

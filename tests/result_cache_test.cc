@@ -1,0 +1,183 @@
+#include "service/result_cache.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "query/query.h"
+
+namespace ugs {
+namespace {
+
+QueryRequest MakeRequest(std::uint64_t seed) {
+  QueryRequest request;
+  request.query = "reliability";
+  request.pairs = {{0, 3}};
+  request.num_samples = 32;
+  request.seed = seed;
+  return request;
+}
+
+TEST(ResultCacheTest, DisabledCacheIsPureMissAndStoresNothing) {
+  ResultCache cache(ResultCacheOptions{});  // Both budgets 0: disabled.
+  EXPECT_FALSE(cache.enabled());
+  const std::string key = ResultCache::Key("g", MakeRequest(1));
+  EXPECT_FALSE(cache.Lookup(key) != nullptr);
+  cache.Insert(key, "payload");
+  EXPECT_FALSE(cache.Lookup(key) != nullptr);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  // Disabled lookups are not even counted as misses: the cache is inert.
+  ResultCacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.hits, 0u);
+  EXPECT_EQ(counters.misses, 0u);
+  EXPECT_EQ(counters.insertions, 0u);
+}
+
+TEST(ResultCacheTest, HitReturnsInsertedPayloadVerbatim) {
+  ResultCache cache({.max_entries = 4});
+  const std::string key = ResultCache::Key("g", MakeRequest(1));
+  EXPECT_FALSE(cache.Lookup(key) != nullptr);
+  const std::string payload("exact-bytes\0with-nul", 20);  // Embedded NUL.
+  cache.Insert(key, payload);
+  std::shared_ptr<const std::string> hit = cache.Lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, payload);
+  ResultCacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.insertions, 1u);
+}
+
+TEST(ResultCacheTest, KeyDistinguishesGraphAndEveryRequestField) {
+  const QueryRequest base = MakeRequest(1);
+  const std::string key = ResultCache::Key("g1", base);
+  EXPECT_NE(key, ResultCache::Key("g2", base));
+
+  QueryRequest reseeded = base;
+  reseeded.seed = 2;  // The seed is part of the key: determinism, not luck.
+  EXPECT_NE(key, ResultCache::Key("g1", reseeded));
+
+  QueryRequest resampled = base;
+  resampled.num_samples = 64;
+  EXPECT_NE(key, ResultCache::Key("g1", resampled));
+
+  QueryRequest repaired = base;
+  repaired.pairs = {{0, 2}};
+  EXPECT_NE(key, ResultCache::Key("g1", repaired));
+
+  QueryRequest restimated = base;
+  restimated.estimator = Estimator::kSkipSampler;
+  EXPECT_NE(key, ResultCache::Key("g1", restimated));
+
+  // And an equal request produces an equal key.
+  EXPECT_EQ(key, ResultCache::Key("g1", MakeRequest(1)));
+}
+
+TEST(ResultCacheTest, EntryBudgetEvictsLeastRecentlyUsed) {
+  ResultCache cache({.max_entries = 2});
+  const std::string a = ResultCache::Key("g", MakeRequest(1));
+  const std::string b = ResultCache::Key("g", MakeRequest(2));
+  const std::string c = ResultCache::Key("g", MakeRequest(3));
+  cache.Insert(a, "A");
+  cache.Insert(b, "B");
+  ASSERT_TRUE(cache.Lookup(a) != nullptr);  // a is now MRU.
+  cache.Insert(c, "C");                       // Evicts b, the LRU.
+  EXPECT_TRUE(cache.Lookup(a) != nullptr);
+  EXPECT_FALSE(cache.Lookup(b) != nullptr);
+  EXPECT_TRUE(cache.Lookup(c) != nullptr);
+  EXPECT_EQ(cache.counters().evictions, 1u);
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(ResultCacheTest, ByteBudgetEvictsUntilItFits) {
+  // Each entry charges key + payload bytes; keys here are the encoded
+  // requests (~80 bytes each), so a 3-entry budget forces eviction on
+  // the 4th insert at the latest.
+  const std::string a = ResultCache::Key("g", MakeRequest(1));
+  ResultCache cache({.max_bytes = 3 * (a.size() + 8)});
+  const std::string b = ResultCache::Key("g", MakeRequest(2));
+  const std::string c = ResultCache::Key("g", MakeRequest(3));
+  const std::string d = ResultCache::Key("g", MakeRequest(4));
+  cache.Insert(a, std::string(8, 'a'));
+  cache.Insert(b, std::string(8, 'b'));
+  cache.Insert(c, std::string(8, 'c'));
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_LE(cache.bytes(), cache.options().max_bytes);
+  cache.Insert(d, std::string(8, 'd'));
+  EXPECT_LE(cache.bytes(), cache.options().max_bytes);
+  EXPECT_GT(cache.counters().evictions, 0u);
+  EXPECT_FALSE(cache.Lookup(a) != nullptr);  // LRU victim.
+  EXPECT_TRUE(cache.Lookup(d) != nullptr);
+}
+
+TEST(ResultCacheTest, OversizedPayloadIsNeverCached) {
+  ResultCache cache({.max_bytes = 64});
+  const std::string key = ResultCache::Key("g", MakeRequest(1));
+  cache.Insert(key, std::string(1024, 'x'));  // Exceeds the whole budget.
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.counters().insertions, 0u);
+}
+
+TEST(ResultCacheTest, FirstInsertWinsOnDuplicateKey) {
+  ResultCache cache({.max_entries = 4});
+  const std::string key = ResultCache::Key("g", MakeRequest(1));
+  cache.Insert(key, "first");
+  cache.Insert(key, "second");  // Duplicate: ignored (payloads are
+                                // byte-identical in real traffic anyway).
+  std::shared_ptr<const std::string> hit = cache.Lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "first");
+  EXPECT_EQ(cache.counters().insertions, 1u);
+}
+
+TEST(ResultCacheTest, StatsJsonCarriesCountersAndOccupancy) {
+  ResultCache cache({.max_entries = 2, .max_bytes = 4096});
+  const std::string key = ResultCache::Key("g", MakeRequest(1));
+  cache.Insert(key, "payload");
+  ASSERT_TRUE(cache.Lookup(key) != nullptr);
+  cache.Lookup(ResultCache::Key("g", MakeRequest(2)));
+  const std::string json = cache.StatsJson();
+  EXPECT_NE(json.find("\"enabled\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hits\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"misses\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"insertions\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"entries\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max_entries\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max_bytes\":4096"), std::string::npos) << json;
+}
+
+TEST(ResultCacheTest, ConcurrentMixedTrafficStaysConsistent) {
+  ResultCache cache({.max_entries = 8});
+  constexpr int kThreads = 4;
+  constexpr int kOps = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key =
+            ResultCache::Key("g", MakeRequest(static_cast<std::uint64_t>(
+                                      (t * 7 + i) % 16)));
+        if (std::shared_ptr<const std::string> hit = cache.Lookup(key)) {
+          // A hit must replay the exact insert for that key.
+          EXPECT_EQ(*hit, key + "|payload");
+        } else {
+          cache.Insert(key, key + "|payload");
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_LE(cache.entries(), 8u);
+  ResultCacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.hits + counters.misses,
+            static_cast<std::uint64_t>(kThreads * kOps));
+}
+
+}  // namespace
+}  // namespace ugs

@@ -13,6 +13,7 @@
 #include "graph/graph_io.h"
 #include "query/graph_session.h"
 #include "service/client.h"
+#include "service/result_cache.h"
 #include "service/server.h"
 #include "service/wire.h"
 #include "tests/test_util.h"
@@ -23,7 +24,8 @@ namespace {
 /// End-to-end tests of ugs_serve's engine: Server + Client over a real
 /// loopback socket, asserting the serving determinism contract -- a
 /// response is bit-identical (PayloadEquals) to GraphSession::Run locally
-/// at any worker count, with registry eviction active.
+/// at any worker count, under either backend, cache on or off, with
+/// registry eviction active.
 class ServiceTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -41,13 +43,9 @@ class ServiceTest : public ::testing::Test {
   }
   std::string Id(const std::string& id) const { return "svctest_" + id; }
 
-  std::unique_ptr<Server> StartServer(int workers,
-                                      std::size_t max_sessions = 8) {
-    ServerOptions options;
+  std::unique_ptr<Server> StartServerWith(ServerOptions options) {
     options.port = 0;  // Ephemeral; tests read it back from port().
-    options.num_workers = workers;
     options.registry.graph_dir = dir_;
-    options.registry.max_sessions = max_sessions;
     auto server = std::make_unique<Server>(options);
     Status started = server->Start();
     EXPECT_TRUE(started.ok()) << started.ToString();
@@ -58,6 +56,20 @@ class ServiceTest : public ::testing::Test {
     Result<Client> client = Client::Connect("127.0.0.1", server.port());
     EXPECT_TRUE(client.ok()) << client.status().ToString();
     return std::move(client.value());
+  }
+
+  /// A raw loopback socket speaking frames directly (for byte-level
+  /// assertions the Client's decode step would hide).
+  int RawConnect(const Server& server) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+    EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    return fd;
   }
 
   /// A request per query kind / estimator shape (all valid on every test
@@ -123,11 +135,44 @@ class ServiceTest : public ::testing::Test {
   std::string dir_;
 };
 
-TEST_F(ServiceTest, ResponsesBitIdenticalToLocalRunsAtEveryWorkerCount) {
+/// One server configuration the shared test battery runs under.
+struct BackendParam {
+  ServerBackend backend;
+  std::size_t cache_entries;  ///< 0 = result cache disabled.
+  const char* name;
+};
+
+class ServiceBackendTest : public ServiceTest,
+                           public ::testing::WithParamInterface<BackendParam> {
+ protected:
+  std::unique_ptr<Server> StartServer(int workers,
+                                      std::size_t max_sessions = 8) {
+    ServerOptions options;
+    options.backend = GetParam().backend;
+    options.cache.max_entries = GetParam().cache_entries;
+    options.num_workers = workers;
+    options.registry.max_sessions = max_sessions;
+    return StartServerWith(options);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ServiceBackendTest,
+    ::testing::Values(
+        BackendParam{ServerBackend::kBlocking, 0, "blocking"},
+        BackendParam{ServerBackend::kEpoll, 0, "epoll"},
+        BackendParam{ServerBackend::kEpoll, 64, "epoll_cached"}),
+    [](const ::testing::TestParamInfo<BackendParam>& info) {
+      return info.param.name;
+    });
+
+TEST_P(ServiceBackendTest, ResponsesBitIdenticalToLocalRunsAtEveryWorkerCount) {
   // The acceptance contract: every query kind, served through a
   // 1-session registry (so graph cycling keeps eviction active), at 1, 2
   // and 8 server workers, answers bit-identically to a local
-  // GraphSession::Run of the same request.
+  // GraphSession::Run of the same request. Under the cached
+  // instantiation a second pass re-asks everything: those answers come
+  // from the result cache and must still be bit-identical.
   const std::vector<QueryRequest> requests = CoveringRequests();
   const std::vector<std::string> graphs = {"g1", "g2", "g3"};
 
@@ -147,30 +192,38 @@ TEST_F(ServiceTest, ResponsesBitIdenticalToLocalRunsAtEveryWorkerCount) {
     expected.push_back(std::move(per_graph));
   }
 
+  const bool cached = GetParam().cache_entries > 0;
   for (int workers : {1, 2, 8}) {
     std::unique_ptr<Server> server = StartServer(workers,
                                                  /*max_sessions=*/1);
     Client client = ConnectTo(*server);
     // Interleave graphs per request so every query lands on a freshly
     // re-opened session (the 1-entry registry evicts on each switch).
-    for (std::size_t r = 0; r < requests.size(); ++r) {
-      for (std::size_t g = 0; g < graphs.size(); ++g) {
-        Result<QueryResult> result =
-            client.Query(Id(graphs[g]), requests[r]);
-        ASSERT_TRUE(result.ok())
-            << requests[r].query << " on " << graphs[g] << " at " << workers
-            << " workers: " << result.status().ToString();
-        EXPECT_TRUE(PayloadEquals(*result, expected[g][r]))
-            << requests[r].query << " on " << graphs[g] << " at " << workers
-            << " workers";
+    for (int pass = 0; pass < (cached ? 2 : 1); ++pass) {
+      for (std::size_t r = 0; r < requests.size(); ++r) {
+        for (std::size_t g = 0; g < graphs.size(); ++g) {
+          Result<QueryResult> result =
+              client.Query(Id(graphs[g]), requests[r]);
+          ASSERT_TRUE(result.ok())
+              << requests[r].query << " on " << graphs[g] << " at "
+              << workers << " workers: " << result.status().ToString();
+          EXPECT_TRUE(PayloadEquals(*result, expected[g][r]))
+              << requests[r].query << " on " << graphs[g] << " at "
+              << workers << " workers, pass " << pass;
+        }
       }
     }
     EXPECT_GT(server->registry().counters().evictions, 0u);
+    if (cached) {
+      // The whole second pass was served from the cache.
+      EXPECT_GE(server->cache().counters().hits,
+                requests.size() * graphs.size());
+    }
     server->Stop();
   }
 }
 
-TEST_F(ServiceTest, ConcurrentClientsAllGetCorrectAnswers) {
+TEST_P(ServiceBackendTest, ConcurrentClientsAllGetCorrectAnswers) {
   std::unique_ptr<Server> server = StartServer(/*workers=*/4);
   QueryRequest request;
   request.query = "reliability";
@@ -208,7 +261,7 @@ TEST_F(ServiceTest, ConcurrentClientsAllGetCorrectAnswers) {
             static_cast<std::uint64_t>(kClients * 3));
 }
 
-TEST_F(ServiceTest, RequestErrorsAreTypedAndConnectionSurvives) {
+TEST_P(ServiceBackendTest, RequestErrorsAreTypedAndConnectionSurvives) {
   std::unique_ptr<Server> server = StartServer(1);
   Client client = ConnectTo(*server);
 
@@ -246,16 +299,9 @@ TEST_F(ServiceTest, RequestErrorsAreTypedAndConnectionSurvives) {
   EXPECT_GE(server->stats().errors, 4u);
 }
 
-TEST_F(ServiceTest, MalformedPayloadGetsTypedErrorAndConnectionSurvives) {
+TEST_P(ServiceBackendTest, MalformedPayloadGetsTypedErrorAndSurvives) {
   std::unique_ptr<Server> server = StartServer(1);
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  ASSERT_GE(fd, 0);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(server->port()));
-  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
-  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
-            0);
+  int fd = RawConnect(*server);
 
   // A well-framed but undecodable request payload.
   ASSERT_TRUE(WriteFrame(fd, FrameType::kRequest, "garbage").ok());
@@ -276,7 +322,98 @@ TEST_F(ServiceTest, MalformedPayloadGetsTypedErrorAndConnectionSurvives) {
   ::close(fd);
 }
 
-TEST_F(ServiceTest, StatsVerbReportsServerAndRegistry) {
+TEST_P(ServiceBackendTest, GarbageFrameHeaderGetsErrorThenClose) {
+  std::unique_ptr<Server> server = StartServer(1);
+  int fd = RawConnect(*server);
+
+  // An unparseable header (impossible length): the server answers one
+  // typed error, then drops the connection -- there is no frame boundary
+  // left to resynchronize on.
+  const char garbage[] = "\xff\xff\xff\xff\x01";
+  ASSERT_EQ(::send(fd, garbage, 5, 0), 5);
+  Result<std::optional<Frame>> reply = ReadFrame(fd);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_TRUE(reply->has_value());
+  EXPECT_EQ((*reply)->type, FrameType::kError);
+  Status carried;
+  ASSERT_TRUE(DecodeError((*reply)->payload, &carried).ok());
+  EXPECT_EQ(carried.code(), StatusCode::kInvalidArgument);
+
+  // End-of-stream follows: the server closed its side.
+  reply = ReadFrame(fd);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_FALSE(reply->has_value());
+  ::close(fd);
+}
+
+TEST_P(ServiceBackendTest, TruncatedFrameAtEofGetsTypedError) {
+  // A header promising 100 payload bytes, then only 2 and a half-close:
+  // both backends must answer one typed mid-frame-EOF error and close.
+  std::unique_ptr<Server> server = StartServer(1);
+  int fd = RawConnect(*server);
+  const char partial[] = {100, 0, 0, 0, 1, 'x', 'y'};
+  ASSERT_EQ(::send(fd, partial, sizeof(partial), 0),
+            static_cast<ssize_t>(sizeof(partial)));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+
+  Result<std::optional<Frame>> reply = ReadFrame(fd);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_TRUE(reply->has_value());
+  ASSERT_EQ((*reply)->type, FrameType::kError);
+  Status carried;
+  ASSERT_TRUE(DecodeError((*reply)->payload, &carried).ok());
+  EXPECT_EQ(carried.code(), StatusCode::kIOError) << carried.ToString();
+
+  reply = ReadFrame(fd);  // End-of-stream follows.
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->has_value());
+  EXPECT_GE(server->stats().errors, 1u);
+  ::close(fd);
+}
+
+TEST_P(ServiceBackendTest, PipelinedRepliesArriveInRequestOrder) {
+  // A pipelined batch: heterogeneous requests, one invalid in the
+  // middle. Every slot must answer its own request -- result i
+  // bit-identical to the local run of request i, the bad slot a typed
+  // error that displaces nothing.
+  std::unique_ptr<Server> server = StartServer(/*workers=*/4);
+  const std::vector<QueryRequest> covering = CoveringRequests();
+
+  Result<std::unique_ptr<GraphSession>> local =
+      GraphSession::Open(Path("g1"));
+  ASSERT_TRUE(local.ok());
+
+  std::vector<WireRequest> batch;
+  std::vector<Result<QueryResult>> expected;
+  for (const QueryRequest& request : covering) {
+    batch.push_back({Id("g1"), request});
+    expected.push_back((*local)->Run(request));
+  }
+  QueryRequest bad;
+  bad.query = "no-such-query";
+  batch.insert(batch.begin() + 3, {Id("g1"), bad});
+  expected.insert(expected.begin() + 3,
+                  Status::NotFound("placeholder"));
+
+  Client client = ConnectTo(*server);
+  std::vector<Result<QueryResult>> results = client.QueryPipelined(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!expected[i].ok()) {
+      ASSERT_FALSE(results[i].ok()) << "slot " << i;
+      EXPECT_EQ(results[i].status().code(), StatusCode::kNotFound)
+          << "slot " << i;
+      continue;
+    }
+    ASSERT_TRUE(results[i].ok())
+        << "slot " << i << ": " << results[i].status().ToString();
+    EXPECT_TRUE(PayloadEquals(*results[i], *expected[i]))
+        << "slot " << i << " (" << batch[i].request.query
+        << ") answered out of order";
+  }
+}
+
+TEST_P(ServiceBackendTest, StatsVerbReportsServerCacheAndRegistry) {
   std::unique_ptr<Server> server = StartServer(2);
   Client client = ConnectTo(*server);
   QueryRequest request;
@@ -284,11 +421,20 @@ TEST_F(ServiceTest, StatsVerbReportsServerAndRegistry) {
   request.num_samples = 8;
   ASSERT_TRUE(client.Query(Id("g1"), request).ok());
 
+  // The one stable stats schema (docs/operations.md): server, cache,
+  // and registry objects, always all present.
   Result<std::string> stats = client.Stats();
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_NE(stats->find("\"server\""), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"backend\""), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"cache\""), std::string::npos) << *stats;
   EXPECT_NE(stats->find("\"registry\""), std::string::npos) << *stats;
   EXPECT_NE(stats->find("\"requests\":1"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"enabled\":"), std::string::npos) << *stats;
+  // Per-graph residency objects carry bytes + engine pool width.
+  EXPECT_NE(stats->find("\"resident\":[{\"id\":"), std::string::npos)
+      << *stats;
+  EXPECT_NE(stats->find("\"engine_threads\":"), std::string::npos) << *stats;
 
   // The graph-description form sizes client-side request draws.
   Result<std::string> describe = client.Stats(Id("g2"));
@@ -298,7 +444,7 @@ TEST_F(ServiceTest, StatsVerbReportsServerAndRegistry) {
   EXPECT_NE(describe->find("\"edges\":11"), std::string::npos) << *describe;
 }
 
-TEST_F(ServiceTest, StopWithIdleConnectedClientReturns) {
+TEST_P(ServiceBackendTest, StopWithIdleConnectedClientReturns) {
   std::unique_ptr<Server> server = StartServer(2);
   Client idle = ConnectTo(*server);  // Connected but never sends.
   QueryRequest request;
@@ -306,16 +452,186 @@ TEST_F(ServiceTest, StopWithIdleConnectedClientReturns) {
   request.num_samples = 8;
   Client busy = ConnectTo(*server);
   ASSERT_TRUE(busy.Query(Id("g1"), request).ok());
-  // Stop must not hang on the idle connection (it is shut down and its
-  // worker joins); this call returning IS the assertion.
+  // Stop must not hang on the idle connection; this call returning IS
+  // the assertion.
   server->Stop();
   // After shutdown the server answers nothing.
   EXPECT_FALSE(busy.Query(Id("g1"), request).ok());
 }
 
+// --- Epoll- and cache-specific behavior. ---
+
+TEST_F(ServiceTest, CacheHitReplaysByteIdenticalPayload) {
+  ServerOptions options;
+  options.backend = ServerBackend::kEpoll;
+  options.num_workers = 2;
+  options.cache.max_entries = 16;
+  std::unique_ptr<Server> server = StartServerWith(options);
+
+  QueryRequest request;
+  request.query = "reliability";
+  request.pairs = {{0, 3}};
+  request.num_samples = 64;
+  request.seed = 21;
+  const std::string payload = EncodeRequest({Id("g1"), request});
+
+  int fd = RawConnect(*server);
+  // Cold run, then the hit: the reply payloads must be byte-identical --
+  // not just PayloadEquals, the exact frame bytes (the result cache
+  // stores the encoded response, wall time included).
+  std::string replies[2];
+  for (std::string& reply : replies) {
+    ASSERT_TRUE(WriteFrame(fd, FrameType::kRequest, payload).ok());
+    Result<std::optional<Frame>> frame = ReadFrame(fd);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_TRUE(frame->has_value());
+    ASSERT_EQ((*frame)->type, FrameType::kResult);
+    reply = (*frame)->payload;
+  }
+  ::close(fd);
+  EXPECT_EQ(replies[0], replies[1]) << "cache hit altered response bytes";
+
+  ResultCacheCounters counters = server->cache().counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.insertions, 1u);
+
+  // And the cached response is still bit-identical to a local run.
+  Result<QueryResult> decoded = DecodeResult(replies[1]);
+  ASSERT_TRUE(decoded.ok());
+  Result<std::unique_ptr<GraphSession>> local =
+      GraphSession::Open(Path("g1"));
+  ASSERT_TRUE(local.ok());
+  Result<QueryResult> expected = (*local)->Run(request);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(PayloadEquals(*decoded, *expected));
+}
+
+TEST_F(ServiceTest, CacheDisabledIsPurePassthrough) {
+  ServerOptions options;
+  options.backend = ServerBackend::kEpoll;
+  options.num_workers = 1;  // cache.max_entries stays 0: disabled.
+  std::unique_ptr<Server> server = StartServerWith(options);
+
+  QueryRequest request;
+  request.query = "reliability";
+  request.pairs = {{0, 3}};
+  request.num_samples = 32;
+  Client client = ConnectTo(*server);
+  Result<QueryResult> first = client.Query(Id("g1"), request);
+  ASSERT_TRUE(first.ok());
+  Result<QueryResult> second = client.Query(Id("g1"), request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(PayloadEquals(*first, *second));
+
+  ResultCacheCounters counters = server->cache().counters();
+  EXPECT_EQ(counters.hits, 0u);
+  EXPECT_EQ(counters.misses, 0u);
+  EXPECT_EQ(counters.insertions, 0u);
+}
+
+TEST_F(ServiceTest, IdleConnectionsDoNotHoldWorkerSlots) {
+  // The epoll backend's whole point: with ONE worker and many idle
+  // connections parked on the reactor, a late-arriving client still gets
+  // served. (The blocking backend would strand it: each idle connection
+  // pins a worker.)
+  ServerOptions options;
+  options.backend = ServerBackend::kEpoll;
+  options.num_workers = 1;
+  std::unique_ptr<Server> server = StartServerWith(options);
+
+  std::vector<Client> idle;
+  for (int i = 0; i < 16; ++i) idle.push_back(ConnectTo(*server));
+
+  Client active = ConnectTo(*server);
+  QueryRequest request;
+  request.query = "connectivity";
+  request.num_samples = 8;
+  Result<QueryResult> result = active.Query(Id("g1"), request);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(server->stats().connections, 17u);
+}
+
+TEST_F(ServiceTest, PipelinedBurstCompletesOutOfOrderWorkInOrder) {
+  // Many pipelined requests on one connection, drained by a 4-thread
+  // dispatch pool: completions happen out of order, replies must not.
+  ServerOptions options;
+  options.backend = ServerBackend::kEpoll;
+  options.num_workers = 4;
+  options.cache.max_entries = 8;  // Mixed hit/miss traffic mid-burst.
+  std::unique_ptr<Server> server = StartServerWith(options);
+
+  Result<std::unique_ptr<GraphSession>> local =
+      GraphSession::Open(Path("g2"));
+  ASSERT_TRUE(local.ok());
+
+  std::vector<WireRequest> batch;
+  std::vector<QueryResult> expected;
+  for (int i = 0; i < 24; ++i) {
+    QueryRequest request;
+    request.query = "reliability";
+    // The request stream has period 8 (lcm of the moduli below): the
+    // first 8 slots are misses that fill the cache, the next 16 hits.
+    request.pairs = {{0, static_cast<VertexId>(1 + i % 8)}};
+    request.num_samples = 16 + 16 * (i % 2);  // Uneven work sizes.
+    request.seed = static_cast<std::uint64_t>(i % 4);
+    batch.push_back({Id("g2"), request});
+    Result<QueryResult> reference = (*local)->Run(request);
+    ASSERT_TRUE(reference.ok());
+    expected.push_back(*reference);
+  }
+
+  Client client = ConnectTo(*server);
+  std::vector<Result<QueryResult>> results = client.QueryPipelined(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok())
+        << "slot " << i << ": " << results[i].status().ToString();
+    EXPECT_TRUE(PayloadEquals(*results[i], expected[i])) << "slot " << i;
+  }
+  EXPECT_EQ(server->stats().requests, batch.size());
+  ResultCacheCounters counters = server->cache().counters();
+  EXPECT_EQ(counters.insertions, 8u);
+  EXPECT_EQ(counters.hits + counters.misses, batch.size());
+}
+
+TEST_F(ServiceTest, DeepPipelineBeyondBackpressureBudgetStaysOrdered) {
+  // 1500 pipelined frames on one connection exceeds the epoll backend's
+  // open-slot backpressure budget (1024): the reactor must pause reading
+  // while the backlog drains and resume without losing, reordering, or
+  // deadlocking anything. Graph-describe stats frames cycle g1/g2/g3 so
+  // every reply names the request it answers.
+  ServerOptions options;
+  options.backend = ServerBackend::kEpoll;
+  options.num_workers = 2;
+  std::unique_ptr<Server> server = StartServerWith(options);
+  const std::vector<std::string> graphs = {"g1", "g2", "g3"};
+
+  int fd = RawConnect(*server);
+  constexpr int kFrames = 1500;
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(
+        WriteFrame(fd, FrameType::kStats, Id(graphs[i % 3])).ok())
+        << "frame " << i;
+  }
+  for (int i = 0; i < kFrames; ++i) {
+    Result<std::optional<Frame>> reply = ReadFrame(fd);
+    ASSERT_TRUE(reply.ok()) << "reply " << i << ": "
+                            << reply.status().ToString();
+    ASSERT_TRUE(reply->has_value()) << "reply " << i;
+    ASSERT_EQ((*reply)->type, FrameType::kStatsReply) << "reply " << i;
+    const std::string expected_graph =
+        "\"graph\":\"" + Id(graphs[i % 3]) + "\"";
+    EXPECT_NE((*reply)->payload.find(expected_graph), std::string::npos)
+        << "reply " << i << " answered out of order: " << (*reply)->payload;
+  }
+  ::close(fd);
+}
+
 TEST_F(ServiceTest, EphemeralPortsAreIndependent) {
-  std::unique_ptr<Server> a = StartServer(1);
-  std::unique_ptr<Server> b = StartServer(1);
+  ServerOptions options;
+  std::unique_ptr<Server> a = StartServerWith(options);
+  std::unique_ptr<Server> b = StartServerWith(options);
   EXPECT_NE(a->port(), 0);
   EXPECT_NE(b->port(), 0);
   EXPECT_NE(a->port(), b->port());

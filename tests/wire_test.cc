@@ -266,6 +266,118 @@ TEST(WireJsonTest, EscapesHostileStrings) {
   EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos);
 }
 
+/// One encoded frame as it would travel on the wire.
+std::string FramedBytes(FrameType type, const std::string& payload) {
+  std::string out;
+  AppendFrame(&out, type, payload);
+  return out;
+}
+
+TEST(FrameDecoderTest, DecodesOneFrameFedByteByByte) {
+  const std::string payload = EncodeRequest(FullRequest());
+  const std::string bytes = FramedBytes(FrameType::kRequest, payload);
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    // Before the last byte, the decoder must keep asking for more.
+    Result<std::optional<Frame>> frame = decoder.Next();
+    ASSERT_TRUE(frame.ok()) << "at byte " << i;
+    ASSERT_FALSE(frame->has_value()) << "at byte " << i;
+    decoder.Append(std::string_view(&bytes[i], 1));
+  }
+  Result<std::optional<Frame>> frame = decoder.Next();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ((*frame)->type, FrameType::kRequest);
+  EXPECT_EQ((*frame)->payload, payload);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoderTest, DecodesManyPipelinedFramesFromOneAppend) {
+  // Pipelining on the wire is exactly this: several frames back-to-back
+  // in one TCP stream, possibly landing in a single read.
+  std::string stream;
+  const std::string request = EncodeRequest(FullRequest());
+  AppendFrame(&stream, FrameType::kRequest, request);
+  AppendFrame(&stream, FrameType::kStats, "");
+  AppendFrame(&stream, FrameType::kRequest, request);
+  FrameDecoder decoder;
+  decoder.Append(stream);
+  const FrameType expected[] = {FrameType::kRequest, FrameType::kStats,
+                                FrameType::kRequest};
+  for (FrameType type : expected) {
+    Result<std::optional<Frame>> frame = decoder.Next();
+    ASSERT_TRUE(frame.ok());
+    ASSERT_TRUE(frame->has_value());
+    EXPECT_EQ((*frame)->type, type);
+  }
+  Result<std::optional<Frame>> done = decoder.Next();
+  ASSERT_TRUE(done.ok());
+  EXPECT_FALSE(done->has_value());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoderTest, SplitAcrossAppendsAtEveryBoundary) {
+  const std::string payload = "0123456789";
+  const std::string bytes = FramedBytes(FrameType::kStatsReply, payload);
+  for (std::size_t split = 0; split <= bytes.size(); ++split) {
+    FrameDecoder decoder;
+    decoder.Append(std::string_view(bytes).substr(0, split));
+    decoder.Append(std::string_view(bytes).substr(split));
+    Result<std::optional<Frame>> frame = decoder.Next();
+    ASSERT_TRUE(frame.ok()) << "split " << split;
+    ASSERT_TRUE(frame->has_value()) << "split " << split;
+    EXPECT_EQ((*frame)->payload, payload) << "split " << split;
+  }
+}
+
+TEST(FrameDecoderTest, OversizedHeaderFailsTypedAndSticks) {
+  std::string bytes = "\xff\xff\xff\xff";  // Length 2^32-1: over the limit.
+  bytes.push_back(static_cast<char>(FrameType::kRequest));
+  FrameDecoder decoder;
+  decoder.Append(bytes);
+  Result<std::optional<Frame>> frame = decoder.Next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  // The error is permanent: there is no boundary to resynchronize on.
+  frame = decoder.Next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameDecoderTest, UnknownTypeByteFailsTyped) {
+  std::string bytes(4, '\0');  // Zero-length payload...
+  bytes.push_back(static_cast<char>(99));  // ...but an unassigned type.
+  FrameDecoder decoder;
+  decoder.Append(bytes);
+  Result<std::optional<Frame>> frame = decoder.Next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameDecoderTest, MatchesReadFrameStreamSemantics) {
+  // The decoder accepts exactly the byte stream ReadFrame consumes: a
+  // frame with an empty payload followed by one with a binary payload.
+  std::string stream;
+  AppendFrame(&stream, FrameType::kStats, "");
+  const std::string error = EncodeError(Status::NotFound("nope"));
+  AppendFrame(&stream, FrameType::kError, error);
+  FrameDecoder decoder;
+  decoder.Append(stream);
+  Result<std::optional<Frame>> first = decoder.Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  EXPECT_EQ((*first)->type, FrameType::kStats);
+  EXPECT_TRUE((*first)->payload.empty());
+  Result<std::optional<Frame>> second = decoder.Next();
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->has_value());
+  EXPECT_EQ((*second)->type, FrameType::kError);
+  Status carried;
+  ASSERT_TRUE(DecodeError((*second)->payload, &carried).ok());
+  EXPECT_EQ(carried.code(), StatusCode::kNotFound);
+  EXPECT_EQ(carried.message(), "nope");
+}
+
 TEST(WirePayloadEqualsTest, IgnoresTimingOnly) {
   QueryResult a = SampledResult();
   QueryResult b = a;

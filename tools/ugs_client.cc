@@ -6,7 +6,7 @@
 //              [--seed=1] [--estimator=auto] [--pivots=8]
 //              [--pair=s,t ...] [--source=v ...] [--json]
 //   ugs_client --port=<p> --stats [--graph=<id>]
-//   ugs_client --port=<p> --batch=<file> [--json]
+//   ugs_client --port=<p> --batch=<file> [--pipeline] [--json]
 //
 // Random pair/source sets are drawn exactly like ugs_query draws them
 // (same seed-split streams, sized from the server's graph description),
@@ -15,7 +15,10 @@
 // this. Explicit --pair/--source entries override the random draw. A
 // batch file holds one query per line in the same --flag=value syntax
 // (without --host/--port); '#' lines are comments. All queries of a batch
-// ride one connection.
+// ride one connection; with --pipeline they are all written before any
+// reply is read (the server answers in request order -- fastest against
+// the epoll backend, see docs/wire-protocol.md), and results print in
+// file order either way.
 
 #include <cstdio>
 #include <cstdlib>
@@ -47,7 +50,8 @@ void Usage() {
       "    --source=<v>    explicit knn source (repeatable)\n"
       "    --json          emit the wire-schema JSON result line\n"
       "  admin mode:  --stats [--graph=<id>]\n"
-      "  batch mode:  --batch=<file>  one query per line, same flags\n");
+      "  batch mode:  --batch=<file>  one query per line, same flags\n"
+      "    --pipeline      write all requests before reading replies\n");
   std::exit(2);
 }
 
@@ -162,32 +166,45 @@ ugs::QueryRequest BuildRequest(const QuerySpec& spec, ugs::Client* client,
   return request;
 }
 
-/// Runs one spec and prints its result (JSON or a compact summary).
-void RunSpec(const QuerySpec& spec, bool json, ugs::Client* client,
-             VertexCountCache* vertex_counts) {
-  if (spec.graph.empty() || spec.query.empty()) {
-    Die("each query needs --graph and --query");
-  }
-  ugs::QueryRequest request = BuildRequest(spec, client, vertex_counts);
-  ugs::Result<ugs::QueryResult> result = client->Query(spec.graph, request);
-  if (!result.ok()) Die(result.status().ToString());
+/// Prints one result (JSON or a compact summary).
+void PrintResult(const QuerySpec& spec, const ugs::QueryResult& result,
+                 bool json) {
   if (json) {
     std::printf("%s\n",
-                ugs::ResultToJson(*result, /*include_timing=*/false).c_str());
+                ugs::ResultToJson(result, /*include_timing=*/false).c_str());
     return;
   }
   std::printf("graph=%s query=%s estimator=%s time=%.3fs", spec.graph.c_str(),
-              result->query.c_str(), ugs::EstimatorName(result->estimator),
-              result->seconds);
-  if (result->has_scalar) std::printf(" scalar=%.6f", result->scalar);
-  if (!result->means.empty()) {
+              result.query.c_str(), ugs::EstimatorName(result.estimator),
+              result.seconds);
+  if (result.has_scalar) std::printf(" scalar=%.6f", result.scalar);
+  if (!result.means.empty()) {
     double mean = 0.0;
-    for (double m : result->means) mean += m;
+    for (double m : result.means) mean += m;
     std::printf(" mean=%.6f (%zu units)",
-                mean / static_cast<double>(result->means.size()),
-                result->means.size());
+                mean / static_cast<double>(result.means.size()),
+                result.means.size());
   }
   std::printf("\n");
+}
+
+/// Resolves a spec into the wire request it describes.
+ugs::WireRequest ResolveSpec(const QuerySpec& spec, ugs::Client* client,
+                             VertexCountCache* vertex_counts) {
+  if (spec.graph.empty() || spec.query.empty()) {
+    Die("each query needs --graph and --query");
+  }
+  return {spec.graph, BuildRequest(spec, client, vertex_counts)};
+}
+
+/// Runs one spec round-trip and prints its result.
+void RunSpec(const QuerySpec& spec, bool json, ugs::Client* client,
+             VertexCountCache* vertex_counts) {
+  ugs::WireRequest request = ResolveSpec(spec, client, vertex_counts);
+  ugs::Result<ugs::QueryResult> result =
+      client->Query(request.graph, request.request);
+  if (!result.ok()) Die(result.status().ToString());
+  PrintResult(spec, *result, json);
 }
 
 }  // namespace
@@ -195,7 +212,7 @@ void RunSpec(const QuerySpec& spec, bool json, ugs::Client* client,
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1", batch_file;
   std::int64_t port = 7471;
-  bool stats = false, json = false;
+  bool stats = false, json = false, pipeline = false;
   QuerySpec spec;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -209,6 +226,8 @@ int main(int argc, char** argv) {
       stats = true;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--pipeline") {
+      pipeline = true;
     } else if (!ApplySpecFlag(arg, &spec)) {
       Usage();
     }
@@ -231,6 +250,7 @@ int main(int argc, char** argv) {
   if (!batch_file.empty()) {
     std::ifstream in(batch_file);
     if (!in) Die("cannot open batch file '" + batch_file + "'");
+    std::vector<QuerySpec> specs;
     std::string line;
     std::size_t line_number = 0;
     while (std::getline(in, line)) {
@@ -245,7 +265,27 @@ int main(int argc, char** argv) {
               ": unknown flag '" + token + "'");
         }
       }
-      RunSpec(line_spec, json, &client, &vertex_counts);
+      specs.push_back(std::move(line_spec));
+    }
+    if (!pipeline) {
+      for (const QuerySpec& line_spec : specs) {
+        RunSpec(line_spec, json, &client, &vertex_counts);
+      }
+      return 0;
+    }
+    // Pipelined: resolve every spec first (graph descriptions are
+    // plain round trips), then ship the whole batch before reading any
+    // reply. Results come back -- and print -- in file order.
+    std::vector<ugs::WireRequest> requests;
+    requests.reserve(specs.size());
+    for (const QuerySpec& line_spec : specs) {
+      requests.push_back(ResolveSpec(line_spec, &client, &vertex_counts));
+    }
+    std::vector<ugs::Result<ugs::QueryResult>> results =
+        client.QueryPipelined(requests);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) Die(results[i].status().ToString());
+      PrintResult(specs[i], *results[i], json);
     }
     return 0;
   }

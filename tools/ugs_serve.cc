@@ -3,15 +3,23 @@
 // multi-graph session registry (service/session_registry.h).
 //
 //   ugs_serve --dir=<graph dir> [--host=127.0.0.1] [--port=7471]
-//             [--workers=4] [--max-sessions=8] [--max-bytes=0]
+//             [--backend=epoll] [--workers=4] [--max-sessions=8]
+//             [--max-bytes=0] [--cache-entries=0] [--cache-bytes=0]
 //             [--engine-threads=0] [--threads=0] [--port-file=<path>]
 //
-// Graph ids resolve to files in --dir ("g1" -> g1 or g1.txt). --workers
-// connections are served concurrently; responses are bit-identical to
-// GraphSession::Run locally at any worker count. --port=0 binds an
-// ephemeral port; --port-file writes the bound port (what the CI smoke
-// and scripted callers use). SIGINT/SIGTERM shut down cleanly: in-flight
-// requests finish, then the process exits 0.
+// Graph ids resolve to files in --dir ("g1" -> g1 or g1.txt). Under the
+// default epoll backend one reactor thread multiplexes every connection
+// and --workers query threads drain the decoded requests (idle
+// connections cost no worker; pipelined requests are answered in order);
+// --backend=blocking keeps the previous one-connection-per-worker
+// daemon. --cache-entries/--cache-bytes enable the exact result cache
+// (responses are pure functions of (graph id, request), so hits replay
+// byte-identical payloads). Responses are bit-identical to
+// GraphSession::Run locally at any worker count, either backend, cache
+// on or off. --port=0 binds an ephemeral port; --port-file writes the
+// bound port (what the CI smoke and scripted callers use). SIGINT /
+// SIGTERM shut down cleanly: in-flight requests finish, then the
+// process exits 0. Tuning guide: docs/operations.md.
 
 #include <csignal>
 #include <cstdio>
@@ -32,10 +40,15 @@ void Usage() {
       "usage: ugs_serve --dir=<graph dir>\n"
       "  --host=<a>          bind address             (default 127.0.0.1)\n"
       "  --port=<p>          TCP port; 0 = ephemeral  (default 7471)\n"
-      "  --workers=<n>       concurrent connections   (default 4)\n"
+      "  --backend=<b>       epoll | blocking         (default epoll)\n"
+      "  --workers=<n>       query threads            (default 4)\n"
+      "                      (blocking backend: concurrent connections)\n"
       "  --max-sessions=<n>  resident graph budget; 0 = unlimited\n"
       "                      (default 8, LRU eviction past it)\n"
       "  --max-bytes=<n>     resident memory budget; 0 = unlimited\n"
+      "  --cache-entries=<n> result-cache entry budget; 0 = see below\n"
+      "  --cache-bytes=<n>   result-cache byte budget; 0 = see below\n"
+      "                      (both 0 disables the cache -- the default)\n"
       "  --engine-threads=<n> per-session engine pool; 0 = shared default\n"
       "  --threads=<n>       shared default pool size (env UGS_THREADS)\n"
       "  --port-file=<path>  write the bound port after startup\n");
@@ -54,8 +67,9 @@ void HandleSignal(int) { g_shutdown = 1; }
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string dir, host = "127.0.0.1", port_file;
+  std::string dir, host = "127.0.0.1", port_file, backend = "epoll";
   std::int64_t port = 7471, workers = 4, max_sessions = 8, max_bytes = 0;
+  std::int64_t cache_entries = 0, cache_bytes = 0;
   std::int64_t engine_threads = 0, threads = 0;
   if (const char* env = std::getenv("UGS_THREADS")) {
     threads = ugs::ParseInt64OrExit("UGS_THREADS", env);
@@ -74,6 +88,12 @@ int main(int argc, char** argv) {
       max_sessions = ugs::ParseInt64OrExit("--max-sessions", arg + 15);
     } else if (std::strncmp(arg, "--max-bytes=", 12) == 0) {
       max_bytes = ugs::ParseInt64OrExit("--max-bytes", arg + 12);
+    } else if (std::strncmp(arg, "--backend=", 10) == 0) {
+      backend = arg + 10;
+    } else if (std::strncmp(arg, "--cache-entries=", 16) == 0) {
+      cache_entries = ugs::ParseInt64OrExit("--cache-entries", arg + 16);
+    } else if (std::strncmp(arg, "--cache-bytes=", 14) == 0) {
+      cache_bytes = ugs::ParseInt64OrExit("--cache-bytes", arg + 14);
     } else if (std::strncmp(arg, "--engine-threads=", 17) == 0) {
       engine_threads = ugs::ParseInt64OrExit("--engine-threads", arg + 17);
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
@@ -87,15 +107,22 @@ int main(int argc, char** argv) {
   if (dir.empty()) Usage();
   if (port < 0 || port > 65535) Die("--port must be in [0, 65535]");
   if (workers <= 0) Die("--workers must be positive");
-  if (max_sessions < 0 || max_bytes < 0 || engine_threads < 0 || threads < 0) {
+  if (max_sessions < 0 || max_bytes < 0 || cache_entries < 0 ||
+      cache_bytes < 0 || engine_threads < 0 || threads < 0) {
     Die("budgets and thread counts must be >= 0");
   }
+  ugs::Result<ugs::ServerBackend> parsed_backend =
+      ugs::ParseServerBackend(backend);
+  if (!parsed_backend.ok()) Die(parsed_backend.status().message());
   ugs::ThreadPool::SetDefaultThreads(static_cast<int>(threads));
 
   ugs::ServerOptions options;
   options.host = host;
   options.port = static_cast<int>(port);
+  options.backend = *parsed_backend;
   options.num_workers = static_cast<int>(workers);
+  options.cache.max_entries = static_cast<std::size_t>(cache_entries);
+  options.cache.max_bytes = static_cast<std::size_t>(cache_bytes);
   options.registry.graph_dir = dir;
   options.registry.max_sessions = static_cast<std::size_t>(max_sessions);
   options.registry.max_resident_bytes = static_cast<std::size_t>(max_bytes);
@@ -105,12 +132,16 @@ int main(int argc, char** argv) {
   ugs::Server server(options);
   ugs::Status started = server.Start();
   if (!started.ok()) Die(started.ToString());
-  std::printf("ugs_serve: listening on %s:%d (dir=%s workers=%lld "
-              "max-sessions=%lld max-bytes=%lld)\n",
+  std::printf("ugs_serve: listening on %s:%d (dir=%s backend=%s "
+              "workers=%lld max-sessions=%lld max-bytes=%lld "
+              "cache-entries=%lld cache-bytes=%lld)\n",
               host.c_str(), server.port(), dir.c_str(),
+              ugs::ServerBackendName(*parsed_backend),
               static_cast<long long>(workers),
               static_cast<long long>(max_sessions),
-              static_cast<long long>(max_bytes));
+              static_cast<long long>(max_bytes),
+              static_cast<long long>(cache_entries),
+              static_cast<long long>(cache_bytes));
   std::fflush(stdout);
 
   if (!port_file.empty()) {
