@@ -241,10 +241,54 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- Idle-connection scaling (the epoll backend's reason to exist):
-  // parked connections must not slow the active one down or starve it of
-  // workers. The blocking backend can't run this shape at all -- idle
-  // connections would pin every worker.
+  // --- Overlapped requests on one session (the executor's reason to
+  // exist): the same request stream fired by one client (serialized) vs
+  // concurrent clients whose sample batches interleave on the shared
+  // engine pool. On a multi-core box the overlapped rows win; on a 1-CPU
+  // container flat is fine -- the asserted part is that every overlapped
+  // response stays bit-identical to the local run.
+  {
+    for (int overlap : {1, 2, 4}) {
+      ugs::ServerOptions options;
+      options.port = 0;
+      options.num_workers = 4;
+      options.registry.graph_dir = graph_dir;
+      ugs::Server server(options);
+      ugs::Status started = server.Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "%s\n", started.ToString().c_str());
+        return 1;
+      }
+      // Warm the registry so every measured run serves a resident graph.
+      FireRequests(server.port(), "twitter", {requests[0]}, {expected[0]},
+                   1);
+      RunResult run = FireRequests(server.port(), "twitter", requests,
+                                   expected, overlap);
+      server.Stop();
+      all_identical = all_identical && run.identical;
+
+      const double seconds = run.wall_ms / 1e3;
+      std::printf("overlapped requests: %d client%s -> %s ms (%s req/s)%s\n",
+                  overlap, overlap == 1 ? " " : "s",
+                  ugs::FormatFixed(run.wall_ms, 1).c_str(),
+                  ugs::FormatFixed(num_requests / seconds, 1).c_str(),
+                  run.identical ? "" : "  NOT IDENTICAL");
+      json.Add({"bench_service/overlapped_requests",
+                "Twitter",
+                4,
+                run.wall_ms,
+                static_cast<double>(num_requests) * num_samples / seconds,
+                {{"concurrent_clients", static_cast<double>(overlap)},
+                 {"requests_per_sec",
+                  static_cast<double>(num_requests) / seconds},
+                 {"num_requests", static_cast<double>(num_requests)},
+                 {"identical_to_local", run.identical ? 1.0 : 0.0}}});
+    }
+  }
+
+  // --- Idle-connection scaling (the reactor's reason to exist): parked
+  // connections must not slow the active one down or starve it of
+  // workers -- an idle connection costs an fd, never a worker.
   {
     for (int idle_count : {0, 64, 256}) {
       ugs::ServerOptions options;

@@ -9,7 +9,7 @@
 # cleanly.
 #
 # Usage: scripts/serve_smoke.sh [build_dir] [extra ugs_serve flags...]
-#   e.g. scripts/serve_smoke.sh build --backend=epoll --cache-entries=64
+#   e.g. scripts/serve_smoke.sh build --cache-entries=64
 set -euo pipefail
 
 # Both arguments are optional: a leading --flag means the build dir was

@@ -24,13 +24,16 @@ bool ExactIsCheaperThanSampling(const UncertainGraph& graph,
                                 const QueryRequest& request) {
   if (request.num_samples <= 0) return false;
   const std::size_t m = graph.num_edges();
-  if (m >= 63) return false;
+  if (m >= 63) return false;  // 1 << m would overflow (or be UB) below.
   const std::uint64_t per_pair_runs =
       std::max<std::uint64_t>(request.pairs.size(), 1);
   const std::uint64_t worlds = std::uint64_t{1} << m;
-  if (worlds > static_cast<std::uint64_t>(request.num_samples)) return false;
-  return worlds * per_pair_runs <=
-         static_cast<std::uint64_t>(request.num_samples);
+  // Want worlds * per_pair_runs <= num_samples, but the product can wrap
+  // uint64 (m near 62, or a request with a huge pairs list) and a wrapped
+  // product would flip the policy to exact on the most expensive inputs.
+  // Division is wrap-free and equivalent over the integers.
+  return worlds <=
+         static_cast<std::uint64_t>(request.num_samples) / per_pair_runs;
 }
 
 }  // namespace

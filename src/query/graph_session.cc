@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <thread>
 #include <utility>
 
 #include "graph/graph_io.h"
@@ -68,26 +67,25 @@ std::vector<Result<QueryResult>> GraphSession::RunBatch(
     }
     return results;
   }
-  // Request-level overlap: workers claim request indices from a shared
-  // counter and write disjoint result slots. Run is const and
-  // thread-safe (the engines' pools serialize their sampling loops
-  // internally), and each result is a pure function of (graph, request),
-  // so this is bit-identical to the sequential path.
+  // Request-level overlap on the engine's executor: one task group of
+  // `workers` driver tasks, each claiming request indices from a shared
+  // counter and writing disjoint result slots -- no per-call thread
+  // churn. Each request's own sampling loop is a nested task group on
+  // the same executor, so overlapping requests interleave their sample
+  // batches instead of serializing. Run is const and thread-safe, and
+  // each result is a pure function of (graph, request), so this is
+  // bit-identical to the sequential path.
   std::vector<Result<QueryResult>> results(
       requests.size(), Status::Internal("batch slot never ran"));
   std::atomic<std::size_t> next{0};
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    threads.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= requests.size()) break;
-        results[i] = Run(requests[i]);
-      }
-    });
-  }
-  for (std::thread& thread : threads) thread.join();
+  engine_.pool().ParallelFor(
+      static_cast<std::size_t>(workers), [&](std::size_t) {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= requests.size()) break;
+          results[i] = Run(requests[i]);
+        }
+      });
   return results;
 }
 

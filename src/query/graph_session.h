@@ -22,12 +22,15 @@ struct GraphSessionOptions {
   /// Estimator auto-selection tunables.
   EstimatorPolicyOptions policy;
   /// Requests RunBatch keeps in flight concurrently (request-level
-  /// overlap). <= 1 runs the batch sequentially. Each in-flight request
-  /// still fans its samples out on the session's engine pool -- the pool
-  /// runs one sampling loop at a time, so overlap buys back the
-  /// non-sampling portions (validation, exact enumeration setup,
-  /// deterministic queries, reductions). Results are bit-identical to the
-  /// sequential path at any value.
+  /// overlap). <= 1 runs the batch sequentially. In-flight requests run
+  /// as a task group on the session's engine executor, and each one's
+  /// sampling loop is a nested group on the same executor -- overlapping
+  /// requests interleave their sample batches across the pool instead of
+  /// serializing behind one loop. The overlap therefore rides on the
+  /// engine executor's width: a 1-thread engine pool is the serial path
+  /// by contract, so it runs the batch sequentially regardless of this
+  /// knob (RunBatch never spawns threads of its own). Results are
+  /// bit-identical to the sequential path at any value.
   int batch_workers = 1;
 };
 

@@ -42,6 +42,10 @@ struct SampleEngineOptions {
 /// (base, s), never on scheduling -- results are bit-identical for any
 /// thread count and any batch size, and reproducible from the caller's
 /// seed exactly like the old serial loops.
+///
+/// Run/RunMean are const and safe to call concurrently: each call is its
+/// own task group on the pool's executor, so overlapping requests
+/// interleave their sample batches without affecting any result.
 class SampleEngine {
  public:
   explicit SampleEngine(SampleEngineOptions options = {});

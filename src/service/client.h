@@ -49,11 +49,9 @@ class Client {
   /// replies) fill their slot without affecting the rest; a transport
   /// failure poisons every remaining slot with its status.
   ///
-  /// Pipelining depth is unbounded only against the epoll backend, which
-  /// buffers replies in user space; the blocking backend writes each
-  /// reply before reading the next request, so batches there are limited
-  /// by the kernel socket buffers (tens of frames -- fine in practice,
-  /// documented in docs/operations.md).
+  /// Pipelining depth is unbounded: the server buffers replies in user
+  /// space and applies read backpressure past its per-connection budgets
+  /// instead of losing or reordering anything (docs/wire-protocol.md).
   std::vector<Result<QueryResult>> QueryPipelined(
       const std::vector<WireRequest>& requests);
 

@@ -18,17 +18,16 @@ namespace ugs {
 
 namespace {
 
-/// Transient-error nap shared by both backends' accept paths.
+/// Transient-error nap for the accept path.
 void NapBriefly() {
   timespec nap{0, 10 * 1000 * 1000};  // 10 ms.
   nanosleep(&nap, nullptr);
 }
 
-/// Read-backpressure budgets of the epoll backend: reading pauses while
-/// a connection holds this many unflushed output bytes or open reply
-/// slots, so a client that pipelines without draining replies cannot
-/// grow server memory without bound (the blocking backend gets the same
-/// property for free from its blocking reply writes). Soft bounds:
+/// Read-backpressure budgets: reading pauses while a connection holds
+/// this many unflushed output bytes or open reply slots, so a client
+/// that pipelines without draining replies cannot grow server memory
+/// without bound. Soft bounds:
 /// frames already received when the budget trips are still decoded and
 /// dispatched -- the overshoot is at most one socket receive buffer's
 /// worth, and pausing recv() makes the peer's kernel absorb the rest.
@@ -37,27 +36,21 @@ constexpr std::uint64_t kMaxConnOpenSlots = 1024;
 
 }  // namespace
 
-const char* ServerBackendName(ServerBackend backend) {
-  switch (backend) {
-    case ServerBackend::kBlocking:
-      return "blocking";
-    case ServerBackend::kEpoll:
-      return "epoll";
+Status ValidateServerBackend(const std::string& name) {
+  if (name == "epoll") return Status::OK();
+  if (name == "blocking") {
+    return Status::NotFound(
+        "server: the blocking backend was removed (deprecated one release "
+        "earlier); use --backend=epoll");
   }
-  return "unknown";
-}
-
-Result<ServerBackend> ParseServerBackend(const std::string& name) {
-  if (name == "blocking") return ServerBackend::kBlocking;
-  if (name == "epoll") return ServerBackend::kEpoll;
   return Status::NotFound("server: unknown backend '" + name +
-                          "' (expected blocking or epoll)");
+                          "' (expected epoll)");
 }
 
-/// One multiplexed connection of the epoll backend. All fields except
-/// the reply window are touched only by the reactor thread; the reply
-/// window (replies / base_seq / next_seq / inflight / closed) is shared
-/// with the dispatch workers under `mutex`.
+/// One multiplexed connection. All fields except the reply window are
+/// touched only by the reactor thread; the reply window (replies /
+/// base_seq / next_seq / inflight / closed) is shared with the dispatch
+/// workers under `mutex`.
 struct Server::Conn {
   /// One reply slot. Slots are allocated in frame-arrival order and
   /// flushed strictly front-to-back, which is what guarantees a
@@ -143,41 +136,18 @@ Status Server::Start() {
   listen_fd_ = fd;
   stopping_.store(false);
 
-  if (options_.backend == ServerBackend::kEpoll) {
-    Status started = StartEpoll();
-    if (!started.ok()) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-    }
-    return started;
+  Status started = StartEpoll();
+  if (!started.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
-  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
-  for (int i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
-  return Status::OK();
+  return started;
 }
 
 void Server::Stop() {
   if (listen_fd_ < 0) return;
   stopping_.store(true);
-  if (options_.backend == ServerBackend::kEpoll) {
-    StopEpoll();
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return;
-  }
-  // Wake workers blocked in accept(); the fd is closed only after the
-  // join so no worker can race a recycled descriptor.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  {
-    // Wake workers blocked reading an idle connection; each worker still
-    // owns and closes its fd.
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    for (int fd : active_conns_) ::shutdown(fd, SHUT_RDWR);
-  }
-  for (std::thread& worker : workers_) worker.join();
-  workers_.clear();
+  StopEpoll();
   ::close(listen_fd_);
   listen_fd_ = -1;
 }
@@ -255,77 +225,7 @@ Server::ReplyFrame Server::ExecuteUnexpected(FrameType received) {
                   std::to_string(static_cast<int>(received)))))};
 }
 
-// --- Blocking backend. ---
-
-void Server::WorkerLoop() {
-  while (!stopping_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      if (stopping_.load()) break;
-      // Only a dead listener (closed / shut down) ends the loop; every
-      // other failure -- aborted handshakes, momentary fd or memory
-      // exhaustion (ECONNABORTED, EMFILE, ENFILE, ENOMEM...) -- is
-      // transient, and exiting on it would silently strand the daemon
-      // with no workers. Back off briefly so a persistent error cannot
-      // spin the CPU.
-      if (errno == EBADF || errno == EINVAL) break;
-      NapBriefly();
-      continue;
-    }
-    connections_.fetch_add(1);
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    {
-      std::lock_guard<std::mutex> lock(conn_mutex_);
-      active_conns_.insert(fd);
-    }
-    // A connection accepted while Stop() was broadcasting shutdowns may
-    // have missed it; re-check so the serve loop below cannot block on
-    // an idle peer past shutdown.
-    if (stopping_.load()) ::shutdown(fd, SHUT_RDWR);
-    ServeConnection(fd);
-    {
-      std::lock_guard<std::mutex> lock(conn_mutex_);
-      active_conns_.erase(fd);
-    }
-    ::close(fd);
-  }
-}
-
-void Server::ServeConnection(int fd) {
-  for (;;) {
-    Result<std::optional<Frame>> frame = ReadFrame(fd);
-    if (!frame.ok()) {
-      // Transport-level garbage: report once and drop the connection
-      // (after an unparseable header there is no frame boundary left to
-      // resynchronize on).
-      errors_.fetch_add(1);
-      WriteFrame(fd, FrameType::kError, EncodeError(frame.status()))
-          .ok();  // Best effort; the peer may already be gone.
-      return;
-    }
-    if (!frame->has_value()) return;  // Clean end-of-stream.
-
-    ReplyFrame reply;
-    switch ((*frame)->type) {
-      case FrameType::kRequest:
-        reply = ExecuteQuery((*frame)->payload);
-        break;
-      case FrameType::kStats:
-        reply = ExecuteStats((*frame)->payload);
-        break;
-      default:
-        reply = ExecuteUnexpected((*frame)->type);
-        break;
-    }
-    if (!WriteFrame(fd, reply.type, *reply.payload).ok()) {
-      return;  // Peer hung up mid-reply.
-    }
-  }
-}
-
-// --- Epoll backend. ---
+// --- Reactor. ---
 
 Status Server::StartEpoll() {
   int flags = ::fcntl(listen_fd_, F_GETFL, 0);
@@ -583,9 +483,9 @@ void Server::HandleReadable(const std::shared_ptr<Conn>& conn) {
   }
   if (conn->peer_eof && conn->decoder.buffered() > 0 &&
       !conn->close_after_flush) {
-    // The stream ended inside a frame: mirror the blocking backend's
-    // typed mid-frame-EOF error (same message, same errors_ accounting)
-    // as this connection's final reply.
+    // The stream ended inside a frame: answer ReadFrame's typed
+    // mid-frame-EOF error (same message, same errors_ accounting) as
+    // this connection's final reply.
     errors_.fetch_add(1);
     std::lock_guard<std::mutex> lock(conn->mutex);
     Conn::Reply reply;
@@ -625,8 +525,8 @@ void Server::PumpConnection(const std::shared_ptr<Conn>& conn) {
   }
   for (const ReplyFrame& reply : ready) {
     if (reply.payload->size() > kMaxFramePayload) {
-      // Mirrors the blocking backend's WriteFrame failure, but keeps
-      // the connection: the peer gets a typed error in the slot.
+      // Mirrors WriteFrame's oversized-payload failure, but keeps the
+      // connection: the peer gets a typed error in the slot.
       AppendFrame(&conn->out, FrameType::kError,
                   EncodeError(Status::IOError(
                       "wire: frame payload of " +
@@ -749,9 +649,8 @@ ServerStats Server::stats() const {
 
 std::string Server::StatsJson() const {
   ServerStats server = stats();
-  return std::string("{\"server\":{\"backend\":\"") +
-         ServerBackendName(options_.backend) +
-         "\",\"workers\":" + std::to_string(options_.num_workers) +
+  return std::string("{\"server\":{\"backend\":\"epoll\"") +
+         ",\"workers\":" + std::to_string(options_.num_workers) +
          ",\"connections\":" + std::to_string(server.connections) +
          ",\"requests\":" + std::to_string(server.requests) +
          ",\"errors\":" + std::to_string(server.errors) +

@@ -10,7 +10,6 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "service/result_cache.h"
@@ -20,28 +19,13 @@
 
 namespace ugs {
 
-/// How the server moves bytes. Both backends speak the same wire
-/// protocol and produce bit-identical responses; they differ only in how
-/// connections map to threads.
-enum class ServerBackend : std::uint8_t {
-  /// num_workers accept-threads, each serving one connection at a time
-  /// with blocking reads. Simple, but an idle connection parks a whole
-  /// worker. Kept selectable for one release while the epoll backend
-  /// soaks; see docs/operations.md.
-  kBlocking = 0,
-  /// One reactor thread multiplexes every connection (nonblocking
-  /// sockets, epoll), decoding frames incrementally and dispatching
-  /// requests to a pool of num_workers query threads. Idle connections
-  /// cost one fd, zero workers; a single connection can pipeline
-  /// requests and receives the replies in request order. The default.
-  kEpoll = 1,
-};
-
-/// Lower-case display name ("blocking", "epoll").
-const char* ServerBackendName(ServerBackend backend);
-
-/// Inverse of ServerBackendName; NotFound on unknown names.
-Result<ServerBackend> ParseServerBackend(const std::string& name);
+/// Validates a --backend name. The only backend is the epoll reactor:
+/// one reactor thread multiplexes every connection (nonblocking sockets,
+/// epoll), decoding frames incrementally and dispatching requests to a
+/// pool of num_workers query threads. OK for "epoll"; typed NotFound
+/// otherwise, with a pointed message for "blocking" (the legacy
+/// accept-loop backend, removed one release after its deprecation).
+Status ValidateServerBackend(const std::string& name);
 
 /// Configuration of a Server.
 struct ServerOptions {
@@ -51,17 +35,14 @@ struct ServerOptions {
   /// TCP port; 0 binds an ephemeral port (read it back with port() --
   /// what the tests and the smoke script do).
   int port = 0;
-  /// Query execution threads: the request-level overlap knob. Under the
-  /// epoll backend these are the dispatch pool draining decoded requests
-  /// from all connections; under the blocking backend each one serves a
-  /// whole connection. Requests on different graphs overlap fully;
-  /// requests on the same graph overlap everywhere except inside the
-  /// engine's sampling loops (the pool runs one loop at a time).
-  /// Responses are bit-identical at any worker count either way, because
-  /// every result is a pure function of (graph, request).
+  /// Query execution threads: the request-level overlap knob. These are
+  /// the dispatch pool draining decoded requests from all connections.
+  /// Overlapping requests -- same graph or not -- interleave fully, down
+  /// to their sample batches: each one's sampling loop is its own task
+  /// group on the engine's executor. Responses are bit-identical at any
+  /// worker count, because every result is a pure function of
+  /// (graph, request).
   int num_workers = 1;
-  /// Connection handling strategy.
-  ServerBackend backend = ServerBackend::kEpoll;
   /// Result cache in front of dispatch (disabled by default). Sound and
   /// exact: responses are pure functions of (graph id, request) -- the
   /// seed is part of the key -- so a hit replays the byte-identical
@@ -109,9 +90,9 @@ class Server {
   int port() const { return port_; }
 
   /// Shuts down: stops accepting, stops reading new requests, and joins
-  /// all threads. In-flight requests finish and their responses are
-  /// delivered (best effort: a peer that stops reading forfeits its
-  /// replies). Idempotent.
+  /// the reactor and dispatch threads. In-flight requests finish and
+  /// their responses are delivered (best effort: a peer that stops
+  /// reading forfeits its replies). Idempotent.
   void Stop();
 
   SessionRegistry& registry() { return registry_; }
@@ -124,9 +105,8 @@ class Server {
   std::string StatsJson() const;
 
  private:
-  /// One multiplexed connection of the epoll backend (defined in
-  /// server.cc; shared_ptr-held so a dispatched request outlives an
-  /// eviction of its connection).
+  /// One multiplexed connection (defined in server.cc; shared_ptr-held
+  /// so a dispatched request outlives an eviction of its connection).
   struct Conn;
 
   /// One decoded frame awaiting execution on the dispatch pool.
@@ -146,7 +126,7 @@ class Server {
     std::shared_ptr<const std::string> payload;
   };
 
-  // --- Shared request execution (both backends). ---
+  // --- Request execution (dispatch-worker side). ---
 
   /// Decodes and runs one query payload into a reply frame, consulting
   /// the result cache before GraphSession::Run and filling it after.
@@ -157,13 +137,8 @@ class Server {
   /// Reply to a frame whose type a server never accepts.
   ReplyFrame ExecuteUnexpected(FrameType received);
 
-  // --- Blocking backend. ---
-
-  void WorkerLoop();
-  void ServeConnection(int fd);
-
-  // --- Epoll backend (all Handle*/reactor state is reactor-thread-only
-  // except the reply slots, which workers fill under Conn::mutex). ---
+  // --- Reactor (all Handle*/reactor state is reactor-thread-only except
+  // the reply slots, which workers fill under Conn::mutex). ---
 
   Status StartEpoll();
   void StopEpoll();
@@ -191,12 +166,6 @@ class Server {
   int port_ = 0;
   std::atomic<bool> stopping_{false};
 
-  // Blocking backend.
-  std::vector<std::thread> workers_;
-  std::mutex conn_mutex_;
-  std::unordered_set<int> active_conns_;
-
-  // Epoll backend.
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   std::thread reactor_;

@@ -1,12 +1,10 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <memory>
-
-#include "util/check.h"
+#include <utility>
 
 namespace ugs {
-
-thread_local bool ThreadPool::inside_task_ = false;
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) num_threads = HardwareThreads();
@@ -15,15 +13,20 @@ ThreadPool::ThreadPool(int num_threads) {
   for (int i = 0; i + 1 < num_threads; ++i) {
     workers_.emplace_back(&ThreadPool::WorkerLoop, this);
   }
+  has_workers_.store(!workers_.empty(), std::memory_order_relaxed);
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  has_workers_.store(false, std::memory_order_relaxed);
 }
 
 int ThreadPool::HardwareThreads() {
@@ -31,31 +34,60 @@ int ThreadPool::HardwareThreads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
-void ThreadPool::RunTasks() {
-  inside_task_ = true;
+void ThreadPool::UnlistLocked(Group* group) {
+  if (!group->listed) return;
+  group->listed = false;
+  active_groups_.erase(
+      std::find(active_groups_.begin(), active_groups_.end(), group));
+  num_active_groups_.store(active_groups_.size(),
+                           std::memory_order_relaxed);
+}
+
+void ThreadPool::RunGroupTasks(Group* group, bool yield_to_other_groups) {
   for (;;) {
-    std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= total_) break;
-    (*job_)(i);
+    const std::size_t i = group->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= group->total) return;
+    (*group->job)(i);
+    group->done.fetch_add(1, std::memory_order_acq_rel);
+    // With several groups in flight a worker re-picks after each index so
+    // overlapping loops interleave; the claim is one atomic either way.
+    if (yield_to_other_groups &&
+        num_active_groups_.load(std::memory_order_relaxed) > 1) {
+      return;
+    }
   }
-  inside_task_ = false;
 }
 
 void ThreadPool::WorkerLoop() {
-  std::size_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
-      });
-      if (stop_) return;
-      seen_generation = generation_;
+    work_cv_.wait(lock, [&] { return stop_ || !active_groups_.empty(); });
+    if (stop_) return;
+    // Round-robin across the active groups; exhausted groups (counter
+    // past total, stragglers still running) are dropped on sight so they
+    // stop attracting workers.
+    Group* group = nullptr;
+    while (!active_groups_.empty()) {
+      if (rr_cursor_ >= active_groups_.size()) rr_cursor_ = 0;
+      Group* candidate = active_groups_[rr_cursor_];
+      if (candidate->next.load(std::memory_order_relaxed) >=
+          candidate->total) {
+        UnlistLocked(candidate);
+        continue;
+      }
+      group = candidate;
+      ++rr_cursor_;
+      break;
     }
-    RunTasks();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--active_workers_ == 0) done_cv_.notify_one();
+    if (group == nullptr) continue;
+    ++group->pins;  // The owner cannot free the group while pinned.
+    lock.unlock();
+    RunGroupTasks(group, /*yield_to_other_groups=*/true);
+    lock.lock();
+    --group->pins;
+    if (group->pins == 0 &&
+        group->done.load(std::memory_order_acquire) == group->total) {
+      done_cv_.notify_all();
     }
   }
 }
@@ -63,29 +95,38 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(std::size_t num_tasks,
                              const std::function<void(std::size_t)>& fn) {
   if (num_tasks == 0) return;
-  // Inline paths: no workers, a single task, or a nested call from inside
-  // a running task (workers are all busy with the outer loop).
-  if (workers_.empty() || num_tasks == 1 || inside_task_) {
-    bool was_inside = inside_task_;
-    inside_task_ = true;
+  // Inline paths: a single task, no workers (1-thread pool), or a
+  // retired pool (a stale Default() reference after SetDefaultThreads).
+  // A stale has_workers_ read during retirement is safe: the group path
+  // below never requires workers to make progress.
+  if (num_tasks == 1 || !has_workers_.load(std::memory_order_relaxed)) {
     for (std::size_t i = 0; i < num_tasks; ++i) fn(i);
-    inside_task_ = was_inside;
     return;
   }
-  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  Group group;
+  group.job = &fn;
+  group.total = num_tasks;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job_ = &fn;
-    total_ = num_tasks;
-    next_.store(0, std::memory_order_relaxed);
-    active_workers_ = workers_.size();
-    ++generation_;
+    group.listed = true;
+    active_groups_.push_back(&group);
+    num_active_groups_.store(active_groups_.size(),
+                             std::memory_order_relaxed);
   }
   work_cv_.notify_all();
-  RunTasks();  // The calling thread is pool member number num_threads.
+  // The calling thread drains its own group's counter; workers (and
+  // other groups' callers, via their workers) help with whatever they
+  // claim. Progress never depends on a worker being free, which is what
+  // makes nested and concurrent calls deadlock-free.
+  RunGroupTasks(&group, /*yield_to_other_groups=*/false);
   std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
-  job_ = nullptr;
+  // Unlist before waiting so no new worker pins the group; the ones
+  // already pinned finish their claimed index and wake us.
+  UnlistLocked(&group);
+  done_cv_.wait(lock, [&] {
+    return group.pins == 0 &&
+           group.done.load(std::memory_order_acquire) == group.total;
+  });
 }
 
 namespace {
@@ -94,6 +135,14 @@ std::mutex default_pool_mutex;
 std::unique_ptr<ThreadPool>& DefaultPoolSlot() {
   static std::unique_ptr<ThreadPool> pool;
   return pool;
+}
+/// Pools SetDefaultThreads replaced. Kept alive (workers joined, loops
+/// run inline) so an engine that resolved Default() just before a resize
+/// still holds a valid reference; guarded by default_pool_mutex.
+std::vector<std::unique_ptr<ThreadPool>>& RetiredPoolsSlot() {
+  static std::vector<std::unique_ptr<ThreadPool>>* pools =
+      new std::vector<std::unique_ptr<ThreadPool>>();
+  return *pools;
 }
 
 }  // namespace
@@ -106,14 +155,25 @@ ThreadPool& ThreadPool::Default() {
 }
 
 void ThreadPool::SetDefaultThreads(int num_threads) {
-  std::lock_guard<std::mutex> lock(default_pool_mutex);
-  std::unique_ptr<ThreadPool>& slot = DefaultPoolSlot();
-  if (slot != nullptr && slot->num_threads() ==
-                             (num_threads <= 0 ? HardwareThreads()
-                                               : num_threads)) {
-    return;
+  std::unique_ptr<ThreadPool> retired;
+  {
+    std::lock_guard<std::mutex> lock(default_pool_mutex);
+    std::unique_ptr<ThreadPool>& slot = DefaultPoolSlot();
+    const int want = num_threads <= 0 ? HardwareThreads() : num_threads;
+    if (slot != nullptr && slot->num_threads() == want) return;
+    retired = std::move(slot);
+    slot = std::make_unique<ThreadPool>(num_threads);
   }
-  slot = std::make_unique<ThreadPool>(num_threads);
+  if (retired != nullptr) {
+    // Join outside default_pool_mutex: a task on the old pool may itself
+    // call Default() and must not deadlock against this resize. Loops in
+    // flight on the old pool finish on their calling threads (Shutdown
+    // never strands a group), and the object is parked -- not destroyed
+    // -- so stale references keep working, inline.
+    retired->Shutdown();
+    std::lock_guard<std::mutex> lock(default_pool_mutex);
+    RetiredPoolsSlot().push_back(std::move(retired));
+  }
 }
 
 }  // namespace ugs

@@ -11,19 +11,28 @@
 
 namespace ugs {
 
-/// Fixed-size worker pool for data-parallel loops. A pool of `num_threads`
+/// Shared-queue executor for data-parallel loops. A pool of `num_threads`
 /// uses num_threads - 1 background workers plus the calling thread, so a
 /// 1-thread pool runs everything inline with zero synchronization -- the
 /// serial path stays the serial path.
 ///
-/// Work is handed out as loop indices claimed from a shared atomic
-/// counter, so callers that need determinism must make each index's work
-/// self-contained (own RNG stream, disjoint output slots); SampleEngine
-/// builds exactly that contract on top.
+/// Every ParallelFor call is a *task group*: loop indices are claimed
+/// from the group's own atomic counter, workers pull work from any
+/// active group (round-robin across groups when several overlap), and
+/// completion is tracked per group. Multiple loops therefore run
+/// concurrently on one pool -- overlapping requests interleave instead
+/// of serializing behind a single in-flight loop -- including loops
+/// driven by different caller threads and loops nested inside a running
+/// task (a nested call enqueues its own group; its caller drains that
+/// group's counter and then waits only for stragglers, so nesting can
+/// never deadlock).
 ///
-/// ParallelFor calls are serialized against each other (one loop at a
-/// time); nested ParallelFor from inside a task runs the inner loop
-/// inline on the calling worker.
+/// Because work is handed out as loop indices, callers that need
+/// determinism must make each index's work self-contained (own RNG
+/// stream, disjoint output slots); SampleEngine builds exactly that
+/// contract on top. Which thread runs an index is scheduling; *what* an
+/// index computes never is -- results are bit-identical at any thread
+/// count and under any loop interleaving.
 class ThreadPool {
  public:
   /// num_threads <= 0 selects the hardware concurrency.
@@ -36,7 +45,10 @@ class ThreadPool {
   int num_threads() const { return num_threads_; }
 
   /// Runs fn(i) for every i in [0, num_tasks), distributing indices across
-  /// the pool; blocks until all complete. Tasks must not throw.
+  /// the pool; blocks until all complete. Tasks must not throw. Safe to
+  /// call from multiple threads at once and from inside a running task:
+  /// each call is its own task group and all active groups make progress
+  /// concurrently.
   void ParallelFor(std::size_t num_tasks,
                    const std::function<void(std::size_t)>& fn);
 
@@ -47,30 +59,53 @@ class ThreadPool {
   /// SetDefaultThreads was called first.
   static ThreadPool& Default();
 
-  /// Resizes the pool Default() returns (0 = hardware concurrency). Call
-  /// at startup (e.g. from a --threads flag), not while loops are running
-  /// on the default pool.
+  /// Resizes the pool Default() returns (0 = hardware concurrency).
+  /// Intended for startup (e.g. a --threads flag) but safe at any time:
+  /// the previous default pool is *retired*, never destroyed -- its
+  /// workers drain and exit while any in-flight loop completes on its
+  /// calling thread, and a stale `ThreadPool&` from before the resize
+  /// stays valid forever (loops on a retired pool run inline).
   static void SetDefaultThreads(int num_threads);
 
  private:
+  /// One ParallelFor call in flight: an atomic claim counter, an atomic
+  /// completion counter, and pool-mutex-guarded bookkeeping. Lives on
+  /// the calling thread's stack; `pins` keeps workers from touching a
+  /// group after its owner returns.
+  struct Group {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t total = 0;
+    std::atomic<std::size_t> next{0};  ///< Next unclaimed index.
+    std::atomic<std::size_t> done{0};  ///< Indices fully executed.
+    std::size_t pins = 0;      ///< Workers inside the group (mutex_).
+    bool listed = false;       ///< Present in active_groups_ (mutex_).
+  };
+
   void WorkerLoop();
-  /// Claims and runs indices of the current loop until none remain.
-  void RunTasks();
+  /// Claims and runs indices of `group` until none remain. Workers pass
+  /// yield_to_other_groups so one long loop cannot monopolize them while
+  /// other groups are active; owners drain their own group fully.
+  void RunGroupTasks(Group* group, bool yield_to_other_groups);
+  /// Removes the group from active_groups_ (idempotent; mutex_ held).
+  void UnlistLocked(Group* group);
+  /// Joins the workers. The pool object stays usable afterwards: loops
+  /// run inline on their callers. Idempotent; used by the destructor and
+  /// by SetDefaultThreads to retire the old default pool.
+  void Shutdown();
 
   int num_threads_ = 1;
   std::vector<std::thread> workers_;
+  /// False once workers are joined (retired pools); a stale true read is
+  /// harmless -- the caller just drains its own group.
+  std::atomic<bool> has_workers_{false};
 
-  std::mutex run_mutex_;  // Serializes ParallelFor calls.
   std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::atomic<std::size_t> next_{0};
-  std::size_t total_ = 0;
-  std::size_t generation_ = 0;
-  std::size_t active_workers_ = 0;
+  std::condition_variable work_cv_;  ///< Workers: group listed or stop.
+  std::condition_variable done_cv_;  ///< Owners: group fully complete.
+  std::vector<Group*> active_groups_;  ///< Groups with claimable work.
+  std::atomic<std::size_t> num_active_groups_{0};
+  std::size_t rr_cursor_ = 0;  ///< Round-robin pick across groups.
   bool stop_ = false;
-  static thread_local bool inside_task_;
 };
 
 }  // namespace ugs

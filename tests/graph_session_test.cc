@@ -1,6 +1,7 @@
 #include "query/graph_session.h"
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -177,6 +178,80 @@ TEST(GraphSessionTest, OverlappedBatchIsBitIdenticalToSequential) {
           << "slot " << i << " at " << workers << " workers";
       EXPECT_EQ(results[i]->scalar, expected[i]->scalar) << "slot " << i;
       EXPECT_EQ(results[i]->means, expected[i]->means) << "slot " << i;
+    }
+  }
+}
+
+TEST(GraphSessionTest, OverlapMatrixIsBitIdenticalAtEveryWidth) {
+  // The engine-leg overlap determinism matrix: 1/2/8 executor threads x
+  // 1/2/8 request drivers overlapping on ONE session. The executor
+  // interleaves the drivers' sample batches across the shared pool; the
+  // seed-split contract must keep every result bit-identical to the
+  // serial reference no matter the interleaving.
+  std::vector<QueryRequest> requests;
+  for (std::uint64_t seed : {3u, 4u, 5u}) {
+    requests.push_back(ConnectivityRequest(seed));
+  }
+  QueryRequest reliability;
+  reliability.query = "reliability";
+  reliability.pairs = {{0, 3}, {1, 2}};
+  reliability.num_samples = 48;
+  reliability.seed = 6;
+  requests.push_back(reliability);
+  QueryRequest pagerank;
+  pagerank.query = "pagerank";
+  pagerank.num_samples = 24;
+  pagerank.seed = 7;
+  requests.push_back(pagerank);
+
+  GraphSession reference(testing_util::CompleteK4(0.5));
+  std::vector<QueryResult> expected;
+  for (const QueryRequest& request : requests) {
+    Result<QueryResult> r = reference.Run(request);
+    ASSERT_TRUE(r.ok()) << request.query;
+    expected.push_back(*r);
+  }
+
+  for (int threads : {1, 2, 8}) {
+    GraphSessionOptions options;
+    options.engine.num_threads = threads;
+    GraphSession session(testing_util::CompleteK4(0.5), options);
+    for (int overlap : {1, 2, 8}) {
+      // overlap drivers each run the full request set concurrently; a
+      // result slot per (driver, request) keeps writes disjoint.
+      std::vector<std::vector<Result<QueryResult>>> got(
+          static_cast<std::size_t>(overlap));
+      std::vector<std::thread> drivers;
+      drivers.reserve(static_cast<std::size_t>(overlap));
+      for (int d = 0; d < overlap; ++d) {
+        drivers.emplace_back([&, d] {
+          std::vector<Result<QueryResult>>& mine =
+              got[static_cast<std::size_t>(d)];
+          mine.reserve(requests.size());
+          for (const QueryRequest& request : requests) {
+            mine.push_back(session.Run(request));
+          }
+        });
+      }
+      for (std::thread& driver : drivers) driver.join();
+      for (int d = 0; d < overlap; ++d) {
+        const std::vector<Result<QueryResult>>& mine =
+            got[static_cast<std::size_t>(d)];
+        ASSERT_EQ(mine.size(), requests.size());
+        for (std::size_t r = 0; r < requests.size(); ++r) {
+          ASSERT_TRUE(mine[r].ok())
+              << requests[r].query << " driver " << d << " at " << threads
+              << " threads x " << overlap << " overlap: "
+              << mine[r].status().ToString();
+          EXPECT_TRUE(mine[r]->samples == expected[r].samples)
+              << requests[r].query << " driver " << d << " at " << threads
+              << " threads x " << overlap << " overlap";
+          EXPECT_EQ(mine[r]->scalar, expected[r].scalar)
+              << requests[r].query << " driver " << d;
+          EXPECT_EQ(mine[r]->means, expected[r].means)
+              << requests[r].query << " driver " << d;
+        }
+      }
     }
   }
 }

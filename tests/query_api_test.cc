@@ -1,5 +1,6 @@
 #include "query/query.h"
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -128,6 +129,60 @@ TEST(EstimatorPolicyTest, AutoExactAccountsForPerPairEnumerationCost) {
   choice = SelectEstimator(g, request, supported);
   ASSERT_TRUE(choice.ok());
   EXPECT_EQ(*choice, Estimator::kExact);
+}
+
+TEST(EstimatorPolicyTest, ExactBudgetBoundariesNearShiftWidth) {
+  // m = 62/63/64 edges: 2^m stops fitting the budget math (1 << 63 and
+  // 1 << 64 would be wraparound / UB). Selection must stay well-defined
+  // at each boundary -- auto falls back to sampling even with the
+  // largest possible budget, and an explicit exact request fails
+  // feasibility with a typed error instead of misbehaving.
+  std::vector<Estimator> supported{Estimator::kSampled, Estimator::kExact};
+  for (std::size_t vertices : {63u, 64u, 65u}) {  // 62 / 63 / 64 edges.
+    UncertainGraph g = testing_util::PathGraph(vertices, 0.5);
+    QueryRequest request;
+    request.query = "connectivity";
+    request.num_samples = std::numeric_limits<int>::max();
+    Result<Estimator> choice = SelectEstimator(g, request, supported);
+    ASSERT_TRUE(choice.ok()) << g.num_edges() << " edges";
+    EXPECT_EQ(*choice, Estimator::kSampled) << g.num_edges() << " edges";
+
+    request.estimator = Estimator::kExact;
+    choice = SelectEstimator(g, request, supported);
+    ASSERT_FALSE(choice.ok()) << g.num_edges() << " edges";
+    EXPECT_EQ(choice.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(EstimatorPolicyTest, HugePairCountsCannotWrapExactBudgetMath) {
+  // The per-pair enumeration cost is worlds * pairs; as a raw uint64
+  // multiply a large pairs list could wrap it small and flip the policy
+  // to exact on precisely the most expensive requests. The division
+  // form must keep the boundary exact at large pair counts.
+  UncertainGraph g = testing_util::CompleteK4(0.5);  // 2^6 = 64 worlds.
+  std::vector<Estimator> supported{Estimator::kSampled, Estimator::kExact};
+  QueryRequest request;
+  request.query = "reliability";
+  request.pairs.assign(20000, VertexPair{0, 1});
+
+  request.num_samples = 64 * 20000 - 1;  // One world short of the cost.
+  Result<Estimator> choice = SelectEstimator(g, request, supported);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(*choice, Estimator::kSampled);
+
+  request.num_samples = 64 * 20000;  // Enumeration fits exactly.
+  choice = SelectEstimator(g, request, supported);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(*choice, Estimator::kExact);
+
+  // At the feasibility ceiling (2^24 worlds) a thousand pairs dwarf the
+  // maximum representable budget: sampling, even at INT_MAX samples.
+  UncertainGraph wide = testing_util::PathGraph(kMaxExactEdges + 1, 0.5);
+  request.pairs.assign(1000, VertexPair{0, 1});
+  request.num_samples = std::numeric_limits<int>::max();
+  choice = SelectEstimator(wide, request, supported);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(*choice, Estimator::kSampled);
 }
 
 TEST(EstimatorPolicyTest, AutoPicksSkipSamplerOnLowProbabilityGraphs) {

@@ -24,7 +24,7 @@ namespace {
 /// End-to-end tests of ugs_serve's engine: Server + Client over a real
 /// loopback socket, asserting the serving determinism contract -- a
 /// response is bit-identical (PayloadEquals) to GraphSession::Run locally
-/// at any worker count, under either backend, cache on or off, with
+/// at any worker count, under any request overlap, cache on or off, with
 /// registry eviction active.
 class ServiceTest : public ::testing::Test {
  protected:
@@ -135,20 +135,20 @@ class ServiceTest : public ::testing::Test {
   std::string dir_;
 };
 
-/// One server configuration the shared test battery runs under.
-struct BackendParam {
-  ServerBackend backend;
+/// One server configuration the shared test battery runs under (the
+/// epoll reactor is the only backend; the cache leg re-runs everything
+/// through the result cache's hit path).
+struct ServerParam {
   std::size_t cache_entries;  ///< 0 = result cache disabled.
   const char* name;
 };
 
 class ServiceBackendTest : public ServiceTest,
-                           public ::testing::WithParamInterface<BackendParam> {
+                           public ::testing::WithParamInterface<ServerParam> {
  protected:
   std::unique_ptr<Server> StartServer(int workers,
                                       std::size_t max_sessions = 8) {
     ServerOptions options;
-    options.backend = GetParam().backend;
     options.cache.max_entries = GetParam().cache_entries;
     options.num_workers = workers;
     options.registry.max_sessions = max_sessions;
@@ -157,12 +157,10 @@ class ServiceBackendTest : public ServiceTest,
 };
 
 INSTANTIATE_TEST_SUITE_P(
-    Backends, ServiceBackendTest,
-    ::testing::Values(
-        BackendParam{ServerBackend::kBlocking, 0, "blocking"},
-        BackendParam{ServerBackend::kEpoll, 0, "epoll"},
-        BackendParam{ServerBackend::kEpoll, 64, "epoll_cached"}),
-    [](const ::testing::TestParamInfo<BackendParam>& info) {
+    Configs, ServiceBackendTest,
+    ::testing::Values(ServerParam{0, "epoll"},
+                      ServerParam{64, "epoll_cached"}),
+    [](const ::testing::TestParamInfo<ServerParam>& info) {
       return info.param.name;
     });
 
@@ -259,6 +257,82 @@ TEST_P(ServiceBackendTest, ConcurrentClientsAllGetCorrectAnswers) {
   }
   EXPECT_EQ(server->stats().requests,
             static_cast<std::uint64_t>(kClients * 3));
+}
+
+TEST_P(ServiceBackendTest, OverlapMatrixIsBitIdenticalAtEveryWidth) {
+  // The serving leg of the overlap determinism matrix: every covering
+  // query at 1/2/8 dispatch workers x 1/2/8 concurrent clients hammering
+  // ONE graph's session, served through a 1-entry registry that a second
+  // graph keeps cycling (eviction active) -- and, on the cached
+  // instantiation, with result-cache hits mixed into the overlap. Every
+  // response must be bit-identical to the local reference run.
+  const std::vector<QueryRequest> requests = CoveringRequests();
+  Result<std::unique_ptr<GraphSession>> local =
+      GraphSession::Open(Path("g1"));
+  ASSERT_TRUE(local.ok());
+  std::vector<QueryResult> expected;
+  for (const QueryRequest& request : requests) {
+    Result<QueryResult> result = (*local)->Run(request);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    expected.push_back(*result);
+  }
+
+  QueryRequest evictor;  // Touches g2 so the 1-entry registry cycles.
+  evictor.query = "connectivity";
+  evictor.num_samples = 8;
+  evictor.seed = 99;
+
+  for (int workers : {1, 2, 8}) {
+    std::unique_ptr<Server> server = StartServer(workers,
+                                                 /*max_sessions=*/1);
+    for (int overlap : {1, 2, 8}) {
+      std::vector<int> ok(static_cast<std::size_t>(overlap), 0);
+      std::vector<std::thread> clients;
+      clients.reserve(static_cast<std::size_t>(overlap));
+      for (int c = 0; c < overlap; ++c) {
+        clients.emplace_back([this, &server, &requests, &expected,
+                              &evictor, &ok, c] {
+          Result<Client> client =
+              Client::Connect("127.0.0.1", server->port());
+          if (!client.ok()) return;
+          for (std::size_t r = 0; r < requests.size(); ++r) {
+            Result<QueryResult> result =
+                client->Query(Id("g1"), requests[r]);
+            if (!result.ok() || !PayloadEquals(*result, expected[r])) {
+              return;
+            }
+            // Every other client interleaves an eviction-forcing query
+            // on the second graph mid-overlap.
+            if (c % 2 == 1 && !client->Query(Id("g2"), evictor).ok()) {
+              return;
+            }
+          }
+          ok[static_cast<std::size_t>(c)] = 1;
+        });
+      }
+      for (std::thread& client : clients) client.join();
+      for (int c = 0; c < overlap; ++c) {
+        EXPECT_EQ(ok[static_cast<std::size_t>(c)], 1)
+            << "client " << c << " at " << workers << " workers x "
+            << overlap << " overlap";
+      }
+    }
+    EXPECT_GT(server->registry().counters().evictions, 0u);
+    if (GetParam().cache_entries > 0) {
+      EXPECT_GT(server->cache().counters().hits, 0u);
+    }
+    server->Stop();
+  }
+}
+
+TEST_F(ServiceTest, BackendFlagValidatesEpollOnly) {
+  EXPECT_TRUE(ValidateServerBackend("epoll").ok());
+  Status blocking = ValidateServerBackend("blocking");
+  EXPECT_EQ(blocking.code(), StatusCode::kNotFound);
+  EXPECT_NE(blocking.message().find("removed"), std::string::npos)
+      << blocking.ToString();
+  EXPECT_EQ(ValidateServerBackend("reactor2").code(),
+            StatusCode::kNotFound);
 }
 
 TEST_P(ServiceBackendTest, RequestErrorsAreTypedAndConnectionSurvives) {
@@ -463,7 +537,6 @@ TEST_P(ServiceBackendTest, StopWithIdleConnectedClientReturns) {
 
 TEST_F(ServiceTest, CacheHitReplaysByteIdenticalPayload) {
   ServerOptions options;
-  options.backend = ServerBackend::kEpoll;
   options.num_workers = 2;
   options.cache.max_entries = 16;
   std::unique_ptr<Server> server = StartServerWith(options);
@@ -509,7 +582,6 @@ TEST_F(ServiceTest, CacheHitReplaysByteIdenticalPayload) {
 
 TEST_F(ServiceTest, CacheDisabledIsPurePassthrough) {
   ServerOptions options;
-  options.backend = ServerBackend::kEpoll;
   options.num_workers = 1;  // cache.max_entries stays 0: disabled.
   std::unique_ptr<Server> server = StartServerWith(options);
 
@@ -531,12 +603,10 @@ TEST_F(ServiceTest, CacheDisabledIsPurePassthrough) {
 }
 
 TEST_F(ServiceTest, IdleConnectionsDoNotHoldWorkerSlots) {
-  // The epoll backend's whole point: with ONE worker and many idle
-  // connections parked on the reactor, a late-arriving client still gets
-  // served. (The blocking backend would strand it: each idle connection
-  // pins a worker.)
+  // The reactor's whole point: with ONE worker and many idle connections
+  // parked on it, a late-arriving client still gets served -- an idle
+  // connection costs an fd, never a worker.
   ServerOptions options;
-  options.backend = ServerBackend::kEpoll;
   options.num_workers = 1;
   std::unique_ptr<Server> server = StartServerWith(options);
 
@@ -556,7 +626,6 @@ TEST_F(ServiceTest, PipelinedBurstCompletesOutOfOrderWorkInOrder) {
   // Many pipelined requests on one connection, drained by a 4-thread
   // dispatch pool: completions happen out of order, replies must not.
   ServerOptions options;
-  options.backend = ServerBackend::kEpoll;
   options.num_workers = 4;
   options.cache.max_entries = 8;  // Mixed hit/miss traffic mid-burst.
   std::unique_ptr<Server> server = StartServerWith(options);
@@ -602,7 +671,6 @@ TEST_F(ServiceTest, DeepPipelineBeyondBackpressureBudgetStaysOrdered) {
   // deadlocking anything. Graph-describe stats frames cycle g1/g2/g3 so
   // every reply names the request it answers.
   ServerOptions options;
-  options.backend = ServerBackend::kEpoll;
   options.num_workers = 2;
   std::unique_ptr<Server> server = StartServerWith(options);
   const std::vector<std::string> graphs = {"g1", "g2", "g3"};

@@ -1,8 +1,10 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -52,18 +54,86 @@ TEST(ThreadPoolTest, ReusableAcrossLoops) {
   }
 }
 
-TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+TEST(ThreadPoolTest, NestedParallelForCompletesWithoutDeadlock) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(8 * 8);
   pool.ParallelFor(8, [&](std::size_t outer) {
-    // A nested loop on the same (busy) pool must not deadlock; it runs
-    // inline on the claiming worker.
+    // A nested loop on the same (busy) pool must not deadlock: it is its
+    // own task group, drained by its caller plus any worker that frees
+    // up, and every index still runs exactly once.
     pool.ParallelFor(8, [&](std::size_t inner) {
       hits[outer * 8 + inner].fetch_add(1);
     });
   });
   for (std::size_t i = 0; i < hits.size(); ++i) {
     EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentLoopsFromTwoDriversInterleaveCorrectly) {
+  // Two non-pool threads each drive a loop on the same pool at the same
+  // time -- the overlap the executor exists for (impossible under the
+  // old one-loop-at-a-time discipline, where the second driver parked on
+  // a mutex). Both loops must complete with every index run exactly
+  // once, and the outputs must be bit-identical to serial runs.
+  for (int threads : {2, 4, 8}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kTasks = 400;
+    std::vector<double> expected_a(kTasks), expected_b(kTasks);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      expected_a[i] = static_cast<double>(i) * 3.0 + 1.0;
+      expected_b[i] = static_cast<double>(i) * 7.0 + 2.0;
+    }
+    std::vector<double> got_a(kTasks, 0.0), got_b(kTasks, 0.0);
+    std::vector<std::atomic<int>> hits_a(kTasks), hits_b(kTasks);
+    std::thread driver_a([&] {
+      pool.ParallelFor(kTasks, [&](std::size_t i) {
+        hits_a[i].fetch_add(1);
+        got_a[i] = static_cast<double>(i) * 3.0 + 1.0;
+      });
+    });
+    std::thread driver_b([&] {
+      pool.ParallelFor(kTasks, [&](std::size_t i) {
+        hits_b[i].fetch_add(1);
+        got_b[i] = static_cast<double>(i) * 7.0 + 2.0;
+      });
+    });
+    driver_a.join();
+    driver_b.join();
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      ASSERT_EQ(hits_a[i].load(), 1) << "loop a index " << i;
+      ASSERT_EQ(hits_b[i].load(), 1) << "loop b index " << i;
+    }
+    EXPECT_EQ(got_a, expected_a) << threads << " threads";
+    EXPECT_EQ(got_b, expected_b) << threads << " threads";
+  }
+}
+
+TEST(ThreadPoolTest, ManyOverlappingLoopsAllComplete) {
+  // A burst of drivers (more than the pool is wide) all loop at once;
+  // per-group completion must never cross wires between groups.
+  ThreadPool pool(4);
+  constexpr int kDrivers = 8;
+  constexpr std::size_t kTasks = 200;
+  std::vector<std::vector<std::atomic<int>>> hits(kDrivers);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kTasks);
+  }
+  std::vector<std::thread> drivers;
+  drivers.reserve(kDrivers);
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&, d] {
+      pool.ParallelFor(kTasks, [&, d](std::size_t i) {
+        hits[static_cast<std::size_t>(d)][i].fetch_add(1);
+      });
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  for (int d = 0; d < kDrivers; ++d) {
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(d)][i].load(), 1)
+          << "driver " << d << " index " << i;
+    }
   }
 }
 
@@ -83,6 +153,47 @@ TEST(ThreadPoolTest, DefaultPoolResize) {
   ThreadPool::SetDefaultThreads(0);
   EXPECT_EQ(ThreadPool::Default().num_threads(),
             ThreadPool::HardwareThreads());
+}
+
+TEST(ThreadPoolTest, ResizeRacingInFlightDefaultLoopIsSafe) {
+  // Regression test for the SetDefaultThreads lifetime bug: engines
+  // built with num_threads = 0 resolve ThreadPool::Default() per call,
+  // and a resize used to destroy the live pool under an in-flight
+  // ParallelFor. Now the old pool is retired -- drained, workers joined,
+  // object parked -- so the loop completes, every index exactly once,
+  // and a reference taken before the resize stays valid.
+  ThreadPool::SetDefaultThreads(4);
+  ThreadPool& before = ThreadPool::Default();
+  constexpr std::size_t kTasks = 300;
+  std::vector<std::atomic<int>> hits(kTasks);
+  std::atomic<bool> started{false};
+  std::thread driver([&] {
+    before.ParallelFor(kTasks, [&](std::size_t i) {
+      started.store(true);
+      // Keep each index slow enough that the resize lands mid-loop.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      hits[i].fetch_add(1);
+    });
+  });
+  while (!started.load()) std::this_thread::yield();
+  ThreadPool::SetDefaultThreads(2);  // Retires `before` mid-flight.
+  driver.join();
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+
+  // The stale reference still works (loops on a retired pool run
+  // inline), and the resized default pool is live.
+  std::atomic<int> stale_count{0};
+  before.ParallelFor(40, [&](std::size_t) { stale_count.fetch_add(1); });
+  EXPECT_EQ(stale_count.load(), 40);
+  EXPECT_EQ(ThreadPool::Default().num_threads(), 2);
+  std::atomic<int> fresh_count{0};
+  ThreadPool::Default().ParallelFor(40, [&](std::size_t) {
+    fresh_count.fetch_add(1);
+  });
+  EXPECT_EQ(fresh_count.load(), 40);
+  ThreadPool::SetDefaultThreads(0);  // Restore for other tests.
 }
 
 TEST(ThreadPoolTest, ManyMoreTasksThanThreads) {

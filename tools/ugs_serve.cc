@@ -7,19 +7,20 @@
 //             [--max-bytes=0] [--cache-entries=0] [--cache-bytes=0]
 //             [--engine-threads=0] [--threads=0] [--port-file=<path>]
 //
-// Graph ids resolve to files in --dir ("g1" -> g1 or g1.txt). Under the
-// default epoll backend one reactor thread multiplexes every connection
-// and --workers query threads drain the decoded requests (idle
-// connections cost no worker; pipelined requests are answered in order);
-// --backend=blocking keeps the previous one-connection-per-worker
-// daemon. --cache-entries/--cache-bytes enable the exact result cache
+// Graph ids resolve to files in --dir ("g1" -> g1 or g1.txt). One
+// reactor thread multiplexes every connection and --workers query
+// threads drain the decoded requests (idle connections cost no worker;
+// pipelined requests are answered in order). --backend accepts only
+// "epoll"; the legacy blocking backend was removed one release after
+// its deprecation, and unknown values are a typed CLI error.
+// --cache-entries/--cache-bytes enable the exact result cache
 // (responses are pure functions of (graph id, request), so hits replay
 // byte-identical payloads). Responses are bit-identical to
-// GraphSession::Run locally at any worker count, either backend, cache
-// on or off. --port=0 binds an ephemeral port; --port-file writes the
-// bound port (what the CI smoke and scripted callers use). SIGINT /
-// SIGTERM shut down cleanly: in-flight requests finish, then the
-// process exits 0. Tuning guide: docs/operations.md.
+// GraphSession::Run locally at any worker count, cache on or off.
+// --port=0 binds an ephemeral port; --port-file writes the bound port
+// (what the CI smoke and scripted callers use). SIGINT / SIGTERM shut
+// down cleanly: in-flight requests finish, then the process exits 0.
+// Tuning guide: docs/operations.md.
 
 #include <csignal>
 #include <cstdio>
@@ -40,9 +41,8 @@ void Usage() {
       "usage: ugs_serve --dir=<graph dir>\n"
       "  --host=<a>          bind address             (default 127.0.0.1)\n"
       "  --port=<p>          TCP port; 0 = ephemeral  (default 7471)\n"
-      "  --backend=<b>       epoll | blocking         (default epoll)\n"
+      "  --backend=<b>       epoll (the only backend) (default epoll)\n"
       "  --workers=<n>       query threads            (default 4)\n"
-      "                      (blocking backend: concurrent connections)\n"
       "  --max-sessions=<n>  resident graph budget; 0 = unlimited\n"
       "                      (default 8, LRU eviction past it)\n"
       "  --max-bytes=<n>     resident memory budget; 0 = unlimited\n"
@@ -111,15 +111,13 @@ int main(int argc, char** argv) {
       cache_bytes < 0 || engine_threads < 0 || threads < 0) {
     Die("budgets and thread counts must be >= 0");
   }
-  ugs::Result<ugs::ServerBackend> parsed_backend =
-      ugs::ParseServerBackend(backend);
-  if (!parsed_backend.ok()) Die(parsed_backend.status().message());
+  ugs::Status backend_ok = ugs::ValidateServerBackend(backend);
+  if (!backend_ok.ok()) Die(backend_ok.message());
   ugs::ThreadPool::SetDefaultThreads(static_cast<int>(threads));
 
   ugs::ServerOptions options;
   options.host = host;
   options.port = static_cast<int>(port);
-  options.backend = *parsed_backend;
   options.num_workers = static_cast<int>(workers);
   options.cache.max_entries = static_cast<std::size_t>(cache_entries);
   options.cache.max_bytes = static_cast<std::size_t>(cache_bytes);
@@ -135,8 +133,7 @@ int main(int argc, char** argv) {
   std::printf("ugs_serve: listening on %s:%d (dir=%s backend=%s "
               "workers=%lld max-sessions=%lld max-bytes=%lld "
               "cache-entries=%lld cache-bytes=%lld)\n",
-              host.c_str(), server.port(), dir.c_str(),
-              ugs::ServerBackendName(*parsed_backend),
+              host.c_str(), server.port(), dir.c_str(), backend.c_str(),
               static_cast<long long>(workers),
               static_cast<long long>(max_sessions),
               static_cast<long long>(max_bytes),
