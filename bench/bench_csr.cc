@@ -1,0 +1,169 @@
+// CSR format open-path bench: what the .ugsc binary format buys the
+// serving layer at session-open time. Packs the Twitter-like stand-in to
+// a temp .ugsc next to its text rendering, then times three open paths:
+//
+//   open_text      LoadEdgeList parse + adjacency build (the old path)
+//   open_mmap      MappedGraph::Open with full validation (CRC pass +
+//                  structural sweep) -- the registry's default
+//   open_mmap_raw  MappedGraph::Open with validation off: the pure
+//                  mmap + header-decode floor
+//
+// Each row reports wall ms and MB/s over the on-disk size. The asserted
+// part is equivalence, not speed: every open path must yield a graph
+// whose four CSR arrays are bit-identical to the text-parsed one, and a
+// sampled reliability query on the mapped graph must be bit-identical to
+// the same query on the parsed graph. Writes BENCH_csr.json.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "graph/csr_format.h"
+#include "graph/graph_io.h"
+#include "query/reliability.h"
+#include "query/sample_engine.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace {
+
+/// Best-of-`iters` wall time for `fn` (untimed warm-up first, so page
+/// cache and allocator state are comparable across the open paths).
+template <typename Fn>
+double BestMillis(int iters, const Fn& fn) {
+  fn();
+  double best = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    ugs::Timer timer;
+    fn();
+    const double ms = timer.ElapsedMillis();
+    if (i == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+bool SameArrays(const ugs::UncertainGraph& a, const ugs::UncertainGraph& b) {
+  const ugs::CsrArrays x = a.csr_arrays();
+  const ugs::CsrArrays y = b.csr_arrays();
+  auto same = [](const auto& s, const auto& t) {
+    return s.size() == t.size() &&
+           (s.empty() ||
+            std::memcmp(s.data(), t.data(), s.size_bytes()) == 0);
+  };
+  return same(x.edges, y.edges) &&
+         same(x.degree_offsets, y.degree_offsets) &&
+         same(x.adjacency, y.adjacency) &&
+         same(x.expected_degrees, y.expected_degrees);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ugs::BenchConfig config = ugs::ParseBenchArgs(
+      argc, argv, "CSR format: .ugsc mmap open vs text parse");
+
+  ugs::UncertainGraph graph = ugs::bench::LoadDataset("Twitter", config);
+  const int iters = config.Samples(5, 2);
+
+  const std::string text_path = "bench_csr_graph.txt";
+  const std::string ugsc_path = "bench_csr_graph.ugsc";
+  ugs::Status status = ugs::SaveEdgeList(graph, text_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  status = ugs::WriteCsrGraph(graph, ugsc_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "pack failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  ugs::Result<ugs::MappedGraph> mapped = ugs::MappedGraph::Open(ugsc_path);
+  if (!mapped.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 mapped.status().ToString().c_str());
+    return 1;
+  }
+  const double file_mb =
+      static_cast<double>(mapped->mapped_bytes()) / (1024.0 * 1024.0);
+
+  // --- Equivalence gates (the contract, independent of timing).
+  bool identical_arrays = SameArrays(mapped->graph(), graph);
+  bool identical_query = true;
+  {
+    ugs::Rng pair_rng(config.seed + 99);
+    std::vector<ugs::VertexPair> pairs =
+        ugs::SampleDistinctPairs(graph.num_vertices(), 8, &pair_rng);
+    const int samples = config.Samples(200, 40);
+    ugs::SampleEngine engine(ugs::SampleEngineOptions{.num_threads = 2});
+    ugs::Rng rng_a(config.seed);
+    ugs::Rng rng_b(config.seed);
+    identical_query =
+        ugs::McReliability(graph, pairs, samples, &rng_a, engine) ==
+        ugs::McReliability(mapped->graph(), pairs, samples, &rng_b, engine);
+  }
+
+  struct OpenPath {
+    std::string name;
+    double wall_ms = 0.0;
+  };
+  std::vector<OpenPath> rows;
+  rows.push_back({"open_text", BestMillis(iters, [&] {
+                    ugs::Result<ugs::UncertainGraph> parsed =
+                        ugs::LoadEdgeList(text_path);
+                    if (!parsed.ok()) std::abort();
+                  })});
+  rows.push_back({"open_mmap", BestMillis(iters, [&] {
+                    ugs::Result<ugs::MappedGraph> opened =
+                        ugs::MappedGraph::Open(ugsc_path);
+                    if (!opened.ok()) std::abort();
+                  })});
+  rows.push_back(
+      {"open_mmap_raw", BestMillis(iters, [&] {
+         ugs::Result<ugs::MappedGraph> opened = ugs::MappedGraph::Open(
+             ugsc_path, ugs::CsrOpenOptions{.verify_checksums = false,
+                                            .validate_structure = false});
+         if (!opened.ok()) std::abort();
+       })});
+
+  ugs::BenchJsonWriter json;
+  ugs::ReportTable table({"path", "wall ms", "MB/s", "identical"});
+  const double text_ms = rows[0].wall_ms;
+  for (const OpenPath& row : rows) {
+    const double mb_per_sec =
+        row.wall_ms > 0.0 ? file_mb / (row.wall_ms / 1e3) : 0.0;
+    const bool identical = identical_arrays && identical_query;
+    table.AddRow({row.name, ugs::FormatFixed(row.wall_ms, 2),
+                  ugs::FormatFixed(mb_per_sec, 1),
+                  identical ? "yes" : "NO"});
+    json.Add({"bench_csr/" + row.name,
+              "Twitter",
+              1,
+              row.wall_ms,
+              0.0,
+              {{"file_mb", file_mb},
+               {"mb_per_sec", mb_per_sec},
+               {"speedup_vs_text", row.wall_ms > 0.0 ? text_ms / row.wall_ms
+                                                     : 0.0},
+               {"identical_to_text", identical ? 1.0 : 0.0}}});
+  }
+  table.Print();
+
+  std::remove(text_path.c_str());
+  std::remove(ugsc_path.c_str());
+
+  const std::string out_path = "BENCH_csr.json";
+  if (!json.WriteFile(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!identical_arrays || !identical_query) {
+    std::fprintf(stderr,
+                 "FAIL: mmap graph not bit-identical to parsed graph\n");
+    return 1;
+  }
+  return 0;
+}

@@ -20,7 +20,7 @@ if [[ $# -gt 0 && "$1" != --* ]]; then
   shift
 fi
 EXTRA_FLAGS=("$@")
-for bin in ugs_generate ugs_serve ugs_client ugs_query; do
+for bin in ugs_generate ugs_serve ugs_client ugs_query ugs_pack; do
   if [[ ! -x "${BUILD_DIR}/${bin}" ]]; then
     echo "missing ${BUILD_DIR}/${bin}; build the tools first" >&2
     exit 1
@@ -44,6 +44,14 @@ mkdir -p "${WORK}/graphs"
   --out="${WORK}/graphs/g2.txt" > /dev/null
 "${BUILD_DIR}/ugs_generate" --dataset=er --vertices=30 --edges=70 --seed=9 \
   --out="${WORK}/graphs/g3.txt" > /dev/null
+
+# Pack g1 into the binary mmap format next to its text form. The server
+# prefers g1.ugsc for the extensionless id, so every g1 answer below is
+# served off the mmap path -- while the ugs_query side of each diff still
+# parses g1.txt. Byte-identical diffs therefore prove the mmap view and
+# the text parse are the same graph end to end.
+"${BUILD_DIR}/ugs_pack" --in="${WORK}/graphs/g1.txt" \
+  --out="${WORK}/graphs/g1.ugsc" --verify > /dev/null
 
 # --max-sessions=1 forces an eviction every time the query loop below
 # switches graphs -- the smoke exercises the LRU path, not just the cache.
@@ -114,6 +122,21 @@ case "${STATS}" in
     exit 1
     ;;
 esac
+# g1 is packed: its opens must be counted on the mmap side, and g2/g3
+# (text-only) on the text side.
+case "${STATS}" in
+  *'"opens_mmap":0'*)
+    echo "expected mmap opens for the packed g1.ugsc, got none" >&2
+    exit 1
+    ;;
+esac
+case "${STATS}" in
+  *'"opens_text":0'*)
+    echo "expected text opens for g2/g3, got none" >&2
+    exit 1
+    ;;
+esac
+echo "registry served both storage kinds (opens_text/opens_mmap > 0)"
 case " ${EXTRA_FLAGS[*]:-} " in
   *--cache-*)
     # Caching was requested: the repeat above must have hit.

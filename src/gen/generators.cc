@@ -178,7 +178,8 @@ UncertainGraph GenerateDensityFill(std::size_t n, double density_fraction,
   base.avg_degree = base_avg_degree;
   base.ensure_connected = true;
   UncertainGraph seed_graph = GenerateChungLu(base, dist, rng);
-  std::vector<UncertainEdge> edges = seed_graph.edges();
+  std::vector<UncertainEdge> edges(seed_graph.edges().begin(),
+                                   seed_graph.edges().end());
   if (edges.size() > target) {
     // Base overshoots very low densities: keep a random subset and patch
     // connectivity back afterwards (may exceed target by #components - 1).

@@ -1,0 +1,157 @@
+#ifndef UGS_GRAPH_CSR_FORMAT_H_
+#define UGS_GRAPH_CSR_FORMAT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "graph/uncertain_graph.h"
+#include "util/status.h"
+
+namespace ugs {
+
+/// The binary on-disk graph format (".ugsc"): an immutable, versioned,
+/// checksummed little-endian serialization of exactly the four CSR arrays
+/// an UncertainGraph reads through (edges, degree offsets, adjacency,
+/// expected degrees). A valid file can back a graph by mmap alone -- open
+/// is header validation plus one streaming checksum pass, never a parse --
+/// which is what makes the session registry's open-on-demand path ~O(1)
+/// heap-wise and its byte budgets honest (the resident cost IS the file).
+///
+/// Layout (all integers little-endian; byte-level spec with a worked hex
+/// example in docs/csr-format.md):
+///
+///   header, 192 bytes:
+///     [0,4)     u32 magic      "UGSC" (0x43534755)
+///     [4,6)     u16 version    kCsrVersion; everything else rejected
+///     [6,8)     u16 flags      must be 0 (no flag bits defined yet)
+///     [8,16)    u64 num_vertices
+///     [16,24)   u64 num_edges
+///     [24,32)   u64 file_size  total bytes; mismatch = truncation/garbage
+///     [32,128)  4 x section descriptor {u64 offset, u64 length,
+///               u32 crc32, u32 reserved=0} for edges / offsets /
+///               adjacency / expected-degrees, in that order
+///     [128,132) u32 header_crc CRC-32 of bytes [0,128)
+///     [132,192) zeros (reserved)
+///
+///   sections, each starting at a 64-byte-aligned offset, zero-padded
+///   between; lengths are fully determined by (n, m):
+///     edges             16 * m  {u32 u, u32 v, f64 p}
+///     degree offsets    8 * (n+1)  u64, offsets[n] == 2m
+///     adjacency         8 * 2m  {u32 neighbor, u32 edge_id}, each
+///                       vertex's slice strictly sorted by neighbor
+///     expected degrees  8 * n  f64
+///
+/// Failure taxonomy at open (never at query time -- a graph that opens
+/// OK is structurally valid by construction):
+///   - IOError            file missing / unreadable / mmap failure
+///   - OutOfRange         truncated (shorter than the header or than the
+///                        recorded file_size; a section past end-of-file)
+///   - InvalidArgument    corruption: bad magic, checksum mismatch,
+///                        misaligned or mis-sized sections, structural
+///                        invariant violations, trailing garbage
+///   - FailedPrecondition version or flags from a newer writer; a
+///                        byte-swapped (big-endian) file
+
+inline constexpr std::uint32_t kCsrMagic = 0x43534755u;  // "UGSC"
+inline constexpr std::uint16_t kCsrVersion = 1;
+inline constexpr std::size_t kCsrHeaderBytes = 192;
+inline constexpr std::size_t kCsrSectionAlign = 64;
+inline constexpr char kCsrExtension[] = ".ugsc";
+
+/// The four sections, in file order.
+enum class CsrSection : int {
+  kEdges = 0,
+  kOffsets = 1,
+  kAdjacency = 2,
+  kExpectedDegrees = 3,
+};
+inline constexpr int kCsrNumSections = 4;
+
+/// Display name ("edges", "offsets", "adjacency", "expected_degrees").
+const char* CsrSectionName(CsrSection section);
+
+/// One decoded section descriptor.
+struct CsrSectionInfo {
+  std::uint64_t offset = 0;  ///< From the start of the file; 64-aligned.
+  std::uint64_t length = 0;  ///< Exact payload bytes (no padding).
+  std::uint32_t crc32 = 0;   ///< CRC-32 of the payload bytes.
+};
+
+/// Decoded header of a validated file (ugs_pack --describe prints it).
+struct CsrFileInfo {
+  std::uint16_t version = 0;
+  std::uint16_t flags = 0;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t file_size = 0;
+  std::uint32_t header_crc = 0;
+  CsrSectionInfo sections[kCsrNumSections];
+};
+
+/// Serializes `graph` into a complete in-memory .ugsc file image
+/// (header + padded sections). Deterministic: the same graph always
+/// produces byte-identical output.
+std::string CsrFileImage(const UncertainGraph& graph);
+
+/// Writes CsrFileImage(graph) to `path` (via a same-directory temp file +
+/// rename, so a crashed writer never leaves a torn file where the
+/// registry could mmap it). IOError on filesystem failures.
+Status WriteCsrGraph(const UncertainGraph& graph, const std::string& path);
+
+/// Knobs for opening/validating. Both default on: a graph that opens OK
+/// must be safe to query without any later checks. Turning them off is
+/// for benchmarking the pure-mmap floor on files you already trust.
+struct CsrOpenOptions {
+  bool verify_checksums = true;    ///< Per-section + header CRC pass.
+  bool validate_structure = true;  ///< Offsets/adjacency invariant sweep.
+};
+
+/// Validates a complete file image (mapped or in-memory) and, on success,
+/// points `*arrays` at the four sections inside `image` (zero-copy;
+/// `*arrays` is only valid while `image`'s storage is). `info`, when
+/// non-null, receives the decoded header even for some failures past the
+/// header checks (best effort). Returns the typed errors documented
+/// above.
+Status ValidateCsrImage(std::span<const std::uint8_t> image,
+                        const CsrOpenOptions& options, CsrArrays* arrays,
+                        CsrFileInfo* info);
+
+/// A read-only mmap of a .ugsc file exposing the same UncertainGraph the
+/// query and sampling layers consume everywhere else. The mapping is
+/// reference-counted into the graph view itself, so the graph (and any
+/// move of it, e.g. into a GraphSession) keeps the file mapped for as
+/// long as it lives; MappedGraph is just the opener + metadata handle.
+class MappedGraph {
+ public:
+  /// Empty handle (Result<MappedGraph> needs one); Open is the real
+  /// constructor.
+  MappedGraph() = default;
+
+  /// mmaps `path` read-only and validates it (see CsrOpenOptions).
+  /// The typed failure taxonomy is documented at the top of this header.
+  static Result<MappedGraph> Open(const std::string& path,
+                                  CsrOpenOptions options = {});
+
+  /// The graph view. external_bytes() reports the mapped file size and
+  /// is_view() is true.
+  const UncertainGraph& graph() const { return graph_; }
+
+  /// Moves the view out (for callers like GraphSession that own their
+  /// graph by value); the mapping stays alive inside the view.
+  UncertainGraph TakeGraph() && { return std::move(graph_); }
+
+  /// Size of the mapped file in bytes.
+  std::size_t mapped_bytes() const { return info_.file_size; }
+
+  const CsrFileInfo& info() const { return info_; }
+
+ private:
+  CsrFileInfo info_;
+  UncertainGraph graph_;
+};
+
+}  // namespace ugs
+
+#endif  // UGS_GRAPH_CSR_FORMAT_H_

@@ -12,52 +12,94 @@ double EdgeEntropyBits(double p) {
   return -(p * std::log2(p) + (1.0 - p) * std::log2(1.0 - p));
 }
 
+UncertainGraph::UncertainGraph(const UncertainGraph& other)
+    : owned_edges_(other.edges_.begin(), other.edges_.end()),
+      owned_degree_offsets_(other.degree_offsets_.begin(),
+                            other.degree_offsets_.end()),
+      owned_adjacency_(other.adjacency_.begin(), other.adjacency_.end()),
+      owned_expected_degree_(other.expected_degree_.begin(),
+                             other.expected_degree_.end()) {
+  AdoptOwned();
+}
+
+UncertainGraph& UncertainGraph::operator=(const UncertainGraph& other) {
+  if (this != &other) *this = UncertainGraph(other);
+  return *this;
+}
+
+void UncertainGraph::AdoptOwned() {
+  edges_ = owned_edges_;
+  degree_offsets_ = owned_degree_offsets_;
+  adjacency_ = owned_adjacency_;
+  expected_degree_ = owned_expected_degree_;
+  keepalive_.reset();
+  external_bytes_ = 0;
+}
+
 UncertainGraph UncertainGraph::FromEdges(std::size_t num_vertices,
                                          std::vector<UncertainEdge> edges) {
   UncertainGraph g;
-  g.edges_ = std::move(edges);
-  g.degree_offsets_.assign(num_vertices + 1, 0);
-  for (const UncertainEdge& e : g.edges_) {
+  g.owned_edges_ = std::move(edges);
+  g.owned_degree_offsets_.assign(num_vertices + 1, 0);
+  for (const UncertainEdge& e : g.owned_edges_) {
     UGS_CHECK(e.u < num_vertices && e.v < num_vertices);
     UGS_CHECK(e.u != e.v);
     UGS_CHECK(e.p >= 0.0 && e.p <= 1.0);
   }
   g.BuildAdjacency();
+  g.AdoptOwned();
+  return g;
+}
+
+UncertainGraph UncertainGraph::FromCsrView(
+    const CsrArrays& arrays, std::shared_ptr<const void> keepalive,
+    std::size_t resident_bytes) {
+  UGS_CHECK(!arrays.degree_offsets.empty());
+  UGS_CHECK(arrays.adjacency.size() == 2 * arrays.edges.size());
+  UGS_CHECK(arrays.expected_degrees.size() ==
+            arrays.degree_offsets.size() - 1);
+  UncertainGraph g;
+  g.edges_ = arrays.edges;
+  g.degree_offsets_ = arrays.degree_offsets;
+  g.adjacency_ = arrays.adjacency;
+  g.expected_degree_ = arrays.expected_degrees;
+  g.keepalive_ = std::move(keepalive);
+  g.external_bytes_ = resident_bytes;
   return g;
 }
 
 void UncertainGraph::BuildAdjacency() {
-  const std::size_t n = degree_offsets_.size() - 1;
+  const std::size_t n = owned_degree_offsets_.size() - 1;
   // Counting pass.
   std::vector<std::size_t> counts(n, 0);
-  for (const UncertainEdge& e : edges_) {
+  for (const UncertainEdge& e : owned_edges_) {
     ++counts[e.u];
     ++counts[e.v];
   }
-  degree_offsets_[0] = 0;
+  owned_degree_offsets_[0] = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    degree_offsets_[i + 1] = degree_offsets_[i] + counts[i];
+    owned_degree_offsets_[i + 1] = owned_degree_offsets_[i] + counts[i];
   }
-  adjacency_.resize(2 * edges_.size());
-  std::vector<std::size_t> cursor(degree_offsets_.begin(),
-                                  degree_offsets_.end() - 1);
-  for (EdgeId e = 0; e < edges_.size(); ++e) {
-    const UncertainEdge& ed = edges_[e];
-    adjacency_[cursor[ed.u]++] = {ed.v, e};
-    adjacency_[cursor[ed.v]++] = {ed.u, e};
+  owned_adjacency_.resize(2 * owned_edges_.size());
+  std::vector<std::uint64_t> cursor(owned_degree_offsets_.begin(),
+                                    owned_degree_offsets_.end() - 1);
+  for (EdgeId e = 0; e < owned_edges_.size(); ++e) {
+    const UncertainEdge& ed = owned_edges_[e];
+    owned_adjacency_[cursor[ed.u]++] = {ed.v, e};
+    owned_adjacency_[cursor[ed.v]++] = {ed.u, e};
   }
   // Sort each vertex's slice by neighbor id to allow binary search and to
   // detect parallel edges.
-  expected_degree_.assign(n, 0.0);
+  owned_expected_degree_.assign(n, 0.0);
   for (std::size_t u = 0; u < n; ++u) {
-    auto begin = adjacency_.begin() + degree_offsets_[u];
-    auto end = adjacency_.begin() + degree_offsets_[u + 1];
+    auto begin = owned_adjacency_.begin() + owned_degree_offsets_[u];
+    auto end = owned_adjacency_.begin() + owned_degree_offsets_[u + 1];
     std::sort(begin, end, [](const AdjacencyEntry& a, const AdjacencyEntry& b) {
       return a.neighbor < b.neighbor;
     });
     for (auto it = begin; it != end; ++it) {
       if (it != begin) UGS_CHECK((it - 1)->neighbor != it->neighbor);
-      expected_degree_[u] += edges_[it->edge].p;
+      owned_expected_degree_[u] += owned_edges_[it->edge].p;
     }
   }
 }

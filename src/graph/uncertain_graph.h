@@ -2,6 +2,7 @@
 #define UGS_GRAPH_UNCERTAIN_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -32,6 +33,16 @@ struct AdjacencyEntry {
 /// H(p) = -p log2 p - (1-p) log2(1-p); 0 at the deterministic endpoints.
 double EdgeEntropyBits(double p);
 
+/// The four parallel arrays of a fully-built CSR uncertain graph. The
+/// binary .ugsc format (graph/csr_format.h) stores exactly these, so a
+/// validated mapping can back an UncertainGraph without any copies.
+struct CsrArrays {
+  std::span<const UncertainEdge> edges;
+  std::span<const std::uint64_t> degree_offsets;  ///< size n+1.
+  std::span<const AdjacencyEntry> adjacency;      ///< size 2|E|.
+  std::span<const double> expected_degrees;       ///< size n.
+};
+
 /// An immutable uncertain graph G = (V, E, p): undirected, no self loops,
 /// no parallel edges, p_e in [0, 1]. Inputs normally have p > 0 (paper
 /// definition), but sparsified graphs may carry p = 0 edges because the
@@ -43,11 +54,25 @@ double EdgeEntropyBits(double p);
 /// (probabilities, world membership flags, discrepancy deltas) can live in
 /// plain arrays parallel to the edge list.
 ///
-/// Construct through GraphBuilder (validating) or the static FromEdges
-/// (checked) factory.
+/// All accessors read through spans, and the spans can be backed two ways:
+///   - owned: heap vectors built by FromEdges / GraphBuilder;
+///   - view: externally validated arrays (an mmap'ed .ugsc file) kept
+///     alive by a type-erased keepalive handle (FromCsrView).
+/// Query and sampling code never sees the difference. Copying a view
+/// materializes it into owned storage; moving never copies array data.
+///
+/// Construct through GraphBuilder (validating), the static FromEdges
+/// (checked) factory, or MappedGraph::Open (graph/csr_format.h).
 class UncertainGraph {
  public:
   UncertainGraph() = default;
+
+  UncertainGraph(UncertainGraph&&) noexcept = default;
+  UncertainGraph& operator=(UncertainGraph&&) noexcept = default;
+  /// Deep copy: always materializes into owned storage (a copy of a
+  /// mapped graph is an ordinary heap-backed graph).
+  UncertainGraph(const UncertainGraph& other);
+  UncertainGraph& operator=(const UncertainGraph& other);
 
   /// Builds a graph from an edge list. Aborts on invalid input (self loop,
   /// duplicate edge, p outside (0,1], endpoint >= num_vertices); use
@@ -55,12 +80,25 @@ class UncertainGraph {
   static UncertainGraph FromEdges(std::size_t num_vertices,
                                   std::vector<UncertainEdge> edges);
 
-  std::size_t num_vertices() const { return degree_offsets_.empty()
-                                         ? 0
-                                         : degree_offsets_.size() - 1; }
+  /// Adopts already-validated external CSR arrays without copying.
+  /// `keepalive` owns the backing storage (an mmap region) and is held
+  /// until every copy of this graph is gone; `resident_bytes` is the
+  /// actual footprint of that storage (the mapped file size), reported
+  /// through external_bytes(). The caller vouches for the arrays: all
+  /// the structural invariants FromEdges enforces must already hold
+  /// (csr_format.h validates them at open). Accessors trust the arrays,
+  /// so a malformed view is undefined behavior -- never construct one
+  /// from unvalidated bytes.
+  static UncertainGraph FromCsrView(const CsrArrays& arrays,
+                                    std::shared_ptr<const void> keepalive,
+                                    std::size_t resident_bytes);
+
+  std::size_t num_vertices() const {
+    return degree_offsets_.empty() ? 0 : degree_offsets_.size() - 1;
+  }
   std::size_t num_edges() const { return edges_.size(); }
 
-  const std::vector<UncertainEdge>& edges() const { return edges_; }
+  std::span<const UncertainEdge> edges() const { return edges_; }
 
   const UncertainEdge& edge(EdgeId e) const {
     UGS_DCHECK(e < edges_.size());
@@ -90,9 +128,21 @@ class UncertainGraph {
   }
 
   /// The full expected-degree vector d (paper Section 4.1).
-  const std::vector<double>& expected_degrees() const {
-    return expected_degree_;
+  std::span<const double> expected_degrees() const { return expected_degree_; }
+
+  /// The raw CSR arrays (what WriteCsrGraph serializes).
+  CsrArrays csr_arrays() const {
+    return {edges_, degree_offsets_, adjacency_, expected_degree_};
   }
+
+  /// True when the arrays live in external storage (an mmap'ed .ugsc
+  /// file) instead of heap vectors.
+  bool is_view() const { return keepalive_ != nullptr; }
+
+  /// Bytes of external backing storage (the mapped file size); 0 for
+  /// heap-backed graphs. Residency accounting (service/session_registry)
+  /// prefers this over the heap estimate when present.
+  std::size_t external_bytes() const { return external_bytes_; }
 
   /// Edge id joining u and v, or kInvalidEdge. O(log deg) binary search.
   EdgeId FindEdge(VertexId u, VertexId v) const;
@@ -112,10 +162,25 @@ class UncertainGraph {
  private:
   void BuildAdjacency();
 
-  std::vector<UncertainEdge> edges_;
-  std::vector<std::size_t> degree_offsets_;  // CSR offsets, size n+1.
-  std::vector<AdjacencyEntry> adjacency_;    // size 2|E|.
-  std::vector<double> expected_degree_;      // size n.
+  /// Points the access spans at the owned vectors.
+  void AdoptOwned();
+
+  // Access spans: every accessor reads these. They alias either the
+  // owned_* vectors below or external storage pinned by keepalive_.
+  std::span<const UncertainEdge> edges_;
+  std::span<const std::uint64_t> degree_offsets_;  // CSR offsets, size n+1.
+  std::span<const AdjacencyEntry> adjacency_;      // size 2|E|.
+  std::span<const double> expected_degree_;        // size n.
+
+  // Owned backing (empty while the graph is a view).
+  std::vector<UncertainEdge> owned_edges_;
+  std::vector<std::uint64_t> owned_degree_offsets_;
+  std::vector<AdjacencyEntry> owned_adjacency_;
+  std::vector<double> owned_expected_degree_;
+
+  // View backing: keeps the external storage (mmap region) alive.
+  std::shared_ptr<const void> keepalive_;
+  std::size_t external_bytes_ = 0;
 };
 
 }  // namespace ugs

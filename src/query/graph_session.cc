@@ -4,6 +4,7 @@
 #include <atomic>
 #include <utility>
 
+#include "graph/csr_format.h"
 #include "graph/graph_io.h"
 #include "util/timer.h"
 
@@ -26,6 +27,15 @@ GraphSession::GraphSession(UncertainGraph graph, GraphSessionOptions options)
 
 Result<std::unique_ptr<GraphSession>> GraphSession::Open(
     const std::string& path, GraphSessionOptions options) {
+  // Binary CSR files are mmap'ed (open = validation, not a parse); the
+  // session's graph is then a view pinning the mapping. Everything else
+  // goes through the text edge-list parser.
+  if (path.ends_with(kCsrExtension)) {
+    Result<MappedGraph> mapped = MappedGraph::Open(path);
+    if (!mapped.ok()) return mapped.status();
+    return std::make_unique<GraphSession>(std::move(*mapped).TakeGraph(),
+                                          options);
+  }
   Result<UncertainGraph> graph = LoadEdgeList(path);
   if (!graph.ok()) return graph.status();
   return std::make_unique<GraphSession>(std::move(graph.value()), options);

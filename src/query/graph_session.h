@@ -54,7 +54,10 @@ class GraphSession {
  public:
   explicit GraphSession(UncertainGraph graph, GraphSessionOptions options = {});
 
-  /// Loads an edge-list file into a fresh session.
+  /// Loads a graph file into a fresh session. Paths ending in ".ugsc"
+  /// (graph/csr_format.h) are mmap'ed -- open is header validation plus a
+  /// checksum pass, and the session's graph is a zero-copy view over the
+  /// mapping; everything else is parsed as a text edge list.
   static Result<std::unique_ptr<GraphSession>> Open(
       const std::string& path, GraphSessionOptions options = {});
 

@@ -6,7 +6,7 @@ void SampleWorld(const UncertainGraph& graph, Rng* rng,
                  std::vector<char>* present) {
   const std::size_t m = graph.num_edges();
   present->resize(m);
-  const std::vector<UncertainEdge>& edges = graph.edges();
+  const std::span<const UncertainEdge> edges = graph.edges();
   for (std::size_t e = 0; e < m; ++e) {
     (*present)[e] = rng->Bernoulli(edges[e].p) ? 1 : 0;
   }

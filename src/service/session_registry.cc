@@ -1,13 +1,25 @@
 #include "service/session_registry.h"
 
+#include <sys/stat.h>
+
 #include <utility>
 
+#include "graph/csr_format.h"
 #include "service/wire.h"
 
 namespace ugs {
 
 SessionRegistry::SessionRegistry(SessionRegistryOptions options)
     : options_(std::move(options)) {}
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
 
 Status SessionRegistry::ValidateId(const std::string& id) {
   if (id.empty()) {
@@ -87,15 +99,23 @@ Result<SessionRegistry::Handle> SessionRegistry::Acquire(
   lock.unlock();
 
   // The open itself runs unlocked: a slow load must not block hits on
-  // other graphs. Ids without an extension fall back to "<id>.txt".
+  // other graphs. Ids with an explicit extension name exactly one file;
+  // extensionless ids prefer the binary mmap-able form over a text
+  // parse: "<id>.ugsc", then "<id>", then "<id>.txt". Preference is by
+  // existence, not by open success -- a present-but-corrupt .ugsc is
+  // surfaced as its typed error instead of being silently masked by a
+  // stale text fallback.
   const std::string path = options_.graph_dir + "/" + id;
-  Result<std::unique_ptr<GraphSession>> opened =
-      GraphSession::Open(path, options_.session);
-  if (!opened.ok() && id.find('.') == std::string::npos) {
-    Result<std::unique_ptr<GraphSession>> retry =
-        GraphSession::Open(path + ".txt", options_.session);
-    if (retry.ok()) opened = std::move(retry);
+  std::string chosen = path;
+  if (id.find('.') == std::string::npos) {
+    if (FileExists(path + kCsrExtension)) {
+      chosen = path + kCsrExtension;
+    } else if (!FileExists(path)) {
+      chosen = path + ".txt";
+    }
   }
+  Result<std::unique_ptr<GraphSession>> opened =
+      GraphSession::Open(chosen, options_.session);
 
   lock.lock();
   if (!opened.ok()) {
@@ -103,6 +123,11 @@ Result<SessionRegistry::Handle> SessionRegistry::Acquire(
     ++counters_.open_failures;
     opened_cv_.notify_all();
     return opened.status();
+  }
+  if ((*opened)->graph().is_view()) {
+    ++counters_.opens_mmap;
+  } else {
+    ++counters_.opens_text;
   }
   Handle handle = Commit(
       id, std::shared_ptr<const GraphSession>(std::move(opened.value())));
@@ -152,6 +177,8 @@ std::string SessionRegistry::StatsJson() const {
                     ",\"evictions\":" + std::to_string(counters_.evictions) +
                     ",\"open_failures\":" +
                     std::to_string(counters_.open_failures) +
+                    ",\"opens_text\":" + std::to_string(counters_.opens_text) +
+                    ",\"opens_mmap\":" + std::to_string(counters_.opens_mmap) +
                     ",\"resident_sessions\":" +
                     std::to_string(lru_.size()) +
                     ",\"resident_bytes\":" +
@@ -180,10 +207,17 @@ std::string SessionRegistry::StatsJson() const {
 
 std::size_t ApproxSessionBytes(const GraphSession& session) {
   const UncertainGraph& graph = session.graph();
+  if (graph.is_view()) {
+    // mmap-backed: the residency cost is the mapped file itself (page
+    // cache), reported exactly, plus the session object.
+    return sizeof(GraphSession) + graph.external_bytes();
+  }
   return sizeof(GraphSession) +
          graph.num_edges() *
              (sizeof(UncertainEdge) + 2 * sizeof(AdjacencyEntry)) +
-         graph.num_vertices() * (sizeof(std::size_t) + sizeof(double));
+         graph.num_vertices() *
+             (sizeof(std::uint64_t) + sizeof(double)) +
+         sizeof(std::uint64_t);
 }
 
 }  // namespace ugs

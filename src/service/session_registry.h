@@ -17,10 +17,12 @@ namespace ugs {
 
 /// Configuration of a SessionRegistry.
 struct SessionRegistryOptions {
-  /// Directory the registry opens graphs from: id "g" resolves to
-  /// <graph_dir>/g, falling back to <graph_dir>/g.txt when the id carries
-  /// no extension. Empty disables open-on-demand (only Insert()ed
-  /// sessions are served -- the in-memory mode tests and benches use).
+  /// Directory the registry opens graphs from. An id with an extension
+  /// ("g.txt", "g.ugsc") resolves to exactly that file; an id without one
+  /// prefers the binary mmap-able form and falls back to text:
+  /// <graph_dir>/g.ugsc, then <graph_dir>/g, then <graph_dir>/g.txt.
+  /// Empty disables open-on-demand (only Insert()ed sessions are
+  /// served -- the in-memory mode tests and benches use).
   std::string graph_dir;
   /// Most sessions resident at once; opening past the budget evicts the
   /// least-recently-used unpinned entries. 0 = unlimited.
@@ -41,6 +43,11 @@ struct RegistryCounters {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t open_failures = 0;
+  /// Successful opens by storage kind: text parses vs .ugsc mmaps. The
+  /// split is the signal that packed graphs are actually being served
+  /// from the fast path.
+  std::uint64_t opens_text = 0;
+  std::uint64_t opens_mmap = 0;
 };
 
 /// Thread-safe graph-id -> GraphSession cache: the multi-graph core of the
@@ -128,8 +135,10 @@ class SessionRegistry {
   RegistryCounters counters_;
 };
 
-/// Approximate resident footprint of a session: edge list + CSR adjacency
-/// + per-vertex arrays. The registry's byte budget is denominated in this.
+/// Resident footprint of a session the registry's byte budget is
+/// denominated in. For mmap-backed graphs this is the actual mapped file
+/// size (graph.external_bytes()), not an estimate; for heap-backed graphs
+/// it approximates edge list + CSR adjacency + per-vertex arrays.
 std::size_t ApproxSessionBytes(const GraphSession& session);
 
 }  // namespace ugs

@@ -1,0 +1,41 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace ugs {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+std::uint32_t Crc32Update(std::uint32_t state, const void* data,
+                          std::size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state = kTable[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t Crc32Final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  return Crc32Final(Crc32Update(Crc32Init(), data, size));
+}
+
+}  // namespace ugs

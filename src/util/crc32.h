@@ -1,0 +1,24 @@
+#ifndef UGS_UTIL_CRC32_H_
+#define UGS_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ugs {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) -- the checksum
+/// guarding every section of the binary .ugsc graph format. Standard test
+/// vector: Crc32("123456789", 9) == 0xCBF43926.
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+/// Incremental form: feed `Crc32Update(crc, ...)` chunks starting from
+/// Crc32Init() and finish with Crc32Final(); equal to the one-shot value
+/// over the concatenated bytes.
+std::uint32_t Crc32Init();
+std::uint32_t Crc32Update(std::uint32_t state, const void* data,
+                          std::size_t size);
+std::uint32_t Crc32Final(std::uint32_t state);
+
+}  // namespace ugs
+
+#endif  // UGS_UTIL_CRC32_H_

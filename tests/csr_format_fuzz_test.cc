@@ -1,0 +1,195 @@
+// Mutation fuzzing of the .ugsc validator: every mutated image -- byte
+// flips, truncations, extensions, header and section-table rewrites --
+// must come back as a typed Status, never a crash, OOB read (ASan-run in
+// CI's fuzz-smoke job), or structurally unsafe graph. Deterministic: a
+// fixed seed drives the corpus, so a failure reproduces by iteration
+// index. UGS_FUZZ_ITERS scales the iteration budget (default 2000).
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/csr_format.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace ugs {
+namespace {
+
+int FuzzIters() {
+  const char* env = std::getenv("UGS_FUZZ_ITERS");
+  if (env != nullptr && *env != '\0') {
+    const int iters = std::atoi(env);
+    if (iters > 0) return iters;
+  }
+  return 2000;
+}
+
+std::span<const std::uint8_t> AsBytes(const std::string& image) {
+  return {reinterpret_cast<const std::uint8_t*>(image.data()), image.size()};
+}
+
+/// A small but fully-featured seed image: hubs, isolated vertices, all
+/// four sections non-empty.
+std::string SeedImage() {
+  Rng rng(0xC5F0);
+  std::vector<UncertainEdge> edges;
+  const VertexId n = 24;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.Uniform(0.0, 1.0) < 0.2) {
+        edges.push_back({u, v, rng.Uniform(0.0, 1.0)});
+      }
+    }
+  }
+  return CsrFileImage(UncertainGraph::FromEdges(n + 2, std::move(edges)));
+}
+
+/// One random mutation of `seed`; kind diversity is weighted toward the
+/// header and section table, where a byte buys the most coverage.
+std::string Mutate(const std::string& seed, Rng* rng) {
+  std::string image = seed;
+  const int kind = static_cast<int>(rng->Uniform(0.0, 6.0));
+  auto flip = [&](std::size_t lo, std::size_t hi) {
+    if (hi <= lo) return;
+    const std::size_t at =
+        lo + static_cast<std::size_t>(rng->Uniform(0.0, 1.0) *
+                                      static_cast<double>(hi - lo));
+    const int bit = static_cast<int>(rng->Uniform(0.0, 8.0));
+    image[at] = static_cast<char>(image[at] ^ (1 << (bit & 7)));
+  };
+  switch (kind) {
+    case 0:  // Header flip.
+      flip(0, kCsrHeaderBytes);
+      break;
+    case 1: {  // Section-table field rewrite with a random u64.
+      const std::size_t field =
+          32 + 8 * static_cast<std::size_t>(rng->Uniform(0.0, 12.0));
+      const std::uint64_t value = static_cast<std::uint64_t>(
+          rng->Uniform(0.0, 1.0) * 1.8e19);
+      std::memcpy(image.data() + field, &value, sizeof(value));
+      break;
+    }
+    case 2:  // Body flip.
+      flip(kCsrHeaderBytes, image.size());
+      break;
+    case 3: {  // Truncate anywhere.
+      const std::size_t len = static_cast<std::size_t>(
+          rng->Uniform(0.0, 1.0) * static_cast<double>(image.size()));
+      image.resize(len);
+      break;
+    }
+    case 4: {  // Extend with junk.
+      const std::size_t extra =
+          1 + static_cast<std::size_t>(rng->Uniform(0.0, 128.0));
+      for (std::size_t i = 0; i < extra; ++i) {
+        image.push_back(static_cast<char>(rng->Uniform(0.0, 256.0)));
+      }
+      break;
+    }
+    default: {  // A burst of 2-8 flips anywhere.
+      const int burst = 2 + static_cast<int>(rng->Uniform(0.0, 7.0));
+      for (int i = 0; i < burst; ++i) flip(0, image.size());
+      break;
+    }
+  }
+  return image;
+}
+
+/// Walks every accessor of a graph the validator accepted; any unsafe
+/// index the sweep missed becomes a crash/ASan report right here.
+void ExerciseGraph(const UncertainGraph& graph) {
+  double checksum = 0.0;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (const AdjacencyEntry& entry : graph.Neighbors(u)) {
+      checksum += graph.edges()[entry.edge].p;
+      ASSERT_NE(graph.FindEdge(u, entry.neighbor), kInvalidEdge);
+    }
+    checksum += graph.ExpectedDegree(u);
+  }
+  ASSERT_GE(checksum, 0.0);
+}
+
+TEST(CsrFormatFuzzTest, MutatedImagesNeverCrashTheValidator) {
+  const std::string seed = SeedImage();
+  {
+    CsrArrays arrays;
+    ASSERT_TRUE(ValidateCsrImage(AsBytes(seed), {}, &arrays, nullptr).ok());
+  }
+  Rng rng(20260807);
+  const int iters = FuzzIters();
+  int accepted = 0;
+  int rejected = 0;
+  for (int i = 0; i < iters; ++i) {
+    const std::string image = Mutate(seed, &rng);
+    CsrArrays arrays;
+    CsrFileInfo info;
+    const Status status = ValidateCsrImage(AsBytes(image), {}, &arrays, &info);
+    if (!status.ok()) {
+      ++rejected;
+      continue;
+    }
+    // Mutations that land in inter-section padding (not checksummed) or
+    // cancel out can legitimately still validate; the graph must then be
+    // fully safe to traverse.
+    ++accepted;
+    UncertainGraph view = UncertainGraph::FromCsrView(
+        arrays, std::shared_ptr<const void>(), image.size());
+    ASSERT_NO_FATAL_FAILURE(ExerciseGraph(view)) << "iteration " << i;
+  }
+  // The corpus must actually exercise the reject paths; if nearly
+  // everything passes, the mutator went soft.
+  EXPECT_GT(rejected, iters / 2);
+  SUCCEED() << accepted << " accepted / " << rejected << " rejected of "
+            << iters;
+}
+
+TEST(CsrFormatFuzzTest, MutatedFilesNeverCrashTheOpener) {
+  // A bounded on-disk leg so the mmap path (fstat, mapping, unmap on
+  // every reject) is exercised under the sanitizers too.
+  const std::string seed = SeedImage();
+  const std::string path = ::testing::TempDir() + "/csr_fuzz_scratch.ugsc";
+  Rng rng(424242);
+  const int iters = std::min(FuzzIters(), 200);
+  for (int i = 0; i < iters; ++i) {
+    const std::string image = Mutate(seed, &rng);
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(image.data(), 1, image.size(), f), image.size());
+    ASSERT_EQ(std::fclose(f), 0);
+    Result<MappedGraph> mapped = MappedGraph::Open(path);
+    if (mapped.ok()) {
+      ASSERT_NO_FATAL_FAILURE(ExerciseGraph(mapped->graph()))
+          << "iteration " << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsrFormatFuzzTest, ValidationKnobsNeverCrashOnMutants) {
+  // checksums-off must still be memory-safe: the structural sweep alone
+  // has to reject anything that would index out of bounds.
+  const std::string seed = SeedImage();
+  Rng rng(7070);
+  const CsrOpenOptions no_crc{.verify_checksums = false,
+                              .validate_structure = true};
+  const int iters = std::min(FuzzIters(), 500);
+  for (int i = 0; i < iters; ++i) {
+    const std::string image = Mutate(seed, &rng);
+    CsrArrays arrays;
+    const Status status =
+        ValidateCsrImage(AsBytes(image), no_crc, &arrays, nullptr);
+    if (status.ok()) {
+      UncertainGraph view = UncertainGraph::FromCsrView(
+          arrays, std::shared_ptr<const void>(), image.size());
+      ASSERT_NO_FATAL_FAILURE(ExerciseGraph(view)) << "iteration " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ugs

@@ -1,5 +1,6 @@
 #include "service/session_registry.h"
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
@@ -7,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "graph/csr_format.h"
 #include "graph/graph_io.h"
 #include "service/wire.h"
 #include "tests/test_util.h"
@@ -220,6 +222,114 @@ TEST_F(SessionRegistryTest, StatsJsonReflectsCounters) {
   EXPECT_NE(json.find("\"misses\":1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"max_sessions\":2"), std::string::npos) << json;
   EXPECT_NE(json.find(Id("g1")), std::string::npos) << json;
+}
+
+// --- Binary (.ugsc) graph resolution.
+
+class RegistryCsrTest : public SessionRegistryTest {
+ protected:
+  void SetUp() override {
+    SessionRegistryTest::SetUp();
+    // g1 exists in BOTH forms; the packed one must win for the
+    // extensionless id. g4 exists only packed.
+    graph_ = testing_util::CompleteK4(0.5);
+    ASSERT_TRUE(WriteCsrGraph(graph_, UgscPath("g1")).ok());
+    ASSERT_TRUE(
+        WriteCsrGraph(testing_util::StarGraph(6, 0.7), UgscPath("g4")).ok());
+  }
+
+  std::string UgscPath(const std::string& id) const {
+    return dir_ + "/" + Id(id) + kCsrExtension;
+  }
+
+  UncertainGraph graph_;
+};
+
+TEST_F(RegistryCsrTest, PrefersPackedFormForExtensionlessIds) {
+  SessionRegistry registry(Options(4));
+  Result<SessionRegistry::Handle> handle = registry.Acquire(Id("g1"));
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  EXPECT_TRUE((*handle)->graph().is_view());
+  RegistryCounters counters = registry.counters();
+  EXPECT_EQ(counters.opens_mmap, 1u);
+  EXPECT_EQ(counters.opens_text, 0u);
+
+  // g2 has no packed form: text fallback, counted on the other side.
+  Result<SessionRegistry::Handle> text = registry.Acquire(Id("g2"));
+  ASSERT_TRUE(text.ok());
+  EXPECT_FALSE((*text)->graph().is_view());
+  counters = registry.counters();
+  EXPECT_EQ(counters.opens_mmap, 1u);
+  EXPECT_EQ(counters.opens_text, 1u);
+
+  std::string json = registry.StatsJson();
+  EXPECT_NE(json.find("\"opens_mmap\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"opens_text\":1"), std::string::npos) << json;
+}
+
+TEST_F(RegistryCsrTest, ExplicitExtensionNamesExactlyThatFile) {
+  SessionRegistry registry(Options(4));
+  Result<SessionRegistry::Handle> text =
+      registry.Acquire(Id("g1") + ".txt");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_FALSE((*text)->graph().is_view());
+  Result<SessionRegistry::Handle> packed =
+      registry.Acquire(Id("g1") + kCsrExtension);
+  ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+  EXPECT_TRUE((*packed)->graph().is_view());
+  RegistryCounters counters = registry.counters();
+  EXPECT_EQ(counters.opens_text, 1u);
+  EXPECT_EQ(counters.opens_mmap, 1u);
+}
+
+TEST_F(RegistryCsrTest, MappedResidentBytesAreTheMappedFileSize) {
+  SessionRegistry registry(Options(4));
+  Result<SessionRegistry::Handle> handle = registry.Acquire(Id("g4"));
+  ASSERT_TRUE(handle.ok());
+  Result<MappedGraph> mapped = MappedGraph::Open(UgscPath("g4"));
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(registry.resident_bytes(),
+            sizeof(GraphSession) + mapped->mapped_bytes());
+  EXPECT_EQ((*handle)->graph().external_bytes(), mapped->mapped_bytes());
+}
+
+TEST_F(RegistryCsrTest, CorruptPackedFileFailsTypedInsteadOfTextFallback) {
+  // Corrupt g1.ugsc in place. The extensionless id must surface the
+  // packed file's typed error, not silently serve the stale g1.txt.
+  const std::string path = UgscPath("g1");
+  std::string image = CsrFileImage(graph_);
+  image[image.size() - 3] = static_cast<char>(image[image.size() - 3] ^ 0x80);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(image.data(), 1, image.size(), f), image.size());
+  ASSERT_EQ(std::fclose(f), 0);
+
+  SessionRegistry registry(Options(4));
+  Result<SessionRegistry::Handle> handle = registry.Acquire(Id("g1"));
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.counters().open_failures, 1u);
+  // Restore a valid packed file for any later test reusing the dir.
+  ASSERT_TRUE(WriteCsrGraph(graph_, path).ok());
+}
+
+TEST_F(RegistryCsrTest, PackedAndTextSessionsAnswerBitIdentically) {
+  SessionRegistry registry(Options(4));
+  Result<SessionRegistry::Handle> packed = registry.Acquire(Id("g1"));
+  Result<SessionRegistry::Handle> text =
+      registry.Acquire(Id("g1") + ".txt");
+  ASSERT_TRUE(packed.ok());
+  ASSERT_TRUE(text.ok());
+  QueryRequest request;
+  request.query = "reliability";
+  request.pairs = {{0, 3}, {1, 2}};
+  request.num_samples = 64;
+  request.seed = 99;
+  Result<QueryResult> a = (*packed)->Run(request);
+  Result<QueryResult> b = (*text)->Run(request);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(PayloadEquals(*a, *b));
 }
 
 }  // namespace

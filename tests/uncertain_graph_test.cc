@@ -1,6 +1,7 @@
 #include "graph/uncertain_graph.h"
 
 #include <cmath>
+#include <memory>
 
 #include <gtest/gtest.h>
 
@@ -149,6 +150,53 @@ TEST(GraphBuilderTest, HasEdgeAndBuild) {
   UncertainGraph g = std::move(b).Build();
   EXPECT_EQ(g.num_edges(), 2u);
   EXPECT_NEAR(g.ExpectedDegree(1), 0.75, 1e-12);
+}
+
+TEST(UncertainGraphTest, CopyIsDeepAndIndependent) {
+  UncertainGraph original = PaperFigure2Graph();
+  UncertainGraph copy(original);
+  EXPECT_FALSE(copy.is_view());
+  ASSERT_EQ(copy.num_edges(), original.num_edges());
+  // Distinct storage, equal contents.
+  EXPECT_NE(static_cast<const void*>(copy.edges().data()),
+            static_cast<const void*>(original.edges().data()));
+  for (std::size_t i = 0; i < original.num_edges(); ++i) {
+    EXPECT_DOUBLE_EQ(copy.edges()[i].p, original.edges()[i].p);
+  }
+  UncertainGraph assigned;
+  assigned = original;
+  EXPECT_EQ(assigned.num_vertices(), 4u);
+  EXPECT_EQ(assigned.FindEdge(1, 3), original.FindEdge(1, 3));
+}
+
+TEST(UncertainGraphTest, MoveKeepsSpansValid) {
+  UncertainGraph original = PaperFigure2Graph();
+  const double entropy = original.EntropyBits();
+  UncertainGraph moved(std::move(original));
+  // Vector heap buffers are pointer-stable across moves, so the access
+  // spans still alias the moved-to storage.
+  EXPECT_EQ(moved.num_edges(), 5u);
+  EXPECT_DOUBLE_EQ(moved.EntropyBits(), entropy);
+  EXPECT_EQ(moved.Degree(3), 3u);
+  EXPECT_NE(moved.FindEdge(0, 1), kInvalidEdge);
+}
+
+TEST(UncertainGraphTest, FromCsrViewAliasesExternalStorage) {
+  UncertainGraph owned = PaperFigure2Graph();
+  const CsrArrays arrays = owned.csr_arrays();
+  UncertainGraph view = UncertainGraph::FromCsrView(
+      arrays, std::make_shared<int>(0), 12345);
+  EXPECT_TRUE(view.is_view());
+  EXPECT_EQ(view.external_bytes(), 12345u);
+  EXPECT_EQ(static_cast<const void*>(view.edges().data()),
+            static_cast<const void*>(owned.edges().data()));
+  EXPECT_EQ(view.Degree(0), owned.Degree(0));
+  // Copying a view materializes it into owned storage.
+  UncertainGraph materialized(view);
+  EXPECT_FALSE(materialized.is_view());
+  EXPECT_NE(static_cast<const void*>(materialized.edges().data()),
+            static_cast<const void*>(owned.edges().data()));
+  EXPECT_DOUBLE_EQ(materialized.EntropyBits(), owned.EntropyBits());
 }
 
 }  // namespace
