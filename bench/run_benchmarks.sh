@@ -44,6 +44,7 @@ run_bench() {
 # as an end-to-end smoke of the full sparsify+query pipeline.
 run_bench bench_engine
 run_bench bench_service
+run_bench bench_router
 run_bench bench_csr
 if [[ "${UGS_BENCH_QUICK:-0}" != "1" ]]; then
   run_bench bench_fig7

@@ -1,0 +1,199 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the sharded serving tier: starts two ugs_serve
+# shards over the same generated graph directory and a ugs_router in
+# front of them (full replication, verified racing), runs every query
+# kind through ugs_client pointed at the ROUTER, diffs each JSON answer
+# against ugs_query on the same graph file (byte-identical is the
+# contract), SIGKILLs one shard halfway and re-runs the full battery
+# (failover must keep every answer byte-identical), checks the
+# aggregated stats verb reports the fleet under the
+# {"router":...,"shards":[...]} schema with the dead shard marked down,
+# and shuts the router down cleanly.
+#
+# Usage: scripts/router_smoke.sh [build_dir] [extra ugs_router flags...]
+#   e.g. scripts/router_smoke.sh build --race=1
+set -euo pipefail
+
+BUILD_DIR="build"
+if [[ $# -gt 0 && "$1" != --* ]]; then
+  BUILD_DIR="$1"
+  shift
+fi
+EXTRA_FLAGS=("$@")
+for bin in ugs_generate ugs_serve ugs_client ugs_query ugs_pack \
+           ugs_router; do
+  if [[ ! -x "${BUILD_DIR}/${bin}" ]]; then
+    echo "missing ${BUILD_DIR}/${bin}; build the tools first" >&2
+    exit 1
+  fi
+done
+
+WORK="$(mktemp -d)"
+SHARD1_PID=""
+SHARD2_PID=""
+ROUTER_PID=""
+cleanup() {
+  for pid in "${ROUTER_PID}" "${SHARD1_PID}" "${SHARD2_PID}"; do
+    if [[ -n "${pid}" ]] && kill -0 "${pid}" 2>/dev/null; then
+      kill -KILL "${pid}" 2>/dev/null || true
+    fi
+  done
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+mkdir -p "${WORK}/graphs"
+"${BUILD_DIR}/ugs_generate" --dataset=er --vertices=60 --edges=150 --seed=7 \
+  --out="${WORK}/graphs/g1.txt" > /dev/null
+"${BUILD_DIR}/ugs_generate" --dataset=er --vertices=40 --edges=90 --seed=8 \
+  --out="${WORK}/graphs/g2.txt" > /dev/null
+"${BUILD_DIR}/ugs_generate" --dataset=er --vertices=30 --edges=70 --seed=9 \
+  --out="${WORK}/graphs/g3.txt" > /dev/null
+# One packed graph: g1 answers are served off the mmap path on every
+# shard while ugs_query parses g1.txt -- the diffs below keep proving
+# both views agree, now through the router as well.
+"${BUILD_DIR}/ugs_pack" --in="${WORK}/graphs/g1.txt" \
+  --out="${WORK}/graphs/g1.ugsc" --verify > /dev/null
+
+# Two shards over the SAME graph directory (the property any-shard
+# failover rests on), each on an ephemeral port.
+start_shard() {
+  local index="$1"
+  "${BUILD_DIR}/ugs_serve" --dir="${WORK}/graphs" --port=0 --workers=2 \
+    --cache-entries=64 --port-file="${WORK}/shard${index}.port" \
+    > "${WORK}/shard${index}.log" 2>&1 &
+}
+start_shard 1; SHARD1_PID=$!
+start_shard 2; SHARD2_PID=$!
+
+wait_port() {
+  local file="$1" pid="$2" name="$3"
+  for _ in $(seq 1 100); do
+    [[ -s "${file}" ]] && return 0
+    if ! kill -0 "${pid}" 2>/dev/null; then
+      echo "${name} died during startup:" >&2
+      cat "${WORK}/${name}.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  echo "${name} never wrote its port file" >&2
+  exit 1
+}
+wait_port "${WORK}/shard1.port" "${SHARD1_PID}" shard1
+wait_port "${WORK}/shard2.port" "${SHARD2_PID}" shard2
+SHARD1_PORT="$(cat "${WORK}/shard1.port")"
+SHARD2_PORT="$(cat "${WORK}/shard2.port")"
+
+# Full replication + verified racing: every query goes to BOTH shards
+# and the router asserts the replies agree -- the smoke exercises the
+# cross-shard determinism contract on every single request. A short
+# health interval so the post-kill stats check sees the down verdict
+# quickly. Extra flags ride along (and may override these).
+"${BUILD_DIR}/ugs_router" --shard="127.0.0.1:${SHARD1_PORT}" \
+  --shard="127.0.0.1:${SHARD2_PORT}" --port=0 --workers=4 \
+  --replication=2 --race=2 --race-verify --health-interval-ms=100 \
+  --port-file="${WORK}/router.port" \
+  ${EXTRA_FLAGS[@]+"${EXTRA_FLAGS[@]}"} \
+  > "${WORK}/router.log" 2>&1 &
+ROUTER_PID=$!
+wait_port "${WORK}/router.port" "${ROUTER_PID}" router
+PORT="$(cat "${WORK}/router.port")"
+echo "router up on port ${PORT} (shards ${SHARD1_PORT}, ${SHARD2_PORT})" \
+     "flags: ${EXTRA_FLAGS[*]:-"(defaults)"}"
+
+QUERIES=(reliability connectivity shortest-path pagerank clustering knn \
+         most-probable-path)
+run_battery() {
+  local tag="$1"
+  local checks=0
+  for query in "${QUERIES[@]}"; do
+    for g in g1 g2 g3; do
+      "${BUILD_DIR}/ugs_client" --port="${PORT}" --graph="${g}" \
+        --query="${query}" --samples=64 --pairs=4 --sources=2 --k=3 \
+        --seed=5 --json > "${WORK}/client.json"
+      "${BUILD_DIR}/ugs_query" --in="${WORK}/graphs/${g}.txt" \
+        --query="${query}" --samples=64 --pairs=4 --sources=2 --k=3 \
+        --seed=5 --json > "${WORK}/query.json"
+      if ! diff "${WORK}/client.json" "${WORK}/query.json"; then
+        echo "MISMATCH (${tag}): ${query} on ${g} differs between the" \
+             "routed answer and local ugs_query" >&2
+        exit 1
+      fi
+      checks=$((checks + 1))
+    done
+  done
+  echo "${checks} routed answers byte-identical to local ugs_query" \
+       "(${tag})"
+}
+
+run_battery "both shards up, raced + verified"
+
+# Pre-kill aggregate: both shards up, racing counted.
+STATS="$("${BUILD_DIR}/ugs_client" --port="${PORT}" --stats)"
+echo "stats: ${STATS}"
+case "${STATS}" in
+  '{"router":{'*'"shards":['*) ;;
+  *)
+    echo "aggregated stats missing the {\"router\":...,\"shards\":[...]}" \
+         "schema" >&2
+    exit 1
+    ;;
+esac
+case "${STATS}" in
+  *'"healthy":2'*) ;;
+  *) echo "expected both shards healthy before the kill" >&2; exit 1 ;;
+esac
+case "${STATS}" in
+  *'"raced":0'*)
+    echo "expected raced queries under --race=2, counted none" >&2
+    exit 1
+    ;;
+esac
+case "${STATS}" in
+  *'"race_mismatches":0'*) ;;
+  *)
+    echo "raced replicas disagreed -- determinism contract broken" >&2
+    exit 1
+    ;;
+esac
+
+# Kill one shard the hard way. Every remaining answer must still be
+# byte-identical: the router fails over to the surviving replica.
+kill -KILL "${SHARD1_PID}"
+wait "${SHARD1_PID}" 2>/dev/null || true
+SHARD1_PID=""
+echo "shard1 SIGKILLed"
+
+run_battery "one shard down, failover"
+
+STATS="$("${BUILD_DIR}/ugs_client" --port="${PORT}" --stats)"
+echo "stats after kill: ${STATS}"
+case "${STATS}" in
+  *'"healthy":1'*) ;;
+  *)
+    echo "expected exactly one healthy shard after the kill" >&2
+    exit 1
+    ;;
+esac
+case "${STATS}" in
+  *'"state":"down"'*|*'"state":"draining"'*) ;;
+  *)
+    echo "expected the killed shard marked down/draining in stats" >&2
+    exit 1
+    ;;
+esac
+
+kill -TERM "${ROUTER_PID}"
+if ! wait "${ROUTER_PID}"; then
+  echo "ugs_router did not shut down cleanly:" >&2
+  cat "${WORK}/router.log" >&2
+  exit 1
+fi
+ROUTER_PID=""
+kill -TERM "${SHARD2_PID}"
+wait "${SHARD2_PID}" || true
+SHARD2_PID=""
+echo "clean shutdown; router log:"
+cat "${WORK}/router.log"
+echo "router smoke OK"

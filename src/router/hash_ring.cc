@@ -1,0 +1,81 @@
+#include "router/hash_ring.h"
+
+#include <algorithm>
+
+namespace ugs {
+
+std::uint64_t HashRing::Hash(std::string_view bytes) {
+  // FNV-1a, 64-bit, then a splitmix64 finalizer. Bare FNV-1a has no
+  // avalanche: the high bits of short near-identical strings (exactly
+  // what vnode labels are -- "shard0#0", "shard0#1", ...) barely differ,
+  // so each shard's vnodes would cluster into one contiguous arc and the
+  // ring would degenerate into num_shards arcs. The finalizer spreads
+  // every point over the whole circle; both stages are fixed constants,
+  // so the composition stays deterministic across platforms and
+  // processes (the placement contract).
+  std::uint64_t hash = 14695981039346656037ull;
+  for (unsigned char byte : bytes) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  }
+  hash ^= hash >> 30;
+  hash *= 0xbf58476d1ce4e5b9ull;
+  hash ^= hash >> 27;
+  hash *= 0x94d049bb133111ebull;
+  hash ^= hash >> 31;
+  return hash;
+}
+
+HashRing::HashRing(std::size_t num_shards, std::size_t vnodes_per_shard)
+    : num_shards_(num_shards) {
+  points_.reserve(num_shards * vnodes_per_shard);
+  for (std::size_t shard = 0; shard < num_shards; ++shard) {
+    for (std::size_t vnode = 0; vnode < vnodes_per_shard; ++vnode) {
+      // Vnode points key off the shard INDEX, not its address: placement
+      // survives a shard moving hosts, and two rings over equally-sized
+      // shard lists agree even before addresses are known.
+      const std::string label = "shard" + std::to_string(shard) + "#" +
+                                std::to_string(vnode);
+      points_.emplace_back(Hash(label), shard);
+    }
+  }
+  // Sort by point; break the (astronomically unlikely) point collision
+  // by shard index so construction order cannot leak into placement.
+  std::sort(points_.begin(), points_.end());
+}
+
+std::size_t HashRing::Primary(std::string_view key) const {
+  const std::uint64_t at = Hash(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(),
+      std::make_pair(at, std::size_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it == points_.end()) it = points_.begin();  // Wrap the circle.
+  return it->second;
+}
+
+std::vector<std::size_t> HashRing::WalkOrder(std::string_view key) const {
+  std::vector<std::size_t> order;
+  order.reserve(num_shards_);
+  if (points_.empty()) return order;
+  std::vector<bool> seen(num_shards_, false);
+  const std::uint64_t at = Hash(key);
+  std::size_t start = static_cast<std::size_t>(
+      std::lower_bound(
+          points_.begin(), points_.end(),
+          std::make_pair(at, std::size_t{0}),
+          [](const auto& a, const auto& b) { return a.first < b.first; }) -
+      points_.begin());
+  for (std::size_t step = 0;
+       step < points_.size() && order.size() < num_shards_; ++step) {
+    const std::size_t shard =
+        points_[(start + step) % points_.size()].second;
+    if (!seen[shard]) {
+      seen[shard] = true;
+      order.push_back(shard);
+    }
+  }
+  return order;
+}
+
+}  // namespace ugs

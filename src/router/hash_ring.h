@@ -1,0 +1,60 @@
+#ifndef UGS_ROUTER_HASH_RING_H_
+#define UGS_ROUTER_HASH_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ugs {
+
+/// A consistent-hash ring over shard indices: each shard owns
+/// `vnodes_per_shard` pseudo-random points on a 64-bit circle, and a key
+/// maps to shards by walking clockwise from its own hash. The classic
+/// consistency property follows: when a shard disappears, only the keys
+/// it owned move (each to the next shard on its walk) -- every other
+/// key's placement is untouched. That is what lets the router fail over
+/// by "skip the dead shard, take the next walk entry" without a
+/// coordinator or any remapping traffic.
+///
+/// The ring is immutable after construction and hashes with a fixed
+/// deterministic function (FNV-1a with an avalanche finalizer), so every
+/// router instance built over the same shard list computes identical
+/// placements -- placement is
+/// config, not state. Shard health is deliberately NOT the ring's
+/// concern: callers filter the walk order against live health, keeping
+/// the "where would this key live" question pure and testable.
+class HashRing {
+ public:
+  /// Builds a ring over shards [0, num_shards). More vnodes smooth the
+  /// load split between shards at the cost of a bigger sorted array;
+  /// 64 per shard keeps the max/min key-share ratio near 1.2.
+  explicit HashRing(std::size_t num_shards, std::size_t vnodes_per_shard = 64);
+
+  std::size_t num_shards() const { return num_shards_; }
+
+  /// The shard owning `key`: the first shard clockwise from hash(key).
+  std::size_t Primary(std::string_view key) const;
+
+  /// Every distinct shard in clockwise walk order from hash(key). The
+  /// first entry is Primary(key); the first R entries are the natural
+  /// replica set for replication factor R; the tail is the failover
+  /// order past it. Always returns all num_shards entries.
+  std::vector<std::size_t> WalkOrder(std::string_view key) const;
+
+  /// The deterministic 64-bit hash the ring uses (FNV-1a followed by a
+  /// splitmix64 finalizer, for avalanche over near-identical labels);
+  /// exposed so tests and tools can reason about placement.
+  static std::uint64_t Hash(std::string_view bytes);
+
+ private:
+  std::size_t num_shards_;
+  /// (point, shard) pairs sorted by point -- the circle, flattened.
+  std::vector<std::pair<std::uint64_t, std::size_t>> points_;
+};
+
+}  // namespace ugs
+
+#endif  // UGS_ROUTER_HASH_RING_H_

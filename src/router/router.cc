@@ -1,0 +1,479 @@
+#include "router/router.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+
+namespace ugs {
+
+namespace {
+
+/// Typed error reply carrying `status`.
+ReplyFrame ErrorReply(const Status& status) {
+  return {FrameType::kError,
+          std::make_shared<const std::string>(EncodeError(status))};
+}
+
+/// Raced replies must agree on everything deterministic. kResult frames
+/// compare through PayloadEquals (the wall-time field reflects each
+/// shard's own clock and is exempt by contract); anything else compares
+/// bytes.
+bool RepliesAgree(const Frame& a, const Frame& b) {
+  if (a.type != b.type) return false;
+  if (a.type == FrameType::kResult) {
+    Result<QueryResult> da = DecodeResult(a.payload);
+    Result<QueryResult> db = DecodeResult(b.payload);
+    if (!da.ok() || !db.ok()) return false;
+    return PayloadEquals(*da, *db);
+  }
+  return a.payload == b.payload;
+}
+
+}  // namespace
+
+const char* ShardStateName(ShardState state) {
+  switch (state) {
+    case ShardState::kUp:
+      return "up";
+    case ShardState::kDraining:
+      return "draining";
+    case ShardState::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)),
+      ring_(options_.shards.size()),
+      server_({.host = options_.host,
+               .port = options_.port,
+               .num_workers = options_.num_workers},
+              [this](FrameType type, const std::string& payload) {
+                return HandleFrame(type, payload);
+              }) {
+  shards_.reserve(options_.shards.size());
+  for (const ShardAddress& addr : options_.shards) {
+    auto link = std::make_unique<ShardLink>();
+    link->addr = addr;
+    shards_.push_back(std::move(link));
+  }
+}
+
+Router::~Router() { Stop(); }
+
+Status Router::Start() {
+  if (shards_.empty()) {
+    return Status::InvalidArgument("router: at least one shard is required");
+  }
+  if (options_.race < 1) {
+    return Status::InvalidArgument("router: --race must be >= 1");
+  }
+  if (options_.replication < 1) {
+    return Status::InvalidArgument("router: --replication must be >= 1");
+  }
+  UGS_RETURN_IF_ERROR(server_.Start());
+  if (options_.health_interval_ms > 0) {
+    monitor_stop_ = false;
+    monitor_ = std::thread([this] { MonitorLoop(); });
+  }
+  return Status::OK();
+}
+
+void Router::Stop() {
+  // Frontend first: no new forwards once the monitor is gone.
+  server_.Stop();
+  if (monitor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(monitor_mutex_);
+      monitor_stop_ = true;
+    }
+    monitor_cv_.notify_all();
+    monitor_.join();
+  }
+}
+
+ShardState Router::shard_state(std::size_t index) const {
+  return shards_[index]->state.load();
+}
+
+// --- Connection pool. ---
+
+bool Router::TryPopIdle(ShardLink* shard, Client* conn) {
+  std::lock_guard<std::mutex> lock(shard->mutex);
+  if (shard->idle.empty()) return false;
+  *conn = std::move(shard->idle.back());
+  shard->idle.pop_back();
+  return true;
+}
+
+Result<Client> Router::CheckoutConn(ShardLink* shard, bool* pooled) {
+  Client conn;
+  if (TryPopIdle(shard, &conn)) {
+    *pooled = true;
+    return conn;
+  }
+  *pooled = false;
+  return Client::Connect(shard->addr.host, shard->addr.port,
+                         options_.connect);
+}
+
+void Router::ReturnConn(ShardLink* shard, Client conn) {
+  if (!conn.connected()) return;
+  std::lock_guard<std::mutex> lock(shard->mutex);
+  shard->idle.push_back(std::move(conn));
+}
+
+// --- Placement. ---
+
+std::size_t Router::ReplicationFor(const std::string& graph) const {
+  std::size_t r = options_.replication;
+  auto it = options_.graph_replication.find(graph);
+  if (it != options_.graph_replication.end()) r = it->second;
+  return std::max<std::size_t>(1, std::min(r, shards_.size()));
+}
+
+std::vector<std::size_t> Router::CandidateOrder(
+    const std::string& graph) const {
+  const std::vector<std::size_t> walk = ring_.WalkOrder(graph);
+  const std::size_t r = ReplicationFor(graph);
+  // Four buckets, each preserving walk order: healthy replicas first
+  // (warm sessions, warm cache), then healthy non-replicas (cold but
+  // correct -- every shard serves every graph), then draining, then
+  // down. Unhealthy shards stay in the list: a stale health verdict
+  // must not turn a servable request into an error.
+  std::vector<std::size_t> order, healthy_rest, draining, down;
+  order.reserve(walk.size());
+  for (std::size_t i = 0; i < walk.size(); ++i) {
+    switch (shards_[walk[i]]->state.load()) {
+      case ShardState::kUp:
+        (i < r ? order : healthy_rest).push_back(walk[i]);
+        break;
+      case ShardState::kDraining:
+        draining.push_back(walk[i]);
+        break;
+      case ShardState::kDown:
+        down.push_back(walk[i]);
+        break;
+    }
+  }
+  order.insert(order.end(), healthy_rest.begin(), healthy_rest.end());
+  order.insert(order.end(), draining.begin(), draining.end());
+  order.insert(order.end(), down.begin(), down.end());
+  return order;
+}
+
+// --- Health. ---
+
+void Router::NoteShardFailure(ShardLink* shard) {
+  const int failures = shard->consecutive_failures.fetch_add(1) + 1;
+  shard->state.store(failures >= 2 ? ShardState::kDown
+                                   : ShardState::kDraining);
+}
+
+void Router::NoteShardSuccess(ShardLink* shard) {
+  shard->consecutive_failures.store(0);
+  shard->state.store(ShardState::kUp);
+}
+
+void Router::MonitorLoop() {
+  for (;;) {
+    for (const std::unique_ptr<ShardLink>& shard : shards_) {
+      PollShard(shard.get());
+    }
+    std::unique_lock<std::mutex> lock(monitor_mutex_);
+    monitor_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.health_interval_ms),
+        [this] { return monitor_stop_; });
+    if (monitor_stop_) return;
+  }
+}
+
+void Router::PollShard(ShardLink* shard) {
+  // Fresh fail-fast connection: the poll must measure the shard, not
+  // the pool, and must not burn retry backoff on a down shard.
+  Result<Client> conn = Client::Connect(shard->addr.host, shard->addr.port);
+  if (!conn.ok()) {
+    NoteShardFailure(shard);
+    return;
+  }
+  Result<std::string> stats = conn->Stats("");
+  if (!stats.ok()) {
+    NoteShardFailure(shard);
+    return;
+  }
+  NoteShardSuccess(shard);
+  {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->last_stats = std::move(*stats);
+  }
+  ReturnConn(shard, std::move(*conn));
+}
+
+// --- Forwarding. ---
+
+ReplyFrame Router::HandleFrame(FrameType type, const std::string& payload) {
+  if (type == FrameType::kStats) {
+    if (payload.empty()) {
+      return {FrameType::kStatsReply,
+              std::make_shared<const std::string>(AggregatedStatsJson())};
+    }
+    return RouteStats(payload);
+  }
+  return RouteQuery(payload);
+}
+
+ReplyFrame Router::Counted(ReplyFrame reply) {
+  if (reply.type == FrameType::kResult) {
+    requests_.fetch_add(1);
+  } else if (reply.type == FrameType::kError) {
+    errors_.fetch_add(1);
+  }
+  return reply;
+}
+
+ReplyFrame Router::RouteQuery(const std::string& payload) {
+  Result<WireRequest> request = DecodeRequest(payload);
+  if (!request.ok()) return Counted(ErrorReply(request.status()));
+  const std::string& graph = request->graph;
+
+  if (options_.race >= 2) {
+    // Race the first two healthy replicas (requests are pure, so both
+    // hold byte-interchangeable answers). Fewer than two healthy
+    // replicas: plain failover below.
+    const std::vector<std::size_t> walk = ring_.WalkOrder(graph);
+    const std::size_t r = ReplicationFor(graph);
+    std::vector<std::size_t> racers;
+    for (std::size_t i = 0; i < r && racers.size() < 2; ++i) {
+      if (shards_[walk[i]]->state.load() == ShardState::kUp) {
+        racers.push_back(walk[i]);
+      }
+    }
+    if (racers.size() == 2) {
+      std::optional<ReplyFrame> raced = RaceForward(
+          payload, shards_[racers[0]].get(), shards_[racers[1]].get());
+      if (raced.has_value()) return Counted(std::move(*raced));
+      // Both racers' transports died: fall through to failover, which
+      // re-reads health (the Note* calls above demoted them).
+      failovers_.fetch_add(1);
+    }
+  }
+  return ForwardWithFailover(FrameType::kRequest, payload,
+                             CandidateOrder(graph));
+}
+
+ReplyFrame Router::RouteStats(const std::string& payload) {
+  // A graph describe routes like a query on that graph (warm shard
+  // answers from its resident session); never raced -- it is one cheap
+  // round trip.
+  return ForwardWithFailover(FrameType::kStats, payload,
+                             CandidateOrder(payload));
+}
+
+ReplyFrame Router::ForwardWithFailover(
+    FrameType type, const std::string& payload,
+    const std::vector<std::size_t>& candidates) {
+  Status last = Status::OK();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    ShardLink* shard = shards_[candidates[i]].get();
+    Result<Frame> reply = ForwardOnce(shard, type, payload);
+    if (reply.ok()) {
+      NoteShardSuccess(shard);
+      return Counted({reply->type, std::make_shared<const std::string>(
+                                       std::move(reply->payload))});
+    }
+    // Transport failure: demote the shard and try the next candidate.
+    // Safe to retry even if the request reached the shard -- responses
+    // are pure functions of (graph, request), so re-execution cannot
+    // produce a different answer.
+    NoteShardFailure(shard);
+    last = reply.status();
+    if (i + 1 < candidates.size()) failovers_.fetch_add(1);
+  }
+  return Counted(ErrorReply(Status::IOError(
+      "router: no shard available (" + std::to_string(candidates.size()) +
+      " tried; last: " + last.message() + ")")));
+}
+
+Result<Frame> Router::ForwardOnce(ShardLink* shard, FrameType type,
+                                  const std::string& payload) {
+  // Pooled connections can be stale (shard restarted since the last
+  // checkout): drain failing pooled connections, then give a fresh
+  // connect exactly one chance.
+  for (;;) {
+    bool pooled = false;
+    Result<Client> conn = CheckoutConn(shard, &pooled);
+    if (!conn.ok()) return conn.status();
+    Status sent = conn->Send(type, payload);
+    Result<Frame> reply = sent.ok() ? conn->Receive() : Result<Frame>(sent);
+    if (reply.ok()) {
+      ReturnConn(shard, std::move(*conn));
+      return reply;
+    }
+    if (!pooled) return reply.status();
+  }
+}
+
+std::optional<ReplyFrame> Router::RaceForward(const std::string& payload,
+                                              ShardLink* a, ShardLink* b) {
+  raced_.fetch_add(1);
+  struct Racer {
+    ShardLink* shard;
+    Client conn;
+    bool live = false;
+  };
+  Racer racers[2] = {{a, {}, false}, {b, {}, false}};
+  for (Racer& racer : racers) {
+    bool pooled = false;
+    Result<Client> conn = CheckoutConn(racer.shard, &pooled);
+    if (!conn.ok()) {
+      NoteShardFailure(racer.shard);
+      continue;
+    }
+    if (!conn->Send(FrameType::kRequest, payload).ok()) {
+      // A stale pooled connection is not evidence against the shard;
+      // a fresh one failing is.
+      if (!pooled) NoteShardFailure(racer.shard);
+      continue;
+    }
+    racer.conn = std::move(*conn);
+    racer.live = true;
+  }
+
+  // Collect replies in arrival order: poll() both sockets, read whoever
+  // is ready first. A racer whose transport dies mid-wait just drops
+  // out; the other decides the request alone.
+  Frame replies[2];
+  int order[2] = {-1, -1};  ///< Racer index by arrival position.
+  int arrived = 0;
+  const int wanted = options_.race_verify ? 2 : 1;
+  while (arrived < wanted) {
+    pollfd fds[2];
+    int racer_of_fd[2];
+    int nfds = 0;
+    for (int i = 0; i < 2; ++i) {
+      if (racers[i].live) {
+        fds[nfds] = {racers[i].conn.fd(), POLLIN, 0};
+        racer_of_fd[nfds] = i;
+        ++nfds;
+      }
+    }
+    if (nfds == 0) break;
+    if (nfds == 1 || arrived == 1) {
+      // One racer left (or one reply already in hand): plain blocking
+      // read decides it.
+      const int i = racer_of_fd[0];
+      Result<Frame> reply = racers[i].conn.Receive();
+      if (reply.ok()) {
+        replies[i] = std::move(*reply);
+        order[arrived++] = i;
+        ReturnConn(racers[i].shard, std::move(racers[i].conn));
+      } else {
+        NoteShardFailure(racers[i].shard);
+      }
+      racers[i].live = false;
+      continue;
+    }
+    if (::poll(fds, static_cast<nfds_t>(nfds), -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int f = 0; f < nfds && arrived < wanted; ++f) {
+      if ((fds[f].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      const int i = racer_of_fd[f];
+      Result<Frame> reply = racers[i].conn.Receive();
+      if (reply.ok()) {
+        replies[i] = std::move(*reply);
+        order[arrived++] = i;
+        ReturnConn(racers[i].shard, std::move(racers[i].conn));
+      } else {
+        NoteShardFailure(racers[i].shard);
+      }
+      racers[i].live = false;
+    }
+  }
+
+  // A loser still owed a reply cannot go back to the pool (its stream
+  // is tainted by the in-flight response); just drop the connection.
+  for (Racer& racer : racers) {
+    if (racer.live) racer.conn.Close();
+  }
+
+  if (arrived == 0) return std::nullopt;
+  if (options_.race_verify && arrived == 2 &&
+      !RepliesAgree(replies[0], replies[1])) {
+    race_mismatches_.fetch_add(1);
+    return ErrorReply(Status::Internal(
+        "router: raced replicas returned different replies for the same "
+        "request -- determinism contract violated"));
+  }
+  Frame& winner = replies[order[0]];
+  return ReplyFrame{winner.type, std::make_shared<const std::string>(
+                                     std::move(winner.payload))};
+}
+
+// --- Stats. ---
+
+RouterStats Router::stats() const {
+  RouterStats stats;
+  stats.connections = server_.connections();
+  stats.requests = requests_.load();
+  stats.errors = errors_.load() + server_.protocol_errors();
+  stats.failovers = failovers_.load();
+  stats.raced = raced_.load();
+  stats.race_mismatches = race_mismatches_.load();
+  stats.uptime_ms = server_.uptime_ms();
+  stats.in_flight = server_.in_flight();
+  return stats;
+}
+
+std::string Router::AggregatedStatsJson() const {
+  RouterStats router = stats();
+  std::size_t healthy = 0;
+  for (const std::unique_ptr<ShardLink>& shard : shards_) {
+    if (shard->state.load() == ShardState::kUp) ++healthy;
+  }
+  std::string out = "{\"router\":{\"shards\":" +
+                    std::to_string(shards_.size()) +
+                    ",\"healthy\":" + std::to_string(healthy) +
+                    ",\"replication\":" +
+                    std::to_string(options_.replication) +
+                    ",\"race\":" + std::to_string(options_.race) +
+                    ",\"workers\":" + std::to_string(options_.num_workers) +
+                    ",\"connections\":" + std::to_string(router.connections) +
+                    ",\"requests\":" + std::to_string(router.requests) +
+                    ",\"errors\":" + std::to_string(router.errors) +
+                    ",\"failovers\":" + std::to_string(router.failovers) +
+                    ",\"raced\":" + std::to_string(router.raced) +
+                    ",\"race_mismatches\":" +
+                    std::to_string(router.race_mismatches) +
+                    ",\"uptime_ms\":" + std::to_string(router.uptime_ms) +
+                    ",\"in_flight\":" + std::to_string(router.in_flight) +
+                    "},\"shards\":[";
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardLink* shard = shards_[i].get();
+    std::string last_stats;
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      last_stats = shard->last_stats;
+    }
+    if (i > 0) out.push_back(',');
+    out += "{\"addr\":" +
+           JsonEscaped(shard->addr.host + ":" +
+                       std::to_string(shard->addr.port)) +
+           ",\"state\":\"" + ShardStateName(shard->state.load()) +
+           // The shard's own {server,cache,registry} JSON from the last
+           // health poll, embedded verbatim; null before the first
+           // successful poll.
+           "\",\"stats\":" + (last_stats.empty() ? "null" : last_stats) +
+           "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Router::StatsJson() const { return AggregatedStatsJson(); }
+
+}  // namespace ugs

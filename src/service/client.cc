@@ -5,22 +5,31 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <ctime>
 #include <utility>
 
 namespace ugs {
 
-Result<Client> Client::Connect(const std::string& host, int port) {
+namespace {
+
+/// One resolve-and-connect attempt. On failure returns -1 with
+/// *out_errno holding the decisive errno (0 for resolution failures,
+/// which are never retryable) and *out_error the typed message.
+int TryConnect(const std::string& host, const std::string& service,
+               int* out_errno, Status* out_error) {
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
   addrinfo* infos = nullptr;
-  const std::string service = std::to_string(port);
   int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &infos);
   if (rc != 0) {
-    return Status::IOError("client: cannot resolve " + host + ":" + service +
-                           ": " + gai_strerror(rc));
+    *out_errno = 0;
+    *out_error = Status::IOError("client: cannot resolve " + host + ":" +
+                                 service + ": " + gai_strerror(rc));
+    return -1;
   }
   int fd = -1;
   int last_errno = 0;
@@ -37,12 +46,37 @@ Result<Client> Client::Connect(const std::string& host, int port) {
   }
   ::freeaddrinfo(infos);
   if (fd < 0) {
-    return Status::IOError("client: cannot connect to " + host + ":" +
-                           service + ": " + std::strerror(last_errno));
+    *out_errno = last_errno;
+    *out_error = Status::IOError("client: cannot connect to " + host + ":" +
+                                 service + ": " + std::strerror(last_errno));
+    return -1;
   }
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return Client(fd);
+  return fd;
+}
+
+}  // namespace
+
+Result<Client> Client::Connect(const std::string& host, int port,
+                               const ConnectOptions& options) {
+  const std::string service = std::to_string(port);
+  int backoff_ms = options.initial_backoff_ms;
+  for (int attempt = 0;; ++attempt) {
+    int failed_errno = 0;
+    Status failure = Status::OK();
+    int fd = TryConnect(host, service, &failed_errno, &failure);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Client(fd);
+    }
+    // Only the "daemon not up yet" errnos are worth waiting out.
+    const bool retryable =
+        failed_errno == ECONNREFUSED || failed_errno == ETIMEDOUT;
+    if (!retryable || attempt >= options.max_retries) return failure;
+    timespec nap{backoff_ms / 1000, (backoff_ms % 1000) * 1000000L};
+    nanosleep(&nap, nullptr);
+    backoff_ms = std::min(backoff_ms * 2, options.max_backoff_ms);
+  }
 }
 
 void Client::Close() {
@@ -52,17 +86,28 @@ void Client::Close() {
   }
 }
 
-Result<Frame> Client::RoundTrip(FrameType type, std::string_view payload) {
+Status Client::Send(FrameType type, std::string_view payload) {
   if (fd_ < 0) {
     return Status::FailedPrecondition("client: not connected");
   }
-  UGS_RETURN_IF_ERROR(WriteFrame(fd_, type, payload));
+  return WriteFrame(fd_, type, payload);
+}
+
+Result<Frame> Client::Receive() {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client: not connected");
+  }
   Result<std::optional<Frame>> reply = ReadFrame(fd_);
   if (!reply.ok()) return reply.status();
   if (!reply->has_value()) {
     return Status::IOError("client: server closed before replying");
   }
   return std::move(**reply);
+}
+
+Result<Frame> Client::RoundTrip(FrameType type, std::string_view payload) {
+  UGS_RETURN_IF_ERROR(Send(type, payload));
+  return Receive();
 }
 
 Result<QueryResult> Client::Query(const std::string& graph,

@@ -9,6 +9,18 @@
 
 namespace ugs {
 
+/// Connect-time retry policy. Off by default (max_retries = 0): one
+/// attempt, fail fast. With retries enabled, ECONNREFUSED and ETIMEDOUT
+/// -- the two errnos a daemon that is still binding its socket (or a
+/// shard mid-restart) produces -- are retried with bounded exponential
+/// backoff; every other failure (resolution, unreachable network) stays
+/// immediate.
+struct ConnectOptions {
+  int max_retries = 0;          ///< Extra attempts after the first.
+  int initial_backoff_ms = 50;  ///< Doubles per retry...
+  int max_backoff_ms = 1000;    ///< ...up to this ceiling.
+};
+
 /// A blocking client connection to a ugs_serve daemon: one TCP stream,
 /// one outstanding request at a time (send a frame, read its reply) --
 /// or a whole pipelined batch via QueryPipelined. Move-only; the
@@ -30,10 +42,31 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connects to host:port (hostname or address literal; getaddrinfo).
-  static Result<Client> Connect(const std::string& host, int port);
+  /// Connects to host:port (hostname or address literal; getaddrinfo),
+  /// retrying refused/timed-out attempts per `options`.
+  static Result<Client> Connect(const std::string& host, int port,
+                                const ConnectOptions& options = {});
 
   bool connected() const { return fd_ >= 0; }
+
+  // --- Raw frame I/O (the router's forwarding path). ---
+  //
+  // Send/Receive split RoundTrip so a caller can put one frame on
+  // several connections and poll() for the first reply (replica racing)
+  // instead of blocking on each in turn. fd() exists only for readiness
+  // polling -- don't read or write it directly.
+
+  /// Writes one frame. After a send, the connection owes exactly one
+  /// reply; interleave Send/Receive accordingly.
+  Status Send(FrameType type, std::string_view payload);
+
+  /// Blocks for the next reply frame. IOError when the peer closes
+  /// instead of replying.
+  Result<Frame> Receive();
+
+  /// The underlying socket, for poll()-style readiness checks; -1 when
+  /// disconnected.
+  int fd() const { return fd_; }
 
   /// Runs one query against the named graph on the server. The returned
   /// payload is bit-identical to GraphSession::Run on the same graph and

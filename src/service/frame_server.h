@@ -1,0 +1,166 @@
+#ifndef UGS_SERVICE_FRAME_SERVER_H_
+#define UGS_SERVICE_FRAME_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/wire.h"
+#include "util/status.h"
+
+namespace ugs {
+
+/// One computed reply frame. The payload travels as a shared pointer so
+/// a response moves producer -> reply slot -> write buffer without
+/// copying multi-megabyte encodings (a cache hit shares the cached
+/// bytes outright).
+struct ReplyFrame {
+  FrameType type = FrameType::kError;
+  std::shared_ptr<const std::string> payload;
+};
+
+/// Configuration of a FrameServer.
+struct FrameServerOptions {
+  /// Bind address (IPv4 dotted-quad literal; "0.0.0.0" for all
+  /// interfaces).
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back with port()).
+  int port = 0;
+  /// Dispatch threads draining decoded frames from all connections.
+  int num_workers = 1;
+};
+
+/// The transport tier shared by ugs_serve and ugs_router: an epoll
+/// reactor speaking the wire protocol (service/wire.h) over TCP, with a
+/// pool of dispatch workers running a caller-supplied handler per
+/// decoded kRequest / kStats frame.
+///
+/// One reactor thread multiplexes every connection (nonblocking
+/// sockets, incremental FrameDecoder reassembly, eventfd completion
+/// wakeups). Each connection keeps an ordered reply window, so
+/// pipelined requests are answered in request order even when the
+/// dispatch pool finishes them out of order; reading pauses past
+/// per-connection backlog budgets (read backpressure). Frames of any
+/// other type are answered inline with a typed error; transport-level
+/// garbage (an unparseable header) gets one final typed error and then
+/// the connection closes.
+///
+/// The handler runs on the dispatch pool and must be thread-safe. It
+/// receives the frame type (kRequest or kStats) and the raw payload,
+/// and returns the reply frame to deliver.
+class FrameServer {
+ public:
+  using Handler =
+      std::function<ReplyFrame(FrameType type, const std::string& payload)>;
+
+  FrameServer(FrameServerOptions options, Handler handler);
+  ~FrameServer();
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  /// Binds, listens, and spawns the reactor + dispatch threads; returns
+  /// once the socket is accepting. IOError when the address cannot be
+  /// bound.
+  Status Start();
+
+  /// The bound port (after Start); useful with port = 0.
+  int port() const { return port_; }
+
+  /// Shuts down: stops accepting, stops reading new requests, and joins
+  /// the reactor and dispatch threads. In-flight requests finish and
+  /// their responses are delivered (best effort: a peer that stops
+  /// reading forfeits its replies). Idempotent.
+  void Stop();
+
+  /// Connections accepted since Start (monotonic).
+  std::uint64_t connections() const { return connections_.load(); }
+
+  /// Frames answered with a transport-level typed error (unexpected
+  /// frame type, unparseable header, mid-frame EOF) -- the slice of the
+  /// owner's error counter this tier generates itself.
+  std::uint64_t protocol_errors() const { return protocol_errors_.load(); }
+
+  /// Milliseconds since Start (0 before the first Start).
+  std::uint64_t uptime_ms() const;
+
+  /// Requests accepted but not yet answered (queued + executing on the
+  /// dispatch pool) -- the readiness signal health monitors poll.
+  std::uint64_t in_flight() const { return in_flight_.load(); }
+
+ private:
+  /// One multiplexed connection (defined in frame_server.cc;
+  /// shared_ptr-held so a dispatched request outlives an eviction of
+  /// its connection).
+  struct Conn;
+
+  /// One decoded frame awaiting execution on the dispatch pool.
+  struct Job {
+    std::shared_ptr<Conn> conn;
+    std::uint64_t seq = 0;  ///< Reply slot within the connection.
+    FrameType type = FrameType::kError;
+    std::string payload;
+  };
+
+  /// Reply to a frame whose type the dispatcher never accepts.
+  ReplyFrame ExecuteUnexpected(FrameType received);
+
+  // --- Reactor (all Handle*/reactor state is reactor-thread-only except
+  // the reply slots, which workers fill under Conn::mutex). ---
+
+  Status StartEpoll();
+  void StopEpoll();
+  void ReactorLoop();
+  void DispatchLoop();
+  void AcceptNewConnections();
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  void HandleWritable(const std::shared_ptr<Conn>& conn);
+  /// Appends ready reply frames (in request order, prefix only) to the
+  /// write buffer and flushes what the socket accepts.
+  void PumpConnection(const std::shared_ptr<Conn>& conn);
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  /// Re-arms the epoll interest mask from the connection's state.
+  void UpdateEpollMask(const std::shared_ptr<Conn>& conn);
+  /// Worker-side: fills reply slot `seq` and wakes the reactor.
+  void CompleteJob(const std::shared_ptr<Conn>& conn, std::uint64_t seq,
+                   ReplyFrame reply);
+  void WakeReactor();
+
+  FrameServerOptions options_;
+  Handler handler_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::chrono::steady_clock::time_point started_at_{};
+  bool ever_started_ = false;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread reactor_;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;  ///< Reactor-only.
+  std::vector<std::thread> dispatchers_;
+  std::mutex jobs_mutex_;
+  std::condition_variable jobs_cv_;
+  std::deque<Job> jobs_;
+  bool jobs_stop_ = false;
+  std::mutex completions_mutex_;
+  std::vector<std::shared_ptr<Conn>> completions_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
+};
+
+}  // namespace ugs
+
+#endif  // UGS_SERVICE_FRAME_SERVER_H_

@@ -34,9 +34,18 @@ void ResultCache::Insert(const std::string& key,
   if (!enabled() || payload == nullptr) return;
   std::lock_guard<std::mutex> lock(mutex_);
   if (entries_.find(key) != entries_.end()) return;  // First write wins.
-  if (options_.max_bytes > 0 &&
-      key.size() + payload->size() > options_.max_bytes) {
-    return;  // Larger than the whole budget: would evict everything.
+  const std::size_t charged = key.size() + payload->size();
+  if (options_.max_bytes > 0 && charged > options_.max_bytes) {
+    // Larger than the whole budget: would evict everything.
+    ++counters_.admission_rejects;
+    return;
+  }
+  const std::size_t entry_cap = options_.effective_max_entry_bytes();
+  if (entry_cap > 0 && charged > entry_cap) {
+    // Admission policy: one huge response must not flush the working
+    // set. The response is still served, just not remembered.
+    ++counters_.admission_rejects;
+    return;
   }
   Entry& entry = entries_[key];
   entry.payload = std::move(payload);
@@ -89,10 +98,14 @@ std::string ResultCache::StatsJson() const {
          ",\"misses\":" + std::to_string(counters_.misses) +
          ",\"insertions\":" + std::to_string(counters_.insertions) +
          ",\"evictions\":" + std::to_string(counters_.evictions) +
+         ",\"admission_rejects\":" +
+         std::to_string(counters_.admission_rejects) +
          ",\"entries\":" + std::to_string(lru_.size()) +
          ",\"bytes\":" + std::to_string(bytes_) +
          ",\"max_entries\":" + std::to_string(options_.max_entries) +
-         ",\"max_bytes\":" + std::to_string(options_.max_bytes) + "}";
+         ",\"max_bytes\":" + std::to_string(options_.max_bytes) +
+         ",\"max_entry_bytes\":" +
+         std::to_string(options_.effective_max_entry_bytes()) + "}";
 }
 
 }  // namespace ugs

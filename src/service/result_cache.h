@@ -21,8 +21,20 @@ struct ResultCacheOptions {
   /// fixed per-entry overhead for the key); 0 = no byte bound. A single
   /// response larger than the budget is never cached.
   std::size_t max_bytes = 0;
+  /// Admission cap on one entry's charged bytes (key + payload): a
+  /// response over the cap is served but never cached, so one huge
+  /// sampled response cannot evict the whole working set. 0 defaults the
+  /// cap to max_bytes / 8 (unlimited when max_bytes is also 0).
+  std::size_t max_entry_bytes = 0;
 
   bool enabled() const { return max_entries > 0 || max_bytes > 0; }
+
+  /// The cap Insert actually enforces: max_entry_bytes when set, else
+  /// max_bytes / 8 when byte-bounded, else no cap.
+  std::size_t effective_max_entry_bytes() const {
+    if (max_entry_bytes > 0) return max_entry_bytes;
+    return max_bytes / 8;  // 0 (no cap) when max_bytes is 0.
+  }
 };
 
 /// Monotonic counters of cache traffic (returned by copy -- a consistent
@@ -32,6 +44,9 @@ struct ResultCacheCounters {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  /// Insertions refused by the admission policy (entry over the
+  /// per-entry byte cap).
+  std::uint64_t admission_rejects = 0;
 };
 
 /// A thread-safe LRU cache of encoded query responses, keyed on the
@@ -77,7 +92,8 @@ class ResultCache {
   /// bytes), evicting LRU entries past the budgets. No-ops when
   /// disabled, when the payload is null, when the key is already
   /// resident (first write wins; both writers hold byte-identical
-  /// payloads), or when the payload alone exceeds the byte budget.
+  /// payloads), or when the entry fails admission (over the per-entry
+  /// byte cap -- counted in admission_rejects).
   void Insert(const std::string& key,
               std::shared_ptr<const std::string> payload);
   /// Convenience overload copying a plain string payload.

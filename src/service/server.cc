@@ -1,40 +1,8 @@
 #include "service/server.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/epoll.h>
-#include <sys/eventfd.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-#include <ctime>
 #include <utility>
 
 namespace ugs {
-
-namespace {
-
-/// Transient-error nap for the accept path.
-void NapBriefly() {
-  timespec nap{0, 10 * 1000 * 1000};  // 10 ms.
-  nanosleep(&nap, nullptr);
-}
-
-/// Read-backpressure budgets: reading pauses while a connection holds
-/// this many unflushed output bytes or open reply slots, so a client
-/// that pipelines without draining replies cannot grow server memory
-/// without bound. Soft bounds:
-/// frames already received when the budget trips are still decoded and
-/// dispatched -- the overshoot is at most one socket receive buffer's
-/// worth, and pausing recv() makes the peer's kernel absorb the rest.
-constexpr std::size_t kMaxConnOutBytes = 64u << 20;
-constexpr std::uint64_t kMaxConnOpenSlots = 1024;
-
-}  // namespace
 
 Status ValidateServerBackend(const std::string& name) {
   if (name == "epoll") return Status::OK();
@@ -47,114 +15,27 @@ Status ValidateServerBackend(const std::string& name) {
                           "' (expected epoll)");
 }
 
-/// One multiplexed connection. All fields except the reply window are
-/// touched only by the reactor thread; the reply window (replies /
-/// base_seq / next_seq / inflight / closed) is shared with the dispatch
-/// workers under `mutex`.
-struct Server::Conn {
-  /// One reply slot. Slots are allocated in frame-arrival order and
-  /// flushed strictly front-to-back, which is what guarantees a
-  /// pipelining client reads replies in request order even when the
-  /// dispatch pool finishes them out of order.
-  struct Reply {
-    bool ready = false;
-    ReplyFrame frame;
-  };
-
-  int fd = -1;
-  FrameDecoder decoder;  ///< Incremental input reassembly.
-  std::string out;       ///< Encoded reply bytes awaiting the socket.
-  std::size_t out_off = 0;
-  bool reading = true;   ///< EPOLLIN wanted; cleared on EOF/garbage/stop.
-  bool close_after_flush = false;
-  bool peer_eof = false;
-  std::uint32_t armed_mask = 0;  ///< Events currently registered.
-  int stop_strikes = 0;  ///< Stop()-time no-progress ticks.
-
-  std::mutex mutex;
-  std::deque<Reply> replies;   ///< Window [base_seq, next_seq).
-  std::uint64_t base_seq = 0;  ///< Seq of replies.front().
-  std::uint64_t next_seq = 0;
-  std::size_t inflight = 0;  ///< Slots awaiting a dispatch worker.
-  bool closed = false;       ///< Reactor closed the fd; workers discard.
-};
-
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       registry_(options_.registry),
-      cache_(options_.cache) {}
+      cache_(options_.cache),
+      server_({.host = options_.host,
+               .port = options_.port,
+               .num_workers = options_.num_workers},
+              [this](FrameType type, const std::string& payload) {
+                return type == FrameType::kRequest ? ExecuteQuery(payload)
+                                                   : ExecuteStats(payload);
+              }) {}
 
 Server::~Server() { Stop(); }
 
-Status Server::Start() {
-  if (listen_fd_ >= 0) {
-    return Status::FailedPrecondition("server: already started");
-  }
-  if (options_.num_workers <= 0) {
-    return Status::InvalidArgument("server: num_workers must be positive");
-  }
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IOError(std::string("server: socket failed: ") +
-                           std::strerror(errno));
-  }
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+Status Server::Start() { return server_.Start(); }
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("server: invalid bind address '" +
-                                   options_.host + "'");
-  }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status status(StatusCode::kIOError,
-                  "server: bind to " + options_.host + ":" +
-                      std::to_string(options_.port) +
-                      " failed: " + std::strerror(errno));
-    ::close(fd);
-    return status;
-  }
-  if (::listen(fd, 64) != 0) {
-    Status status(StatusCode::kIOError,
-                  std::string("server: listen failed: ") +
-                      std::strerror(errno));
-    ::close(fd);
-    return status;
-  }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
-    Status status(StatusCode::kIOError,
-                  std::string("server: getsockname failed: ") +
-                      std::strerror(errno));
-    ::close(fd);
-    return status;
-  }
-  port_ = ntohs(addr.sin_port);
-  listen_fd_ = fd;
-  stopping_.store(false);
+void Server::Stop() { server_.Stop(); }
 
-  Status started = StartEpoll();
-  if (!started.ok()) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  return started;
-}
+// --- Request execution. ---
 
-void Server::Stop() {
-  if (listen_fd_ < 0) return;
-  stopping_.store(true);
-  StopEpoll();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-}
-
-// --- Shared request execution. ---
-
-Server::ReplyFrame Server::ExecuteQuery(const std::string& payload) {
+ReplyFrame Server::ExecuteQuery(const std::string& payload) {
   Result<WireRequest> request = DecodeRequest(payload);
   Status failure = Status::OK();
   if (!request.ok()) {
@@ -195,7 +76,7 @@ Server::ReplyFrame Server::ExecuteQuery(const std::string& payload) {
           std::make_shared<const std::string>(EncodeError(failure))};
 }
 
-Server::ReplyFrame Server::ExecuteStats(const std::string& payload) {
+ReplyFrame Server::ExecuteStats(const std::string& payload) {
   if (payload.empty()) {
     return {FrameType::kStatsReply,
             std::make_shared<const std::string>(StatsJson())};
@@ -216,434 +97,18 @@ Server::ReplyFrame Server::ExecuteStats(const std::string& payload) {
               ",\"edges\":" + std::to_string(stats.num_edges) + "}")};
 }
 
-Server::ReplyFrame Server::ExecuteUnexpected(FrameType received) {
-  errors_.fetch_add(1);
-  return {FrameType::kError,
-          std::make_shared<const std::string>(
-              EncodeError(Status::InvalidArgument(
-                  "server: unexpected frame type " +
-                  std::to_string(static_cast<int>(received)))))};
-}
-
-// --- Reactor. ---
-
-Status Server::StartEpoll() {
-  int flags = ::fcntl(listen_fd_, F_GETFL, 0);
-  if (flags < 0 ||
-      ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
-    return Status::IOError(
-        std::string("server: cannot set listener nonblocking: ") +
-        std::strerror(errno));
-  }
-  epoll_fd_ = ::epoll_create1(0);
-  if (epoll_fd_ < 0) {
-    return Status::IOError(std::string("server: epoll_create1 failed: ") +
-                           std::strerror(errno));
-  }
-  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
-  if (wake_fd_ < 0) {
-    Status status(StatusCode::kIOError,
-                  std::string("server: eventfd failed: ") +
-                      std::strerror(errno));
-    ::close(epoll_fd_);
-    epoll_fd_ = -1;
-    return status;
-  }
-  epoll_event event{};
-  event.events = EPOLLIN;
-  event.data.fd = listen_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &event);
-  event.data.fd = wake_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event);
-
-  jobs_stop_ = false;
-  dispatchers_.reserve(static_cast<std::size_t>(options_.num_workers));
-  for (int i = 0; i < options_.num_workers; ++i) {
-    dispatchers_.emplace_back([this] { DispatchLoop(); });
-  }
-  reactor_ = std::thread([this] { ReactorLoop(); });
-  return Status::OK();
-}
-
-void Server::StopEpoll() {
-  WakeReactor();
-  // The reactor exits once every connection is closed, which requires
-  // all their in-flight jobs to complete -- so the dispatchers must
-  // still be running while we join it.
-  reactor_.join();
-  {
-    std::lock_guard<std::mutex> lock(jobs_mutex_);
-    jobs_stop_ = true;
-  }
-  jobs_cv_.notify_all();
-  for (std::thread& dispatcher : dispatchers_) dispatcher.join();
-  dispatchers_.clear();
-  ::close(wake_fd_);
-  wake_fd_ = -1;
-  ::close(epoll_fd_);
-  epoll_fd_ = -1;
-}
-
-void Server::WakeReactor() {
-  const std::uint64_t one = 1;
-  // EAGAIN means the counter is already nonzero: the reactor will wake.
-  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
-}
-
-void Server::ReactorLoop() {
-  std::vector<epoll_event> events(64);
-  bool draining = false;  ///< Stop() observed; listener deregistered.
-  for (;;) {
-    if (stopping_.load() && !draining) {
-      draining = true;
-      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
-      // Stop reading everywhere; pump once so idle connections (nothing
-      // in flight, nothing buffered) close immediately.
-      std::vector<std::shared_ptr<Conn>> snapshot;
-      snapshot.reserve(conns_.size());
-      for (const auto& [fd, conn] : conns_) snapshot.push_back(conn);
-      for (const std::shared_ptr<Conn>& conn : snapshot) {
-        conn->reading = false;
-        PumpConnection(conn);
-      }
-    }
-    if (draining && conns_.empty()) return;
-
-    const int n = ::epoll_wait(epoll_fd_, events.data(),
-                               static_cast<int>(events.size()),
-                               draining ? 100 : -1);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return;  // A dead epoll fd: nothing left to drive.
-    }
-    if (n == 0) {
-      // Drain-phase tick: a connection whose jobs are all done but whose
-      // output is not moving has a peer that stopped reading; after two
-      // ticks with no progress it forfeits its replies. Connections with
-      // work still in flight are always waited for.
-      std::vector<std::shared_ptr<Conn>> snapshot;
-      snapshot.reserve(conns_.size());
-      for (const auto& [fd, conn] : conns_) snapshot.push_back(conn);
-      for (const std::shared_ptr<Conn>& conn : snapshot) {
-        std::size_t inflight;
-        {
-          std::lock_guard<std::mutex> lock(conn->mutex);
-          inflight = conn->inflight;
-        }
-        if (inflight > 0) {
-          conn->stop_strikes = 0;
-        } else if (++conn->stop_strikes >= 2) {
-          CloseConn(conn);
-        }
-      }
-      continue;
-    }
-    for (int i = 0; i < n; ++i) {
-      const int fd = events[static_cast<std::size_t>(i)].data.fd;
-      const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
-      if (fd == wake_fd_) {
-        std::uint64_t drained;
-        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
-        }
-        std::vector<std::shared_ptr<Conn>> completed;
-        {
-          std::lock_guard<std::mutex> lock(completions_mutex_);
-          completed.swap(completions_);
-        }
-        for (const std::shared_ptr<Conn>& conn : completed) {
-          if (!conn->closed) PumpConnection(conn);
-        }
-        continue;
-      }
-      if (fd == listen_fd_) {
-        if (!draining) AcceptNewConnections();
-        continue;
-      }
-      auto it = conns_.find(fd);
-      if (it == conns_.end()) continue;  // Closed earlier in this batch.
-      std::shared_ptr<Conn> conn = it->second;
-      if (mask & (EPOLLIN | EPOLLERR | EPOLLHUP)) HandleReadable(conn);
-      if ((mask & EPOLLOUT) && !conn->closed) HandleWritable(conn);
-    }
-  }
-}
-
-void Server::AcceptNewConnections() {
-  for (;;) {
-    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      // Transient accept failures (ECONNABORTED, EMFILE, ...): back off
-      // so a persistent one cannot spin the reactor, then let the
-      // level-triggered listener event retry.
-      NapBriefly();
-      return;
-    }
-    connections_.fetch_add(1);
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_shared<Conn>();
-    conn->fd = fd;
-    conn->armed_mask = EPOLLIN;
-    conns_[fd] = conn;
-    epoll_event event{};
-    event.events = EPOLLIN;
-    event.data.fd = fd;
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event);
-  }
-}
-
-void Server::HandleReadable(const std::shared_ptr<Conn>& conn) {
-  if (conn->closed) return;
-  if (!conn->reading) {
-    // EPOLLHUP/ERR after we stopped reading: let the write path discover
-    // whether the peer is really gone.
-    PumpConnection(conn);
-    return;
-  }
-  char buf[64 * 1024];
-  for (;;) {
-    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
-    if (n > 0) {
-      conn->decoder.Append(
-          std::string_view(buf, static_cast<std::size_t>(n)));
-      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
-      continue;  // Buffer was full; there may be more.
-    }
-    if (n == 0) {
-      conn->peer_eof = true;
-      conn->reading = false;
-      break;
-    }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    CloseConn(conn);  // Hard transport error.
-    return;
-  }
-
-  // Reassemble and dispatch every complete frame.
-  for (;;) {
-    Result<std::optional<Frame>> frame = conn->decoder.Next();
-    if (!frame.ok()) {
-      // Transport-level garbage: no frame boundary left to resynchronize
-      // on. Queue the typed error as the connection's final reply (it
-      // still sits behind earlier pending replies, preserving order) and
-      // close once everything has flushed.
-      errors_.fetch_add(1);
-      {
-        std::lock_guard<std::mutex> lock(conn->mutex);
-        Conn::Reply reply;
-        reply.ready = true;
-        reply.frame = {FrameType::kError,
-                       std::make_shared<const std::string>(
-                           EncodeError(frame.status()))};
-        conn->replies.push_back(std::move(reply));
-        ++conn->next_seq;
-      }
-      conn->reading = false;
-      conn->close_after_flush = true;
-      break;
-    }
-    if (!frame->has_value()) break;
-    Frame decoded = std::move(**frame);
-    switch (decoded.type) {
-      case FrameType::kRequest:
-      case FrameType::kStats: {
-        // Allocate the reply slot in arrival order, then hand the frame
-        // to the dispatch pool; kStats goes there too because describing
-        // a graph can open it from disk, which must not stall the
-        // reactor.
-        std::uint64_t seq;
-        {
-          std::lock_guard<std::mutex> lock(conn->mutex);
-          seq = conn->next_seq++;
-          conn->replies.emplace_back();
-          ++conn->inflight;
-        }
-        {
-          std::lock_guard<std::mutex> lock(jobs_mutex_);
-          jobs_.push_back(
-              Job{conn, seq, decoded.type, std::move(decoded.payload)});
-        }
-        jobs_cv_.notify_one();
-        break;
-      }
-      default: {
-        ReplyFrame reply = ExecuteUnexpected(decoded.type);
-        std::lock_guard<std::mutex> lock(conn->mutex);
-        Conn::Reply slot;
-        slot.ready = true;
-        slot.frame = std::move(reply);
-        conn->replies.push_back(std::move(slot));
-        ++conn->next_seq;
-        break;
-      }
-    }
-  }
-  if (conn->peer_eof && conn->decoder.buffered() > 0 &&
-      !conn->close_after_flush) {
-    // The stream ended inside a frame: answer ReadFrame's typed
-    // mid-frame-EOF error (same message, same errors_ accounting) as
-    // this connection's final reply.
-    errors_.fetch_add(1);
-    std::lock_guard<std::mutex> lock(conn->mutex);
-    Conn::Reply reply;
-    reply.ready = true;
-    reply.frame = {FrameType::kError,
-                   std::make_shared<const std::string>(EncodeError(
-                       Status::IOError("wire: connection closed "
-                                       "mid-frame")))};
-    conn->replies.push_back(std::move(reply));
-    ++conn->next_seq;
-    conn->close_after_flush = true;
-  }
-  PumpConnection(conn);
-}
-
-void Server::HandleWritable(const std::shared_ptr<Conn>& conn) {
-  PumpConnection(conn);
-}
-
-void Server::PumpConnection(const std::shared_ptr<Conn>& conn) {
-  if (conn->closed) return;
-  bool pending;
-  std::vector<ReplyFrame> ready;
-  {
-    // Pop the ready reply prefix (and only the prefix: slot order IS
-    // the pipelining guarantee) under the lock; the payload copies into
-    // the write buffer happen after release, so a dispatch worker
-    // completing another slot never stalls behind a multi-megabyte
-    // append.
-    std::lock_guard<std::mutex> lock(conn->mutex);
-    while (!conn->replies.empty() && conn->replies.front().ready) {
-      ready.push_back(std::move(conn->replies.front().frame));
-      conn->replies.pop_front();
-      ++conn->base_seq;
-    }
-    pending = !conn->replies.empty();
-  }
-  for (const ReplyFrame& reply : ready) {
-    if (reply.payload->size() > kMaxFramePayload) {
-      // Mirrors WriteFrame's oversized-payload failure, but keeps the
-      // connection: the peer gets a typed error in the slot.
-      AppendFrame(&conn->out, FrameType::kError,
-                  EncodeError(Status::IOError(
-                      "wire: frame payload of " +
-                      std::to_string(reply.payload->size()) +
-                      " bytes exceeds the limit")));
-    } else {
-      AppendFrame(&conn->out, reply.type, *reply.payload);
-    }
-  }
-
-  while (conn->out_off < conn->out.size()) {
-    const ssize_t n =
-        ::send(conn->fd, conn->out.data() + conn->out_off,
-               conn->out.size() - conn->out_off, MSG_NOSIGNAL);
-    if (n >= 0) {
-      conn->out_off += static_cast<std::size_t>(n);
-      conn->stop_strikes = 0;  // Progress.
-      continue;
-    }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    CloseConn(conn);  // Peer is gone; replies are undeliverable.
-    return;
-  }
-  if (conn->out_off == conn->out.size()) {
-    conn->out.clear();
-    conn->out_off = 0;
-  } else if (conn->out_off >= 64 * 1024) {
-    conn->out.erase(0, conn->out_off);
-    conn->out_off = 0;
-  }
-
-  const bool drained = conn->out.empty();
-  if (drained && !pending &&
-      (conn->peer_eof || conn->close_after_flush || stopping_.load())) {
-    CloseConn(conn);
-    return;
-  }
-  UpdateEpollMask(conn);
-}
-
-void Server::UpdateEpollMask(const std::shared_ptr<Conn>& conn) {
-  // Read backpressure: pause EPOLLIN while this connection's reply
-  // backlog (unflushed bytes or open slots) is over budget; the pump
-  // recomputes the mask as it drains, and level-triggered epoll re-fires
-  // on whatever is still buffered in the socket once reading resumes.
-  bool throttled = conn->out.size() - conn->out_off > kMaxConnOutBytes;
-  if (!throttled) {
-    std::lock_guard<std::mutex> lock(conn->mutex);
-    throttled = conn->next_seq - conn->base_seq > kMaxConnOpenSlots;
-  }
-  epoll_event event{};
-  event.data.fd = conn->fd;
-  if (conn->reading && !throttled && !stopping_.load()) {
-    event.events |= EPOLLIN;
-  }
-  if (!conn->out.empty()) event.events |= EPOLLOUT;
-  // Skip the syscall when nothing changed -- the common small-reply case
-  // pumps twice per request with the mask staying EPOLLIN throughout.
-  if (event.events == conn->armed_mask) return;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &event);
-  conn->armed_mask = event.events;
-}
-
-void Server::CloseConn(const std::shared_ptr<Conn>& conn) {
-  if (conn->closed) return;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
-  ::close(conn->fd);
-  conns_.erase(conn->fd);
-  std::lock_guard<std::mutex> lock(conn->mutex);
-  conn->closed = true;
-}
-
-void Server::CompleteJob(const std::shared_ptr<Conn>& conn,
-                         std::uint64_t seq, ReplyFrame reply) {
-  {
-    std::lock_guard<std::mutex> lock(conn->mutex);
-    if (!conn->closed) {
-      // The slot still exists: slots leave the window only once ready.
-      Conn::Reply& slot =
-          conn->replies[static_cast<std::size_t>(seq - conn->base_seq)];
-      slot.ready = true;
-      slot.frame = std::move(reply);
-      --conn->inflight;
-    }
-  }
-  {
-    std::lock_guard<std::mutex> lock(completions_mutex_);
-    completions_.push_back(conn);
-  }
-  WakeReactor();
-}
-
-void Server::DispatchLoop() {
-  for (;;) {
-    Job job;
-    {
-      std::unique_lock<std::mutex> lock(jobs_mutex_);
-      jobs_cv_.wait(lock, [this] { return jobs_stop_ || !jobs_.empty(); });
-      if (jobs_.empty()) return;  // Stopping and fully drained.
-      job = std::move(jobs_.front());
-      jobs_.pop_front();
-    }
-    ReplyFrame reply = job.type == FrameType::kRequest
-                           ? ExecuteQuery(job.payload)
-                           : ExecuteStats(job.payload);
-    CompleteJob(job.conn, job.seq, std::move(reply));
-  }
-}
-
 // --- Stats. ---
 
 ServerStats Server::stats() const {
   ServerStats stats;
-  stats.connections = connections_.load();
+  stats.connections = server_.connections();
   stats.requests = requests_.load();
-  stats.errors = errors_.load();
+  // Execution-level errors plus the transport tier's own (unexpected
+  // frame types, garbage headers, mid-frame EOF) -- the same total the
+  // pre-split server counted in one place.
+  stats.errors = errors_.load() + server_.protocol_errors();
+  stats.uptime_ms = server_.uptime_ms();
+  stats.in_flight = server_.in_flight();
   return stats;
 }
 
@@ -654,6 +119,8 @@ std::string Server::StatsJson() const {
          ",\"connections\":" + std::to_string(server.connections) +
          ",\"requests\":" + std::to_string(server.requests) +
          ",\"errors\":" + std::to_string(server.errors) +
+         ",\"uptime_ms\":" + std::to_string(server.uptime_ms) +
+         ",\"in_flight\":" + std::to_string(server.in_flight) +
          "},\"cache\":" + cache_.StatsJson() +
          ",\"registry\":" + registry_.StatsJson() + "}";
 }

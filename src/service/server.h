@@ -2,16 +2,10 @@
 #define UGS_SERVICE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <unordered_map>
-#include <vector>
 
+#include "service/frame_server.h"
 #include "service/result_cache.h"
 #include "service/session_registry.h"
 #include "service/wire.h"
@@ -57,6 +51,8 @@ struct ServerStats {
   std::uint64_t connections = 0;
   std::uint64_t requests = 0;  ///< Query frames answered with a result.
   std::uint64_t errors = 0;    ///< Frames answered with an error.
+  std::uint64_t uptime_ms = 0;  ///< Milliseconds since Start.
+  std::uint64_t in_flight = 0;  ///< Requests accepted, not yet answered.
 };
 
 /// A TCP daemon serving the wire protocol (service/wire.h) over a
@@ -69,6 +65,10 @@ struct ServerStats {
 /// (unknown graph, malformed payload, failed validation) are per-frame
 /// -- the connection stays usable; only transport-level garbage (an
 /// unparseable frame header) closes it.
+///
+/// Transport (epoll reactor, dispatch pool, reply ordering,
+/// backpressure) lives in FrameServer -- the tier this class shares with
+/// ugs_router; Server supplies the query/stats execution on top.
 ///
 ///   ugs::Server server({.port = 7471, .registry = {.graph_dir = "graphs"}});
 ///   UGS_CHECK(server.Start().ok());
@@ -87,7 +87,7 @@ class Server {
   Status Start();
 
   /// The bound port (after Start); useful with port = 0.
-  int port() const { return port_; }
+  int port() const { return server_.port(); }
 
   /// Shuts down: stops accepting, stops reading new requests, and joins
   /// the reactor and dispatch threads. In-flight requests finish and
@@ -105,28 +105,8 @@ class Server {
   std::string StatsJson() const;
 
  private:
-  /// One multiplexed connection (defined in server.cc; shared_ptr-held
-  /// so a dispatched request outlives an eviction of its connection).
-  struct Conn;
-
-  /// One decoded frame awaiting execution on the dispatch pool.
-  struct Job {
-    std::shared_ptr<Conn> conn;
-    std::uint64_t seq = 0;  ///< Reply slot within the connection.
-    FrameType type = FrameType::kError;
-    std::string payload;
-  };
-
-  /// One computed reply frame. The payload travels as a shared pointer
-  /// so a response moves cache -> reply slot -> write buffer without
-  /// copying multi-megabyte encodings (a cache hit shares the cached
-  /// bytes outright).
-  struct ReplyFrame {
-    FrameType type = FrameType::kError;
-    std::shared_ptr<const std::string> payload;
-  };
-
-  // --- Request execution (dispatch-worker side). ---
+  // --- Request execution (dispatch-worker side, via FrameServer's
+  // handler). ---
 
   /// Decodes and runs one query payload into a reply frame, consulting
   /// the result cache before GraphSession::Run and filling it after.
@@ -134,53 +114,17 @@ class Server {
   /// Runs one stats payload (empty = counters JSON, otherwise a graph id
   /// to describe) into a reply frame.
   ReplyFrame ExecuteStats(const std::string& payload);
-  /// Reply to a frame whose type a server never accepts.
-  ReplyFrame ExecuteUnexpected(FrameType received);
-
-  // --- Reactor (all Handle*/reactor state is reactor-thread-only except
-  // the reply slots, which workers fill under Conn::mutex). ---
-
-  Status StartEpoll();
-  void StopEpoll();
-  void ReactorLoop();
-  void DispatchLoop();
-  void AcceptNewConnections();
-  void HandleReadable(const std::shared_ptr<Conn>& conn);
-  void HandleWritable(const std::shared_ptr<Conn>& conn);
-  /// Appends ready reply frames (in request order, prefix only) to the
-  /// write buffer and flushes what the socket accepts.
-  void PumpConnection(const std::shared_ptr<Conn>& conn);
-  void CloseConn(const std::shared_ptr<Conn>& conn);
-  /// Re-arms the epoll interest mask from the connection's state.
-  void UpdateEpollMask(const std::shared_ptr<Conn>& conn);
-  /// Worker-side: fills reply slot `seq` and wakes the reactor.
-  void CompleteJob(const std::shared_ptr<Conn>& conn, std::uint64_t seq,
-                   ReplyFrame reply);
-  void WakeReactor();
 
   ServerOptions options_;
   SessionRegistry registry_;
   ResultCache cache_;
 
-  int listen_fd_ = -1;
-  int port_ = 0;
-  std::atomic<bool> stopping_{false};
-
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;
-  std::thread reactor_;
-  std::unordered_map<int, std::shared_ptr<Conn>> conns_;  ///< Reactor-only.
-  std::vector<std::thread> dispatchers_;
-  std::mutex jobs_mutex_;
-  std::condition_variable jobs_cv_;
-  std::deque<Job> jobs_;
-  bool jobs_stop_ = false;
-  std::mutex completions_mutex_;
-  std::vector<std::shared_ptr<Conn>> completions_;
-
-  std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};
+
+  /// Last member: destruction joins the transport threads before the
+  /// registry/cache they execute against go away.
+  FrameServer server_;
 };
 
 }  // namespace ugs

@@ -1,0 +1,114 @@
+#include "router/hash_ring.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ugs {
+namespace {
+
+std::vector<std::string> Keys(int n) {
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) keys.push_back("graph-" + std::to_string(i));
+  return keys;
+}
+
+TEST(HashRingTest, PlacementIsDeterministicAcrossInstances) {
+  // Placement is config, not state: two rings over the same shard count
+  // agree on every key (what lets every router instance route alike).
+  HashRing a(5), b(5);
+  for (const std::string& key : Keys(200)) {
+    EXPECT_EQ(a.Primary(key), b.Primary(key)) << key;
+    EXPECT_EQ(a.WalkOrder(key), b.WalkOrder(key)) << key;
+  }
+}
+
+TEST(HashRingTest, WalkOrderCoversEveryShardOnceAndLeadsWithPrimary) {
+  HashRing ring(7);
+  for (const std::string& key : Keys(50)) {
+    const std::vector<std::size_t> walk = ring.WalkOrder(key);
+    ASSERT_EQ(walk.size(), 7u) << key;
+    EXPECT_EQ(walk.front(), ring.Primary(key)) << key;
+    std::vector<bool> seen(7, false);
+    for (std::size_t shard : walk) {
+      ASSERT_LT(shard, 7u);
+      EXPECT_FALSE(seen[shard]) << "duplicate shard in walk for " << key;
+      seen[shard] = true;
+    }
+  }
+}
+
+TEST(HashRingTest, LoadSpreadsAcrossShards) {
+  // Vnodes keep the split rough-even: with 4 shards and 2000 keys, no
+  // shard should own more than twice its fair share (a loose bound --
+  // the point is "no shard is starved or doubled-up pathologically").
+  HashRing ring(4);
+  std::map<std::size_t, int> owned;
+  const int n = 2000;
+  for (const std::string& key : Keys(n)) ++owned[ring.Primary(key)];
+  ASSERT_EQ(owned.size(), 4u);  // Every shard owns something.
+  for (const auto& [shard, count] : owned) {
+    EXPECT_GT(count, n / 4 / 2) << "shard " << shard << " starved";
+    EXPECT_LT(count, n / 4 * 2) << "shard " << shard << " overloaded";
+  }
+}
+
+TEST(HashRingTest, RemovingAShardOnlyMovesItsOwnKeys) {
+  // The consistency property failover rests on: simulate shard 2 dying
+  // by skipping it in each key's walk order. Keys whose primary was
+  // another shard must not move at all; shard 2's keys must each land
+  // on their next walk entry.
+  HashRing ring(5);
+  const std::size_t dead = 2;
+  for (const std::string& key : Keys(500)) {
+    const std::vector<std::size_t> walk = ring.WalkOrder(key);
+    // "Placement with shard 2 gone" = first walk entry that is not 2.
+    const std::size_t rerouted = walk[walk[0] == dead ? 1 : 0];
+    if (walk[0] != dead) {
+      EXPECT_EQ(rerouted, walk[0]) << "unaffected key moved: " << key;
+    } else {
+      EXPECT_NE(rerouted, dead) << key;
+      EXPECT_EQ(rerouted, walk[1]) << key;
+    }
+  }
+}
+
+TEST(HashRingTest, ReplicaSetsAreDistinctPrefixes) {
+  // The first R walk entries are the replica set: distinct shards, and
+  // growing R only appends (replica sets nest), so bumping a hot
+  // graph's R never moves its existing replicas.
+  HashRing ring(6);
+  for (const std::string& key : Keys(100)) {
+    const std::vector<std::size_t> walk = ring.WalkOrder(key);
+    for (std::size_t r = 1; r < walk.size(); ++r) {
+      const std::vector<std::size_t> smaller(walk.begin(),
+                                             walk.begin() + r);
+      const std::vector<std::size_t> larger(walk.begin(),
+                                            walk.begin() + r + 1);
+      EXPECT_TRUE(std::equal(smaller.begin(), smaller.end(),
+                             larger.begin()));
+    }
+  }
+}
+
+TEST(HashRingTest, SingleShardOwnsEverything) {
+  HashRing ring(1);
+  for (const std::string& key : Keys(20)) {
+    EXPECT_EQ(ring.Primary(key), 0u);
+    EXPECT_EQ(ring.WalkOrder(key), std::vector<std::size_t>{0});
+  }
+}
+
+TEST(HashRingTest, HashIsStable) {
+  // The placement contract pins the hash function itself (FNV-1a +
+  // splitmix64 finalizer): these constants must never change, or a
+  // router restart would silently remap every graph.
+  EXPECT_EQ(HashRing::Hash(""), 17665956581633026203ull);
+  EXPECT_EQ(HashRing::Hash("a"), 198367012849983736ull);
+}
+
+}  // namespace
+}  // namespace ugs

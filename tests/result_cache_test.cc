@@ -98,7 +98,11 @@ TEST(ResultCacheTest, ByteBudgetEvictsUntilItFits) {
   // requests (~80 bytes each), so a 3-entry budget forces eviction on
   // the 4th insert at the latest.
   const std::string a = ResultCache::Key("g", MakeRequest(1));
-  ResultCache cache({.max_bytes = 3 * (a.size() + 8)});
+  // Explicit max_entry_bytes: the default admission cap (max_bytes / 8)
+  // would reject these entries outright, and this test is about
+  // eviction, not admission.
+  ResultCache cache({.max_bytes = 3 * (a.size() + 8),
+                     .max_entry_bytes = 4096});
   const std::string b = ResultCache::Key("g", MakeRequest(2));
   const std::string c = ResultCache::Key("g", MakeRequest(3));
   const std::string d = ResultCache::Key("g", MakeRequest(4));
@@ -121,6 +125,45 @@ TEST(ResultCacheTest, OversizedPayloadIsNeverCached) {
   EXPECT_EQ(cache.entries(), 0u);
   EXPECT_EQ(cache.bytes(), 0u);
   EXPECT_EQ(cache.counters().insertions, 0u);
+  EXPECT_EQ(cache.counters().admission_rejects, 1u);
+}
+
+TEST(ResultCacheTest, AdmissionCapDefaultsToan8thOfTheByteBudget) {
+  // max_bytes = 4096 with no explicit cap: entries over 512 charged
+  // bytes are served-but-not-cached, so one huge response cannot evict
+  // the whole working set.
+  ResultCache cache({.max_bytes = 4096});
+  EXPECT_EQ(cache.options().effective_max_entry_bytes(), 512u);
+  const std::string small = ResultCache::Key("g", MakeRequest(1));
+  const std::string big = ResultCache::Key("g", MakeRequest(2));
+  cache.Insert(small, std::string(64, 's'));
+  cache.Insert(big, std::string(1024, 'b'));  // Fits max_bytes, over cap.
+  EXPECT_TRUE(cache.Lookup(small) != nullptr);
+  EXPECT_FALSE(cache.Lookup(big) != nullptr);
+  ResultCacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.insertions, 1u);
+  EXPECT_EQ(counters.admission_rejects, 1u);
+  EXPECT_EQ(counters.evictions, 0u);  // The reject evicted nothing.
+}
+
+TEST(ResultCacheTest, ExplicitAdmissionCapOverridesTheDefault) {
+  ResultCache cache({.max_bytes = 4096, .max_entry_bytes = 2048});
+  EXPECT_EQ(cache.options().effective_max_entry_bytes(), 2048u);
+  const std::string key = ResultCache::Key("g", MakeRequest(1));
+  cache.Insert(key, std::string(1024, 'x'));  // Over 4096/8, under 2048.
+  EXPECT_TRUE(cache.Lookup(key) != nullptr);
+  EXPECT_EQ(cache.counters().admission_rejects, 0u);
+}
+
+TEST(ResultCacheTest, EntryOnlyCacheAdmitsAnySize) {
+  // No byte budget: the default cap stays unlimited -- an entries-only
+  // cache must keep caching large responses.
+  ResultCache cache({.max_entries = 4});
+  EXPECT_EQ(cache.options().effective_max_entry_bytes(), 0u);
+  const std::string key = ResultCache::Key("g", MakeRequest(1));
+  cache.Insert(key, std::string(1 << 20, 'x'));
+  EXPECT_TRUE(cache.Lookup(key) != nullptr);
+  EXPECT_EQ(cache.counters().admission_rejects, 0u);
 }
 
 TEST(ResultCacheTest, FirstInsertWinsOnDuplicateKey) {
@@ -149,6 +192,8 @@ TEST(ResultCacheTest, StatsJsonCarriesCountersAndOccupancy) {
   EXPECT_NE(json.find("\"entries\":1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"max_entries\":2"), std::string::npos) << json;
   EXPECT_NE(json.find("\"max_bytes\":4096"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"admission_rejects\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max_entry_bytes\":512"), std::string::npos) << json;
 }
 
 TEST(ResultCacheTest, ConcurrentMixedTrafficStaysConsistent) {

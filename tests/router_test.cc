@@ -1,0 +1,403 @@
+#include "router/router.h"
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_io.h"
+#include "query/graph_session.h"
+#include "router/hash_ring.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/wire.h"
+#include "tests/test_util.h"
+
+namespace ugs {
+namespace {
+
+/// End-to-end tests of the sharded serving tier: a Router over two
+/// in-process Servers on loopback, asserting the tier keeps the serving
+/// determinism contract intact -- every reply through the router is
+/// bit-identical (PayloadEquals) to GraphSession::Run locally, through
+/// ring routing, replica racing, and shard failover alike.
+class RouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    ASSERT_TRUE(
+        SaveEdgeList(testing_util::CompleteK4(0.5), Path("g1")).ok());
+    ASSERT_TRUE(
+        SaveEdgeList(testing_util::PathGraph(12, 0.4), Path("g2")).ok());
+    ASSERT_TRUE(
+        SaveEdgeList(testing_util::StarGraph(8, 0.3), Path("g3")).ok());
+  }
+
+  std::string Path(const std::string& id) const {
+    return dir_ + "/" + Id(id) + ".txt";
+  }
+  std::string Id(const std::string& id) const { return "routertest_" + id; }
+
+  /// One backend shard over the shared graph directory (every shard
+  /// serves every graph -- the property any-shard failover rests on).
+  std::unique_ptr<Server> StartShard(std::size_t cache_entries = 64) {
+    ServerOptions options;
+    options.port = 0;
+    options.num_workers = 2;
+    options.cache.max_entries = cache_entries;
+    options.registry.graph_dir = dir_;
+    auto shard = std::make_unique<Server>(options);
+    Status started = shard->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    return shard;
+  }
+
+  /// A router fronting `shards`, with the test's routing knobs applied
+  /// on top of a loopback-ephemeral frontend.
+  std::unique_ptr<Router> StartRouter(
+      const std::vector<const Server*>& shards, RouterOptions options) {
+    options.host = "127.0.0.1";
+    options.port = 0;
+    for (const Server* shard : shards) {
+      options.shards.push_back({"127.0.0.1", shard->port()});
+    }
+    auto router = std::make_unique<Router>(std::move(options));
+    Status started = router->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    return router;
+  }
+
+  Client ConnectTo(int port) {
+    Result<Client> client = Client::Connect("127.0.0.1", port);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client.value());
+  }
+
+  /// A request per query kind / estimator shape (the same battery
+  /// service_test runs directly against one Server).
+  static std::vector<QueryRequest> CoveringRequests() {
+    std::vector<QueryRequest> requests;
+    QueryRequest reliability;
+    reliability.query = "reliability";
+    reliability.pairs = {{0, 3}};
+    reliability.num_samples = 32;
+    reliability.seed = 3;
+    requests.push_back(reliability);
+
+    QueryRequest skip = reliability;
+    skip.estimator = Estimator::kSkipSampler;
+    skip.seed = 4;
+    requests.push_back(skip);
+
+    QueryRequest stratified = reliability;
+    stratified.estimator = Estimator::kStratified;
+    stratified.num_pivot_edges = 3;
+    stratified.seed = 5;
+    requests.push_back(stratified);
+
+    QueryRequest connectivity;
+    connectivity.query = "connectivity";
+    connectivity.num_samples = 32;
+    connectivity.estimator = Estimator::kExact;
+    requests.push_back(connectivity);
+
+    QueryRequest sp;
+    sp.query = "shortest-path";
+    sp.pairs = {{0, 2}, {1, 3}};
+    sp.num_samples = 32;
+    sp.seed = 6;
+    requests.push_back(sp);
+
+    QueryRequest pagerank;
+    pagerank.query = "pagerank";
+    pagerank.num_samples = 16;
+    pagerank.seed = 7;
+    requests.push_back(pagerank);
+
+    QueryRequest clustering;
+    clustering.query = "clustering";
+    clustering.num_samples = 16;
+    clustering.seed = 8;
+    requests.push_back(clustering);
+
+    QueryRequest knn;
+    knn.query = "knn";
+    knn.sources = {0, 2};
+    knn.k = 3;
+    requests.push_back(knn);
+
+    QueryRequest mpp;
+    mpp.query = "most-probable-path";
+    mpp.pairs = {{0, 3}};
+    requests.push_back(mpp);
+    return requests;
+  }
+
+  /// Local reference results: requests[r] on graphs[g] -> [g][r].
+  std::vector<std::vector<QueryResult>> LocalReference(
+      const std::vector<std::string>& graphs,
+      const std::vector<QueryRequest>& requests) {
+    std::vector<std::vector<QueryResult>> expected;
+    for (const std::string& g : graphs) {
+      Result<std::unique_ptr<GraphSession>> session =
+          GraphSession::Open(Path(g));
+      EXPECT_TRUE(session.ok()) << session.status().ToString();
+      std::vector<QueryResult> per_graph;
+      for (const QueryRequest& request : requests) {
+        Result<QueryResult> result = (*session)->Run(request);
+        EXPECT_TRUE(result.ok()) << request.query << ": "
+                                 << result.status().ToString();
+        per_graph.push_back(*result);
+      }
+      expected.push_back(std::move(per_graph));
+    }
+    return expected;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(RouterTest, EveryQueryKindByteIdenticalThroughRacedRouter) {
+  // The acceptance contract: every query kind, through the router over
+  // two shards with full replication and verified racing (both replicas
+  // answer, the router asserts the replies agree), is bit-identical to a
+  // local run. Two passes so the second round exercises the shard-side
+  // result caches through the same path.
+  const std::vector<QueryRequest> requests = CoveringRequests();
+  const std::vector<std::string> graphs = {"g1", "g2", "g3"};
+  const std::vector<std::vector<QueryResult>> expected =
+      LocalReference(graphs, requests);
+
+  std::unique_ptr<Server> shard_a = StartShard();
+  std::unique_ptr<Server> shard_b = StartShard();
+  RouterOptions options;
+  options.replication = 2;
+  options.race = 2;
+  options.race_verify = true;
+  std::unique_ptr<Router> router =
+      StartRouter({shard_a.get(), shard_b.get()}, options);
+
+  Client client = ConnectTo(router->port());
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t g = 0; g < graphs.size(); ++g) {
+      for (std::size_t r = 0; r < requests.size(); ++r) {
+        Result<QueryResult> result =
+            client.Query(Id(graphs[g]), requests[r]);
+        ASSERT_TRUE(result.ok())
+            << requests[r].query << " on " << graphs[g] << ": "
+            << result.status().ToString();
+        EXPECT_TRUE(PayloadEquals(*result, expected[g][r]))
+            << requests[r].query << " on " << graphs[g] << ", pass "
+            << pass;
+      }
+    }
+  }
+
+  RouterStats stats = router->stats();
+  EXPECT_EQ(stats.requests, 2 * graphs.size() * requests.size());
+  EXPECT_EQ(stats.errors, 0u);
+  // Every request raced two replicas, and verify mode found no
+  // disagreement -- the cross-shard determinism contract held.
+  EXPECT_EQ(stats.raced, stats.requests);
+  EXPECT_EQ(stats.race_mismatches, 0u);
+}
+
+TEST_F(RouterTest, KillingAShardMidBatchKeepsRepliesByteIdentical) {
+  // The failover contract: stop one of two shards halfway through a
+  // batch; every remaining reply must still arrive, still bit-identical
+  // to a local run. The health monitor is disabled so the dead shard is
+  // discovered by the forwarding path itself (connect failure ->
+  // failover to the next ring candidate).
+  const std::vector<QueryRequest> requests = CoveringRequests();
+  const std::vector<std::string> graphs = {"g1", "g2", "g3"};
+  const std::vector<std::vector<QueryResult>> expected =
+      LocalReference(graphs, requests);
+
+  std::unique_ptr<Server> shard_a = StartShard();
+  std::unique_ptr<Server> shard_b = StartShard();
+  RouterOptions options;
+  options.replication = 1;  // Pin each graph to its ring primary...
+  options.race = 1;         // ...and forward to exactly one shard.
+  options.health_interval_ms = 0;
+  std::unique_ptr<Router> router =
+      StartRouter({shard_a.get(), shard_b.get()}, options);
+
+  // Kill the shard the ring names primary for g1 (the router builds the
+  // same HashRing(2)), so the post-kill batch is guaranteed to hit the
+  // dead shard first and take the failover path.
+  HashRing ring(2);
+  const std::size_t dead = ring.Primary(Id("g1"));
+  Server* doomed = dead == 0 ? shard_a.get() : shard_b.get();
+
+  Client client = ConnectTo(router->port());
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+      Result<QueryResult> result = client.Query(Id(graphs[g]), requests[r]);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_TRUE(PayloadEquals(*result, expected[g][r]));
+    }
+  }
+
+  doomed->Stop();  // SIGKILL-equivalent for an in-process shard.
+
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+      Result<QueryResult> result = client.Query(Id(graphs[g]), requests[r]);
+      ASSERT_TRUE(result.ok())
+          << requests[r].query << " on " << graphs[g]
+          << " after shard kill: " << result.status().ToString();
+      EXPECT_TRUE(PayloadEquals(*result, expected[g][r]))
+          << requests[r].query << " on " << graphs[g] << " after kill";
+    }
+  }
+
+  RouterStats stats = router->stats();
+  EXPECT_EQ(stats.requests, 2 * graphs.size() * requests.size());
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_GE(stats.failovers, 1u);  // g1's first post-kill query at least.
+  // The forwarding path demoted the dead shard on its connect failures.
+  EXPECT_NE(router->shard_state(dead), ShardState::kUp);
+}
+
+TEST_F(RouterTest, HealthMonitorMarksAKilledShardDown) {
+  std::unique_ptr<Server> shard_a = StartShard();
+  std::unique_ptr<Server> shard_b = StartShard();
+  RouterOptions options;
+  options.health_interval_ms = 25;
+  std::unique_ptr<Router> router =
+      StartRouter({shard_a.get(), shard_b.get()}, options);
+
+  shard_b->Stop();
+  // Two failed polls mark the shard down; give the 25ms monitor ample
+  // slack before declaring the transition missed.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (router->shard_state(1) != ShardState::kDown &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(router->shard_state(1), ShardState::kDown);
+  EXPECT_EQ(router->shard_state(0), ShardState::kUp);
+
+  // A down shard is reported, not hidden, in the aggregate.
+  const std::string json = router->StatsJson();
+  EXPECT_NE(json.find("\"state\":\"down\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"healthy\":1"), std::string::npos) << json;
+}
+
+TEST_F(RouterTest, AggregatedStatsMergesShardJsonUnderRouterSchema) {
+  std::unique_ptr<Server> shard_a = StartShard();
+  std::unique_ptr<Server> shard_b = StartShard();
+  RouterOptions options;
+  options.replication = 2;
+  options.health_interval_ms = 25;
+  options.graph_replication[Id("g1")] = 2;
+  std::unique_ptr<Router> router =
+      StartRouter({shard_a.get(), shard_b.get()}, options);
+
+  Client client = ConnectTo(router->port());
+  ASSERT_TRUE(client.Query(Id("g1"), CoveringRequests().front()).ok());
+
+  // The monitor embeds each shard's own stats JSON once it has polled;
+  // wait for both to appear rather than racing the first poll.
+  std::string json;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    Result<std::string> stats = client.Stats("");
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    json = *stats;
+    if (json.find("null") == std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Router-level schema (docs/sharding.md).
+  EXPECT_EQ(json.rfind("{\"router\":{", 0), 0u) << json;
+  EXPECT_NE(json.find("\"shards\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"healthy\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"replication\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"requests\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"failovers\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"race_mismatches\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"uptime_ms\":"), std::string::npos) << json;
+  // Per-shard entries carry address, health, and the shard's own stats
+  // verb reply verbatim (its {"server":... object, including the new
+  // health fields).
+  EXPECT_NE(json.find("\"shards\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"addr\":\"127.0.0.1:"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"state\":\"up\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"server\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"registry\":{"), std::string::npos) << json;
+}
+
+TEST_F(RouterTest, GraphDescribeRoutesLikeAQuery) {
+  std::unique_ptr<Server> shard_a = StartShard();
+  std::unique_ptr<Server> shard_b = StartShard();
+  std::unique_ptr<Router> router =
+      StartRouter({shard_a.get(), shard_b.get()}, RouterOptions{});
+
+  Client through_router = ConnectTo(router->port());
+  Result<std::string> routed = through_router.Stats(Id("g2"));
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+
+  // The describe reply is a pure function of the graph file, so it must
+  // match a direct ask of either shard byte-for-byte.
+  Client direct = ConnectTo(shard_a->port());
+  Result<std::string> local = direct.Stats(Id("g2"));
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+  EXPECT_EQ(*routed, *local);
+}
+
+TEST_F(RouterTest, ShardErrorRepliesAreForwardedAsIs) {
+  // A typed per-request error from a shard (unknown graph) is a
+  // *successful* forward: the router must hand it back unchanged, not
+  // burn through the fleet retrying a deterministic failure.
+  std::unique_ptr<Server> shard_a = StartShard();
+  std::unique_ptr<Server> shard_b = StartShard();
+  std::unique_ptr<Router> router =
+      StartRouter({shard_a.get(), shard_b.get()}, RouterOptions{});
+
+  Client through_router = ConnectTo(router->port());
+  Result<QueryResult> routed =
+      through_router.Query("no_such_graph", CoveringRequests().front());
+  ASSERT_FALSE(routed.ok());
+
+  Client direct = ConnectTo(shard_a->port());
+  Result<QueryResult> local =
+      direct.Query("no_such_graph", CoveringRequests().front());
+  ASSERT_FALSE(local.ok());
+  EXPECT_EQ(routed.status().code(), local.status().code());
+  EXPECT_EQ(routed.status().message(), local.status().message());
+
+  RouterStats stats = router->stats();
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.failovers, 0u);  // No transport failure happened.
+}
+
+TEST_F(RouterTest, StartRejectsMisconfiguration) {
+  {
+    Router router(RouterOptions{});  // No shards.
+    EXPECT_FALSE(router.Start().ok());
+  }
+  {
+    RouterOptions options;
+    options.shards = {{"127.0.0.1", 1}};
+    options.race = 0;
+    Router router(std::move(options));
+    EXPECT_FALSE(router.Start().ok());
+  }
+  {
+    RouterOptions options;
+    options.shards = {{"127.0.0.1", 1}};
+    options.replication = 0;
+    Router router(std::move(options));
+    EXPECT_FALSE(router.Start().ok());
+  }
+}
+
+}  // namespace
+}  // namespace ugs

@@ -505,6 +505,14 @@ TEST_P(ServiceBackendTest, StatsVerbReportsServerCacheAndRegistry) {
   EXPECT_NE(stats->find("\"registry\""), std::string::npos) << *stats;
   EXPECT_NE(stats->find("\"requests\":1"), std::string::npos) << *stats;
   EXPECT_NE(stats->find("\"enabled\":"), std::string::npos) << *stats;
+  // Health-monitor fields (schema bump in docs/operations.md): uptime
+  // since Start and the in-flight gauge -- which includes this very
+  // stats request, still open while its JSON is rendered.
+  EXPECT_NE(stats->find("\"uptime_ms\":"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"in_flight\":1"), std::string::npos) << *stats;
+  ServerStats counters = server->stats();
+  EXPECT_GE(counters.uptime_ms, 0u);
+  EXPECT_EQ(counters.in_flight, 0u);  // Nothing open between requests.
   // Per-graph residency objects carry bytes + engine pool width.
   EXPECT_NE(stats->find("\"resident\":[{\"id\":"), std::string::npos)
       << *stats;

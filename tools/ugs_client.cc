@@ -51,7 +51,10 @@ void Usage() {
       "    --json          emit the wire-schema JSON result line\n"
       "  admin mode:  --stats [--graph=<id>]\n"
       "  batch mode:  --batch=<file>  one query per line, same flags\n"
-      "    --pipeline      write all requests before reading replies\n");
+      "    --pipeline      write all requests before reading replies\n"
+      "  --connect-retries=<n>  retry a refused/timed-out connect up to\n"
+      "                  n times with exponential backoff (default 0:\n"
+      "                  fail fast)\n");
   std::exit(2);
 }
 
@@ -211,7 +214,7 @@ void RunSpec(const QuerySpec& spec, bool json, ugs::Client* client,
 
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1", batch_file;
-  std::int64_t port = 7471;
+  std::int64_t port = 7471, connect_retries = 0;
   bool stats = false, json = false, pipeline = false;
   QuerySpec spec;
   for (int i = 1; i < argc; ++i) {
@@ -220,6 +223,9 @@ int main(int argc, char** argv) {
       host = arg.substr(7);
     } else if (arg.rfind("--port=", 0) == 0) {
       port = ugs::ParseInt64OrExit("--port", arg.substr(7));
+    } else if (arg.rfind("--connect-retries=", 0) == 0) {
+      connect_retries =
+          ugs::ParseInt64OrExit("--connect-retries", arg.substr(18));
     } else if (arg.rfind("--batch=", 0) == 0) {
       batch_file = arg.substr(8);
     } else if (arg == "--stats") {
@@ -233,9 +239,12 @@ int main(int argc, char** argv) {
     }
   }
   if (port <= 0 || port > 65535) Die("--port must be in [1, 65535]");
+  if (connect_retries < 0) Die("--connect-retries must be >= 0");
 
+  ugs::ConnectOptions connect_options;
+  connect_options.max_retries = static_cast<int>(connect_retries);
   ugs::Result<ugs::Client> connected =
-      ugs::Client::Connect(host, static_cast<int>(port));
+      ugs::Client::Connect(host, static_cast<int>(port), connect_options);
   if (!connected.ok()) Die(connected.status().ToString());
   ugs::Client client = std::move(connected.value());
   VertexCountCache vertex_counts;

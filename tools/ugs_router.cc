@@ -1,0 +1,168 @@
+// ugs_router: consistent-hash router in front of N ugs_serve shards,
+// speaking the wire protocol (service/wire.h) on both sides -- clients
+// point at the router instead of a shard and need no other change.
+//
+//   ugs_router --shard=<host:port> --shard=<host:port> ...
+//              [--host=127.0.0.1] [--port=7470] [--workers=4]
+//              [--replication=1] [--hot-graph=<id>:<r> ...]
+//              [--race=1] [--race-verify] [--health-interval-ms=1000]
+//              [--connect-retries=0] [--port-file=<path>]
+//
+// Every shard must serve the same graph directory contents; the ring
+// only decides which shard a graph id *prefers* (session and cache
+// locality). --replication spreads each graph over its first R ring
+// replicas; --hot-graph overrides R per graph. --race=2 sends each
+// query to two healthy replicas and answers with the first reply
+// (responses are pure functions of (graph, request), so replicas are
+// byte-interchangeable); --race-verify additionally waits for both and
+// asserts they agree. Shard health is polled through the stats verb
+// every --health-interval-ms; connect/IO failures fail over to the next
+// ring candidate. The empty stats verb aggregates all shards under a
+// {"router":...,"shards":[...]} schema. Semantics: docs/sharding.md.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "router/router.h"
+#include "util/parse.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ugs_router --shard=<host:port> [--shard=<host:port> ...]\n"
+      "  --host=<a>           bind address            (default 127.0.0.1)\n"
+      "  --port=<p>           TCP port; 0 = ephemeral (default 7470)\n"
+      "  --workers=<n>        forwarding threads      (default 4)\n"
+      "  --replication=<r>    replicas per graph      (default 1)\n"
+      "  --hot-graph=<id>:<r> per-graph replica override (repeatable)\n"
+      "  --race=<n>           replicas raced per query; 1 = off\n"
+      "  --race-verify        wait for both raced replies, assert equal\n"
+      "  --health-interval-ms=<n>  shard poll period; 0 = no monitor\n"
+      "  --connect-retries=<n> shard connect retries with backoff\n"
+      "  --port-file=<path>   write the bound port after startup\n");
+  std::exit(2);
+}
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  std::exit(2);
+}
+
+/// "host:port" -> ShardAddress (host may be empty: default loopback).
+ugs::ShardAddress ParseShard(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos) {
+    Die("--shard needs the form <host>:<port>, got '" + text + "'");
+  }
+  ugs::ShardAddress addr;
+  if (colon > 0) addr.host = text.substr(0, colon);
+  addr.port = static_cast<int>(
+      ugs::ParseInt64OrExit("--shard port", text.substr(colon + 1)));
+  if (addr.port <= 0 || addr.port > 65535) {
+    Die("--shard port must be in [1, 65535]");
+  }
+  return addr;
+}
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ugs::RouterOptions options;
+  options.port = 7470;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--shard=", 0) == 0) {
+      options.shards.push_back(ParseShard(arg.substr(8)));
+    } else if (arg.rfind("--host=", 0) == 0) {
+      options.host = arg.substr(7);
+    } else if (arg.rfind("--port=", 0) == 0) {
+      options.port = static_cast<int>(
+          ugs::ParseInt64OrExit("--port", arg.substr(7)));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      options.num_workers = static_cast<int>(
+          ugs::ParseInt64OrExit("--workers", arg.substr(10)));
+    } else if (arg.rfind("--replication=", 0) == 0) {
+      options.replication = static_cast<std::size_t>(
+          ugs::ParseInt64OrExit("--replication", arg.substr(14)));
+    } else if (arg.rfind("--hot-graph=", 0) == 0) {
+      const std::string spec = arg.substr(12);
+      const std::size_t colon = spec.rfind(':');
+      if (colon == std::string::npos || colon == 0) {
+        Die("--hot-graph needs the form <id>:<replicas>, got '" + spec + "'");
+      }
+      options.graph_replication[spec.substr(0, colon)] =
+          static_cast<std::size_t>(ugs::ParseInt64OrExit(
+              "--hot-graph replicas", spec.substr(colon + 1)));
+    } else if (arg.rfind("--race=", 0) == 0) {
+      options.race = static_cast<int>(
+          ugs::ParseInt64OrExit("--race", arg.substr(7)));
+    } else if (arg == "--race-verify") {
+      options.race_verify = true;
+    } else if (arg.rfind("--health-interval-ms=", 0) == 0) {
+      options.health_interval_ms = static_cast<int>(
+          ugs::ParseInt64OrExit("--health-interval-ms", arg.substr(21)));
+    } else if (arg.rfind("--connect-retries=", 0) == 0) {
+      options.connect.max_retries = static_cast<int>(
+          ugs::ParseInt64OrExit("--connect-retries", arg.substr(18)));
+    } else if (arg.rfind("--port-file=", 0) == 0) {
+      port_file = arg.substr(12);
+    } else {
+      Usage();
+    }
+  }
+  if (options.shards.empty()) Usage();
+  if (options.port < 0 || options.port > 65535) {
+    Die("--port must be in [0, 65535]");
+  }
+  if (options.num_workers <= 0) Die("--workers must be positive");
+  if (options.replication < 1) Die("--replication must be >= 1");
+  if (options.race < 1) Die("--race must be >= 1");
+  if (options.health_interval_ms < 0 || options.connect.max_retries < 0) {
+    Die("--health-interval-ms and --connect-retries must be >= 0");
+  }
+
+  ugs::Router router(options);
+  ugs::Status started = router.Start();
+  if (!started.ok()) Die(started.ToString());
+  std::printf("ugs_router: listening on %s:%d (shards=%zu replication=%zu "
+              "race=%d%s health-interval-ms=%d)\n",
+              options.host.c_str(), router.port(), options.shards.size(),
+              options.replication, options.race,
+              options.race_verify ? " verify" : "",
+              options.health_interval_ms);
+  std::fflush(stdout);
+
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) Die("cannot write port file '" + port_file + "'");
+    std::fprintf(f, "%d\n", router.port());
+    std::fclose(f);
+  }
+
+  struct sigaction action {};
+  action.sa_handler = HandleSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);  // Shard hang-ups surface as EPIPE.
+
+  while (g_shutdown == 0) {
+    timespec nap{0, 50 * 1000 * 1000};  // 50 ms.
+    nanosleep(&nap, nullptr);
+  }
+  std::printf("ugs_router: shutting down\n");
+  router.Stop();
+  std::printf("ugs_router: %s\n", router.StatsJson().c_str());
+  return 0;
+}

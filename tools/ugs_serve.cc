@@ -5,7 +5,8 @@
 //   ugs_serve --dir=<graph dir> [--host=127.0.0.1] [--port=7471]
 //             [--backend=epoll] [--workers=4] [--max-sessions=8]
 //             [--max-bytes=0] [--cache-entries=0] [--cache-bytes=0]
-//             [--engine-threads=0] [--threads=0] [--port-file=<path>]
+//             [--cache-max-entry-bytes=0] [--engine-threads=0]
+//             [--threads=0] [--port-file=<path>]
 //
 // Graph ids resolve to files in --dir ("g1" -> g1 or g1.txt). One
 // reactor thread multiplexes every connection and --workers query
@@ -49,6 +50,9 @@ void Usage() {
       "  --cache-entries=<n> result-cache entry budget; 0 = see below\n"
       "  --cache-bytes=<n>   result-cache byte budget; 0 = see below\n"
       "                      (both 0 disables the cache -- the default)\n"
+      "  --cache-max-entry-bytes=<n> admission cap on one cached entry;\n"
+      "                      0 = cache-bytes/8 (responses over the cap\n"
+      "                      are served but never cached)\n"
       "  --engine-threads=<n> per-session engine pool; 0 = shared default\n"
       "  --threads=<n>       shared default pool size (env UGS_THREADS)\n"
       "  --port-file=<path>  write the bound port after startup\n");
@@ -69,7 +73,7 @@ void HandleSignal(int) { g_shutdown = 1; }
 int main(int argc, char** argv) {
   std::string dir, host = "127.0.0.1", port_file, backend = "epoll";
   std::int64_t port = 7471, workers = 4, max_sessions = 8, max_bytes = 0;
-  std::int64_t cache_entries = 0, cache_bytes = 0;
+  std::int64_t cache_entries = 0, cache_bytes = 0, cache_max_entry_bytes = 0;
   std::int64_t engine_threads = 0, threads = 0;
   if (const char* env = std::getenv("UGS_THREADS")) {
     threads = ugs::ParseInt64OrExit("UGS_THREADS", env);
@@ -92,6 +96,9 @@ int main(int argc, char** argv) {
       backend = arg + 10;
     } else if (std::strncmp(arg, "--cache-entries=", 16) == 0) {
       cache_entries = ugs::ParseInt64OrExit("--cache-entries", arg + 16);
+    } else if (std::strncmp(arg, "--cache-max-entry-bytes=", 24) == 0) {
+      cache_max_entry_bytes =
+          ugs::ParseInt64OrExit("--cache-max-entry-bytes", arg + 24);
     } else if (std::strncmp(arg, "--cache-bytes=", 14) == 0) {
       cache_bytes = ugs::ParseInt64OrExit("--cache-bytes", arg + 14);
     } else if (std::strncmp(arg, "--engine-threads=", 17) == 0) {
@@ -108,7 +115,8 @@ int main(int argc, char** argv) {
   if (port < 0 || port > 65535) Die("--port must be in [0, 65535]");
   if (workers <= 0) Die("--workers must be positive");
   if (max_sessions < 0 || max_bytes < 0 || cache_entries < 0 ||
-      cache_bytes < 0 || engine_threads < 0 || threads < 0) {
+      cache_bytes < 0 || cache_max_entry_bytes < 0 || engine_threads < 0 ||
+      threads < 0) {
     Die("budgets and thread counts must be >= 0");
   }
   ugs::Status backend_ok = ugs::ValidateServerBackend(backend);
@@ -121,6 +129,8 @@ int main(int argc, char** argv) {
   options.num_workers = static_cast<int>(workers);
   options.cache.max_entries = static_cast<std::size_t>(cache_entries);
   options.cache.max_bytes = static_cast<std::size_t>(cache_bytes);
+  options.cache.max_entry_bytes =
+      static_cast<std::size_t>(cache_max_entry_bytes);
   options.registry.graph_dir = dir;
   options.registry.max_sessions = static_cast<std::size_t>(max_sessions);
   options.registry.max_resident_bytes = static_cast<std::size_t>(max_bytes);
