@@ -158,6 +158,35 @@ case "${STATS}" in
     ;;
 esac
 
+case "${STATS}" in
+  *'"telemetry":{"enabled":'*) ;;
+  *)
+    echo "aggregated stats lacks the router telemetry section" >&2
+    exit 1
+    ;;
+esac
+
+# The router answers the Prometheus sub-verb itself: the exposition
+# must name the request counter and carry a nonzero request-latency
+# histogram count (the battery above landed in the kind= series).
+"${BUILD_DIR}/ugs_client" --port="${PORT}" --metrics > "${WORK}/metrics.txt"
+case "$(cat "${WORK}/metrics.txt")" in
+  *ugs_requests_total*) ;;
+  *)
+    echo "router metrics exposition lacks ugs_requests_total:" >&2
+    cat "${WORK}/metrics.txt" >&2
+    exit 1
+    ;;
+esac
+HISTO_COUNT="$(awk '$1 ~ /^ugs_request_latency_seconds_count/ {sum += $2} \
+  END {printf "%d", sum}' "${WORK}/metrics.txt")"
+if [[ "${HISTO_COUNT}" -le 0 ]]; then
+  echo "router request-latency histogram count is zero" >&2
+  cat "${WORK}/metrics.txt" >&2
+  exit 1
+fi
+echo "router metrics exposition OK (request histogram count=${HISTO_COUNT})"
+
 # Kill one shard the hard way. Every remaining answer must still be
 # byte-identical: the router fails over to the surviving replica.
 kill -KILL "${SHARD1_PID}"

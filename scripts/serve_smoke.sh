@@ -100,16 +100,24 @@ echo "${CHECKS} served answers byte-identical to local ugs_query"
 
 # Repeat one query verbatim: the answer must be byte-stable across runs.
 # With the result cache enabled the second run is the hit path, so this
-# is the cache's byte-identity check end to end.
+# is the cache's byte-identity check end to end. The second run adds
+# --timing, which must go entirely to stderr -- the stdout diff below
+# doubles as that check.
 "${BUILD_DIR}/ugs_client" --port="${PORT}" --graph=g1 --query=reliability \
   --samples=64 --pairs=4 --seed=5 --json > "${WORK}/repeat1.json"
 "${BUILD_DIR}/ugs_client" --port="${PORT}" --graph=g1 --query=reliability \
-  --samples=64 --pairs=4 --seed=5 --json > "${WORK}/repeat2.json"
+  --samples=64 --pairs=4 --seed=5 --json --timing \
+  > "${WORK}/repeat2.json" 2> "${WORK}/timing.log"
 if ! diff "${WORK}/repeat1.json" "${WORK}/repeat2.json"; then
   echo "MISMATCH: repeated query is not byte-stable" >&2
   exit 1
 fi
-echo "repeated query byte-stable"
+if ! grep -q '^timing: graph=g1 query=reliability rtt_ms=' \
+    "${WORK}/timing.log"; then
+  echo "--timing printed no round-trip line to stderr" >&2
+  exit 1
+fi
+echo "repeated query byte-stable (--timing on stderr only)"
 
 STATS="$("${BUILD_DIR}/ugs_client" --port="${PORT}" --stats)"
 echo "stats: ${STATS}"
@@ -153,6 +161,37 @@ case " ${EXTRA_FLAGS[*]:-} " in
         exit 1
         ;;
     esac
+    ;;
+esac
+
+# The Prometheus sub-verb: the exposition must parse as text, name the
+# request counter, and carry a nonzero request-latency histogram count
+# (every query above landed in some kind= series).
+"${BUILD_DIR}/ugs_client" --port="${PORT}" --metrics > "${WORK}/metrics.txt"
+case "$(cat "${WORK}/metrics.txt")" in
+  *ugs_requests_total*) ;;
+  *)
+    echo "metrics exposition lacks ugs_requests_total:" >&2
+    cat "${WORK}/metrics.txt" >&2
+    exit 1
+    ;;
+esac
+HISTO_COUNT="$(awk '$1 ~ /^ugs_request_latency_seconds_count/ {sum += $2} \
+  END {printf "%d", sum}' "${WORK}/metrics.txt")"
+if [[ "${HISTO_COUNT}" -le 0 ]]; then
+  echo "request-latency histogram count is zero in the exposition" >&2
+  cat "${WORK}/metrics.txt" >&2
+  exit 1
+fi
+echo "metrics exposition OK (request histogram count=${HISTO_COUNT})"
+
+# The stats JSON grew a telemetry section (additive; the smoke's older
+# greps above are untouched and still pass).
+case "${STATS}" in
+  *'"telemetry":{"enabled":'*) ;;
+  *)
+    echo "stats JSON lacks the telemetry section" >&2
+    exit 1
     ;;
 esac
 

@@ -34,6 +34,9 @@ McSamples SampleEngine::Run(const UncertainGraph& graph,
                             Rng* rng, bool track_valid,
                             const WorldEvalFactory& factory) const {
   UGS_CHECK(num_samples > 0);
+  if (options_.worlds_sampled != nullptr) {
+    options_.worlds_sampled->Add(static_cast<std::uint64_t>(num_samples));
+  }
   McSamples out;
   out.num_units = num_units;
   out.num_samples = static_cast<std::size_t>(num_samples);

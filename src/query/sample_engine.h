@@ -8,6 +8,7 @@
 
 #include "graph/uncertain_graph.h"
 #include "query/world_sampler.h"
+#include "telemetry/metrics.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -26,6 +27,10 @@ struct SampleEngineOptions {
   /// calls on low-probability graphs) instead of the plain per-edge
   /// sampler. Changes the random stream but not the world distribution.
   bool use_skip_sampler = false;
+  /// Borrowed telemetry counter bumped by num_samples once per Run /
+  /// RunMean (worlds drawn; the samples/sec signal). Null = untracked.
+  /// The counter must outlive the engine.
+  telemetry::Counter* worlds_sampled = nullptr;
 };
 
 /// Shared parallel Monte-Carlo possible-world engine. The serving entry

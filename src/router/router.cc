@@ -4,7 +4,11 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <utility>
+
+#include "query/query.h"
+#include "util/logging.h"
 
 namespace ugs {
 
@@ -14,6 +18,23 @@ namespace {
 ReplyFrame ErrorReply(const Status& status) {
   return {FrameType::kError,
           std::make_shared<const std::string>(EncodeError(status))};
+}
+
+std::uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+/// The canonical kind a request name records under (the router only
+/// sees the request, never the executed query, so it resolves the
+/// documented aliases itself).
+std::string CanonicalKind(const std::string& name) {
+  if (name == "cc") return "clustering";
+  if (name == "sp") return "shortest-path";
+  if (name == "mpp") return "most-probable-path";
+  return name;
 }
 
 /// Raced replies must agree on everything deterministic. kResult frames
@@ -45,14 +66,83 @@ const char* ShardStateName(ShardState state) {
   return "unknown";
 }
 
+FrameServerOptions Router::MakeTransportOptions() {
+  FrameServerOptions transport;
+  transport.host = options_.host;
+  transport.port = options_.port;
+  transport.num_workers = options_.num_workers;
+  if (options_.telemetry.enabled) {
+    transport.trace_sink = [this](const telemetry::RequestTrace& trace) {
+      RecordTrace(trace);
+    };
+  }
+  return transport;
+}
+
+void Router::BuildMetrics() {
+  const auto add_kind = [this](const std::string& kind) {
+    kind_latency_.emplace_back(
+        kind,
+        std::make_unique<telemetry::Histogram>(telemetry::LatencyBucketsUs()));
+    telemetry::Histogram* histogram = kind_latency_.back().second.get();
+    kind_index_[kind] = histogram;
+    metrics_.AddHistogram("ugs_request_latency_seconds",
+                          "Request latency (decoded to socket) by kind.",
+                          {{"kind", kind}}, histogram, 1e-6);
+  };
+  for (const std::string& name : KnownQueryNames()) add_kind(name);
+  add_kind("stats");
+  add_kind("other");
+  other_latency_ = kind_index_.at("other");
+  for (std::size_t i = 0; i < telemetry::kNumStages; ++i) {
+    stage_latency_[i] =
+        std::make_unique<telemetry::Histogram>(telemetry::LatencyBucketsUs());
+    metrics_.AddHistogram(
+        "ugs_request_stage_seconds", "Request time by pipeline stage.",
+        {{"stage", telemetry::StageName(static_cast<telemetry::Stage>(i))}},
+        stage_latency_[i].get(), 1e-6);
+  }
+  metrics_.AddCounter("ugs_requests_total",
+                      "Frames answered with a result.", {}, &requests_);
+  metrics_.AddCounter("ugs_request_errors_total",
+                      "Frames answered with an error.", {}, &errors_);
+  metrics_.AddCounter("ugs_router_failovers_total",
+                      "Forwards retried on another shard.", {}, &failovers_);
+  metrics_.AddCounter("ugs_router_races_total",
+                      "Requests sent to two replicas.", {}, &raced_);
+  metrics_.AddCounter("ugs_router_race_mismatches_total",
+                      "Verify-mode byte differences between raced replies.",
+                      {}, &race_mismatches_);
+  metrics_.AddCounter("ugs_router_monitor_demotions_total",
+                      "Up -> not-up transitions initiated by the monitor.",
+                      {}, &monitor_demotions_);
+  metrics_.AddCounter("ugs_slow_queries_total",
+                      "Requests slower than the slow-query threshold.", {},
+                      &slow_queries_);
+  for (const std::unique_ptr<ShardLink>& shard : shards_) {
+    const std::string label =
+        shard->addr.host + ":" + std::to_string(shard->addr.port);
+    metrics_.AddHistogram("ugs_shard_forward_seconds",
+                          "One send+receive on this shard (successes).",
+                          {{"shard", label}}, &shard->forward_us, 1e-6);
+    metrics_.AddCounter("ugs_shard_forward_failures_total",
+                        "Transport failures forwarding to this shard.",
+                        {{"shard", label}}, &shard->forward_failures);
+    metrics_.AddCounter("ugs_shard_race_wins_total",
+                        "Races this shard answered first.", {{"shard", label}},
+                        &shard->race_wins);
+  }
+  server_.ExportMetrics(&metrics_);
+}
+
 Router::Router(RouterOptions options)
     : options_(std::move(options)),
       ring_(options_.shards.size()),
-      server_({.host = options_.host,
-               .port = options_.port,
-               .num_workers = options_.num_workers},
-              [this](FrameType type, const std::string& payload) {
-                return HandleFrame(type, payload);
+      traces_(options_.telemetry.trace_ring),
+      server_(MakeTransportOptions(),
+              [this](FrameType type, const std::string& payload,
+                     telemetry::RequestTrace* trace) {
+                return HandleFrame(type, payload, trace);
               }) {
   shards_.reserve(options_.shards.size());
   for (const ShardAddress& addr : options_.shards) {
@@ -60,6 +150,7 @@ Router::Router(RouterOptions options)
     link->addr = addr;
     shards_.push_back(std::move(link));
   }
+  BuildMetrics();
 }
 
 Router::~Router() { Stop(); }
@@ -167,10 +258,11 @@ std::vector<std::size_t> Router::CandidateOrder(
 
 // --- Health. ---
 
-void Router::NoteShardFailure(ShardLink* shard) {
+void Router::NoteShardFailure(ShardLink* shard, bool from_monitor) {
   const int failures = shard->consecutive_failures.fetch_add(1) + 1;
-  shard->state.store(failures >= 2 ? ShardState::kDown
-                                   : ShardState::kDraining);
+  const ShardState prev = shard->state.exchange(
+      failures >= 2 ? ShardState::kDown : ShardState::kDraining);
+  if (from_monitor && prev == ShardState::kUp) monitor_demotions_.Add();
 }
 
 void Router::NoteShardSuccess(ShardLink* shard) {
@@ -196,12 +288,12 @@ void Router::PollShard(ShardLink* shard) {
   // the pool, and must not burn retry backoff on a down shard.
   Result<Client> conn = Client::Connect(shard->addr.host, shard->addr.port);
   if (!conn.ok()) {
-    NoteShardFailure(shard);
+    NoteShardFailure(shard, /*from_monitor=*/true);
     return;
   }
   Result<std::string> stats = conn->Stats("");
   if (!stats.ok()) {
-    NoteShardFailure(shard);
+    NoteShardFailure(shard, /*from_monitor=*/true);
     return;
   }
   NoteShardSuccess(shard);
@@ -214,30 +306,58 @@ void Router::PollShard(ShardLink* shard) {
 
 // --- Forwarding. ---
 
-ReplyFrame Router::HandleFrame(FrameType type, const std::string& payload) {
+ReplyFrame Router::HandleFrame(FrameType type, const std::string& payload,
+                               telemetry::RequestTrace* trace) {
+  const bool traced = options_.telemetry.enabled;
+  telemetry::StageClock clock(traced);
   if (type == FrameType::kStats) {
+    if (traced) trace->query = "stats";
     if (payload.empty()) {
       return {FrameType::kStatsReply,
               std::make_shared<const std::string>(AggregatedStatsJson())};
     }
-    return RouteStats(payload);
+    if (payload == kMetricsStatsVerb) {
+      // The router answers the Prometheus sub-verb itself: its metrics
+      // describe the routing tier, and each shard's exposition is one
+      // `--metrics` call away.
+      return {FrameType::kStatsReply,
+              std::make_shared<const std::string>(metrics_.PrometheusText())};
+    }
+    if (traced) trace->graph = payload;
+    ReplyFrame reply = RouteStats(payload);
+    clock.Stamp(trace, telemetry::Stage::kExecute);
+    if (traced && reply.type == FrameType::kError) trace->ok = false;
+    return reply;
   }
-  return RouteQuery(payload);
+  Result<WireRequest> request = DecodeRequest(payload);
+  clock.Stamp(trace, telemetry::Stage::kDecode);
+  if (!request.ok()) {
+    if (traced) trace->ok = false;
+    return Counted(ErrorReply(request.status()));
+  }
+  if (traced) {
+    trace->graph = request->graph;
+    trace->query = CanonicalKind(request->request.query);
+    trace->samples = static_cast<std::uint64_t>(request->request.num_samples);
+  }
+  ReplyFrame reply = RouteQuery(*request, payload);
+  clock.Stamp(trace, telemetry::Stage::kExecute);
+  if (traced && reply.type == FrameType::kError) trace->ok = false;
+  return reply;
 }
 
 ReplyFrame Router::Counted(ReplyFrame reply) {
   if (reply.type == FrameType::kResult) {
-    requests_.fetch_add(1);
+    requests_.Add();
   } else if (reply.type == FrameType::kError) {
-    errors_.fetch_add(1);
+    errors_.Add();
   }
   return reply;
 }
 
-ReplyFrame Router::RouteQuery(const std::string& payload) {
-  Result<WireRequest> request = DecodeRequest(payload);
-  if (!request.ok()) return Counted(ErrorReply(request.status()));
-  const std::string& graph = request->graph;
+ReplyFrame Router::RouteQuery(const WireRequest& request,
+                              const std::string& payload) {
+  const std::string& graph = request.graph;
 
   if (options_.race >= 2) {
     // Race the first two healthy replicas (requests are pure, so both
@@ -257,7 +377,7 @@ ReplyFrame Router::RouteQuery(const std::string& payload) {
       if (raced.has_value()) return Counted(std::move(*raced));
       // Both racers' transports died: fall through to failover, which
       // re-reads health (the Note* calls above demoted them).
-      failovers_.fetch_add(1);
+      failovers_.Add();
     }
   }
   return ForwardWithFailover(FrameType::kRequest, payload,
@@ -290,7 +410,7 @@ ReplyFrame Router::ForwardWithFailover(
     // produce a different answer.
     NoteShardFailure(shard);
     last = reply.status();
-    if (i + 1 < candidates.size()) failovers_.fetch_add(1);
+    if (i + 1 < candidates.size()) failovers_.Add();
   }
   return Counted(ErrorReply(Status::IOError(
       "router: no shard available (" + std::to_string(candidates.size()) +
@@ -302,23 +422,31 @@ Result<Frame> Router::ForwardOnce(ShardLink* shard, FrameType type,
   // Pooled connections can be stale (shard restarted since the last
   // checkout): drain failing pooled connections, then give a fresh
   // connect exactly one chance.
+  const auto start = std::chrono::steady_clock::now();
   for (;;) {
     bool pooled = false;
     Result<Client> conn = CheckoutConn(shard, &pooled);
-    if (!conn.ok()) return conn.status();
+    if (!conn.ok()) {
+      shard->forward_failures.Add();
+      return conn.status();
+    }
     Status sent = conn->Send(type, payload);
     Result<Frame> reply = sent.ok() ? conn->Receive() : Result<Frame>(sent);
     if (reply.ok()) {
       ReturnConn(shard, std::move(*conn));
+      shard->forward_us.Record(MicrosSince(start));
       return reply;
     }
-    if (!pooled) return reply.status();
+    if (!pooled) {
+      shard->forward_failures.Add();
+      return reply.status();
+    }
   }
 }
 
 std::optional<ReplyFrame> Router::RaceForward(const std::string& payload,
                                               ShardLink* a, ShardLink* b) {
-  raced_.fetch_add(1);
+  raced_.Add();
   struct Racer {
     ShardLink* shard;
     Client conn;
@@ -404,14 +532,61 @@ std::optional<ReplyFrame> Router::RaceForward(const std::string& payload,
   if (arrived == 0) return std::nullopt;
   if (options_.race_verify && arrived == 2 &&
       !RepliesAgree(replies[0], replies[1])) {
-    race_mismatches_.fetch_add(1);
+    race_mismatches_.Add();
     return ErrorReply(Status::Internal(
         "router: raced replicas returned different replies for the same "
         "request -- determinism contract violated"));
   }
+  racers[order[0]].shard->race_wins.Add();
   Frame& winner = replies[order[0]];
   return ReplyFrame{winner.type, std::make_shared<const std::string>(
                                      std::move(winner.payload))};
+}
+
+// --- Telemetry. ---
+
+void Router::RecordTrace(const telemetry::RequestTrace& trace) {
+  auto it = kind_index_.find(trace.query);
+  telemetry::Histogram* latency =
+      it != kind_index_.end() ? it->second : other_latency_;
+  latency->Record(trace.total_us);
+  for (std::size_t i = 0; i < telemetry::kNumStages; ++i) {
+    stage_latency_[i]->Record(trace.stage_us[i]);
+  }
+  traces_.Record(trace);
+  const int slow_ms = options_.telemetry.slow_query_ms;
+  if (slow_ms > 0 &&
+      trace.total_us >= static_cast<std::uint64_t>(slow_ms) * 1000) {
+    slow_queries_.Add();
+    UGS_LOG(WARNING) << telemetry::SlowQueryLine(trace);
+  }
+}
+
+std::string Router::TelemetryJson() const {
+  std::string out =
+      std::string("{\"enabled\":") +
+      (options_.telemetry.enabled ? "true" : "false") +
+      ",\"slow_query_ms\":" + std::to_string(options_.telemetry.slow_query_ms) +
+      ",\"slow_queries\":" + std::to_string(slow_queries_.Value()) +
+      ",\"spans_recorded\":" + std::to_string(traces_.recorded()) +
+      ",\"request_ms\":{";
+  bool first = true;
+  for (const auto& [kind, histogram] : kind_latency_) {
+    const telemetry::HistogramSnapshot snapshot = histogram->Snapshot();
+    if (snapshot.count == 0) continue;  // Keep the object compact.
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + kind + "\":" + telemetry::PercentilesJson(snapshot);
+  }
+  out += "},\"stage_ms\":{";
+  for (std::size_t i = 0; i < telemetry::kNumStages; ++i) {
+    if (i > 0) out.push_back(',');
+    out += std::string("\"") +
+           telemetry::StageName(static_cast<telemetry::Stage>(i)) +
+           "\":" + telemetry::PercentilesJson(stage_latency_[i]->Snapshot());
+  }
+  out += "}}";
+  return out;
 }
 
 // --- Stats. ---
@@ -419,11 +594,12 @@ std::optional<ReplyFrame> Router::RaceForward(const std::string& payload,
 RouterStats Router::stats() const {
   RouterStats stats;
   stats.connections = server_.connections();
-  stats.requests = requests_.load();
-  stats.errors = errors_.load() + server_.protocol_errors();
-  stats.failovers = failovers_.load();
-  stats.raced = raced_.load();
-  stats.race_mismatches = race_mismatches_.load();
+  stats.requests = requests_.Value();
+  stats.errors = errors_.Value() + server_.protocol_errors();
+  stats.failovers = failovers_.Value();
+  stats.raced = raced_.Value();
+  stats.race_mismatches = race_mismatches_.Value();
+  stats.monitor_demotions = monitor_demotions_.Value();
   stats.uptime_ms = server_.uptime_ms();
   stats.in_flight = server_.in_flight();
   return stats;
@@ -449,6 +625,8 @@ std::string Router::AggregatedStatsJson() const {
                     ",\"raced\":" + std::to_string(router.raced) +
                     ",\"race_mismatches\":" +
                     std::to_string(router.race_mismatches) +
+                    ",\"monitor_demotions\":" +
+                    std::to_string(router.monitor_demotions) +
                     ",\"uptime_ms\":" + std::to_string(router.uptime_ms) +
                     ",\"in_flight\":" + std::to_string(router.in_flight) +
                     "},\"shards\":[";
@@ -470,7 +648,7 @@ std::string Router::AggregatedStatsJson() const {
            "\",\"stats\":" + (last_stats.empty() ? "null" : last_stats) +
            "}";
   }
-  out += "]}";
+  out += "],\"telemetry\":" + TelemetryJson() + "}";
   return out;
 }
 

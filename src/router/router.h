@@ -10,12 +10,15 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "router/hash_ring.h"
 #include "service/client.h"
 #include "service/frame_server.h"
 #include "service/wire.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/status.h"
 
 namespace ugs {
@@ -75,6 +78,11 @@ struct RouterOptions {
   /// monitor). Defaults to fail-fast; smoke scripts that race daemon
   /// startup set retries.
   ConnectOptions connect;
+
+  /// Span recording, slow-query log, trace ring. The metrics registry
+  /// and counters are always live; `enabled` gates only the per-request
+  /// span bookkeeping (docs/observability.md).
+  telemetry::ServiceOptions telemetry;
 };
 
 /// Monotonic counters of router traffic.
@@ -85,6 +93,11 @@ struct RouterStats {
   std::uint64_t failovers = 0;    ///< Forwards retried on another shard.
   std::uint64_t raced = 0;        ///< Requests sent to two replicas.
   std::uint64_t race_mismatches = 0;  ///< Verify-mode byte differences.
+  /// Up -> not-up transitions initiated by the health monitor (the
+  /// forwarding path's own demotions count under failovers). Separating
+  /// the two keeps "did a failover happen" observable even when the
+  /// monitor demotes a dead shard before any request touches it.
+  std::uint64_t monitor_demotions = 0;
   std::uint64_t uptime_ms = 0;
   std::uint64_t in_flight = 0;
 };
@@ -125,6 +138,11 @@ class Router {
   /// The aggregated stats JSON (the empty stats verb's reply).
   std::string StatsJson() const;
 
+  /// The Prometheus text exposition of the router's own metrics (what
+  /// the kMetricsStatsVerb stats sub-verb returns; per-shard series are
+  /// labeled shard="host:port").
+  std::string PrometheusText() const { return metrics_.PrometheusText(); }
+
   /// Current health of shard `index` (test/monitoring hook).
   ShardState shard_state(std::size_t index) const;
 
@@ -137,6 +155,12 @@ class Router {
     ShardAddress addr;
     std::atomic<ShardState> state{ShardState::kUp};
     std::atomic<int> consecutive_failures{0};
+
+    /// Per-shard telemetry: forward latency (one send+receive on this
+    /// shard, successes only), transport failures, and race wins.
+    telemetry::Histogram forward_us{telemetry::LatencyBucketsUs()};
+    telemetry::Counter forward_failures;
+    telemetry::Counter race_wins;
 
     std::mutex mutex;
     std::vector<Client> idle;  ///< Pooled connections, guarded by mutex.
@@ -156,15 +180,20 @@ class Router {
   /// graph -- cold, but correct), then draining, then down.
   std::vector<std::size_t> CandidateOrder(const std::string& graph) const;
 
-  /// Health bookkeeping from the forwarding path.
-  void NoteShardFailure(ShardLink* shard);
+  /// Health bookkeeping from the forwarding and monitor paths.
+  /// `from_monitor` attributes an up -> not-up demotion to the health
+  /// monitor (counted under monitor_demotions, not failovers).
+  void NoteShardFailure(ShardLink* shard, bool from_monitor = false);
   void NoteShardSuccess(ShardLink* shard);
 
   // --- Forwarding (dispatch-worker side). ---
 
-  ReplyFrame HandleFrame(FrameType type, const std::string& payload);
-  /// Routes one query payload (raw bytes forwarded unchanged).
-  ReplyFrame RouteQuery(const std::string& payload);
+  ReplyFrame HandleFrame(FrameType type, const std::string& payload,
+                         telemetry::RequestTrace* trace);
+  /// Routes one decoded query (`payload` is its raw bytes, forwarded
+  /// unchanged).
+  ReplyFrame RouteQuery(const WireRequest& request,
+                        const std::string& payload);
   /// Routes a graph-describe stats payload.
   ReplyFrame RouteStats(const std::string& payload);
   /// Sequential failover: forward `payload` to each candidate until one
@@ -188,6 +217,18 @@ class Router {
   /// Wraps a reply frame, counting results vs errors.
   ReplyFrame Counted(ReplyFrame reply);
 
+  /// Trace sink (reactor thread): ring + histograms + slow-query log.
+  void RecordTrace(const telemetry::RequestTrace& trace);
+
+  /// The "telemetry" object of the aggregated stats JSON.
+  std::string TelemetryJson() const;
+
+  /// Transport options with the trace sink patched in.
+  FrameServerOptions MakeTransportOptions();
+  /// Builds and registers the router's metrics (per-kind / per-stage
+  /// latency histograms, per-shard forward series, plain counters).
+  void BuildMetrics();
+
   /// Aggregated stats (empty stats verb).
   std::string AggregatedStatsJson() const;
 
@@ -201,11 +242,22 @@ class Router {
   HashRing ring_;
   std::vector<std::unique_ptr<ShardLink>> shards_;
 
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> errors_{0};
-  std::atomic<std::uint64_t> failovers_{0};
-  std::atomic<std::uint64_t> raced_{0};
-  std::atomic<std::uint64_t> race_mismatches_{0};
+  telemetry::Registry metrics_;
+  telemetry::Counter requests_;
+  telemetry::Counter errors_;
+  telemetry::Counter failovers_;
+  telemetry::Counter raced_;
+  telemetry::Counter race_mismatches_;
+  telemetry::Counter monitor_demotions_;
+  telemetry::Counter slow_queries_;
+  /// Request latency by query kind (canonical names + "stats" +
+  /// "other"), insertion-ordered for stable JSON.
+  std::vector<std::pair<std::string, std::unique_ptr<telemetry::Histogram>>>
+      kind_latency_;
+  std::unordered_map<std::string, telemetry::Histogram*> kind_index_;
+  telemetry::Histogram* other_latency_ = nullptr;
+  std::unique_ptr<telemetry::Histogram> stage_latency_[telemetry::kNumStages];
+  telemetry::TraceRecorder traces_;
 
   std::thread monitor_;
   std::mutex monitor_mutex_;

@@ -34,6 +34,14 @@ void NapBriefly() {
 constexpr std::size_t kMaxConnOutBytes = 64u << 20;
 constexpr std::uint64_t kMaxConnOpenSlots = 1024;
 
+std::uint64_t ElapsedUs(std::chrono::steady_clock::time_point from,
+                        std::chrono::steady_clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
 }  // namespace
 
 /// One multiplexed connection. All fields except the reply window are
@@ -48,6 +56,22 @@ struct FrameServer::Conn {
   struct Reply {
     bool ready = false;
     ReplyFrame frame;
+    /// Span carried from dispatch to the write path (traced requests
+    /// only; inline transport errors travel untraced).
+    telemetry::RequestTrace trace;
+    bool traced = false;
+    std::chrono::steady_clock::time_point arrival{};
+    std::chrono::steady_clock::time_point ready_at{};
+  };
+
+  /// A traced reply whose bytes sit in the write buffer; finalized
+  /// (write-stage stamp + sink) once `bytes_flushed` passes its end
+  /// offset. Reactor-only.
+  struct PendingWrite {
+    std::uint64_t end_offset = 0;
+    telemetry::RequestTrace trace;
+    std::chrono::steady_clock::time_point arrival{};
+    std::chrono::steady_clock::time_point ready_at{};
   };
 
   int fd = -1;
@@ -59,6 +83,9 @@ struct FrameServer::Conn {
   bool peer_eof = false;
   std::uint32_t armed_mask = 0;  ///< Events currently registered.
   int stop_strikes = 0;          ///< Stop()-time no-progress ticks.
+  std::deque<PendingWrite> pending_writes;  ///< Reactor-only.
+  std::uint64_t bytes_enqueued = 0;  ///< Lifetime bytes appended to out.
+  std::uint64_t bytes_flushed = 0;   ///< Lifetime bytes sent to the socket.
 
   std::mutex mutex;
   std::deque<Reply> replies;   ///< Window [base_seq, next_seq).
@@ -150,8 +177,36 @@ std::uint64_t FrameServer::uptime_ms() const {
           .count());
 }
 
+void FrameServer::ExportMetrics(telemetry::Registry* registry) const {
+  registry->AddCounter("ugs_connections_total",
+                       "Connections accepted since start.", {},
+                       &connections_);
+  registry->AddCounter(
+      "ugs_protocol_errors_total",
+      "Frames answered with a transport-level typed error.", {},
+      &protocol_errors_);
+  registry->AddCounter("ugs_frames_dispatched_total",
+                       "Decoded frames handed to the dispatch pool.", {},
+                       &frames_dispatched_);
+  registry->AddCounter("ugs_read_bytes_total",
+                       "Bytes read from client sockets.", {}, &read_bytes_);
+  registry->AddCounter("ugs_written_bytes_total",
+                       "Bytes written to client sockets.", {},
+                       &written_bytes_);
+  registry->AddGauge("ugs_in_flight_requests",
+                     "Requests accepted but not yet answered.", {},
+                     &in_flight_);
+  registry->AddGauge("ugs_dispatch_queue_depth",
+                     "Decoded frames waiting for a dispatch worker.", {},
+                     &dispatch_queue_depth_);
+  registry->AddGauge(
+      "ugs_reply_window_depth",
+      "Open reply slots across connections (pipelining depth).", {},
+      &reply_window_depth_);
+}
+
 ReplyFrame FrameServer::ExecuteUnexpected(FrameType received) {
-  protocol_errors_.fetch_add(1);
+  protocol_errors_.Add();
   return {FrameType::kError,
           std::make_shared<const std::string>(
               EncodeError(Status::InvalidArgument(
@@ -313,7 +368,7 @@ void FrameServer::AcceptNewConnections() {
       NapBriefly();
       return;
     }
-    connections_.fetch_add(1);
+    connections_.Add();
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_shared<Conn>();
@@ -339,6 +394,7 @@ void FrameServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
   for (;;) {
     const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (n > 0) {
+      read_bytes_.Add(static_cast<std::uint64_t>(n));
       conn->decoder.Append(std::string_view(buf, static_cast<std::size_t>(n)));
       if (static_cast<std::size_t>(n) < sizeof(buf)) break;
       continue;  // Buffer was full; there may be more.
@@ -362,7 +418,7 @@ void FrameServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
       // on. Queue the typed error as the connection's final reply (it
       // still sits behind earlier pending replies, preserving order) and
       // close once everything has flushed.
-      protocol_errors_.fetch_add(1);
+      protocol_errors_.Add();
       {
         std::lock_guard<std::mutex> lock(conn->mutex);
         Conn::Reply reply;
@@ -373,6 +429,7 @@ void FrameServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
         conn->replies.push_back(std::move(reply));
         ++conn->next_seq;
       }
+      reply_window_depth_.Add();
       conn->reading = false;
       conn->close_after_flush = true;
       break;
@@ -393,23 +450,30 @@ void FrameServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
           conn->replies.emplace_back();
           ++conn->inflight;
         }
-        in_flight_.fetch_add(1);
+        reply_window_depth_.Add();
+        in_flight_.Add();
+        frames_dispatched_.Add();
+        Job job{conn, seq, decoded.type, std::move(decoded.payload),
+                std::chrono::steady_clock::now()};
         {
           std::lock_guard<std::mutex> lock(jobs_mutex_);
-          jobs_.push_back(
-              Job{conn, seq, decoded.type, std::move(decoded.payload)});
+          jobs_.push_back(std::move(job));
         }
+        dispatch_queue_depth_.Add();
         jobs_cv_.notify_one();
         break;
       }
       default: {
         ReplyFrame reply = ExecuteUnexpected(decoded.type);
-        std::lock_guard<std::mutex> lock(conn->mutex);
-        Conn::Reply slot;
-        slot.ready = true;
-        slot.frame = std::move(reply);
-        conn->replies.push_back(std::move(slot));
-        ++conn->next_seq;
+        {
+          std::lock_guard<std::mutex> lock(conn->mutex);
+          Conn::Reply slot;
+          slot.ready = true;
+          slot.frame = std::move(reply);
+          conn->replies.push_back(std::move(slot));
+          ++conn->next_seq;
+        }
+        reply_window_depth_.Add();
         break;
       }
     }
@@ -419,16 +483,19 @@ void FrameServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
     // The stream ended inside a frame: answer ReadFrame's typed
     // mid-frame-EOF error (same message, same error accounting) as
     // this connection's final reply.
-    protocol_errors_.fetch_add(1);
-    std::lock_guard<std::mutex> lock(conn->mutex);
-    Conn::Reply reply;
-    reply.ready = true;
-    reply.frame = {FrameType::kError,
-                   std::make_shared<const std::string>(EncodeError(
-                       Status::IOError("wire: connection closed "
-                                       "mid-frame")))};
-    conn->replies.push_back(std::move(reply));
-    ++conn->next_seq;
+    protocol_errors_.Add();
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      Conn::Reply reply;
+      reply.ready = true;
+      reply.frame = {FrameType::kError,
+                     std::make_shared<const std::string>(EncodeError(
+                         Status::IOError("wire: connection closed "
+                                         "mid-frame")))};
+      conn->replies.push_back(std::move(reply));
+      ++conn->next_seq;
+    }
+    reply_window_depth_.Add();
     conn->close_after_flush = true;
   }
   PumpConnection(conn);
@@ -441,7 +508,7 @@ void FrameServer::HandleWritable(const std::shared_ptr<Conn>& conn) {
 void FrameServer::PumpConnection(const std::shared_ptr<Conn>& conn) {
   if (conn->closed) return;
   bool pending;
-  std::vector<ReplyFrame> ready;
+  std::vector<Conn::Reply> ready;
   {
     // Pop the ready reply prefix (and only the prefix: slot order IS
     // the pipelining guarantee) under the lock; the payload copies into
@@ -450,23 +517,36 @@ void FrameServer::PumpConnection(const std::shared_ptr<Conn>& conn) {
     // append.
     std::lock_guard<std::mutex> lock(conn->mutex);
     while (!conn->replies.empty() && conn->replies.front().ready) {
-      ready.push_back(std::move(conn->replies.front().frame));
+      ready.push_back(std::move(conn->replies.front()));
       conn->replies.pop_front();
       ++conn->base_seq;
     }
     pending = !conn->replies.empty();
   }
-  for (const ReplyFrame& reply : ready) {
-    if (reply.payload->size() > kMaxFramePayload) {
+  if (!ready.empty()) {
+    reply_window_depth_.Sub(static_cast<std::int64_t>(ready.size()));
+  }
+  for (Conn::Reply& reply : ready) {
+    if (reply.frame.payload->size() > kMaxFramePayload) {
       // Mirrors WriteFrame's oversized-payload failure, but keeps the
       // connection: the peer gets a typed error in the slot.
       AppendFrame(&conn->out, FrameType::kError,
                   EncodeError(Status::IOError(
                       "wire: frame payload of " +
-                      std::to_string(reply.payload->size()) +
+                      std::to_string(reply.frame.payload->size()) +
                       " bytes exceeds the limit")));
     } else {
-      AppendFrame(&conn->out, reply.type, *reply.payload);
+      AppendFrame(&conn->out, reply.frame.type, *reply.frame.payload);
+    }
+    conn->bytes_enqueued = conn->out.size() - conn->out_off +
+                           conn->bytes_flushed;
+    if (reply.traced && options_.trace_sink) {
+      Conn::PendingWrite pw;
+      pw.end_offset = conn->bytes_enqueued;
+      pw.trace = std::move(reply.trace);
+      pw.arrival = reply.arrival;
+      pw.ready_at = reply.ready_at;
+      conn->pending_writes.push_back(std::move(pw));
     }
   }
 
@@ -475,6 +555,8 @@ void FrameServer::PumpConnection(const std::shared_ptr<Conn>& conn) {
                              conn->out.size() - conn->out_off, MSG_NOSIGNAL);
     if (n >= 0) {
       conn->out_off += static_cast<std::size_t>(n);
+      conn->bytes_flushed += static_cast<std::uint64_t>(n);
+      written_bytes_.Add(static_cast<std::uint64_t>(n));
       conn->stop_strikes = 0;  // Progress.
       continue;
     }
@@ -489,6 +571,21 @@ void FrameServer::PumpConnection(const std::shared_ptr<Conn>& conn) {
   } else if (conn->out_off >= 64 * 1024) {
     conn->out.erase(0, conn->out_off);
     conn->out_off = 0;
+  }
+
+  // Finalize the spans whose bytes the socket has fully accepted: stamp
+  // the write stage and hand the completed trace to the sink.
+  if (!conn->pending_writes.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    while (!conn->pending_writes.empty() &&
+           conn->pending_writes.front().end_offset <= conn->bytes_flushed) {
+      Conn::PendingWrite& pw = conn->pending_writes.front();
+      pw.trace.stage_us[static_cast<std::size_t>(telemetry::Stage::kWrite)] =
+          ElapsedUs(pw.ready_at, now);
+      pw.trace.total_us = ElapsedUs(pw.arrival, now);
+      options_.trace_sink(pw.trace);
+      conn->pending_writes.pop_front();
+    }
   }
 
   const bool drained = conn->out.empty();
@@ -528,12 +625,22 @@ void FrameServer::CloseConn(const std::shared_ptr<Conn>& conn) {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
   conns_.erase(conn->fd);
-  std::lock_guard<std::mutex> lock(conn->mutex);
-  conn->closed = true;
+  std::size_t open_slots;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->closed = true;
+    open_slots = conn->replies.size();
+  }
+  if (open_slots > 0) {
+    // Undelivered slots leave the window with the connection.
+    reply_window_depth_.Sub(static_cast<std::int64_t>(open_slots));
+  }
 }
 
 void FrameServer::CompleteJob(const std::shared_ptr<Conn>& conn,
-                              std::uint64_t seq, ReplyFrame reply) {
+                              std::uint64_t seq, ReplyFrame reply,
+                              telemetry::RequestTrace trace, bool traced,
+                              std::chrono::steady_clock::time_point arrival) {
   {
     std::lock_guard<std::mutex> lock(conn->mutex);
     if (!conn->closed) {
@@ -542,10 +649,16 @@ void FrameServer::CompleteJob(const std::shared_ptr<Conn>& conn,
           conn->replies[static_cast<std::size_t>(seq - conn->base_seq)];
       slot.ready = true;
       slot.frame = std::move(reply);
+      if (traced) {
+        slot.trace = std::move(trace);
+        slot.traced = true;
+        slot.arrival = arrival;
+        slot.ready_at = std::chrono::steady_clock::now();
+      }
       --conn->inflight;
     }
   }
-  in_flight_.fetch_sub(1);
+  in_flight_.Sub();
   {
     std::lock_guard<std::mutex> lock(completions_mutex_);
     completions_.push_back(conn);
@@ -554,6 +667,7 @@ void FrameServer::CompleteJob(const std::shared_ptr<Conn>& conn,
 }
 
 void FrameServer::DispatchLoop() {
+  const bool traced = static_cast<bool>(options_.trace_sink);
   for (;;) {
     Job job;
     {
@@ -563,7 +677,15 @@ void FrameServer::DispatchLoop() {
       job = std::move(jobs_.front());
       jobs_.pop_front();
     }
-    CompleteJob(job.conn, job.seq, handler_(job.type, job.payload));
+    dispatch_queue_depth_.Sub();
+    telemetry::RequestTrace trace;
+    if (traced) {
+      trace.stage_us[static_cast<std::size_t>(telemetry::Stage::kQueueWait)] =
+          ElapsedUs(job.arrival, std::chrono::steady_clock::now());
+    }
+    ReplyFrame reply = handler_(job.type, job.payload, &trace);
+    CompleteJob(job.conn, job.seq, std::move(reply), std::move(trace), traced,
+                job.arrival);
   }
 }
 

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "service/wire.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/status.h"
 
 namespace ugs {
@@ -37,6 +39,12 @@ struct FrameServerOptions {
   int port = 0;
   /// Dispatch threads draining decoded frames from all connections.
   int num_workers = 1;
+  /// Called once per dispatched request after its reply bytes reach the
+  /// socket, with the completed span breakdown (queue-wait and write
+  /// stages stamped by the transport, the rest by the handler). Runs on
+  /// the reactor thread: must be cheap and must not block. Null
+  /// disables span bookkeeping entirely.
+  std::function<void(const telemetry::RequestTrace&)> trace_sink;
 };
 
 /// The transport tier shared by ugs_serve and ugs_router: an epoll
@@ -55,12 +63,14 @@ struct FrameServerOptions {
 /// the connection closes.
 ///
 /// The handler runs on the dispatch pool and must be thread-safe. It
-/// receives the frame type (kRequest or kStats) and the raw payload,
-/// and returns the reply frame to deliver.
+/// receives the frame type (kRequest or kStats), the raw payload, and a
+/// per-request trace to stamp stage timings and identity into, and
+/// returns the reply frame to deliver.
 class FrameServer {
  public:
   using Handler =
-      std::function<ReplyFrame(FrameType type, const std::string& payload)>;
+      std::function<ReplyFrame(FrameType type, const std::string& payload,
+                               telemetry::RequestTrace* trace)>;
 
   FrameServer(FrameServerOptions options, Handler handler);
   ~FrameServer();
@@ -83,19 +93,27 @@ class FrameServer {
   void Stop();
 
   /// Connections accepted since Start (monotonic).
-  std::uint64_t connections() const { return connections_.load(); }
+  std::uint64_t connections() const { return connections_.Value(); }
 
   /// Frames answered with a transport-level typed error (unexpected
   /// frame type, unparseable header, mid-frame EOF) -- the slice of the
   /// owner's error counter this tier generates itself.
-  std::uint64_t protocol_errors() const { return protocol_errors_.load(); }
+  std::uint64_t protocol_errors() const { return protocol_errors_.Value(); }
 
   /// Milliseconds since Start (0 before the first Start).
   std::uint64_t uptime_ms() const;
 
   /// Requests accepted but not yet answered (queued + executing on the
   /// dispatch pool) -- the readiness signal health monitors poll.
-  std::uint64_t in_flight() const { return in_flight_.load(); }
+  std::uint64_t in_flight() const {
+    const std::int64_t v = in_flight_.Value();
+    return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+  }
+
+  /// Registers the transport's metrics (accepts, bytes read/written,
+  /// dispatch queue depth, reply-window depth, ...) with `registry`.
+  /// Call before Start; the registry must not outlive this server.
+  void ExportMetrics(telemetry::Registry* registry) const;
 
  private:
   /// One multiplexed connection (defined in frame_server.cc;
@@ -109,6 +127,9 @@ class FrameServer {
     std::uint64_t seq = 0;  ///< Reply slot within the connection.
     FrameType type = FrameType::kError;
     std::string payload;
+    /// When the decoded frame entered the dispatch queue (queue-wait
+    /// stage start).
+    std::chrono::steady_clock::time_point arrival{};
   };
 
   /// Reply to a frame whose type the dispatcher never accepts.
@@ -132,7 +153,9 @@ class FrameServer {
   void UpdateEpollMask(const std::shared_ptr<Conn>& conn);
   /// Worker-side: fills reply slot `seq` and wakes the reactor.
   void CompleteJob(const std::shared_ptr<Conn>& conn, std::uint64_t seq,
-                   ReplyFrame reply);
+                   ReplyFrame reply, telemetry::RequestTrace trace,
+                   bool traced,
+                   std::chrono::steady_clock::time_point arrival);
   void WakeReactor();
 
   FrameServerOptions options_;
@@ -156,9 +179,14 @@ class FrameServer {
   std::mutex completions_mutex_;
   std::vector<std::shared_ptr<Conn>> completions_;
 
-  std::atomic<std::uint64_t> connections_{0};
-  std::atomic<std::uint64_t> protocol_errors_{0};
-  std::atomic<std::uint64_t> in_flight_{0};
+  telemetry::Counter connections_;
+  telemetry::Counter protocol_errors_;
+  telemetry::Counter frames_dispatched_;
+  telemetry::Counter read_bytes_;
+  telemetry::Counter written_bytes_;
+  telemetry::Gauge in_flight_;
+  telemetry::Gauge dispatch_queue_depth_;
+  telemetry::Gauge reply_window_depth_;
 };
 
 }  // namespace ugs

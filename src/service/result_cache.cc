@@ -1,8 +1,20 @@
 #include "service/result_cache.h"
 
+#include <chrono>
 #include <utility>
 
 namespace ugs {
+
+namespace {
+
+std::uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
 
 ResultCache::ResultCache(ResultCacheOptions options) : options_(options) {}
 
@@ -18,15 +30,24 @@ std::string ResultCache::Key(const std::string& graph,
 std::shared_ptr<const std::string> ResultCache::Lookup(
     const std::string& key) {
   if (!enabled()) return nullptr;
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++counters_.misses;
+  const auto start = std::chrono::steady_clock::now();
+  std::shared_ptr<const std::string> payload;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      payload = it->second.payload;
+    }
+  }
+  if (payload == nullptr) {
+    misses_.Add();
+    lookup_miss_us_.Record(MicrosSince(start));
     return nullptr;
   }
-  ++counters_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second.lru);
-  return it->second.payload;
+  hits_.Add();
+  lookup_hit_us_.Record(MicrosSince(start));
+  return payload;
 }
 
 void ResultCache::Insert(const std::string& key,
@@ -37,14 +58,14 @@ void ResultCache::Insert(const std::string& key,
   const std::size_t charged = key.size() + payload->size();
   if (options_.max_bytes > 0 && charged > options_.max_bytes) {
     // Larger than the whole budget: would evict everything.
-    ++counters_.admission_rejects;
+    admission_rejects_.Add();
     return;
   }
   const std::size_t entry_cap = options_.effective_max_entry_bytes();
   if (entry_cap > 0 && charged > entry_cap) {
     // Admission policy: one huge response must not flush the working
     // set. The response is still served, just not remembered.
-    ++counters_.admission_rejects;
+    admission_rejects_.Add();
     return;
   }
   Entry& entry = entries_[key];
@@ -52,7 +73,7 @@ void ResultCache::Insert(const std::string& key,
   lru_.push_front(key);
   entry.lru = lru_.begin();
   bytes_ += EntryBytes(key, entry);
-  ++counters_.insertions;
+  insertions_.Add();
   EvictToBudget();
 }
 
@@ -72,13 +93,18 @@ void ResultCache::EvictToBudget() {
     bytes_ -= EntryBytes(victim, it->second);
     entries_.erase(it);
     lru_.pop_back();
-    ++counters_.evictions;
+    evictions_.Add();
   }
 }
 
 ResultCacheCounters ResultCache::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return counters_;
+  ResultCacheCounters counters;
+  counters.hits = hits_.Value();
+  counters.misses = misses_.Value();
+  counters.insertions = insertions_.Value();
+  counters.evictions = evictions_.Value();
+  counters.admission_rejects = admission_rejects_.Value();
+  return counters;
 }
 
 std::size_t ResultCache::entries() const {
@@ -92,20 +118,45 @@ std::size_t ResultCache::bytes() const {
 }
 
 std::string ResultCache::StatsJson() const {
+  const ResultCacheCounters counters = this->counters();
   std::lock_guard<std::mutex> lock(mutex_);
   return std::string("{\"enabled\":") + (enabled() ? "true" : "false") +
-         ",\"hits\":" + std::to_string(counters_.hits) +
-         ",\"misses\":" + std::to_string(counters_.misses) +
-         ",\"insertions\":" + std::to_string(counters_.insertions) +
-         ",\"evictions\":" + std::to_string(counters_.evictions) +
+         ",\"hits\":" + std::to_string(counters.hits) +
+         ",\"misses\":" + std::to_string(counters.misses) +
+         ",\"insertions\":" + std::to_string(counters.insertions) +
+         ",\"evictions\":" + std::to_string(counters.evictions) +
          ",\"admission_rejects\":" +
-         std::to_string(counters_.admission_rejects) +
+         std::to_string(counters.admission_rejects) +
          ",\"entries\":" + std::to_string(lru_.size()) +
          ",\"bytes\":" + std::to_string(bytes_) +
          ",\"max_entries\":" + std::to_string(options_.max_entries) +
          ",\"max_bytes\":" + std::to_string(options_.max_bytes) +
          ",\"max_entry_bytes\":" +
          std::to_string(options_.effective_max_entry_bytes()) + "}";
+}
+
+void ResultCache::ExportMetrics(telemetry::Registry* registry) const {
+  registry->AddCounter("ugs_result_cache_lookups_total",
+                       "Result-cache lookups by outcome.",
+                       {{"outcome", "hit"}}, &hits_);
+  registry->AddCounter("ugs_result_cache_lookups_total",
+                       "Result-cache lookups by outcome.",
+                       {{"outcome", "miss"}}, &misses_);
+  registry->AddCounter("ugs_result_cache_insertions_total",
+                       "Responses admitted into the result cache.", {},
+                       &insertions_);
+  registry->AddCounter("ugs_result_cache_evictions_total",
+                       "Responses evicted past the cache budgets.", {},
+                       &evictions_);
+  registry->AddCounter("ugs_result_cache_admission_rejects_total",
+                       "Responses refused by the admission policy.", {},
+                       &admission_rejects_);
+  registry->AddHistogram("ugs_result_cache_lookup_seconds",
+                         "Result-cache lookup latency by outcome.",
+                         {{"outcome", "hit"}}, &lookup_hit_us_, 1e-6);
+  registry->AddHistogram("ugs_result_cache_lookup_seconds",
+                         "Result-cache lookup latency by outcome.",
+                         {{"outcome", "miss"}}, &lookup_miss_us_, 1e-6);
 }
 
 }  // namespace ugs

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "service/wire.h"
+#include "telemetry/metrics.h"
 
 namespace ugs {
 
@@ -37,8 +38,8 @@ struct ResultCacheOptions {
   }
 };
 
-/// Monotonic counters of cache traffic (returned by copy -- a consistent
-/// snapshot under the cache lock).
+/// Monotonic counters of cache traffic (returned by copy; each field is
+/// a relaxed read of its registry-backed counter).
 struct ResultCacheCounters {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -108,6 +109,10 @@ class ResultCache {
   /// "cache" object of the stats schema (docs/operations.md).
   std::string StatsJson() const;
 
+  /// Registers the cache's counters and hit/miss lookup-latency
+  /// histograms with `registry` (which must not outlive the cache).
+  void ExportMetrics(telemetry::Registry* registry) const;
+
   const ResultCacheOptions& options() const { return options_; }
 
  private:
@@ -130,7 +135,14 @@ class ResultCache {
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  ///< Resident keys, MRU first.
   std::size_t bytes_ = 0;
-  ResultCacheCounters counters_;
+
+  telemetry::Counter hits_;
+  telemetry::Counter misses_;
+  telemetry::Counter insertions_;
+  telemetry::Counter evictions_;
+  telemetry::Counter admission_rejects_;
+  telemetry::Histogram lookup_hit_us_{telemetry::LatencyBucketsUs()};
+  telemetry::Histogram lookup_miss_us_{telemetry::LatencyBucketsUs()};
 };
 
 }  // namespace ugs

@@ -1,6 +1,11 @@
 #include "service/server.h"
 
+#include <chrono>
+#include <cstdio>
 #include <utility>
+
+#include "query/query.h"
+#include "util/logging.h"
 
 namespace ugs {
 
@@ -15,17 +20,82 @@ Status ValidateServerBackend(const std::string& name) {
                           "' (expected epoll)");
 }
 
+SessionRegistryOptions Server::MakeRegistryOptions() const {
+  SessionRegistryOptions registry = options_.registry;
+  if (options_.telemetry.enabled) {
+    // Taking the address of the not-yet-constructed counter member is
+    // fine: engines only dereference it after construction.
+    registry.session.engine.worlds_sampled =
+        const_cast<telemetry::Counter*>(&worlds_sampled_);
+  }
+  return registry;
+}
+
+FrameServerOptions Server::MakeTransportOptions() {
+  FrameServerOptions transport;
+  transport.host = options_.host;
+  transport.port = options_.port;
+  transport.num_workers = options_.num_workers;
+  if (options_.telemetry.enabled) {
+    transport.trace_sink = [this](const telemetry::RequestTrace& trace) {
+      RecordTrace(trace);
+    };
+  }
+  return transport;
+}
+
+void Server::BuildHistograms() {
+  const auto add_kind = [this](const std::string& kind) {
+    kind_latency_.emplace_back(
+        kind,
+        std::make_unique<telemetry::Histogram>(telemetry::LatencyBucketsUs()));
+    telemetry::Histogram* histogram = kind_latency_.back().second.get();
+    kind_index_[kind] = histogram;
+    metrics_.AddHistogram("ugs_request_latency_seconds",
+                          "Request latency (decoded to socket) by kind.",
+                          {{"kind", kind}}, histogram, 1e-6);
+  };
+  for (const std::string& name : KnownQueryNames()) add_kind(name);
+  add_kind("stats");
+  add_kind("other");
+  other_latency_ = kind_index_.at("other");
+  for (std::size_t i = 0; i < telemetry::kNumStages; ++i) {
+    stage_latency_[i] =
+        std::make_unique<telemetry::Histogram>(telemetry::LatencyBucketsUs());
+    metrics_.AddHistogram(
+        "ugs_request_stage_seconds", "Request time by pipeline stage.",
+        {{"stage", telemetry::StageName(static_cast<telemetry::Stage>(i))}},
+        stage_latency_[i].get(), 1e-6);
+  }
+}
+
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
-      registry_(options_.registry),
+      registry_(MakeRegistryOptions()),
       cache_(options_.cache),
-      server_({.host = options_.host,
-               .port = options_.port,
-               .num_workers = options_.num_workers},
-              [this](FrameType type, const std::string& payload) {
-                return type == FrameType::kRequest ? ExecuteQuery(payload)
-                                                   : ExecuteStats(payload);
-              }) {}
+      traces_(options_.telemetry.trace_ring),
+      server_(MakeTransportOptions(),
+              [this](FrameType type, const std::string& payload,
+                     telemetry::RequestTrace* trace) {
+                return type == FrameType::kRequest
+                           ? ExecuteQuery(payload, trace)
+                           : ExecuteStats(payload, trace);
+              }) {
+  BuildHistograms();
+  metrics_.AddCounter("ugs_requests_total",
+                      "Query frames answered with a result.", {}, &requests_);
+  metrics_.AddCounter("ugs_request_errors_total",
+                      "Frames answered with an error.", {}, &errors_);
+  metrics_.AddCounter("ugs_slow_queries_total",
+                      "Requests slower than the slow-query threshold.", {},
+                      &slow_queries_);
+  metrics_.AddCounter("ugs_worlds_sampled_total",
+                      "Possible worlds drawn by the sample engines.", {},
+                      &worlds_sampled_);
+  server_.ExportMetrics(&metrics_);
+  cache_.ExportMetrics(&metrics_);
+  registry_.ExportMetrics(&metrics_);
+}
 
 Server::~Server() { Stop(); }
 
@@ -35,21 +105,32 @@ void Server::Stop() { server_.Stop(); }
 
 // --- Request execution. ---
 
-ReplyFrame Server::ExecuteQuery(const std::string& payload) {
+ReplyFrame Server::ExecuteQuery(const std::string& payload,
+                                telemetry::RequestTrace* trace) {
+  const bool traced = options_.telemetry.enabled;
+  telemetry::StageClock clock(traced);
   Result<WireRequest> request = DecodeRequest(payload);
+  clock.Stamp(trace, telemetry::Stage::kDecode);
   Status failure = Status::OK();
   if (!request.ok()) {
     failure = request.status();
   } else {
+    if (traced) {
+      trace->graph = request->graph;
+      trace->query = request->request.query;
+    }
     std::string key;
     if (cache_.enabled()) {
       key = ResultCache::Key(request->graph, request->request);
-      if (std::shared_ptr<const std::string> hit = cache_.Lookup(key)) {
+      std::shared_ptr<const std::string> hit = cache_.Lookup(key);
+      clock.Stamp(trace, telemetry::Stage::kCacheLookup);
+      if (hit != nullptr) {
         // A hit replays the byte-identical payload of the cold run --
         // sound because the result is a pure function of (graph id,
         // request), seed included -- and shares the cached bytes
         // instead of copying them.
-        requests_.fetch_add(1);
+        requests_.Add();
+        if (traced) trace->cache_hit = true;
         return {FrameType::kResult, std::move(hit)};
       }
     }
@@ -61,31 +142,50 @@ ReplyFrame Server::ExecuteQuery(const std::string& payload) {
       // The pin (`session`) keeps the graph alive for the whole run even
       // if a concurrent open evicts it from the registry.
       Result<QueryResult> result = (*session)->Run(request->request);
+      clock.Stamp(trace, telemetry::Stage::kExecute);
       if (result.ok()) {
-        requests_.fetch_add(1);
+        requests_.Add();
+        if (traced) {
+          trace->query = result->query;  // Canonical (aliases resolved).
+          trace->estimator = EstimatorName(result->estimator);
+          trace->samples =
+              static_cast<std::uint64_t>(result->samples.num_samples);
+        }
         auto encoded =
             std::make_shared<const std::string>(EncodeResult(*result));
+        clock.Stamp(trace, telemetry::Stage::kEncode);
         if (cache_.enabled()) cache_.Insert(key, encoded);
         return {FrameType::kResult, std::move(encoded)};
       }
       failure = result.status();
     }
   }
-  errors_.fetch_add(1);
+  errors_.Add();
+  if (traced) trace->ok = false;
   return {FrameType::kError,
           std::make_shared<const std::string>(EncodeError(failure))};
 }
 
-ReplyFrame Server::ExecuteStats(const std::string& payload) {
+ReplyFrame Server::ExecuteStats(const std::string& payload,
+                                telemetry::RequestTrace* trace) {
+  if (options_.telemetry.enabled) trace->query = "stats";
   if (payload.empty()) {
     return {FrameType::kStatsReply,
             std::make_shared<const std::string>(StatsJson())};
   }
+  if (payload == kMetricsStatsVerb) {
+    // The Prometheus sub-verb. Safe to claim this name: graph ids with
+    // '/' never reach the registry.
+    return {FrameType::kStatsReply,
+            std::make_shared<const std::string>(metrics_.PrometheusText())};
+  }
   // Non-empty payload: describe one graph (opening it if needed), so
   // clients can size requests without shipping the graph.
+  if (options_.telemetry.enabled) trace->graph = payload;
   Result<SessionRegistry::Handle> session = registry_.Acquire(payload);
   if (!session.ok()) {
-    errors_.fetch_add(1);
+    errors_.Add();
+    if (options_.telemetry.enabled) trace->ok = false;
     return {FrameType::kError, std::make_shared<const std::string>(
                                    EncodeError(session.status()))};
   }
@@ -97,16 +197,70 @@ ReplyFrame Server::ExecuteStats(const std::string& payload) {
               ",\"edges\":" + std::to_string(stats.num_edges) + "}")};
 }
 
+// --- Telemetry. ---
+
+void Server::RecordTrace(const telemetry::RequestTrace& trace) {
+  auto it = kind_index_.find(trace.query);
+  telemetry::Histogram* latency =
+      it != kind_index_.end() ? it->second : other_latency_;
+  latency->Record(trace.total_us);
+  for (std::size_t i = 0; i < telemetry::kNumStages; ++i) {
+    stage_latency_[i]->Record(trace.stage_us[i]);
+  }
+  traces_.Record(trace);
+  const int slow_ms = options_.telemetry.slow_query_ms;
+  if (slow_ms > 0 &&
+      trace.total_us >= static_cast<std::uint64_t>(slow_ms) * 1000) {
+    slow_queries_.Add();
+    UGS_LOG(WARNING) << telemetry::SlowQueryLine(trace);
+  }
+}
+
+std::string Server::TelemetryJson() const {
+  const std::uint64_t worlds = worlds_sampled_.Value();
+  const std::uint64_t up_ms = server_.uptime_ms();
+  char rate[40];
+  std::snprintf(rate, sizeof(rate), "%.1f",
+                up_ms > 0 ? static_cast<double>(worlds) * 1e3 /
+                                static_cast<double>(up_ms)
+                          : 0.0);
+  std::string out =
+      std::string("{\"enabled\":") +
+      (options_.telemetry.enabled ? "true" : "false") +
+      ",\"slow_query_ms\":" + std::to_string(options_.telemetry.slow_query_ms) +
+      ",\"slow_queries\":" + std::to_string(slow_queries_.Value()) +
+      ",\"spans_recorded\":" + std::to_string(traces_.recorded()) +
+      ",\"worlds_sampled\":" + std::to_string(worlds) +
+      ",\"samples_per_sec\":" + rate + ",\"request_ms\":{";
+  bool first = true;
+  for (const auto& [kind, histogram] : kind_latency_) {
+    const telemetry::HistogramSnapshot snapshot = histogram->Snapshot();
+    if (snapshot.count == 0) continue;  // Keep the object compact.
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + kind + "\":" + telemetry::PercentilesJson(snapshot);
+  }
+  out += "},\"stage_ms\":{";
+  for (std::size_t i = 0; i < telemetry::kNumStages; ++i) {
+    if (i > 0) out.push_back(',');
+    out += std::string("\"") +
+           telemetry::StageName(static_cast<telemetry::Stage>(i)) +
+           "\":" + telemetry::PercentilesJson(stage_latency_[i]->Snapshot());
+  }
+  out += "}}";
+  return out;
+}
+
 // --- Stats. ---
 
 ServerStats Server::stats() const {
   ServerStats stats;
   stats.connections = server_.connections();
-  stats.requests = requests_.load();
+  stats.requests = requests_.Value();
   // Execution-level errors plus the transport tier's own (unexpected
   // frame types, garbage headers, mid-frame EOF) -- the same total the
   // pre-split server counted in one place.
-  stats.errors = errors_.load() + server_.protocol_errors();
+  stats.errors = errors_.Value() + server_.protocol_errors();
   stats.uptime_ms = server_.uptime_ms();
   stats.in_flight = server_.in_flight();
   return stats;
@@ -122,7 +276,8 @@ std::string Server::StatsJson() const {
          ",\"uptime_ms\":" + std::to_string(server.uptime_ms) +
          ",\"in_flight\":" + std::to_string(server.in_flight) +
          "},\"cache\":" + cache_.StatsJson() +
-         ",\"registry\":" + registry_.StatsJson() + "}";
+         ",\"registry\":" + registry_.StatsJson() +
+         ",\"telemetry\":" + TelemetryJson() + "}";
 }
 
 }  // namespace ugs

@@ -1,14 +1,19 @@
 #ifndef UGS_SERVICE_SERVER_H_
 #define UGS_SERVICE_SERVER_H_
 
-#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "service/frame_server.h"
 #include "service/result_cache.h"
 #include "service/session_registry.h"
 #include "service/wire.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/status.h"
 
 namespace ugs {
@@ -44,6 +49,10 @@ struct ServerOptions {
   ResultCacheOptions cache;
   /// The multi-graph registry behind the server.
   SessionRegistryOptions registry;
+  /// Span recording, slow-query log, trace ring. The metrics registry
+  /// and counters are always live; `enabled` gates only the per-request
+  /// span bookkeeping (docs/observability.md).
+  telemetry::ServiceOptions telemetry;
 };
 
 /// Monotonic counters of server traffic.
@@ -69,6 +78,14 @@ struct ServerStats {
 /// Transport (epoll reactor, dispatch pool, reply ordering,
 /// backpressure) lives in FrameServer -- the tier this class shares with
 /// ugs_router; Server supplies the query/stats execution on top.
+///
+/// Observability: every request's span (decode -> cache lookup -> queue
+/// wait -> execute -> encode -> socket write) is stamped into a trace,
+/// folded into per-kind and per-stage latency histograms, retained in a
+/// ring, and logged when slower than the slow-query threshold. The
+/// stats verb's JSON grows a "telemetry" section, and the kStats
+/// sub-verb kMetricsStatsVerb returns the Prometheus text exposition
+/// (docs/observability.md).
 ///
 ///   ugs::Server server({.port = 7471, .registry = {.graph_dir = "graphs"}});
 ///   UGS_CHECK(server.Start().ok());
@@ -100,9 +117,14 @@ class Server {
 
   ServerStats stats() const;
 
-  /// One-line JSON of server + cache + registry counters (the stats
-  /// verb's reply; schema documented in docs/operations.md).
+  /// One-line JSON of server + cache + registry counters plus the
+  /// "telemetry" section (the stats verb's reply; schema documented in
+  /// docs/operations.md).
   std::string StatsJson() const;
+
+  /// The Prometheus text exposition of every registered metric (what
+  /// the kMetricsStatsVerb stats sub-verb returns).
+  std::string PrometheusText() const { return metrics_.PrometheusText(); }
 
  private:
   // --- Request execution (dispatch-worker side, via FrameServer's
@@ -110,20 +132,49 @@ class Server {
 
   /// Decodes and runs one query payload into a reply frame, consulting
   /// the result cache before GraphSession::Run and filling it after.
-  ReplyFrame ExecuteQuery(const std::string& payload);
-  /// Runs one stats payload (empty = counters JSON, otherwise a graph id
-  /// to describe) into a reply frame.
-  ReplyFrame ExecuteStats(const std::string& payload);
+  /// Stamps decode/cache/execute/encode stages and identity into
+  /// `trace`.
+  ReplyFrame ExecuteQuery(const std::string& payload,
+                          telemetry::RequestTrace* trace);
+  /// Runs one stats payload (empty = counters JSON, kMetricsStatsVerb =
+  /// Prometheus text, otherwise a graph id to describe) into a reply
+  /// frame.
+  ReplyFrame ExecuteStats(const std::string& payload,
+                          telemetry::RequestTrace* trace);
+
+  /// Trace sink (reactor thread): ring + histograms + slow-query log.
+  void RecordTrace(const telemetry::RequestTrace& trace);
+
+  /// The "telemetry" object of the stats JSON.
+  std::string TelemetryJson() const;
+
+  /// Registry options with the telemetry hooks patched in.
+  SessionRegistryOptions MakeRegistryOptions() const;
+  /// Transport options with the trace sink patched in.
+  FrameServerOptions MakeTransportOptions();
+  /// Builds and registers the per-kind / per-stage latency histograms.
+  void BuildHistograms();
 
   ServerOptions options_;
   SessionRegistry registry_;
   ResultCache cache_;
 
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> errors_{0};
+  telemetry::Registry metrics_;
+  telemetry::Counter requests_;
+  telemetry::Counter errors_;
+  telemetry::Counter slow_queries_;
+  telemetry::Counter worlds_sampled_;
+  /// Request latency by query kind (canonical names + "stats" +
+  /// "other"), insertion-ordered for stable JSON.
+  std::vector<std::pair<std::string, std::unique_ptr<telemetry::Histogram>>>
+      kind_latency_;
+  std::unordered_map<std::string, telemetry::Histogram*> kind_index_;
+  telemetry::Histogram* other_latency_ = nullptr;
+  std::unique_ptr<telemetry::Histogram> stage_latency_[telemetry::kNumStages];
+  telemetry::TraceRecorder traces_;
 
   /// Last member: destruction joins the transport threads before the
-  /// registry/cache they execute against go away.
+  /// registry/cache/metrics they execute against go away.
   FrameServer server_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <sys/stat.h>
 
+#include <chrono>
 #include <utility>
 
 #include "graph/csr_format.h"
@@ -52,7 +53,7 @@ void SessionRegistry::EvictToBudget(const std::string& keep) {
     resident_bytes_ -= it->second.bytes;
     entries_.erase(it);
     lru_.pop_back();
-    ++counters_.evictions;
+    evictions_.Add();
   }
 }
 
@@ -77,7 +78,7 @@ Result<SessionRegistry::Handle> SessionRegistry::Acquire(
     auto it = entries_.find(id);
     if (it == entries_.end()) break;
     if (it->second.session != nullptr) {
-      ++counters_.hits;
+      hits_.Add();
       Touch(&it->second);
       return Handle(it->second.session);
     }
@@ -86,9 +87,9 @@ Result<SessionRegistry::Handle> SessionRegistry::Acquire(
     opened_cv_.wait(lock);
   }
 
-  ++counters_.misses;
+  misses_.Add();
   if (options_.graph_dir.empty()) {
-    ++counters_.open_failures;
+    open_failures_.Add();
     return Status::NotFound("registry: graph '" + id +
                             "' is not resident and the registry has no "
                             "graph directory to open it from");
@@ -114,20 +115,27 @@ Result<SessionRegistry::Handle> SessionRegistry::Acquire(
       chosen = path + ".txt";
     }
   }
+  const auto open_start = std::chrono::steady_clock::now();
   Result<std::unique_ptr<GraphSession>> opened =
       GraphSession::Open(chosen, options_.session);
+  const std::uint64_t open_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - open_start)
+          .count());
 
   lock.lock();
   if (!opened.ok()) {
     entries_.erase(id);
-    ++counters_.open_failures;
+    open_failures_.Add();
     opened_cv_.notify_all();
     return opened.status();
   }
   if ((*opened)->graph().is_view()) {
-    ++counters_.opens_mmap;
+    opens_mmap_.Add();
+    open_mmap_us_.Record(open_us);
   } else {
-    ++counters_.opens_text;
+    opens_text_.Add();
+    open_text_us_.Record(open_us);
   }
   Handle handle = Commit(
       id, std::shared_ptr<const GraphSession>(std::move(opened.value())));
@@ -151,8 +159,14 @@ Status SessionRegistry::Insert(const std::string& id,
 }
 
 RegistryCounters SessionRegistry::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return counters_;
+  RegistryCounters counters;
+  counters.hits = hits_.Value();
+  counters.misses = misses_.Value();
+  counters.evictions = evictions_.Value();
+  counters.open_failures = open_failures_.Value();
+  counters.opens_text = opens_text_.Value();
+  counters.opens_mmap = opens_mmap_.Value();
+  return counters;
 }
 
 std::vector<std::string> SessionRegistry::ResidentIds() const {
@@ -171,14 +185,15 @@ std::size_t SessionRegistry::resident_bytes() const {
 }
 
 std::string SessionRegistry::StatsJson() const {
+  const RegistryCounters counters = this->counters();
   std::lock_guard<std::mutex> lock(mutex_);
-  std::string out = "{\"hits\":" + std::to_string(counters_.hits) +
-                    ",\"misses\":" + std::to_string(counters_.misses) +
-                    ",\"evictions\":" + std::to_string(counters_.evictions) +
+  std::string out = "{\"hits\":" + std::to_string(counters.hits) +
+                    ",\"misses\":" + std::to_string(counters.misses) +
+                    ",\"evictions\":" + std::to_string(counters.evictions) +
                     ",\"open_failures\":" +
-                    std::to_string(counters_.open_failures) +
-                    ",\"opens_text\":" + std::to_string(counters_.opens_text) +
-                    ",\"opens_mmap\":" + std::to_string(counters_.opens_mmap) +
+                    std::to_string(counters.open_failures) +
+                    ",\"opens_text\":" + std::to_string(counters.opens_text) +
+                    ",\"opens_mmap\":" + std::to_string(counters.opens_mmap) +
                     ",\"resident_sessions\":" +
                     std::to_string(lru_.size()) +
                     ",\"resident_bytes\":" +
@@ -203,6 +218,32 @@ std::string SessionRegistry::StatsJson() const {
   }
   out += "]}";
   return out;
+}
+
+void SessionRegistry::ExportMetrics(telemetry::Registry* registry) const {
+  registry->AddCounter("ugs_registry_lookups_total",
+                       "Session-registry lookups by outcome.",
+                       {{"outcome", "hit"}}, &hits_);
+  registry->AddCounter("ugs_registry_lookups_total",
+                       "Session-registry lookups by outcome.",
+                       {{"outcome", "miss"}}, &misses_);
+  registry->AddCounter("ugs_registry_evictions_total",
+                       "Sessions evicted past the residency budgets.", {},
+                       &evictions_);
+  registry->AddCounter("ugs_registry_open_failures_total",
+                       "Graph opens that failed.", {}, &open_failures_);
+  registry->AddCounter("ugs_registry_opens_total",
+                       "Successful graph opens by storage kind.",
+                       {{"storage", "text"}}, &opens_text_);
+  registry->AddCounter("ugs_registry_opens_total",
+                       "Successful graph opens by storage kind.",
+                       {{"storage", "mmap"}}, &opens_mmap_);
+  registry->AddHistogram("ugs_graph_open_seconds",
+                         "Graph open latency by storage kind.",
+                         {{"storage", "text"}}, &open_text_us_, 1e-6);
+  registry->AddHistogram("ugs_graph_open_seconds",
+                         "Graph open latency by storage kind.",
+                         {{"storage", "mmap"}}, &open_mmap_us_, 1e-6);
 }
 
 std::size_t ApproxSessionBytes(const GraphSession& session) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "query/graph_session.h"
+#include "telemetry/metrics.h"
 #include "util/status.h"
 
 namespace ugs {
@@ -36,8 +37,8 @@ struct SessionRegistryOptions {
   GraphSessionOptions session;
 };
 
-/// Monotonic counters of registry traffic (returned by copy -- a
-/// consistent snapshot under the registry lock).
+/// Monotonic counters of registry traffic (returned by copy; each field
+/// is a relaxed read of its registry-backed counter).
 struct RegistryCounters {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -100,6 +101,11 @@ class SessionRegistry {
   /// server's stats verb embeds it).
   std::string StatsJson() const;
 
+  /// Registers the registry's counters and the open-latency histograms
+  /// (split text parse vs .ugsc mmap) with `registry` (which must not
+  /// outlive this object).
+  void ExportMetrics(telemetry::Registry* registry) const;
+
   const SessionRegistryOptions& options() const { return options_; }
 
  private:
@@ -132,7 +138,15 @@ class SessionRegistry {
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  ///< Resident ids, MRU first.
   std::size_t resident_bytes_ = 0;
-  RegistryCounters counters_;
+
+  telemetry::Counter hits_;
+  telemetry::Counter misses_;
+  telemetry::Counter evictions_;
+  telemetry::Counter open_failures_;
+  telemetry::Counter opens_text_;
+  telemetry::Counter opens_mmap_;
+  telemetry::Histogram open_text_us_{telemetry::LatencyBucketsUs()};
+  telemetry::Histogram open_mmap_us_{telemetry::LatencyBucketsUs()};
 };
 
 /// Resident footprint of a session the registry's byte budget is

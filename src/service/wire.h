@@ -41,6 +41,13 @@ inline constexpr std::uint8_t kWireVersion = 1;
 /// before any allocation happens.
 inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
 
+/// kStats sub-verb selecting the Prometheus text exposition instead of
+/// the JSON counters (empty payload) or a graph description (graph id
+/// payload). Deliberately contains '/': graph ids with path separators
+/// are rejected by the registry, so the verb can never collide with a
+/// describable graph.
+inline constexpr const char* kMetricsStatsVerb = "/metrics";
+
 /// What a frame carries. The request/reply pairs are
 /// kRequest -> kResult | kError and kStats -> kStatsReply | kError.
 enum class FrameType : std::uint8_t {

@@ -1,0 +1,305 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace ugs {
+namespace telemetry {
+
+std::size_t ThreadShard() {
+  // Round-robin assignment at first touch spreads threads evenly over
+  // the shards regardless of thread-id hashing quality.
+  static std::atomic<std::size_t> next{0};
+  static thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  rank = std::min(count, std::max<std::uint64_t>(1, rank));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (cumulative + counts[i] < rank) {
+      cumulative += counts[i];
+      continue;
+    }
+    const double lo =
+        i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+    if (i >= bounds.size()) return lo;  // Overflow bucket: no upper bound.
+    const double hi = static_cast<double>(bounds[i]);
+    const double within = static_cast<double>(rank - cumulative);
+    return lo + (hi - lo) * within / static_cast<double>(counts[i]);
+  }
+  return 0.0;
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), shards_(kMetricShards) {
+  UGS_CHECK(!bounds_.empty());
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    UGS_CHECK_LT(bounds_[i - 1], bounds_[i]);
+  }
+  pow2_ladder_ = bounds_[0] == 1;
+  for (std::size_t i = 1; pow2_ladder_ && i < bounds_.size(); ++i) {
+    pow2_ladder_ = bounds_[i] == bounds_[i - 1] << 1;
+  }
+  for (Shard& shard : shards_) {
+    shard.counts = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Record(std::uint64_t value) {
+  // First bound >= value; values past the last bound land in the
+  // overflow bucket (index bounds_.size()). On the 1,2,4,... ladder
+  // (every latency histogram) the index is a bit-scan, keeping the
+  // request hot path search-free.
+  const std::size_t index =
+      pow2_ladder_
+          ? std::min(static_cast<std::size_t>(
+                         value <= 1 ? 0 : std::bit_width(value - 1)),
+                     bounds_.size())
+          : static_cast<std::size_t>(
+                std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+                bounds_.begin());
+  Shard& shard = shards_[ThreadShard()];
+  shard.counts[index].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t i = 0; i < shard.counts.size(); ++i) {
+      snapshot.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+    snapshot.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (std::uint64_t c : snapshot.counts) snapshot.count += c;
+  return snapshot;
+}
+
+std::vector<std::uint64_t> LatencyBucketsUs() {
+  std::vector<std::uint64_t> bounds;
+  for (std::uint64_t b = 1; b <= (1ull << 25); b <<= 1) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<std::uint64_t> DepthBuckets() {
+  std::vector<std::uint64_t> bounds;
+  for (std::uint64_t b = 1; b <= (1ull << 20); b <<= 1) bounds.push_back(b);
+  return bounds;
+}
+
+std::string PercentilesJson(const HistogramSnapshot& snapshot) {
+  const auto ms = [](double us) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.3f", us / 1e3);
+    return std::string(buf);
+  };
+  return "{\"count\":" + std::to_string(snapshot.count) +
+         ",\"p50_ms\":" + ms(snapshot.Percentile(0.5)) +
+         ",\"p95_ms\":" + ms(snapshot.Percentile(0.95)) +
+         ",\"p99_ms\":" + ms(snapshot.Percentile(0.99)) + "}";
+}
+
+namespace {
+
+void AppendLabelEscaped(const std::string& value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+// Renders `{k1="v1",k2="v2"}` (empty string for no labels), with
+// `extra` appended as a pre-rendered final label (used for `le`).
+std::string RenderLabels(const std::vector<Label>& labels,
+                         const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const Label& label : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append(label.first);
+    out.append("=\"");
+    AppendLabelEscaped(label.second, &out);
+    out.append("\"");
+  }
+  if (!extra.empty()) {
+    if (!first) out.push_back(',');
+    out.append(extra);
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string FormatUint(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string FormatInt(std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return buf;
+}
+
+}  // namespace
+
+void Registry::AddCounter(const std::string& name, const std::string& help,
+                          std::vector<Label> labels, const Counter* counter) {
+  UGS_CHECK(counter != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry entry;
+  entry.kind = Kind::kCounter;
+  entry.name = name;
+  entry.help = help;
+  entry.labels = std::move(labels);
+  entry.counter = counter;
+  entries_.push_back(std::move(entry));
+}
+
+void Registry::AddGauge(const std::string& name, const std::string& help,
+                        std::vector<Label> labels, const Gauge* gauge) {
+  UGS_CHECK(gauge != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry entry;
+  entry.kind = Kind::kGauge;
+  entry.name = name;
+  entry.help = help;
+  entry.labels = std::move(labels);
+  entry.gauge = gauge;
+  entries_.push_back(std::move(entry));
+}
+
+void Registry::AddHistogram(const std::string& name, const std::string& help,
+                            std::vector<Label> labels,
+                            const Histogram* histogram, double scale) {
+  UGS_CHECK(histogram != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry entry;
+  entry.kind = Kind::kHistogram;
+  entry.name = name;
+  entry.help = help;
+  entry.labels = std::move(labels);
+  entry.histogram = histogram;
+  entry.scale = scale;
+  entries_.push_back(std::move(entry));
+}
+
+std::string Registry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  // One HELP/TYPE header per metric name, emitted when the name is
+  // first seen; entries sharing a name (labelled series) follow it.
+  // Registration order groups same-name series together by
+  // convention, so a linear "previous name" check suffices.
+  std::string previous_name;
+  for (const Entry& entry : entries_) {
+    if (entry.name != previous_name) {
+      out.append("# HELP ").append(entry.name).append(" ").append(entry.help);
+      out.push_back('\n');
+      out.append("# TYPE ").append(entry.name).append(" ");
+      switch (entry.kind) {
+        case Kind::kCounter:
+          out.append("counter");
+          break;
+        case Kind::kGauge:
+          out.append("gauge");
+          break;
+        case Kind::kHistogram:
+          out.append("histogram");
+          break;
+      }
+      out.push_back('\n');
+      previous_name = entry.name;
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out.append(entry.name)
+            .append(RenderLabels(entry.labels))
+            .append(" ")
+            .append(FormatUint(entry.counter->Value()));
+        out.push_back('\n');
+        break;
+      case Kind::kGauge:
+        out.append(entry.name)
+            .append(RenderLabels(entry.labels))
+            .append(" ")
+            .append(FormatInt(entry.gauge->Value()));
+        out.push_back('\n');
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot snapshot = entry.histogram->Snapshot();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < snapshot.bounds.size(); ++i) {
+          cumulative += snapshot.counts[i];
+          const double bound =
+              static_cast<double>(snapshot.bounds[i]) * entry.scale;
+          out.append(entry.name)
+              .append("_bucket")
+              .append(RenderLabels(entry.labels,
+                                   "le=\"" + FormatDouble(bound) + "\""))
+              .append(" ")
+              .append(FormatUint(cumulative));
+          out.push_back('\n');
+        }
+        out.append(entry.name)
+            .append("_bucket")
+            .append(RenderLabels(entry.labels, "le=\"+Inf\""))
+            .append(" ")
+            .append(FormatUint(snapshot.count));
+        out.push_back('\n');
+        out.append(entry.name)
+            .append("_sum")
+            .append(RenderLabels(entry.labels))
+            .append(" ")
+            .append(
+                FormatDouble(static_cast<double>(snapshot.sum) * entry.scale));
+        out.push_back('\n');
+        out.append(entry.name)
+            .append("_count")
+            .append(RenderLabels(entry.labels))
+            .append(" ")
+            .append(FormatUint(snapshot.count));
+        out.push_back('\n');
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace ugs

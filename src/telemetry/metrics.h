@@ -1,0 +1,187 @@
+#ifndef UGS_TELEMETRY_METRICS_H_
+#define UGS_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ugs {
+namespace telemetry {
+
+/// Number of cache-line-padded shards a hot-path metric is split into.
+/// Threads are spread over shards round-robin at first touch, so a
+/// counter increment under contention is one relaxed fetch_add on a
+/// line no other core is hammering.
+inline constexpr std::size_t kMetricShards = 8;
+
+/// Index of the calling thread's metric shard (stable per thread).
+std::size_t ThreadShard();
+
+/// Monotonic counter. Add() is one relaxed fetch_add on the calling
+/// thread's shard; Value() sums the shards (monotone but not a
+/// linearizable snapshot, which is fine for telemetry).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(std::uint64_t n = 1) {
+    shards_[ThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Instantaneous signed level (queue depths, in-flight requests).
+/// A single atomic: gauges move both ways so sharding buys nothing.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Sub(std::int64_t n = 1) {
+    value_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Point-in-time copy of a histogram, with the percentile math.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> bounds;  ///< Inclusive upper bounds, ascending.
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (last = overflow).
+  std::uint64_t count = 0;            ///< Total observations.
+  std::uint64_t sum = 0;              ///< Exact sum of observed values.
+
+  /// Nearest-rank percentile with linear interpolation inside the
+  /// bucket. q in [0, 1]. Empty histograms report 0; a rank landing in
+  /// the overflow bucket reports that bucket's lower bound (the largest
+  /// finite boundary). A single sample reports its bucket's upper
+  /// bound.
+  double Percentile(double q) const;
+};
+
+/// Fixed-boundary histogram over unsigned integer values (microseconds
+/// by convention for latencies). Bucket upper bounds are inclusive,
+/// matching Prometheus `le` semantics, and fixed at construction so
+/// recording never allocates: one relaxed fetch_add on the bucket and
+/// one on the sum, both on the calling thread's shard. Count and sum
+/// are exact; percentiles are derived from the bucket boundaries.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(std::uint64_t value);
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Percentile of a fresh snapshot; prefer Snapshot() when reading
+  /// several quantiles so they agree on one point in time.
+  double Percentile(double q) const { return Snapshot().Percentile(q); }
+
+  std::uint64_t Count() const { return Snapshot().count; }
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<std::uint64_t>> counts;
+    std::atomic<std::uint64_t> sum{0};
+  };
+
+  std::vector<std::uint64_t> bounds_;
+  std::vector<Shard> shards_;
+  /// True when bounds_ is exactly 1, 2, 4, ... -- the LatencyBucketsUs
+  /// ladder -- making the bucket index a bit-scan instead of a search.
+  bool pow2_ladder_ = false;
+};
+
+/// Power-of-two bucket bounds for latencies in microseconds: 1us,
+/// 2us, ... 2^25us (~33.6s). 26 buckets cover a cache hit to a worst
+/// case sampled query with ~2x resolution everywhere.
+std::vector<std::uint64_t> LatencyBucketsUs();
+
+/// Bounds for small integer depths/sizes: 1, 2, 4, ... 2^20.
+std::vector<std::uint64_t> DepthBuckets();
+
+/// `{"count":N,"p50_ms":x,"p95_ms":x,"p99_ms":x}` from one snapshot of
+/// a microsecond-valued histogram (the stats JSON "telemetry" shape;
+/// milliseconds with three decimals).
+std::string PercentilesJson(const HistogramSnapshot& snapshot);
+
+/// Metric label as rendered into the Prometheus exposition:
+/// `name{key="value"}`.
+using Label = std::pair<std::string, std::string>;
+
+/// Registry of borrowed metric pointers with a Prometheus
+/// text-exposition renderer. Components own their metrics (members,
+/// zero indirection on the hot path) and register them here once at
+/// startup; the registry only reads. Registered metrics must outlive
+/// the registry's last render.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  void AddCounter(const std::string& name, const std::string& help,
+                  std::vector<Label> labels, const Counter* counter);
+  void AddGauge(const std::string& name, const std::string& help,
+                std::vector<Label> labels, const Gauge* gauge);
+  /// `scale` multiplies bucket bounds and sum at render time (1e-6
+  /// turns microsecond-valued histograms into Prometheus seconds).
+  void AddHistogram(const std::string& name, const std::string& help,
+                    std::vector<Label> labels, const Histogram* histogram,
+                    double scale = 1.0);
+
+  /// Prometheus text exposition format (version 0.0.4): one HELP/TYPE
+  /// header per metric name, then one series per registered entry.
+  std::string PrometheusText() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::string help;
+    std::vector<Label> labels;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+    double scale = 1.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace telemetry
+}  // namespace ugs
+
+#endif  // UGS_TELEMETRY_METRICS_H_

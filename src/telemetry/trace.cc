@@ -1,0 +1,84 @@
+#include "telemetry/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ugs {
+namespace telemetry {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kDecode:
+      return "decode";
+    case Stage::kCacheLookup:
+      return "cache_lookup";
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kExecute:
+      return "execute";
+    case Stage::kEncode:
+      return "encode";
+    case Stage::kWrite:
+      return "write";
+  }
+  return "unknown";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRecorder::Record(RequestTrace trace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_[recorded_ % ring_.size()] = std::move(trace);
+  ++recorded_;
+}
+
+std::vector<RequestTrace> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RequestTrace> out;
+  const std::uint64_t retained =
+      recorded_ < ring_.size() ? recorded_ : ring_.size();
+  out.reserve(retained);
+  for (std::uint64_t i = 0; i < retained; ++i) {
+    out.push_back(ring_[(recorded_ - retained + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::string SlowQueryLine(const RequestTrace& trace) {
+  // Short per-stage keys keep the line grep-friendly: decode_ms,
+  // cache_ms, queue_ms, execute_ms, encode_ms, write_ms.
+  static const char* kStageKeys[kNumStages] = {
+      "decode_ms", "cache_ms", "queue_ms", "execute_ms", "encode_ms",
+      "write_ms"};
+  char buf[160];
+  std::string out = "slow-query graph=";
+  out.append(trace.graph.empty() ? "-" : trace.graph);
+  out.append(" query=");
+  out.append(trace.query.empty() ? "-" : trace.query);
+  out.append(" estimator=");
+  out.append(trace.estimator.empty() ? "-" : trace.estimator);
+  out.append(" status=");
+  out.append(trace.ok ? "ok" : "error");
+  std::snprintf(buf, sizeof(buf), " cache_hit=%d samples=%llu total_ms=%.3f",
+                trace.cache_hit ? 1 : 0,
+                static_cast<unsigned long long>(trace.samples),
+                static_cast<double>(trace.total_us) / 1e3);
+  out.append(buf);
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    std::snprintf(buf, sizeof(buf), " %s=%.3f", kStageKeys[i],
+                  static_cast<double>(trace.stage_us[i]) / 1e3);
+    out.append(buf);
+  }
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace ugs

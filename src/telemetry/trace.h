@@ -1,0 +1,112 @@
+#ifndef UGS_TELEMETRY_TRACE_H_
+#define UGS_TELEMETRY_TRACE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ugs {
+namespace telemetry {
+
+/// Stages a request passes through inside the daemon, in pipeline
+/// order. Each gets a wall-clock stamp in RequestTrace::stage_us.
+enum class Stage {
+  kDecode = 0,      ///< Wire payload -> QueryRequest.
+  kCacheLookup,     ///< Result-cache probe (hit or miss).
+  kQueueWait,       ///< Decoded-frame wait in the dispatch queue.
+  kExecute,         ///< GraphSession::Run (sampling + estimation).
+  kEncode,          ///< QueryResult -> wire payload.
+  kWrite,           ///< Reply ready -> last byte handed to the socket.
+};
+
+inline constexpr std::size_t kNumStages = 6;
+
+/// Prometheus-safe stage label ("decode", "cache_lookup", ...).
+const char* StageName(Stage stage);
+
+/// Per-request span breakdown, filled in as the request moves through
+/// the pipeline and recorded once the reply bytes reach the socket.
+struct RequestTrace {
+  std::string graph;             ///< Graph id ("" for stats frames).
+  std::string query;             ///< Query kind, or "stats" / "other".
+  std::string estimator;         ///< Estimator chosen by the session.
+  bool ok = true;                ///< False when the reply was kError.
+  bool cache_hit = false;        ///< Served from the result cache.
+  std::uint64_t samples = 0;     ///< Possible worlds drawn.
+  std::uint64_t stage_us[kNumStages] = {};  ///< Per-stage wall micros.
+  std::uint64_t total_us = 0;    ///< Frame decoded -> reply on socket.
+};
+
+/// Per-handler stage stopwatch: Stamp() writes the microseconds since
+/// the previous stamp into one stage slot and restarts. All clock
+/// reads vanish when constructed off (the tracing-disabled path).
+class StageClock {
+ public:
+  explicit StageClock(bool on) : on_(on) {
+    if (on_) last_ = std::chrono::steady_clock::now();
+  }
+
+  void Stamp(RequestTrace* trace, Stage stage) {
+    if (!on_) return;
+    const auto now = std::chrono::steady_clock::now();
+    trace->stage_us[static_cast<std::size_t>(stage)] =
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(now - last_)
+                .count());
+    last_ = now;
+  }
+
+ private:
+  bool on_;
+  std::chrono::steady_clock::time_point last_{};
+};
+
+/// Fixed-capacity ring of the most recent request traces. Record() is
+/// a short critical section (string moves into a preallocated slot);
+/// it is called once per request after the reply is on the wire, off
+/// the sampling hot path.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 256);
+
+  void Record(RequestTrace trace);
+
+  /// Retained traces, oldest first.
+  std::vector<RequestTrace> Snapshot() const;
+
+  /// Total traces ever recorded (not just retained).
+  std::uint64_t recorded() const;
+
+  std::size_t capacity() const { return ring_.size(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<RequestTrace> ring_;
+  std::uint64_t recorded_ = 0;
+};
+
+/// Service-level telemetry knobs shared by ugs_serve and ugs_router.
+struct ServiceOptions {
+  /// Record spans + latency histograms per request. Off = the transport
+  /// and handler skip all span bookkeeping (the bench overhead
+  /// baseline); the metrics registry and plain counters stay live.
+  bool enabled = true;
+  /// Log one structured slow-query line per request whose total time
+  /// exceeds this many milliseconds; 0 disables the log.
+  int slow_query_ms = 0;
+  /// Capacity of the recent-trace ring buffer.
+  std::size_t trace_ring = 256;
+};
+
+/// One structured slow-query log line:
+/// `slow-query graph=g1 query=reliability estimator=sampled status=ok
+///  cache_hit=0 samples=1000 total_ms=41.203 decode_ms=0.012 ...`.
+std::string SlowQueryLine(const RequestTrace& trace);
+
+}  // namespace telemetry
+}  // namespace ugs
+
+#endif  // UGS_TELEMETRY_TRACE_H_

@@ -208,9 +208,11 @@ TEST_F(RouterTest, EveryQueryKindByteIdenticalThroughRacedRouter) {
 TEST_F(RouterTest, KillingAShardMidBatchKeepsRepliesByteIdentical) {
   // The failover contract: stop one of two shards halfway through a
   // batch; every remaining reply must still arrive, still bit-identical
-  // to a local run. The health monitor is disabled so the dead shard is
-  // discovered by the forwarding path itself (connect failure ->
-  // failover to the next ring candidate).
+  // to a local run. The health monitor stays on (the production
+  // configuration): the dead shard is discovered either by the
+  // forwarding path (connect failure -> failover) or by a monitor poll
+  // that demotes it first -- the counters separate the two, so the
+  // assertion below does not race the monitor.
   const std::vector<QueryRequest> requests = CoveringRequests();
   const std::vector<std::string> graphs = {"g1", "g2", "g3"};
   const std::vector<std::vector<QueryResult>> expected =
@@ -221,7 +223,7 @@ TEST_F(RouterTest, KillingAShardMidBatchKeepsRepliesByteIdentical) {
   RouterOptions options;
   options.replication = 1;  // Pin each graph to its ring primary...
   options.race = 1;         // ...and forward to exactly one shard.
-  options.health_interval_ms = 0;
+  options.health_interval_ms = 25;
   std::unique_ptr<Router> router =
       StartRouter({shard_a.get(), shard_b.get()}, options);
 
@@ -257,8 +259,11 @@ TEST_F(RouterTest, KillingAShardMidBatchKeepsRepliesByteIdentical) {
   RouterStats stats = router->stats();
   EXPECT_EQ(stats.requests, 2 * graphs.size() * requests.size());
   EXPECT_EQ(stats.errors, 0u);
-  EXPECT_GE(stats.failovers, 1u);  // g1's first post-kill query at least.
-  // The forwarding path demoted the dead shard on its connect failures.
+  // Someone demoted the dead shard: the forwarding path (counted under
+  // failovers) or a monitor poll that got there first (counted under
+  // monitor_demotions). Either way the demotion is observable -- the
+  // sum cannot be zero.
+  EXPECT_GE(stats.failovers + stats.monitor_demotions, 1u);
   EXPECT_NE(router->shard_state(dead), ShardState::kUp);
 }
 
@@ -322,6 +327,7 @@ TEST_F(RouterTest, AggregatedStatsMergesShardJsonUnderRouterSchema) {
   EXPECT_NE(json.find("\"requests\":1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"failovers\":0"), std::string::npos) << json;
   EXPECT_NE(json.find("\"race_mismatches\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"monitor_demotions\":0"), std::string::npos) << json;
   EXPECT_NE(json.find("\"uptime_ms\":"), std::string::npos) << json;
   // Per-shard entries carry address, health, and the shard's own stats
   // verb reply verbatim (its {"server":... object, including the new
@@ -332,6 +338,36 @@ TEST_F(RouterTest, AggregatedStatsMergesShardJsonUnderRouterSchema) {
   EXPECT_NE(json.find("\"server\":{"), std::string::npos) << json;
   EXPECT_NE(json.find("\"cache\":{"), std::string::npos) << json;
   EXPECT_NE(json.find("\"registry\":{"), std::string::npos) << json;
+  // The router's own telemetry section rides after the shard array; the
+  // embedded shard objects carry their own (fleet-wide aggregation for
+  // free).
+  EXPECT_NE(json.find("\"telemetry\":{\"enabled\":true"), std::string::npos)
+      << json;
+}
+
+TEST_F(RouterTest, MetricsSubVerbAnswersFromTheRouterItself) {
+  std::unique_ptr<Server> shard_a = StartShard();
+  std::unique_ptr<Server> shard_b = StartShard();
+  std::unique_ptr<Router> router =
+      StartRouter({shard_a.get(), shard_b.get()}, RouterOptions{});
+
+  Client client = ConnectTo(router->port());
+  ASSERT_TRUE(client.Query(Id("g1"), CoveringRequests().front()).ok());
+
+  Result<std::string> text = client.Stats(kMetricsStatsVerb);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("ugs_requests_total 1"), std::string::npos) << *text;
+  EXPECT_NE(
+      text->find("ugs_request_latency_seconds_bucket{kind=\"reliability\""),
+      std::string::npos)
+      << *text;
+  // Per-shard series are labeled by address; exactly one shard carried
+  // the forward.
+  EXPECT_NE(text->find("ugs_shard_forward_seconds_bucket{shard=\"127.0.0.1:"),
+            std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("ugs_router_failovers_total 0"), std::string::npos)
+      << *text;
 }
 
 TEST_F(RouterTest, GraphDescribeRoutesLikeAQuery) {

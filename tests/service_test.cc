@@ -526,6 +526,91 @@ TEST_P(ServiceBackendTest, StatsVerbReportsServerCacheAndRegistry) {
   EXPECT_NE(describe->find("\"edges\":11"), std::string::npos) << *describe;
 }
 
+TEST_F(ServiceTest, StatsJsonGrowsTelemetrySection) {
+  std::unique_ptr<Server> server = StartServerWith({});
+  Client client = ConnectTo(*server);
+  QueryRequest request;
+  request.query = "connectivity";
+  request.num_samples = 8;
+  ASSERT_TRUE(client.Query(Id("g1"), request).ok());
+
+  // The telemetry object is additive -- it rides after the stable
+  // server/cache/registry triple (docs/operations.md). The query above
+  // is fully written before Stats() can be read, so its span has been
+  // folded in by the time this JSON renders.
+  Result<std::string> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats->find("\"telemetry\":{\"enabled\":true"),
+            std::string::npos)
+      << *stats;
+  EXPECT_NE(stats->find("\"spans_recorded\":"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"worlds_sampled\":"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"request_ms\":{\"connectivity\":{\"count\":1"),
+            std::string::npos)
+      << *stats;
+  EXPECT_NE(stats->find("\"stage_ms\":{\"decode\":"), std::string::npos)
+      << *stats;
+}
+
+TEST_F(ServiceTest, MetricsSubVerbReturnsPrometheusText) {
+  ServerOptions options;
+  options.cache.max_entries = 4;
+  std::unique_ptr<Server> server = StartServerWith(options);
+  Client client = ConnectTo(*server);
+  QueryRequest request;
+  request.query = "reliability";
+  request.pairs = {{0, 3}};
+  request.num_samples = 16;
+  ASSERT_TRUE(client.Query(Id("g1"), request).ok());
+  ASSERT_TRUE(client.Query(Id("g1"), request).ok());  // Cache hit.
+
+  Result<std::string> text = client.Stats(kMetricsStatsVerb);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("# TYPE ugs_requests_total counter"),
+            std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("ugs_requests_total 2"), std::string::npos) << *text;
+  EXPECT_NE(
+      text->find("ugs_request_latency_seconds_bucket{kind=\"reliability\""),
+      std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("ugs_request_latency_seconds_count{"
+                       "kind=\"reliability\"} 2"),
+            std::string::npos)
+      << *text;
+  EXPECT_NE(
+      text->find("ugs_result_cache_lookups_total{outcome=\"hit\"} 1"),
+      std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("ugs_registry_opens_total{storage=\"text\"} 1"),
+            std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("ugs_worlds_sampled_total"), std::string::npos)
+      << *text;
+}
+
+TEST_F(ServiceTest, DisabledTelemetryKeepsCountersButSkipsSpans) {
+  ServerOptions options;
+  options.telemetry.enabled = false;
+  std::unique_ptr<Server> server = StartServerWith(options);
+  Client client = ConnectTo(*server);
+  QueryRequest request;
+  request.query = "connectivity";
+  request.num_samples = 8;
+  ASSERT_TRUE(client.Query(Id("g1"), request).ok());
+
+  Result<std::string> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"telemetry\":{\"enabled\":false"),
+            std::string::npos)
+      << *stats;
+  EXPECT_NE(stats->find("\"spans_recorded\":0"), std::string::npos) << *stats;
+  // The exposition stays live: plain counters do not depend on spans.
+  Result<std::string> text = client.Stats(kMetricsStatsVerb);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("ugs_requests_total 1"), std::string::npos) << *text;
+}
+
 TEST_P(ServiceBackendTest, StopWithIdleConnectedClientReturns) {
   std::unique_ptr<Server> server = StartServer(2);
   Client idle = ConnectTo(*server);  // Connected but never sends.

@@ -1,0 +1,47 @@
+#include "util/timer.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace ugs {
+namespace {
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotone) {
+  Timer timer;
+  const double first = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  const double second = timer.ElapsedSeconds();
+  EXPECT_GE(second, first);
+}
+
+TEST(TimerTest, MeasuresAtLeastTheSleptDuration) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // steady_clock sleeps can only overshoot, never undershoot.
+  EXPECT_GE(timer.ElapsedMillis(), 20.0);
+}
+
+TEST(TimerTest, ResetRestartsTheStopwatch) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double before = timer.ElapsedMillis();
+  timer.Reset();
+  const double after = timer.ElapsedMillis();
+  EXPECT_LT(after, before);
+}
+
+TEST(TimerTest, MillisIsSecondsTimesAThousand) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double seconds = timer.ElapsedSeconds();
+  const double millis = timer.ElapsedMillis();
+  // Two separate clock reads: millis was taken after seconds, so it
+  // can only be larger -- but by far less than a millisecond.
+  EXPECT_GE(millis, seconds * 1e3);
+  EXPECT_LT(millis - seconds * 1e3, 1.0);
+}
+
+}  // namespace
+}  // namespace ugs

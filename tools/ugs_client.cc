@@ -6,7 +6,14 @@
 //              [--seed=1] [--estimator=auto] [--pivots=8]
 //              [--pair=s,t ...] [--source=v ...] [--json]
 //   ugs_client --port=<p> --stats [--graph=<id>]
+//   ugs_client --port=<p> --metrics
 //   ugs_client --port=<p> --batch=<file> [--pipeline] [--json]
+//
+// --metrics fetches the daemon's Prometheus text exposition (the
+// kMetricsStatsVerb stats sub-verb; works against ugs_serve and
+// ugs_router alike). --timing prints one client-observed round-trip
+// line per query to stderr -- stdout stays byte-identical, so timing
+// can be layered onto the CI smoke's JSON diffs.
 //
 // Random pair/source sets are drawn exactly like ugs_query draws them
 // (same seed-split streams, sized from the server's graph description),
@@ -35,6 +42,7 @@
 #include "service/wire.h"
 #include "tools/tool_common.h"
 #include "util/parse.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -50,8 +58,11 @@ void Usage() {
       "    --source=<v>    explicit knn source (repeatable)\n"
       "    --json          emit the wire-schema JSON result line\n"
       "  admin mode:  --stats [--graph=<id>]\n"
+      "               --metrics  print the Prometheus text exposition\n"
       "  batch mode:  --batch=<file>  one query per line, same flags\n"
       "    --pipeline      write all requests before reading replies\n"
+      "  --timing        print client-observed RTT per request to\n"
+      "                  stderr (stdout unchanged)\n"
       "  --connect-retries=<n>  retry a refused/timed-out connect up to\n"
       "                  n times with exponential backoff (default 0:\n"
       "                  fail fast)\n");
@@ -200,12 +211,20 @@ ugs::WireRequest ResolveSpec(const QuerySpec& spec, ugs::Client* client,
   return {spec.graph, BuildRequest(spec, client, vertex_counts)};
 }
 
+/// Prints one client-observed round-trip line to stderr (--timing).
+void PrintTiming(const ugs::WireRequest& request, double rtt_ms) {
+  std::fprintf(stderr, "timing: graph=%s query=%s rtt_ms=%.3f\n",
+               request.graph.c_str(), request.request.query.c_str(), rtt_ms);
+}
+
 /// Runs one spec round-trip and prints its result.
-void RunSpec(const QuerySpec& spec, bool json, ugs::Client* client,
-             VertexCountCache* vertex_counts) {
+void RunSpec(const QuerySpec& spec, bool json, bool timing,
+             ugs::Client* client, VertexCountCache* vertex_counts) {
   ugs::WireRequest request = ResolveSpec(spec, client, vertex_counts);
+  ugs::Timer timer;
   ugs::Result<ugs::QueryResult> result =
       client->Query(request.graph, request.request);
+  if (timing) PrintTiming(request, timer.ElapsedMillis());
   if (!result.ok()) Die(result.status().ToString());
   PrintResult(spec, *result, json);
 }
@@ -215,7 +234,8 @@ void RunSpec(const QuerySpec& spec, bool json, ugs::Client* client,
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1", batch_file;
   std::int64_t port = 7471, connect_retries = 0;
-  bool stats = false, json = false, pipeline = false;
+  bool stats = false, metrics = false, json = false, pipeline = false;
+  bool timing = false;
   QuerySpec spec;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -230,10 +250,14 @@ int main(int argc, char** argv) {
       batch_file = arg.substr(8);
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--pipeline") {
       pipeline = true;
+    } else if (arg == "--timing") {
+      timing = true;
     } else if (!ApplySpecFlag(arg, &spec)) {
       Usage();
     }
@@ -248,6 +272,15 @@ int main(int argc, char** argv) {
   if (!connected.ok()) Die(connected.status().ToString());
   ugs::Client client = std::move(connected.value());
   VertexCountCache vertex_counts;
+
+  if (metrics) {
+    // The exposition already ends with a newline; print it verbatim so
+    // the output pipes straight into promtool / a scrape job.
+    ugs::Result<std::string> reply = client.Stats(ugs::kMetricsStatsVerb);
+    if (!reply.ok()) Die(reply.status().ToString());
+    std::printf("%s", reply->c_str());
+    return 0;
+  }
 
   if (stats) {
     ugs::Result<std::string> reply = client.Stats(spec.graph);
@@ -278,20 +311,27 @@ int main(int argc, char** argv) {
     }
     if (!pipeline) {
       for (const QuerySpec& line_spec : specs) {
-        RunSpec(line_spec, json, &client, &vertex_counts);
+        RunSpec(line_spec, json, timing, &client, &vertex_counts);
       }
       return 0;
     }
     // Pipelined: resolve every spec first (graph descriptions are
     // plain round trips), then ship the whole batch before reading any
-    // reply. Results come back -- and print -- in file order.
+    // reply. Results come back -- and print -- in file order. Timing
+    // reports the batch as a whole: per-reply stamps would mostly
+    // measure the pipeline's own queueing, not the server.
     std::vector<ugs::WireRequest> requests;
     requests.reserve(specs.size());
     for (const QuerySpec& line_spec : specs) {
       requests.push_back(ResolveSpec(line_spec, &client, &vertex_counts));
     }
+    ugs::Timer timer;
     std::vector<ugs::Result<ugs::QueryResult>> results =
         client.QueryPipelined(requests);
+    if (timing) {
+      std::fprintf(stderr, "timing: batch n=%zu total_ms=%.3f\n",
+                   results.size(), timer.ElapsedMillis());
+    }
     for (std::size_t i = 0; i < results.size(); ++i) {
       if (!results[i].ok()) Die(results[i].status().ToString());
       PrintResult(specs[i], *results[i], json);
@@ -299,6 +339,6 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  RunSpec(spec, json, &client, &vertex_counts);
+  RunSpec(spec, json, timing, &client, &vertex_counts);
   return 0;
 }

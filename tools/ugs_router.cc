@@ -46,6 +46,10 @@ void Usage() {
       "  --race-verify        wait for both raced replies, assert equal\n"
       "  --health-interval-ms=<n>  shard poll period; 0 = no monitor\n"
       "  --connect-retries=<n> shard connect retries with backoff\n"
+      "  --slow-query-ms=<n>  log one structured line per request slower\n"
+      "                       than n ms; 0 = off (docs/observability.md)\n"
+      "  --no-telemetry       skip per-request span recording (counters\n"
+      "                       and the metrics exposition stay live)\n"
       "  --port-file=<path>   write the bound port after startup\n");
   std::exit(2);
 }
@@ -116,6 +120,11 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--connect-retries=", 0) == 0) {
       options.connect.max_retries = static_cast<int>(
           ugs::ParseInt64OrExit("--connect-retries", arg.substr(18)));
+    } else if (arg.rfind("--slow-query-ms=", 0) == 0) {
+      options.telemetry.slow_query_ms = static_cast<int>(
+          ugs::ParseInt64OrExit("--slow-query-ms", arg.substr(16)));
+    } else if (arg == "--no-telemetry") {
+      options.telemetry.enabled = false;
     } else if (arg.rfind("--port-file=", 0) == 0) {
       port_file = arg.substr(12);
     } else {
@@ -129,8 +138,10 @@ int main(int argc, char** argv) {
   if (options.num_workers <= 0) Die("--workers must be positive");
   if (options.replication < 1) Die("--replication must be >= 1");
   if (options.race < 1) Die("--race must be >= 1");
-  if (options.health_interval_ms < 0 || options.connect.max_retries < 0) {
-    Die("--health-interval-ms and --connect-retries must be >= 0");
+  if (options.health_interval_ms < 0 || options.connect.max_retries < 0 ||
+      options.telemetry.slow_query_ms < 0) {
+    Die("--health-interval-ms, --connect-retries, and --slow-query-ms must "
+        "be >= 0");
   }
 
   ugs::Router router(options);

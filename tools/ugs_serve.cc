@@ -55,6 +55,10 @@ void Usage() {
       "                      are served but never cached)\n"
       "  --engine-threads=<n> per-session engine pool; 0 = shared default\n"
       "  --threads=<n>       shared default pool size (env UGS_THREADS)\n"
+      "  --slow-query-ms=<n> log one structured line per request slower\n"
+      "                      than n ms; 0 = off (docs/observability.md)\n"
+      "  --no-telemetry      skip per-request span recording (counters\n"
+      "                      and the metrics exposition stay live)\n"
       "  --port-file=<path>  write the bound port after startup\n");
   std::exit(2);
 }
@@ -74,7 +78,8 @@ int main(int argc, char** argv) {
   std::string dir, host = "127.0.0.1", port_file, backend = "epoll";
   std::int64_t port = 7471, workers = 4, max_sessions = 8, max_bytes = 0;
   std::int64_t cache_entries = 0, cache_bytes = 0, cache_max_entry_bytes = 0;
-  std::int64_t engine_threads = 0, threads = 0;
+  std::int64_t engine_threads = 0, threads = 0, slow_query_ms = 0;
+  bool telemetry_enabled = true;
   if (const char* env = std::getenv("UGS_THREADS")) {
     threads = ugs::ParseInt64OrExit("UGS_THREADS", env);
   }
@@ -105,6 +110,10 @@ int main(int argc, char** argv) {
       engine_threads = ugs::ParseInt64OrExit("--engine-threads", arg + 17);
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       threads = ugs::ParseInt64OrExit("--threads", arg + 10);
+    } else if (std::strncmp(arg, "--slow-query-ms=", 16) == 0) {
+      slow_query_ms = ugs::ParseInt64OrExit("--slow-query-ms", arg + 16);
+    } else if (std::strcmp(arg, "--no-telemetry") == 0) {
+      telemetry_enabled = false;
     } else if (std::strncmp(arg, "--port-file=", 12) == 0) {
       port_file = arg + 12;
     } else {
@@ -116,8 +125,8 @@ int main(int argc, char** argv) {
   if (workers <= 0) Die("--workers must be positive");
   if (max_sessions < 0 || max_bytes < 0 || cache_entries < 0 ||
       cache_bytes < 0 || cache_max_entry_bytes < 0 || engine_threads < 0 ||
-      threads < 0) {
-    Die("budgets and thread counts must be >= 0");
+      threads < 0 || slow_query_ms < 0) {
+    Die("budgets, thread counts, and --slow-query-ms must be >= 0");
   }
   ugs::Status backend_ok = ugs::ValidateServerBackend(backend);
   if (!backend_ok.ok()) Die(backend_ok.message());
@@ -136,6 +145,8 @@ int main(int argc, char** argv) {
   options.registry.max_resident_bytes = static_cast<std::size_t>(max_bytes);
   options.registry.session.engine.num_threads =
       static_cast<int>(engine_threads);
+  options.telemetry.enabled = telemetry_enabled;
+  options.telemetry.slow_query_ms = static_cast<int>(slow_query_ms);
 
   ugs::Server server(options);
   ugs::Status started = server.Start();
