@@ -4,7 +4,9 @@
 # front of them (full replication, verified racing), runs every query
 # kind through ugs_client pointed at the ROUTER, diffs each JSON answer
 # against ugs_query on the same graph file (byte-identical is the
-# contract), SIGKILLs one shard halfway and re-runs the full battery
+# contract), broadcasts an edge update and re-runs the battery against
+# an equivalently mutated text file, SIGKILLs one shard and re-runs the
+# full battery
 # (failover must keep every answer byte-identical), checks the
 # aggregated stats verb reports the fleet under the
 # {"router":...,"shards":[...]} schema with the dead shard marked down,
@@ -109,10 +111,14 @@ run_battery() {
   local checks=0
   for query in "${QUERIES[@]}"; do
     for g in g1 g2 g3; do
+      # After the update leg below, g2's local reference is the mutated
+      # text file -- the routed answers must track the new edge list.
+      local local_in="${WORK}/graphs/${g}.txt"
+      [[ "${g}" == g2 && -n "${G2_LOCAL:-}" ]] && local_in="${G2_LOCAL}"
       "${BUILD_DIR}/ugs_client" --port="${PORT}" --graph="${g}" \
         --query="${query}" --samples=64 --pairs=4 --sources=2 --k=3 \
         --seed=5 --json > "${WORK}/client.json"
-      "${BUILD_DIR}/ugs_query" --in="${WORK}/graphs/${g}.txt" \
+      "${BUILD_DIR}/ugs_query" --in="${local_in}" \
         --query="${query}" --samples=64 --pairs=4 --sources=2 --k=3 \
         --seed=5 --json > "${WORK}/query.json"
       if ! diff "${WORK}/client.json" "${WORK}/query.json"; then
@@ -186,6 +192,57 @@ if [[ "${HISTO_COUNT}" -le 0 ]]; then
   exit 1
 fi
 echo "router metrics exposition OK (request histogram count=${HISTO_COUNT})"
+
+# The update leg: reweight one edge of g2 through the ROUTER. The
+# broadcast must reach both shards, so the re-run battery (still raced
+# + verified: both replicas answer every query and must agree, version
+# stamp included) diffs clean against an equivalently mutated text
+# file -- and keeps doing so after the kill below, proving the
+# surviving replica carries the mutation too.
+read -r U V < <(awk '!/^#/ {print $1, $2; exit}' "${WORK}/graphs/g2.txt")
+awk -v u="${U}" -v v="${V}" \
+  '!/^#/ && $1 == u && $2 == v && !done {print u, v, "0.9"; done=1; next} \
+   {print}' "${WORK}/graphs/g2.txt" > "${WORK}/g2_mut.txt"
+"${BUILD_DIR}/ugs_client" --port="${PORT}" --graph=g2 \
+  --update="reweight:${U}:${V}:0.9" > "${WORK}/update.log"
+if ! grep -q '^update: graph=g2 applied=1 version=2$' "${WORK}/update.log"; then
+  echo "unexpected update ack through the router:" >&2
+  cat "${WORK}/update.log" >&2
+  exit 1
+fi
+G2_LOCAL="${WORK}/g2_mut.txt"
+
+run_battery "post-update, raced + verified"
+
+STATS="$("${BUILD_DIR}/ugs_client" --port="${PORT}" --stats)"
+case "${STATS}" in
+  *'"updates":1'*) ;;
+  *)
+    echo "expected \"updates\":1 in the router stats after the broadcast" >&2
+    exit 1
+    ;;
+esac
+case "${STATS}" in
+  *'"update_failures":0'*) ;;
+  *)
+    echo "the update broadcast counted a failure with both shards up" >&2
+    exit 1
+    ;;
+esac
+case "${STATS}" in
+  *'"race_mismatches":0'*) ;;
+  *)
+    echo "raced replicas disagreed after the update -- version skew" >&2
+    exit 1
+    ;;
+esac
+"${BUILD_DIR}/ugs_client" --port="${PORT}" --metrics > "${WORK}/metrics.txt"
+if ! grep -q '^ugs_router_updates_total 1$' "${WORK}/metrics.txt"; then
+  echo "expected ugs_router_updates_total 1 in the router exposition" >&2
+  cat "${WORK}/metrics.txt" >&2
+  exit 1
+fi
+echo "update broadcast OK (both replicas answering at version 2)"
 
 # Kill one shard the hard way. Every remaining answer must still be
 # byte-identical: the router fails over to the surviving replica.

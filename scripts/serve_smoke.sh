@@ -4,8 +4,10 @@
 # runs every query kind through ugs_client, diffs each JSON answer against
 # ugs_query on the same graph file (byte-identical is the contract),
 # re-runs one query to check repeat answers are byte-stable (the result
-# cache's hit path when it is enabled), checks the stats verb reports
-# evictions (and cache hits when caching), and shuts the daemon down
+# cache's hit path when it is enabled), reweights one edge through the
+# wire and re-runs every diff against an equivalently mutated text file,
+# checks the stats verb reports evictions, the update, and the bumped
+# version (and cache hits when caching), and shuts the daemon down
 # cleanly.
 #
 # Usage: scripts/serve_smoke.sh [build_dir] [extra ugs_serve flags...]
@@ -119,6 +121,46 @@ if ! grep -q '^timing: graph=g1 query=reliability rtt_ms=' \
 fi
 echo "repeated query byte-stable (--timing on stderr only)"
 
+# The update leg: reweight one edge of g2 through the wire, then re-run
+# every byte-diff with the local side of g2 pointing at an equivalently
+# mutated text file. Byte-identical diffs prove the in-memory mutation
+# is exactly the text-level edit -- and that g1/g3 were left untouched.
+read -r U V < <(awk '!/^#/ {print $1, $2; exit}' "${WORK}/graphs/g2.txt")
+awk -v u="${U}" -v v="${V}" \
+  '!/^#/ && $1 == u && $2 == v && !done {print u, v, "0.9"; done=1; next} \
+   {print}' "${WORK}/graphs/g2.txt" > "${WORK}/g2_mut.txt"
+"${BUILD_DIR}/ugs_client" --port="${PORT}" --graph=g2 \
+  --update="reweight:${U}:${V}:0.9" > "${WORK}/update.log"
+if ! grep -q '^update: graph=g2 applied=1 version=2$' "${WORK}/update.log"; then
+  echo "unexpected update ack:" >&2
+  cat "${WORK}/update.log" >&2
+  exit 1
+fi
+UPDATE_CHECKS=0
+for query in "${QUERIES[@]}"; do
+  for g in g1 g2 g3; do
+    local_in="${WORK}/graphs/${g}.txt"
+    [[ "${g}" == g2 ]] && local_in="${WORK}/g2_mut.txt"
+    "${BUILD_DIR}/ugs_client" --port="${PORT}" --graph="${g}" \
+      --query="${query}" --samples=64 --pairs=4 --sources=2 --k=3 --seed=5 \
+      --json > "${WORK}/client.json"
+    "${BUILD_DIR}/ugs_query" --in="${local_in}" \
+      --query="${query}" --samples=64 --pairs=4 --sources=2 --k=3 --seed=5 \
+      --json > "${WORK}/query.json"
+    if ! diff "${WORK}/client.json" "${WORK}/query.json"; then
+      echo "MISMATCH after update: ${query} on ${g} differs between" \
+           "ugs_client and ugs_query" >&2
+      exit 1
+    fi
+    UPDATE_CHECKS=$((UPDATE_CHECKS + 1))
+  done
+done
+echo "${UPDATE_CHECKS} post-update answers byte-identical to local ugs_query"
+# One more g2 query so the 1-entry registry's resident session (the
+# stats snapshot below) is g2 -- reopened and replayed at version 2.
+"${BUILD_DIR}/ugs_client" --port="${PORT}" --graph=g2 --query=reliability \
+  --samples=64 --pairs=4 --seed=5 --json > /dev/null
+
 STATS="$("${BUILD_DIR}/ugs_client" --port="${PORT}" --stats)"
 echo "stats: ${STATS}"
 # The registry object is the last of the three stats objects, so an
@@ -145,6 +187,24 @@ case "${STATS}" in
     ;;
 esac
 echo "registry served both storage kinds (opens_text/opens_mmap > 0)"
+# The update above must be counted, and g2's resident session must
+# report its bumped version.
+case "${STATS}" in
+  *'"updates":1'*) ;;
+  *)
+    echo "expected \"updates\":1 in the registry stats after the update" >&2
+    exit 1
+    ;;
+esac
+case "${STATS}" in
+  *'"id":"g2"'*'"version":2'*)
+    echo "registry reports g2 at version 2 after the update"
+    ;;
+  *)
+    echo "expected g2 resident at \"version\":2 in the registry stats" >&2
+    exit 1
+    ;;
+esac
 case " ${EXTRA_FLAGS[*]:-} " in
   *--cache-*)
     # Caching was requested: the repeat above must have hit.
@@ -184,6 +244,19 @@ if [[ "${HISTO_COUNT}" -le 0 ]]; then
   exit 1
 fi
 echo "metrics exposition OK (request histogram count=${HISTO_COUNT})"
+# The update surfaces in the exposition: the batch counter moved and the
+# per-graph version gauge names g2 at 2.
+if ! grep -q '^ugs_updates_total 1$' "${WORK}/metrics.txt"; then
+  echo "expected ugs_updates_total 1 in the exposition" >&2
+  cat "${WORK}/metrics.txt" >&2
+  exit 1
+fi
+if ! grep -q '^ugs_graph_version{graph="g2"} 2$' "${WORK}/metrics.txt"; then
+  echo "expected ugs_graph_version{graph=\"g2\"} 2 in the exposition" >&2
+  cat "${WORK}/metrics.txt" >&2
+  exit 1
+fi
+echo "update counters in the exposition (ugs_updates_total, ugs_graph_version)"
 
 # The stats JSON grew a telemetry section (additive; the smoke's older
 # greps above are untouched and still pass).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <unordered_map>
 
 #include "util/union_find.h"
 
@@ -102,6 +104,84 @@ void UncertainGraph::BuildAdjacency() {
       owned_expected_degree_[u] += owned_edges_[it->edge].p;
     }
   }
+}
+
+Status UncertainGraph::ApplyUpdates(std::span<const EdgeUpdate> updates) {
+  const std::size_t n = num_vertices();
+  // Stage the mutated edge list (materializing a view's edges if this
+  // graph is mmap-backed) so a failing update leaves *this untouched.
+  std::vector<UncertainEdge> staged(edges_.begin(), edges_.end());
+  // (min,max) endpoint -> staged index, kept consistent across deletes.
+  auto key = [](VertexId a, VertexId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(staged.size());
+  for (std::size_t i = 0; i < staged.size(); ++i) {
+    index[key(staged[i].u, staged[i].v)] = i;
+  }
+  auto fail = [](std::size_t at, const std::string& why) {
+    return Status::InvalidArgument("update[" + std::to_string(at) + "]: " +
+                                   why);
+  };
+  for (std::size_t at = 0; at < updates.size(); ++at) {
+    const EdgeUpdate& u = updates[at];
+    const std::string edge_name = "(" + std::to_string(u.u) + "," +
+                                  std::to_string(u.v) + ")";
+    if (u.u >= n || u.v >= n) {
+      return fail(at, "endpoint of " + edge_name + " out of range for " +
+                          std::to_string(n) + " vertices");
+    }
+    if (u.u == u.v) return fail(at, "self loop " + edge_name);
+    const std::uint64_t k = key(u.u, u.v);
+    auto it = index.find(k);
+    switch (u.op) {
+      case EdgeUpdateOp::kInsert:
+        if (it != index.end()) {
+          return fail(at, "edge " + edge_name + " already exists");
+        }
+        if (!(u.p > 0.0 && u.p <= 1.0)) {
+          return fail(at, "probability must be in (0, 1]");
+        }
+        index[k] = staged.size();
+        staged.push_back({u.u, u.v, u.p});
+        break;
+      case EdgeUpdateOp::kDelete: {
+        if (it == index.end()) {
+          return fail(at, "edge " + edge_name + " does not exist");
+        }
+        const std::size_t victim = it->second;
+        staged.erase(staged.begin() +
+                     static_cast<std::ptrdiff_t>(victim));
+        index.erase(it);
+        // Every edge past the victim shifted down one id.
+        for (auto& entry : index) {
+          if (entry.second > victim) --entry.second;
+        }
+        break;
+      }
+      case EdgeUpdateOp::kReweight:
+        if (it == index.end()) {
+          return fail(at, "edge " + edge_name + " does not exist");
+        }
+        if (!(u.p > 0.0 && u.p <= 1.0)) {
+          return fail(at, "probability must be in (0, 1]");
+        }
+        staged[it->second].p = u.p;
+        break;
+      default:
+        return fail(at, "unknown op " +
+                            std::to_string(static_cast<int>(u.op)));
+    }
+  }
+  // Commit: identical to FromEdges(n, staged), so the mutated graph is
+  // bit-identical to a fresh load of the equivalent edge list.
+  owned_edges_ = std::move(staged);
+  owned_degree_offsets_.assign(n + 1, 0);
+  BuildAdjacency();
+  AdoptOwned();
+  return Status::OK();
 }
 
 EdgeId UncertainGraph::FindEdge(VertexId u, VertexId v) const {

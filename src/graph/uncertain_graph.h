@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/status.h"
 
 namespace ugs {
 
@@ -27,6 +28,24 @@ struct UncertainEdge {
 struct AdjacencyEntry {
   VertexId neighbor;
   EdgeId edge;
+};
+
+/// Edge mutation verbs (docs/dynamic-graphs.md). Values are the wire
+/// encoding (service/wire.h) -- do not renumber.
+enum class EdgeUpdateOp : std::uint8_t {
+  kInsert = 1,    ///< Add a new edge (u,v) with probability p.
+  kDelete = 2,    ///< Remove the existing edge (u,v); p ignored.
+  kReweight = 3,  ///< Set the probability of the existing edge (u,v) to p.
+};
+
+/// One edge mutation. Endpoints are unordered ((u,v) names the same
+/// undirected edge as (v,u)); p must be in (0, 1] for insert/reweight so
+/// the mutated graph round-trips every storage format.
+struct EdgeUpdate {
+  EdgeUpdateOp op = EdgeUpdateOp::kReweight;
+  VertexId u = 0;
+  VertexId v = 0;
+  double p = 0.0;
 };
 
 /// Entropy (in bits) of a single independent edge with probability p:
@@ -146,6 +165,17 @@ class UncertainGraph {
 
   /// Edge id joining u and v, or kInvalidEdge. O(log deg) binary search.
   EdgeId FindEdge(VertexId u, VertexId v) const;
+
+  /// Applies a batch of edge mutations atomically: either every update
+  /// applies (in order) and the CSR is rebuilt, or the graph is left
+  /// untouched and the error names the failing update's index. Inserts
+  /// append to the edge list; deletes close the gap (later edges shift
+  /// down one id); reweights are positional. The mutated graph is
+  /// bit-identical to FromEdges(num_vertices(), equivalent_edge_list) --
+  /// the version-equivalence contract (docs/dynamic-graphs.md).
+  /// Mutating a view (mmap-backed .ugsc) first materializes it into
+  /// owned storage; the vertex count never changes.
+  Status ApplyUpdates(std::span<const EdgeUpdate> updates);
 
   /// Total entropy H(G) = sum_e H(p_e) in bits (paper footnote 2; validated
   /// against the paper's Figure 2 value of 3.85 bits).

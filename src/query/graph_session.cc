@@ -56,8 +56,18 @@ Result<QueryResult> GraphSession::Run(const QueryRequest& request) const {
   if (!result.ok()) return result;
   result->query = (*query)->name();
   result->estimator = *estimator;
+  result->graph_version = options_.graph_version;
   result->seconds = timer.ElapsedSeconds();
   return result;
+}
+
+Result<std::unique_ptr<GraphSession>> GraphSession::WithUpdates(
+    std::span<const EdgeUpdate> updates, std::uint64_t new_version) const {
+  UncertainGraph mutated = graph_;  // Deep copy (materializes views).
+  UGS_RETURN_IF_ERROR(mutated.ApplyUpdates(updates));
+  GraphSessionOptions options = options_;
+  options.graph_version = new_version;
+  return std::make_unique<GraphSession>(std::move(mutated), options);
 }
 
 std::vector<Result<QueryResult>> GraphSession::RunBatch(

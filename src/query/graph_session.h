@@ -32,6 +32,11 @@ struct GraphSessionOptions {
   /// knob (RunBatch never spawns threads of its own). Results are
   /// bit-identical to the sequential path at any value.
   int batch_workers = 1;
+  /// Version of the graph this session serves. Freshly loaded graphs
+  /// are version 1; WithUpdates builds each successor session with the
+  /// bumped version. Stamped into every result (QueryResult
+  /// .graph_version) so callers can tell which snapshot answered.
+  std::uint64_t graph_version = 1;
 };
 
 /// The serving facade of the query layer: owns one loaded UncertainGraph
@@ -71,6 +76,19 @@ class GraphSession {
   const SampleEngine& engine() const { return engine_; }
 
   const GraphSessionOptions& options() const { return options_; }
+
+  /// Version of the graph this session serves (stamped into results).
+  std::uint64_t version() const { return options_.graph_version; }
+
+  /// Builds the successor session: a copy of this session's graph with
+  /// `updates` applied (atomically -- see UncertainGraph::ApplyUpdates)
+  /// and the version set to `new_version`. This session is untouched
+  /// either way; sessions stay immutable, updates swap whole sessions
+  /// (the registry's copy-on-mutate path). A view-backed graph (mmap)
+  /// materializes into owned storage here -- first write, not first
+  /// read.
+  Result<std::unique_ptr<GraphSession>> WithUpdates(
+      std::span<const EdgeUpdate> updates, std::uint64_t new_version) const;
 
   /// Executes one request: registry lookup, validation, estimator
   /// selection, then the query itself. The result records the estimator

@@ -97,6 +97,11 @@ struct QueryResult {
   std::vector<std::vector<KnnResult>> knn;  ///< knn: one list per source.
   std::vector<MostProbablePath> paths;      ///< mpp: one path per pair.
 
+  /// Version of the graph this result ran against (filled by
+  /// GraphSession). Freshly loaded graphs are version 1; every applied
+  /// update batch bumps it by one (docs/dynamic-graphs.md).
+  std::uint64_t graph_version = 1;
+
   double seconds = 0.0;  ///< Wall time (filled by GraphSession).
 };
 

@@ -39,15 +39,17 @@ std::string CanonicalKind(const std::string& name) {
 
 /// Raced replies must agree on everything deterministic. kResult frames
 /// compare through PayloadEquals (the wall-time field reflects each
-/// shard's own clock and is exempt by contract); anything else compares
-/// bytes.
+/// shard's own clock and is exempt by contract) AND must carry the same
+/// graph-version stamp -- raced replicas answering from different
+/// versions of the graph is a replication bug even when the payloads
+/// happen to match. Anything else compares bytes.
 bool RepliesAgree(const Frame& a, const Frame& b) {
   if (a.type != b.type) return false;
   if (a.type == FrameType::kResult) {
     Result<QueryResult> da = DecodeResult(a.payload);
     Result<QueryResult> db = DecodeResult(b.payload);
     if (!da.ok() || !db.ok()) return false;
-    return PayloadEquals(*da, *db);
+    return da->graph_version == db->graph_version && PayloadEquals(*da, *db);
   }
   return a.payload == b.payload;
 }
@@ -92,6 +94,7 @@ void Router::BuildMetrics() {
   };
   for (const std::string& name : KnownQueryNames()) add_kind(name);
   add_kind("stats");
+  add_kind("update");
   add_kind("other");
   other_latency_ = kind_index_.at("other");
   for (std::size_t i = 0; i < telemetry::kNumStages; ++i) {
@@ -116,6 +119,11 @@ void Router::BuildMetrics() {
   metrics_.AddCounter("ugs_router_monitor_demotions_total",
                       "Up -> not-up transitions initiated by the monitor.",
                       {}, &monitor_demotions_);
+  metrics_.AddCounter("ugs_router_updates_total",
+                      "Update frames broadcast to the fleet.", {}, &updates_);
+  metrics_.AddCounter("ugs_router_update_failures_total",
+                      "Update broadcasts that failed on some shard.", {},
+                      &update_failures_);
   metrics_.AddCounter("ugs_slow_queries_total",
                       "Requests slower than the slow-query threshold.", {},
                       &slow_queries_);
@@ -329,6 +337,24 @@ ReplyFrame Router::HandleFrame(FrameType type, const std::string& payload,
     if (traced && reply.type == FrameType::kError) trace->ok = false;
     return reply;
   }
+  if (type == FrameType::kUpdate) {
+    // Decode only to validate and to label the trace; the raw bytes are
+    // what the shards receive.
+    Result<WireUpdate> update = DecodeUpdate(payload);
+    clock.Stamp(trace, telemetry::Stage::kDecode);
+    if (!update.ok()) {
+      if (traced) trace->ok = false;
+      return Counted(ErrorReply(update.status()));
+    }
+    if (traced) {
+      trace->graph = update->graph;
+      trace->query = "update";
+    }
+    ReplyFrame reply = RouteUpdate(payload);
+    clock.Stamp(trace, telemetry::Stage::kExecute);
+    if (traced && reply.type == FrameType::kError) trace->ok = false;
+    return reply;
+  }
   Result<WireRequest> request = DecodeRequest(payload);
   clock.Stamp(trace, telemetry::Stage::kDecode);
   if (!request.ok()) {
@@ -347,7 +373,8 @@ ReplyFrame Router::HandleFrame(FrameType type, const std::string& payload,
 }
 
 ReplyFrame Router::Counted(ReplyFrame reply) {
-  if (reply.type == FrameType::kResult) {
+  if (reply.type == FrameType::kResult ||
+      reply.type == FrameType::kUpdateReply) {
     requests_.Add();
   } else if (reply.type == FrameType::kError) {
     errors_.Add();
@@ -390,6 +417,52 @@ ReplyFrame Router::RouteStats(const std::string& payload) {
   // round trip.
   return ForwardWithFailover(FrameType::kStats, payload,
                              CandidateOrder(payload));
+}
+
+ReplyFrame Router::RouteUpdate(const std::string& payload) {
+  updates_.Add();
+  // Broadcast in shard-index order, never raced and never failed over:
+  // every shard serves every graph on failover, so every shard must
+  // apply the batch or the fleet's versions skew. Down shards are still
+  // tried -- a stale health verdict must not silently skip a replica.
+  std::optional<Frame> ack;
+  std::size_t acked = 0;
+  Status last = Status::OK();
+  for (const std::unique_ptr<ShardLink>& link : shards_) {
+    ShardLink* shard = link.get();
+    Result<Frame> reply = ForwardOnce(shard, FrameType::kUpdate, payload);
+    if (!reply.ok()) {
+      NoteShardFailure(shard);
+      last = reply.status();
+      continue;
+    }
+    NoteShardSuccess(shard);
+    if (reply->type == FrameType::kError) {
+      // A typed rejection (bad endpoint, duplicate edge, unknown graph)
+      // is deterministic -- every shard refuses the batch identically
+      // and no version moves. Forward the shard's error as-is and stop:
+      // the remaining shards would only repeat it.
+      update_failures_.Add();
+      return Counted({reply->type, std::make_shared<const std::string>(
+                                       std::move(reply->payload))});
+    }
+    ++acked;
+    if (!ack.has_value()) ack = std::move(*reply);
+  }
+  if (acked < shards_.size()) {
+    // Partial broadcast: the acked shards hold the new version, the
+    // unreachable ones do not (visible as skew in the aggregated
+    // stats). The client gets a typed error so it can retry; shard
+    // restarts reset versions anyway (logs are in-memory).
+    update_failures_.Add();
+    return Counted(ErrorReply(Status::IOError(
+        "router: update acked by " + std::to_string(acked) + "/" +
+        std::to_string(shards_.size()) +
+        " shards (last failure: " + last.message() + ")")));
+  }
+  Frame& first = *ack;
+  return Counted({first.type, std::make_shared<const std::string>(
+                                  std::move(first.payload))});
 }
 
 ReplyFrame Router::ForwardWithFailover(
@@ -602,6 +675,8 @@ RouterStats Router::stats() const {
   stats.monitor_demotions = monitor_demotions_.Value();
   stats.uptime_ms = server_.uptime_ms();
   stats.in_flight = server_.in_flight();
+  stats.updates = updates_.Value();
+  stats.update_failures = update_failures_.Value();
   return stats;
 }
 
@@ -629,6 +704,9 @@ std::string Router::AggregatedStatsJson() const {
                     std::to_string(router.monitor_demotions) +
                     ",\"uptime_ms\":" + std::to_string(router.uptime_ms) +
                     ",\"in_flight\":" + std::to_string(router.in_flight) +
+                    ",\"updates\":" + std::to_string(router.updates) +
+                    ",\"update_failures\":" +
+                    std::to_string(router.update_failures) +
                     "},\"shards\":[";
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     ShardLink* shard = shards_[i].get();

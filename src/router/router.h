@@ -100,6 +100,11 @@ struct RouterStats {
   std::uint64_t monitor_demotions = 0;
   std::uint64_t uptime_ms = 0;
   std::uint64_t in_flight = 0;
+  /// Update frames broadcast to the fleet (acked by every shard).
+  std::uint64_t updates = 0;
+  /// Update broadcasts that failed on some shard (typed error to the
+  /// client; shard versions may skew until the next successful batch).
+  std::uint64_t update_failures = 0;
 };
 
 /// A consistent-hash router in front of N ugs_serve shards, speaking
@@ -112,6 +117,14 @@ struct RouterStats {
 /// answer the same). The empty stats verb aggregates all shards under a
 /// {"router":...,"shards":[...]} schema (docs/sharding.md); the
 /// graph-describe verb routes like a query.
+///
+/// Edge updates (kUpdate) are broadcast to EVERY shard, never raced:
+/// any shard can serve any graph on failover, so all replicas must hold
+/// the same version. The reply is the first shard's ack; a transport
+/// failure on any shard fails the whole broadcast with a typed error
+/// (the shards that acked keep the new version -- the skew is visible
+/// in the aggregated stats' embedded per-shard registry sections; see
+/// docs/dynamic-graphs.md).
 ///
 /// Frontend transport (epoll reactor, pipelining, backpressure) is the
 /// same FrameServer ugs_serve runs on; forwarding happens on its
@@ -196,6 +209,9 @@ class Router {
                         const std::string& payload);
   /// Routes a graph-describe stats payload.
   ReplyFrame RouteStats(const std::string& payload);
+  /// Broadcasts one decoded update batch (`payload` is its raw bytes)
+  /// to every shard; all must ack or the client gets a typed error.
+  ReplyFrame RouteUpdate(const std::string& payload);
   /// Sequential failover: forward `payload` to each candidate until one
   /// answers; typed IOError when every shard is unreachable.
   ReplyFrame ForwardWithFailover(FrameType type, const std::string& payload,
@@ -249,6 +265,8 @@ class Router {
   telemetry::Counter raced_;
   telemetry::Counter race_mismatches_;
   telemetry::Counter monitor_demotions_;
+  telemetry::Counter updates_;
+  telemetry::Counter update_failures_;
   telemetry::Counter slow_queries_;
   /// Request latency by query kind (canonical names + "stats" +
   /// "other"), insertion-ordered for stable JSON.

@@ -196,4 +196,24 @@ Result<std::string> Client::Stats(const std::string& graph) {
   return std::move(reply->payload);
 }
 
+Result<WireUpdateReply> Client::Update(const std::string& graph,
+                                       const std::vector<EdgeUpdate>& updates) {
+  WireUpdate update;
+  update.graph = graph;
+  update.updates = updates;
+  Result<Frame> reply = RoundTrip(FrameType::kUpdate, EncodeUpdate(update));
+  if (!reply.ok()) return reply.status();
+  if (reply->type == FrameType::kError) {
+    Status carried;
+    UGS_RETURN_IF_ERROR(DecodeError(reply->payload, &carried));
+    return carried;
+  }
+  if (reply->type != FrameType::kUpdateReply) {
+    return Status::InvalidArgument(
+        "client: unexpected reply frame type " +
+        std::to_string(static_cast<int>(reply->type)));
+  }
+  return DecodeUpdateReply(reply->payload);
+}
+
 }  // namespace ugs

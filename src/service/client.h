@@ -93,6 +93,14 @@ class Client {
   /// opening it on demand.
   Result<std::string> Stats(const std::string& graph = "");
 
+  /// Applies one batch of edge mutations to the named graph (one
+  /// kUpdate frame; the batch is atomic -- all applied or none). The
+  /// ack carries the graph's new version; every result computed after
+  /// the ack carries a version >= it (docs/dynamic-graphs.md). A kError
+  /// reply surfaces as the carried Status.
+  Result<WireUpdateReply> Update(const std::string& graph,
+                                 const std::vector<EdgeUpdate>& updates);
+
   void Close();
 
  private:

@@ -438,11 +438,12 @@ void FrameServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
     Frame decoded = std::move(**frame);
     switch (decoded.type) {
       case FrameType::kRequest:
-      case FrameType::kStats: {
+      case FrameType::kStats:
+      case FrameType::kUpdate: {
         // Allocate the reply slot in arrival order, then hand the frame
-        // to the dispatch pool; kStats goes there too because a stats
-        // handler may touch disk (describing a graph opens it), which
-        // must not stall the reactor.
+        // to the dispatch pool; kStats and kUpdate go there too because
+        // their handlers may touch disk (describing or mutating a graph
+        // opens it), which must not stall the reactor.
         std::uint64_t seq;
         {
           std::lock_guard<std::mutex> lock(conn->mutex);

@@ -50,7 +50,7 @@ struct FrameServerOptions {
 /// The transport tier shared by ugs_serve and ugs_router: an epoll
 /// reactor speaking the wire protocol (service/wire.h) over TCP, with a
 /// pool of dispatch workers running a caller-supplied handler per
-/// decoded kRequest / kStats frame.
+/// decoded kRequest / kStats / kUpdate frame.
 ///
 /// One reactor thread multiplexes every connection (nonblocking
 /// sockets, incremental FrameDecoder reassembly, eventfd completion
@@ -63,7 +63,8 @@ struct FrameServerOptions {
 /// the connection closes.
 ///
 /// The handler runs on the dispatch pool and must be thread-safe. It
-/// receives the frame type (kRequest or kStats), the raw payload, and a
+/// receives the frame type (kRequest, kStats, or kUpdate), the raw
+/// payload, and a
 /// per-request trace to stamp stage timings and identity into, and
 /// returns the reply frame to deliver.
 class FrameServer {

@@ -14,17 +14,65 @@ std::uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
           .count());
 }
 
+/// The (graph, version) prefix of a key built by Key(): its length is
+/// recoverable from the key's own leading length field, so the
+/// per-prefix live counts need no side channel.
+std::string PrefixOfKey(const std::string& key) {
+  if (key.size() < 12) return key;
+  std::uint32_t graph_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    graph_len |=
+        static_cast<std::uint32_t>(static_cast<std::uint8_t>(key[i]))
+        << (8 * i);
+  }
+  const std::size_t prefix = 12 + graph_len;
+  return prefix >= key.size() ? key : key.substr(0, prefix);
+}
+
 }  // namespace
 
 ResultCache::ResultCache(ResultCacheOptions options) : options_(options) {}
 
-std::string ResultCache::Key(const std::string& graph,
+std::string ResultCache::KeyPrefix(const std::string& graph,
+                                   std::uint64_t version) {
+  std::string out;
+  out.reserve(12 + graph.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(graph.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  }
+  out += graph;
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((version >> (8 * i)) & 0xff));
+  }
+  return out;
+}
+
+std::string ResultCache::Key(const std::string& graph, std::uint64_t version,
                              const QueryRequest& request) {
   // EncodeRequest is the canonical serialization: fixed field order,
   // fixed widths, no optional fields -- equal requests encode to equal
-  // bytes and unequal requests to unequal bytes (the graph id travels
-  // length-prefixed, so it cannot collide with request fields).
-  return EncodeRequest({graph, request});
+  // bytes and unequal requests to unequal bytes. The graph id and
+  // version travel in a length-prefixed prefix of their own, so a
+  // version bump moves every one of the graph's keys in one step --
+  // that prefix is the invalidation unit.
+  return KeyPrefix(graph, version) + EncodeRequest({std::string(), request});
+}
+
+std::uint64_t ResultCache::Invalidate(const std::string& graph,
+                                      std::uint64_t version) {
+  if (!enabled()) return 0;
+  const std::string prefix = KeyPrefix(graph, version);
+  std::uint64_t stale = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = live_by_prefix_.find(prefix);
+    if (it != live_by_prefix_.end()) stale = it->second;
+  }
+  // The stale entries stay resident until LRU turns them over; no scan
+  // touches the map. Only entries actually made unreachable count.
+  if (stale > 0) invalidations_.Add(stale);
+  return stale;
 }
 
 std::shared_ptr<const std::string> ResultCache::Lookup(
@@ -73,6 +121,7 @@ void ResultCache::Insert(const std::string& key,
   lru_.push_front(key);
   entry.lru = lru_.begin();
   bytes_ += EntryBytes(key, entry);
+  ++live_by_prefix_[PrefixOfKey(key)];
   insertions_.Add();
   EvictToBudget();
 }
@@ -91,6 +140,10 @@ void ResultCache::EvictToBudget() {
     const std::string& victim = lru_.back();
     auto it = entries_.find(victim);
     bytes_ -= EntryBytes(victim, it->second);
+    auto live = live_by_prefix_.find(PrefixOfKey(victim));
+    if (live != live_by_prefix_.end() && --live->second == 0) {
+      live_by_prefix_.erase(live);
+    }
     entries_.erase(it);
     lru_.pop_back();
     evictions_.Add();
@@ -104,6 +157,7 @@ ResultCacheCounters ResultCache::counters() const {
   counters.insertions = insertions_.Value();
   counters.evictions = evictions_.Value();
   counters.admission_rejects = admission_rejects_.Value();
+  counters.invalidations = invalidations_.Value();
   return counters;
 }
 
@@ -132,7 +186,8 @@ std::string ResultCache::StatsJson() const {
          ",\"max_entries\":" + std::to_string(options_.max_entries) +
          ",\"max_bytes\":" + std::to_string(options_.max_bytes) +
          ",\"max_entry_bytes\":" +
-         std::to_string(options_.effective_max_entry_bytes()) + "}";
+         std::to_string(options_.effective_max_entry_bytes()) +
+         ",\"invalidations\":" + std::to_string(counters.invalidations) + "}";
 }
 
 void ResultCache::ExportMetrics(telemetry::Registry* registry) const {
@@ -151,6 +206,9 @@ void ResultCache::ExportMetrics(telemetry::Registry* registry) const {
   registry->AddCounter("ugs_result_cache_admission_rejects_total",
                        "Responses refused by the admission policy.", {},
                        &admission_rejects_);
+  registry->AddCounter("ugs_result_cache_invalidations_total",
+                       "Entries made unreachable by graph-version bumps.", {},
+                       &invalidations_);
   registry->AddHistogram("ugs_result_cache_lookup_seconds",
                          "Result-cache lookup latency by outcome.",
                          {{"outcome", "hit"}}, &lookup_hit_us_, 1e-6);

@@ -48,10 +48,14 @@ struct ResultCacheCounters {
   /// Insertions refused by the admission policy (entry over the
   /// per-entry byte cap).
   std::uint64_t admission_rejects = 0;
+  /// Entries made unreachable by graph-version bumps (Invalidate). They
+  /// are not removed -- version-keyed lookups simply never ask for them
+  /// again, and they age out via LRU.
+  std::uint64_t invalidations = 0;
 };
 
-/// A thread-safe LRU cache of encoded query responses, keyed on the
-/// canonical wire encoding of (graph id, QueryRequest).
+/// A thread-safe LRU cache of encoded query responses, keyed on
+/// (graph id, graph version, canonical request bytes).
 ///
 /// Soundness: a QueryResult is a pure function of (graph, request) -- the
 /// request seed feeds the engine's seed-split contract, so two runs of
@@ -68,19 +72,32 @@ struct ResultCacheCounters {
 /// bytes makes the cache immune to any future encoder laxity and ties the
 /// key to the *decoded* request actually executed.
 ///
-/// The registry's graph ids name immutable on-disk graphs; if an id were
-/// remapped to different graph bytes mid-flight, cached entries for it
-/// would be stale. ugs_serve never does this (a graph dir is append-only
-/// while served); see docs/operations.md.
+/// A graph id alone no longer pins the graph bytes -- edge updates
+/// mutate graphs in place (docs/dynamic-graphs.md) -- so the key carries
+/// the graph *version* too. An update bumps the version, which makes
+/// every entry cached under the old version unreachable in one step: no
+/// scan, no flush, the stale entries simply age out via LRU. That is the
+/// exact-invalidation contract: entries for other graphs (and for the
+/// same graph's live version, of which there are none right after a
+/// bump) are untouched.
 class ResultCache {
  public:
   explicit ResultCache(ResultCacheOptions options);
 
   bool enabled() const { return options_.enabled(); }
 
-  /// The canonical cache key for a request against a graph.
-  static std::string Key(const std::string& graph,
+  /// The canonical cache key for a request against one version of a
+  /// graph: `graph` (length-prefixed) | `version` (u64 LE) | the
+  /// canonical request encoding.
+  static std::string Key(const std::string& graph, std::uint64_t version,
                          const QueryRequest& request);
+
+  /// Records that `graph`'s entries under `version` became unreachable
+  /// (the registry bumped it to version + 1). Returns how many cached
+  /// entries went stale; they are left to age out via LRU -- exactness
+  /// comes from the versioned key, not from scanning. Call once per
+  /// version bump (versions are monotonic, so bumps never repeat).
+  std::uint64_t Invalidate(const std::string& graph, std::uint64_t version);
 
   /// Returns the cached encoded-response payload for `key`, refreshing
   /// its LRU position; null on a miss (or when disabled). Payloads are
@@ -126,6 +143,10 @@ class ResultCache {
     return key.size() + entry.payload->size();
   }
 
+  /// The (graph, version) prefix of a key built by Key().
+  static std::string KeyPrefix(const std::string& graph,
+                               std::uint64_t version);
+
   /// Evicts LRU entries until both budgets hold. Caller holds mutex_.
   void EvictToBudget();
 
@@ -135,12 +156,17 @@ class ResultCache {
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  ///< Resident keys, MRU first.
   std::size_t bytes_ = 0;
+  /// Live entries per (graph, version) prefix -- what Invalidate reports
+  /// without scanning. Maintained by Insert and EvictToBudget; an empty
+  /// count erases the slot, so the map tracks resident prefixes only.
+  std::unordered_map<std::string, std::uint64_t> live_by_prefix_;
 
   telemetry::Counter hits_;
   telemetry::Counter misses_;
   telemetry::Counter insertions_;
   telemetry::Counter evictions_;
   telemetry::Counter admission_rejects_;
+  telemetry::Counter invalidations_;
   telemetry::Histogram lookup_hit_us_{telemetry::LatencyBucketsUs()};
   telemetry::Histogram lookup_miss_us_{telemetry::LatencyBucketsUs()};
 };

@@ -57,6 +57,7 @@ void Server::BuildHistograms() {
   };
   for (const std::string& name : KnownQueryNames()) add_kind(name);
   add_kind("stats");
+  add_kind("update");
   add_kind("other");
   other_latency_ = kind_index_.at("other");
   for (std::size_t i = 0; i < telemetry::kNumStages; ++i) {
@@ -77,9 +78,14 @@ Server::Server(ServerOptions options)
       server_(MakeTransportOptions(),
               [this](FrameType type, const std::string& payload,
                      telemetry::RequestTrace* trace) {
-                return type == FrameType::kRequest
-                           ? ExecuteQuery(payload, trace)
-                           : ExecuteStats(payload, trace);
+                switch (type) {
+                  case FrameType::kRequest:
+                    return ExecuteQuery(payload, trace);
+                  case FrameType::kUpdate:
+                    return ExecuteUpdate(payload, trace);
+                  default:
+                    return ExecuteStats(payload, trace);
+                }
               }) {
   BuildHistograms();
   metrics_.AddCounter("ugs_requests_total",
@@ -120,15 +126,20 @@ ReplyFrame Server::ExecuteQuery(const std::string& payload,
       trace->query = request->request.query;
     }
     std::string key;
+    std::uint64_t key_version = 0;
     if (cache_.enabled()) {
-      key = ResultCache::Key(request->graph, request->request);
+      // The key carries the graph's current version, so an update
+      // invalidates exactly the old version's entries: this lookup can
+      // never surface a pre-update payload.
+      key_version = registry_.CurrentVersion(request->graph);
+      key = ResultCache::Key(request->graph, key_version, request->request);
       std::shared_ptr<const std::string> hit = cache_.Lookup(key);
       clock.Stamp(trace, telemetry::Stage::kCacheLookup);
       if (hit != nullptr) {
         // A hit replays the byte-identical payload of the cold run --
         // sound because the result is a pure function of (graph id,
-        // request), seed included -- and shares the cached bytes
-        // instead of copying them.
+        // graph version, request), seed included -- and shares the
+        // cached bytes instead of copying them.
         requests_.Add();
         if (traced) trace->cache_hit = true;
         return {FrameType::kResult, std::move(hit)};
@@ -154,7 +165,16 @@ ReplyFrame Server::ExecuteQuery(const std::string& payload,
         auto encoded =
             std::make_shared<const std::string>(EncodeResult(*result));
         clock.Stamp(trace, telemetry::Stage::kEncode);
-        if (cache_.enabled()) cache_.Insert(key, encoded);
+        if (cache_.enabled()) {
+          // A concurrent update may have bumped the version between the
+          // lookup and the pin; file the payload under the version the
+          // pinned session actually ran at, never a stale key.
+          if (result->graph_version != key_version) {
+            key = ResultCache::Key(request->graph, result->graph_version,
+                                   request->request);
+          }
+          cache_.Insert(key, encoded);
+        }
         return {FrameType::kResult, std::move(encoded)};
       }
       failure = result.status();
@@ -195,6 +215,43 @@ ReplyFrame Server::ExecuteStats(const std::string& payload,
               "{\"graph\":" + JsonEscaped(payload) +
               ",\"vertices\":" + std::to_string(stats.num_vertices) +
               ",\"edges\":" + std::to_string(stats.num_edges) + "}")};
+}
+
+ReplyFrame Server::ExecuteUpdate(const std::string& payload,
+                                 telemetry::RequestTrace* trace) {
+  const bool traced = options_.telemetry.enabled;
+  telemetry::StageClock clock(traced);
+  if (traced) trace->query = "update";
+  Result<WireUpdate> update = DecodeUpdate(payload);
+  clock.Stamp(trace, telemetry::Stage::kDecode);
+  Status failure = Status::OK();
+  if (!update.ok()) {
+    failure = update.status();
+  } else {
+    if (traced) trace->graph = update->graph;
+    Result<std::uint64_t> version =
+        registry_.ApplyUpdates(update->graph, update->updates);
+    clock.Stamp(trace, telemetry::Stage::kExecute);
+    if (version.ok()) {
+      // Every entry cached under the pre-update version is now
+      // unreachable (version-keyed lookups ask for *version); record
+      // the exact stale count and let LRU retire the bytes.
+      if (cache_.enabled()) cache_.Invalidate(update->graph, *version - 1);
+      requests_.Add();
+      WireUpdateReply reply;
+      reply.version = *version;
+      reply.applied = static_cast<std::uint32_t>(update->updates.size());
+      auto encoded =
+          std::make_shared<const std::string>(EncodeUpdateReply(reply));
+      clock.Stamp(trace, telemetry::Stage::kEncode);
+      return {FrameType::kUpdateReply, std::move(encoded)};
+    }
+    failure = version.status();
+  }
+  errors_.Add();
+  if (traced) trace->ok = false;
+  return {FrameType::kError,
+          std::make_shared<const std::string>(EncodeError(failure))};
 }
 
 // --- Telemetry. ---

@@ -66,9 +66,10 @@ struct ServerStats {
 
 /// A TCP daemon serving the wire protocol (service/wire.h) over a
 /// SessionRegistry, with an optional exact result cache in front of
-/// query dispatch. Protocol per connection: the client sends kRequest or
-/// kStats frames and reads one reply frame for each (kResult /
-/// kStatsReply on success, kError carrying the typed Status otherwise);
+/// query dispatch. Protocol per connection: the client sends kRequest,
+/// kStats, or kUpdate frames and reads one reply frame for each
+/// (kResult / kStatsReply / kUpdateReply on success, kError carrying
+/// the typed Status otherwise);
 /// replies always arrive in request order, so clients may pipeline
 /// (docs/wire-protocol.md); either side closes when done. Request errors
 /// (unknown graph, malformed payload, failed validation) are per-frame
@@ -141,6 +142,12 @@ class Server {
   /// frame.
   ReplyFrame ExecuteStats(const std::string& payload,
                           telemetry::RequestTrace* trace);
+  /// Applies one batch of edge mutations through the registry, then
+  /// retires the mutated graph's now-stale cache entries by version
+  /// (exact invalidation -- no other graph's entries move). Replies
+  /// kUpdateReply carrying the new version, or kError.
+  ReplyFrame ExecuteUpdate(const std::string& payload,
+                           telemetry::RequestTrace* trace);
 
   /// Trace sink (reactor thread): ring + histograms + slow-query log.
   void RecordTrace(const telemetry::RequestTrace& trace);

@@ -97,6 +97,13 @@ Result<SessionRegistry::Handle> SessionRegistry::Acquire(
   Entry& slot = entries_[id];
   slot.opening = true;
   slot.lru = lru_.end();
+  // Copy the mutation history now, under the same lock hold that
+  // created the opening slot: ApplyUpdates waits for in-flight opens
+  // before appending, so this copy stays the id's authoritative history
+  // until Commit.
+  UpdateState replay;
+  auto state_it = update_states_.find(id);
+  if (state_it != update_states_.end()) replay = state_it->second;
   lock.unlock();
 
   // The open itself runs unlocked: a slow load must not block hits on
@@ -122,6 +129,24 @@ Result<SessionRegistry::Handle> SessionRegistry::Acquire(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - open_start)
           .count());
+  const bool opened_as_view = opened.ok() && (*opened)->graph().is_view();
+  if (opened.ok() && !replay.log.empty()) {
+    // Replay the mutation history so the reopened graph serves exactly
+    // the edge list its acked version names. Replay failure is an open
+    // failure: serving a stale snapshot under a bumped version would
+    // break the invalidation contract.
+    Result<std::unique_ptr<GraphSession>> replayed =
+        (*opened)->WithUpdates(replay.log, replay.version);
+    if (replayed.ok()) {
+      opened = std::move(replayed);
+    } else {
+      opened = Status(replayed.status().code(),
+                      "registry: replaying " +
+                          std::to_string(replay.log.size()) +
+                          " updates onto reopened '" + id +
+                          "' failed: " + replayed.status().message());
+    }
+  }
 
   lock.lock();
   if (!opened.ok()) {
@@ -130,7 +155,10 @@ Result<SessionRegistry::Handle> SessionRegistry::Acquire(
     opened_cv_.notify_all();
     return opened.status();
   }
-  if ((*opened)->graph().is_view()) {
+  // Count by how the file itself opened (a replayed mmap open
+  // materializes into owned storage, but it still came off the fast
+  // path).
+  if (opened_as_view) {
     opens_mmap_.Add();
     open_mmap_us_.Record(open_us);
   } else {
@@ -158,6 +186,78 @@ Status SessionRegistry::Insert(const std::string& id,
   return Status::OK();
 }
 
+Result<std::uint64_t> SessionRegistry::ApplyUpdates(
+    const std::string& id, std::span<const EdgeUpdate> updates) {
+  UGS_RETURN_IF_ERROR(ValidateId(id));
+  if (updates.empty()) {
+    return Status::InvalidArgument(
+        "registry: empty update batch for '" + id +
+        "' (a no-op must not bump the version)");
+  }
+  // One updater at a time: version bumps are strictly ordered, so
+  // "version N of graph g" names exactly one edge list, fleet-wide.
+  std::lock_guard<std::mutex> serialize(updates_mutex_);
+
+  // Pin the current snapshot (opening it -- and replaying its history --
+  // if it was evicted). The successor builds unlocked: a graph copy and
+  // CSR rebuild must not stall queries on other graphs.
+  Result<Handle> base = Acquire(id);
+  if (!base.ok()) return base.status();
+  const std::uint64_t new_version = (*base)->version() + 1;
+  Result<std::unique_ptr<GraphSession>> successor =
+      (*base)->WithUpdates(updates, new_version);
+  if (!successor.ok()) return successor.status();
+  std::shared_ptr<const GraphSession> replacement(
+      std::move(successor.value()));
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  // An open of this id racing the swap could Commit a pre-update
+  // session over the successor; wait until any in-flight open settles
+  // (its replay history was copied before this batch existed, so it
+  // commits the version the pin above saw).
+  auto it = entries_.find(id);
+  while (it != entries_.end() && it->second.opening) {
+    opened_cv_.wait(lock);
+    it = entries_.find(id);
+  }
+  UpdateState& state = update_states_[id];
+  state.version = new_version;
+  state.log.insert(state.log.end(), updates.begin(), updates.end());
+  updates_.Add();
+  SetVersionGauge(id, new_version);
+  if (it != entries_.end() && it->second.session != nullptr) {
+    resident_bytes_ -= it->second.bytes;
+    it->second.session = replacement;
+    it->second.bytes = ApproxSessionBytes(*replacement);
+    resident_bytes_ += it->second.bytes;
+    Touch(&it->second);
+    EvictToBudget(id);
+  }
+  return new_version;
+}
+
+std::uint64_t SessionRegistry::CurrentVersion(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = update_states_.find(id);
+  return it == update_states_.end() ? 1 : it->second.version;
+}
+
+void SessionRegistry::SetVersionGauge(const std::string& id,
+                                      std::uint64_t version) {
+  std::unique_ptr<telemetry::Gauge>& gauge = version_gauges_[id];
+  const bool fresh = gauge == nullptr;
+  if (fresh) gauge = std::make_unique<telemetry::Gauge>();
+  gauge->Set(static_cast<std::int64_t>(version));
+  // Lazy registration keeps never-updated graphs out of the exposition;
+  // the telemetry registry locks internally, so registering after
+  // startup is safe.
+  if (fresh && metrics_registry_ != nullptr) {
+    metrics_registry_->AddGauge("ugs_graph_version",
+                                "Current version of each updated graph.",
+                                {{"graph", id}}, gauge.get());
+  }
+}
+
 RegistryCounters SessionRegistry::counters() const {
   RegistryCounters counters;
   counters.hits = hits_.Value();
@@ -166,6 +266,7 @@ RegistryCounters SessionRegistry::counters() const {
   counters.open_failures = open_failures_.Value();
   counters.opens_text = opens_text_.Value();
   counters.opens_mmap = opens_mmap_.Value();
+  counters.updates = updates_.Value();
   return counters;
 }
 
@@ -214,13 +315,21 @@ std::string SessionRegistry::StatsJson() const {
     out += "{\"id\":" + JsonEscaped(id) +
            ",\"bytes\":" + std::to_string(entry.bytes) +
            ",\"engine_threads\":" +
-           std::to_string(entry.session->engine().num_threads()) + "}";
+           std::to_string(entry.session->engine().num_threads()) +
+           ",\"version\":" + std::to_string(entry.session->version()) + "}";
   }
-  out += "]}";
+  // Additive fields ride after the stable prefix (docs/operations.md).
+  out += "],\"updates\":" + std::to_string(counters.updates) + "}";
   return out;
 }
 
 void SessionRegistry::ExportMetrics(telemetry::Registry* registry) const {
+  {
+    // Remember the registry so per-graph version gauges created by later
+    // updates can register themselves (mutex_ also guards the gauge map).
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_registry_ = registry;
+  }
   registry->AddCounter("ugs_registry_lookups_total",
                        "Session-registry lookups by outcome.",
                        {{"outcome", "hit"}}, &hits_);
@@ -244,6 +353,10 @@ void SessionRegistry::ExportMetrics(telemetry::Registry* registry) const {
   registry->AddHistogram("ugs_graph_open_seconds",
                          "Graph open latency by storage kind.",
                          {{"storage", "mmap"}}, &open_mmap_us_, 1e-6);
+  registry->AddCounter("ugs_updates_total",
+                       "Edge-update batches applied (each bumps a graph "
+                       "version).",
+                       {}, &updates_);
 }
 
 std::size_t ApproxSessionBytes(const GraphSession& session) {

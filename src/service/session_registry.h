@@ -49,6 +49,8 @@ struct RegistryCounters {
   /// from the fast path.
   std::uint64_t opens_text = 0;
   std::uint64_t opens_mmap = 0;
+  /// Update batches applied (each one bumped some graph's version).
+  std::uint64_t updates = 0;
 };
 
 /// Thread-safe graph-id -> GraphSession cache: the multi-graph core of the
@@ -89,6 +91,23 @@ class SessionRegistry {
   /// when the id is already resident.
   Status Insert(const std::string& id, std::unique_ptr<GraphSession> session);
 
+  /// Applies a batch of edge mutations to `id` atomically and returns the
+  /// graph's new version. The batch either fully applies (the resident
+  /// session is swapped for its successor, the update log grows, the
+  /// version bumps by one) or fails typed with the graph -- and its
+  /// version -- untouched. Updates are serialized per registry; queries
+  /// pinning the old session finish against the old snapshot (sessions
+  /// are immutable, the swap is copy-on-mutate). The log survives
+  /// eviction: a reopened graph replays it, so version N always names
+  /// the same edge list. Logs are in-memory only -- a process restart
+  /// resets every graph to version 1 (docs/dynamic-graphs.md).
+  Result<std::uint64_t> ApplyUpdates(const std::string& id,
+                                     std::span<const EdgeUpdate> updates);
+
+  /// Current version of `id`: 1 for never-updated (or unknown) graphs,
+  /// otherwise 1 + the number of applied update batches.
+  std::uint64_t CurrentVersion(const std::string& id) const;
+
   RegistryCounters counters() const;
 
   /// Resident ids in most-recently-used-first order.
@@ -116,6 +135,14 @@ class SessionRegistry {
     bool opening = false;
   };
 
+  /// Per-graph mutation history. Never erased (eviction drops the
+  /// session, not the history), so a reopened graph replays to exactly
+  /// the version its clients were acked.
+  struct UpdateState {
+    std::uint64_t version = 1;
+    std::vector<EdgeUpdate> log;  ///< All applied updates, in order.
+  };
+
   /// Checks id syntax (non-empty, no path separators or "..").
   static Status ValidateId(const std::string& id);
 
@@ -131,13 +158,27 @@ class SessionRegistry {
   Handle Commit(const std::string& id,
                 std::shared_ptr<const GraphSession> session);
 
+  /// Points the per-graph version gauge for `id` at `version`, creating
+  /// and registering it on first use. Caller holds mutex_.
+  void SetVersionGauge(const std::string& id, std::uint64_t version);
+
   SessionRegistryOptions options_;
+
+  /// Serializes updaters (queries never take it): version bumps are
+  /// strictly ordered, so "version N" names exactly one edge list.
+  std::mutex updates_mutex_;
 
   mutable std::mutex mutex_;
   std::condition_variable opened_cv_;  ///< Signaled when an open settles.
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  ///< Resident ids, MRU first.
   std::size_t resident_bytes_ = 0;
+  std::unordered_map<std::string, UpdateState> update_states_;
+  /// Per-graph version gauges (never erased; registered lazily on first
+  /// bump with the telemetry registry captured by ExportMetrics).
+  std::unordered_map<std::string, std::unique_ptr<telemetry::Gauge>>
+      version_gauges_;
+  mutable telemetry::Registry* metrics_registry_ = nullptr;
 
   telemetry::Counter hits_;
   telemetry::Counter misses_;
@@ -145,6 +186,7 @@ class SessionRegistry {
   telemetry::Counter open_failures_;
   telemetry::Counter opens_text_;
   telemetry::Counter opens_mmap_;
+  telemetry::Counter updates_;
   telemetry::Histogram open_text_us_{telemetry::LatencyBucketsUs()};
   telemetry::Histogram open_mmap_us_{telemetry::LatencyBucketsUs()};
 };

@@ -244,7 +244,7 @@ Status ParseFrameHeader(const char* header, std::uint32_t* size,
   }
   const std::uint8_t raw_type = static_cast<std::uint8_t>(header[4]);
   if (raw_type < static_cast<std::uint8_t>(FrameType::kRequest) ||
-      raw_type > static_cast<std::uint8_t>(FrameType::kStatsReply)) {
+      raw_type > static_cast<std::uint8_t>(FrameType::kUpdateReply)) {
     return Status::InvalidArgument("wire: unknown frame type " +
                                    std::to_string(raw_type));
   }
@@ -369,6 +369,7 @@ std::string EncodeResult(const QueryResult& result) {
   w.U8(kWireVersion);
   w.Str(result.query);
   w.U8(static_cast<std::uint8_t>(result.estimator));
+  w.U64(result.graph_version);
   w.U64(result.samples.num_units);
   w.U64(result.samples.num_samples);
   w.U64(result.samples.values.size());
@@ -405,6 +406,7 @@ Result<QueryResult> DecodeResult(std::string_view payload) {
   std::uint8_t estimator;
   UGS_RETURN_IF_ERROR(r.U8(&estimator));
   UGS_RETURN_IF_ERROR(DecodeEstimator(estimator, &result.estimator));
+  UGS_RETURN_IF_ERROR(r.U64(&result.graph_version));
   UGS_RETURN_IF_ERROR(r.U64(&result.samples.num_units));
   UGS_RETURN_IF_ERROR(r.U64(&result.samples.num_samples));
   const std::uint64_t units = result.samples.num_units;
@@ -499,6 +501,67 @@ Status DecodeError(std::string_view payload, Status* decoded) {
   UGS_RETURN_IF_ERROR(r.Done());
   *decoded = Status(static_cast<StatusCode>(code), std::move(message));
   return Status::OK();
+}
+
+std::string EncodeUpdate(const WireUpdate& update) {
+  Writer w;
+  w.U8(kWireVersion);
+  w.Str(update.graph);
+  w.U32(static_cast<std::uint32_t>(update.updates.size()));
+  for (const EdgeUpdate& u : update.updates) {
+    w.U8(static_cast<std::uint8_t>(u.op));
+    w.U32(u.u);
+    w.U32(u.v);
+    w.F64(u.p);
+  }
+  return w.Take();
+}
+
+Result<WireUpdate> DecodeUpdate(std::string_view payload) {
+  Reader r(payload);
+  WireUpdate update;
+  UGS_RETURN_IF_ERROR(r.Version());
+  UGS_RETURN_IF_ERROR(r.Str(&update.graph));
+  std::size_t count;
+  UGS_RETURN_IF_ERROR(r.Count(17, &count));  // op u8 + 2x u32 + p f64.
+  if (count == 0) {
+    return Status::InvalidArgument(
+        "wire: empty update batch (a no-op must not bump the version)");
+  }
+  update.updates.resize(count);
+  for (EdgeUpdate& u : update.updates) {
+    std::uint8_t op;
+    UGS_RETURN_IF_ERROR(r.U8(&op));
+    if (op < static_cast<std::uint8_t>(EdgeUpdateOp::kInsert) ||
+        op > static_cast<std::uint8_t>(EdgeUpdateOp::kReweight)) {
+      return Status::InvalidArgument("wire: invalid edge-update op byte " +
+                                     std::to_string(op));
+    }
+    u.op = static_cast<EdgeUpdateOp>(op);
+    UGS_RETURN_IF_ERROR(r.U32(&u.u));
+    UGS_RETURN_IF_ERROR(r.U32(&u.v));
+    UGS_RETURN_IF_ERROR(r.F64(&u.p));
+  }
+  UGS_RETURN_IF_ERROR(r.Done());
+  return update;
+}
+
+std::string EncodeUpdateReply(const WireUpdateReply& reply) {
+  Writer w;
+  w.U8(kWireVersion);
+  w.U64(reply.version);
+  w.U32(reply.applied);
+  return w.Take();
+}
+
+Result<WireUpdateReply> DecodeUpdateReply(std::string_view payload) {
+  Reader r(payload);
+  WireUpdateReply reply;
+  UGS_RETURN_IF_ERROR(r.Version());
+  UGS_RETURN_IF_ERROR(r.U64(&reply.version));
+  UGS_RETURN_IF_ERROR(r.U32(&reply.applied));
+  UGS_RETURN_IF_ERROR(r.Done());
+  return reply;
 }
 
 std::string RequestToJson(const WireRequest& request) {

@@ -6,6 +6,9 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
+#include "graph/uncertain_graph.h"
 #include "query/query.h"
 #include "util/status.h"
 
@@ -21,7 +24,8 @@ namespace ugs {
 ///
 ///   u32 payload_length (little-endian) | u8 frame_type | payload bytes
 ///
-/// and every *binary* payload (kRequest / kResult / kError) starts with a
+/// and every *binary* payload (kRequest / kResult / kError / kUpdate /
+/// kUpdateReply) starts with a
 /// u8 format version (kWireVersion); the stats verb's payloads are raw
 /// UTF-8 text (a graph id out, a JSON line back) and are unversioned.
 /// Integers are little-endian fixed-width; doubles travel as their IEEE-754
@@ -34,8 +38,10 @@ namespace ugs {
 /// InvalidArgument.
 
 /// Version byte leading every payload. Bump when the payload layout
-/// changes; decoders reject everything else.
-inline constexpr std::uint8_t kWireVersion = 1;
+/// changes; decoders reject everything else. Version 2 added the
+/// graph-version stamp to results and the mutation verbs
+/// (kUpdate / kUpdateReply -- docs/dynamic-graphs.md).
+inline constexpr std::uint8_t kWireVersion = 2;
 
 /// Upper bound on a frame payload; larger length prefixes are rejected
 /// before any allocation happens.
@@ -49,13 +55,16 @@ inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
 inline constexpr const char* kMetricsStatsVerb = "/metrics";
 
 /// What a frame carries. The request/reply pairs are
-/// kRequest -> kResult | kError and kStats -> kStatsReply | kError.
+/// kRequest -> kResult | kError, kStats -> kStatsReply | kError, and
+/// kUpdate -> kUpdateReply | kError.
 enum class FrameType : std::uint8_t {
-  kRequest = 1,     ///< WireRequest payload (graph id + QueryRequest).
-  kResult = 2,      ///< QueryResult payload.
-  kError = 3,       ///< Status payload (code + message).
-  kStats = 4,       ///< Admin verb: server/registry counters; empty payload.
-  kStatsReply = 5,  ///< One-line JSON text payload.
+  kRequest = 1,      ///< WireRequest payload (graph id + QueryRequest).
+  kResult = 2,       ///< QueryResult payload.
+  kError = 3,        ///< Status payload (code + message).
+  kStats = 4,        ///< Admin verb: server/registry counters; empty payload.
+  kStatsReply = 5,   ///< One-line JSON text payload.
+  kUpdate = 6,       ///< WireUpdate payload (graph id + edge mutations).
+  kUpdateReply = 7,  ///< WireUpdateReply payload (new version + count).
 };
 
 /// A query request addressed to one graph of a multi-graph server: `graph`
@@ -63,6 +72,22 @@ enum class FrameType : std::uint8_t {
 struct WireRequest {
   std::string graph;
   QueryRequest request;
+};
+
+/// A batch of edge mutations addressed to one graph. The whole batch is
+/// one atomic version bump: all updates apply (in order) or none do.
+/// Empty batches are rejected at decode time -- a no-op must not bump
+/// the version.
+struct WireUpdate {
+  std::string graph;
+  std::vector<EdgeUpdate> updates;
+};
+
+/// Acknowledgement of an applied update batch: the graph's new version
+/// and how many updates the batch carried.
+struct WireUpdateReply {
+  std::uint64_t version = 0;
+  std::uint32_t applied = 0;
 };
 
 /// One decoded frame.
@@ -79,6 +104,12 @@ Result<WireRequest> DecodeRequest(std::string_view payload);
 
 std::string EncodeResult(const QueryResult& result);
 Result<QueryResult> DecodeResult(std::string_view payload);
+
+std::string EncodeUpdate(const WireUpdate& update);
+Result<WireUpdate> DecodeUpdate(std::string_view payload);
+
+std::string EncodeUpdateReply(const WireUpdateReply& reply);
+Result<WireUpdateReply> DecodeUpdateReply(std::string_view payload);
 
 std::string EncodeError(const Status& status);
 /// Decodes an error payload into `*decoded`, the (always non-OK) Status
@@ -101,8 +132,11 @@ std::string JsonEscaped(const std::string& s);
 
 /// Bit-exact equality of everything a QueryResult answers (query,
 /// estimator, samples matrix, means, scalar, knn, paths) *except* the
-/// wall-time field -- the serving contract: a response from ugs_serve must
-/// PayloadEquals the same request run through GraphSession::Run locally.
+/// wall-time field and the graph-version stamp -- the serving contract: a
+/// response from ugs_serve must PayloadEquals the same request run through
+/// GraphSession::Run locally. The version stamp is excluded so a mutated
+/// session's answers compare against a fresh load of the equivalent edge
+/// list (the version-equivalence oracle in tests/graph_update_test.cc).
 bool PayloadEquals(const QueryResult& a, const QueryResult& b);
 
 /// Appends one framed message (header + payload) to `out` -- the

@@ -24,7 +24,7 @@ QueryRequest MakeRequest(std::uint64_t seed) {
 TEST(ResultCacheTest, DisabledCacheIsPureMissAndStoresNothing) {
   ResultCache cache(ResultCacheOptions{});  // Both budgets 0: disabled.
   EXPECT_FALSE(cache.enabled());
-  const std::string key = ResultCache::Key("g", MakeRequest(1));
+  const std::string key = ResultCache::Key("g", 1, MakeRequest(1));
   EXPECT_FALSE(cache.Lookup(key) != nullptr);
   cache.Insert(key, "payload");
   EXPECT_FALSE(cache.Lookup(key) != nullptr);
@@ -39,7 +39,7 @@ TEST(ResultCacheTest, DisabledCacheIsPureMissAndStoresNothing) {
 
 TEST(ResultCacheTest, HitReturnsInsertedPayloadVerbatim) {
   ResultCache cache({.max_entries = 4});
-  const std::string key = ResultCache::Key("g", MakeRequest(1));
+  const std::string key = ResultCache::Key("g", 1, MakeRequest(1));
   EXPECT_FALSE(cache.Lookup(key) != nullptr);
   const std::string payload("exact-bytes\0with-nul", 20);  // Embedded NUL.
   cache.Insert(key, payload);
@@ -54,34 +54,70 @@ TEST(ResultCacheTest, HitReturnsInsertedPayloadVerbatim) {
 
 TEST(ResultCacheTest, KeyDistinguishesGraphAndEveryRequestField) {
   const QueryRequest base = MakeRequest(1);
-  const std::string key = ResultCache::Key("g1", base);
-  EXPECT_NE(key, ResultCache::Key("g2", base));
+  const std::string key = ResultCache::Key("g1", 1, base);
+  EXPECT_NE(key, ResultCache::Key("g2", 1, base));
 
   QueryRequest reseeded = base;
   reseeded.seed = 2;  // The seed is part of the key: determinism, not luck.
-  EXPECT_NE(key, ResultCache::Key("g1", reseeded));
+  EXPECT_NE(key, ResultCache::Key("g1", 1, reseeded));
 
   QueryRequest resampled = base;
   resampled.num_samples = 64;
-  EXPECT_NE(key, ResultCache::Key("g1", resampled));
+  EXPECT_NE(key, ResultCache::Key("g1", 1, resampled));
 
   QueryRequest repaired = base;
   repaired.pairs = {{0, 2}};
-  EXPECT_NE(key, ResultCache::Key("g1", repaired));
+  EXPECT_NE(key, ResultCache::Key("g1", 1, repaired));
 
   QueryRequest restimated = base;
   restimated.estimator = Estimator::kSkipSampler;
-  EXPECT_NE(key, ResultCache::Key("g1", restimated));
+  EXPECT_NE(key, ResultCache::Key("g1", 1, restimated));
+
+  // The graph version is part of the key: an update bumps it, so the
+  // old version's entries are simply never asked for again.
+  EXPECT_NE(key, ResultCache::Key("g1", 2, base));
 
   // And an equal request produces an equal key.
-  EXPECT_EQ(key, ResultCache::Key("g1", MakeRequest(1)));
+  EXPECT_EQ(key, ResultCache::Key("g1", 1, MakeRequest(1)));
+}
+
+TEST(ResultCacheTest, InvalidateCountsExactlyTheStaleVersionsEntries) {
+  ResultCache cache({.max_entries = 8});
+  cache.Insert(ResultCache::Key("g1", 1, MakeRequest(1)), "a");
+  cache.Insert(ResultCache::Key("g1", 1, MakeRequest(2)), "b");
+  cache.Insert(ResultCache::Key("g1", 2, MakeRequest(1)), "c");
+  cache.Insert(ResultCache::Key("g2", 1, MakeRequest(1)), "d");
+
+  // Exactly g1's version-1 entries are stale; g1@2 and g2@1 survive.
+  EXPECT_EQ(cache.Invalidate("g1", 1), 2u);
+  EXPECT_EQ(cache.counters().invalidations, 2u);
+  EXPECT_TRUE(cache.Lookup(ResultCache::Key("g1", 2, MakeRequest(1))) !=
+              nullptr);
+  EXPECT_TRUE(cache.Lookup(ResultCache::Key("g2", 1, MakeRequest(1))) !=
+              nullptr);
+
+  // No scan, no flush: the stale entries age out via LRU, they are not
+  // removed eagerly.
+  EXPECT_EQ(cache.entries(), 4u);
+
+  // A version with nothing resident reports zero.
+  EXPECT_EQ(cache.Invalidate("g1", 7), 0u);
+  EXPECT_EQ(cache.counters().invalidations, 2u);
+}
+
+TEST(ResultCacheTest, EvictionDrainsThePerVersionLiveCounts) {
+  ResultCache cache({.max_entries = 2});
+  cache.Insert(ResultCache::Key("g", 1, MakeRequest(1)), "a");
+  cache.Insert(ResultCache::Key("g", 1, MakeRequest(2)), "b");
+  cache.Insert(ResultCache::Key("g", 1, MakeRequest(3)), "c");  // Evicts one.
+  EXPECT_EQ(cache.Invalidate("g", 1), 2u);  // 3 inserted, 1 evicted.
 }
 
 TEST(ResultCacheTest, EntryBudgetEvictsLeastRecentlyUsed) {
   ResultCache cache({.max_entries = 2});
-  const std::string a = ResultCache::Key("g", MakeRequest(1));
-  const std::string b = ResultCache::Key("g", MakeRequest(2));
-  const std::string c = ResultCache::Key("g", MakeRequest(3));
+  const std::string a = ResultCache::Key("g", 1, MakeRequest(1));
+  const std::string b = ResultCache::Key("g", 1, MakeRequest(2));
+  const std::string c = ResultCache::Key("g", 1, MakeRequest(3));
   cache.Insert(a, "A");
   cache.Insert(b, "B");
   ASSERT_TRUE(cache.Lookup(a) != nullptr);  // a is now MRU.
@@ -97,15 +133,15 @@ TEST(ResultCacheTest, ByteBudgetEvictsUntilItFits) {
   // Each entry charges key + payload bytes; keys here are the encoded
   // requests (~80 bytes each), so a 3-entry budget forces eviction on
   // the 4th insert at the latest.
-  const std::string a = ResultCache::Key("g", MakeRequest(1));
+  const std::string a = ResultCache::Key("g", 1, MakeRequest(1));
   // Explicit max_entry_bytes: the default admission cap (max_bytes / 8)
   // would reject these entries outright, and this test is about
   // eviction, not admission.
   ResultCache cache({.max_bytes = 3 * (a.size() + 8),
                      .max_entry_bytes = 4096});
-  const std::string b = ResultCache::Key("g", MakeRequest(2));
-  const std::string c = ResultCache::Key("g", MakeRequest(3));
-  const std::string d = ResultCache::Key("g", MakeRequest(4));
+  const std::string b = ResultCache::Key("g", 1, MakeRequest(2));
+  const std::string c = ResultCache::Key("g", 1, MakeRequest(3));
+  const std::string d = ResultCache::Key("g", 1, MakeRequest(4));
   cache.Insert(a, std::string(8, 'a'));
   cache.Insert(b, std::string(8, 'b'));
   cache.Insert(c, std::string(8, 'c'));
@@ -120,7 +156,7 @@ TEST(ResultCacheTest, ByteBudgetEvictsUntilItFits) {
 
 TEST(ResultCacheTest, OversizedPayloadIsNeverCached) {
   ResultCache cache({.max_bytes = 64});
-  const std::string key = ResultCache::Key("g", MakeRequest(1));
+  const std::string key = ResultCache::Key("g", 1, MakeRequest(1));
   cache.Insert(key, std::string(1024, 'x'));  // Exceeds the whole budget.
   EXPECT_EQ(cache.entries(), 0u);
   EXPECT_EQ(cache.bytes(), 0u);
@@ -134,8 +170,8 @@ TEST(ResultCacheTest, AdmissionCapDefaultsToan8thOfTheByteBudget) {
   // the whole working set.
   ResultCache cache({.max_bytes = 4096});
   EXPECT_EQ(cache.options().effective_max_entry_bytes(), 512u);
-  const std::string small = ResultCache::Key("g", MakeRequest(1));
-  const std::string big = ResultCache::Key("g", MakeRequest(2));
+  const std::string small = ResultCache::Key("g", 1, MakeRequest(1));
+  const std::string big = ResultCache::Key("g", 1, MakeRequest(2));
   cache.Insert(small, std::string(64, 's'));
   cache.Insert(big, std::string(1024, 'b'));  // Fits max_bytes, over cap.
   EXPECT_TRUE(cache.Lookup(small) != nullptr);
@@ -149,7 +185,7 @@ TEST(ResultCacheTest, AdmissionCapDefaultsToan8thOfTheByteBudget) {
 TEST(ResultCacheTest, ExplicitAdmissionCapOverridesTheDefault) {
   ResultCache cache({.max_bytes = 4096, .max_entry_bytes = 2048});
   EXPECT_EQ(cache.options().effective_max_entry_bytes(), 2048u);
-  const std::string key = ResultCache::Key("g", MakeRequest(1));
+  const std::string key = ResultCache::Key("g", 1, MakeRequest(1));
   cache.Insert(key, std::string(1024, 'x'));  // Over 4096/8, under 2048.
   EXPECT_TRUE(cache.Lookup(key) != nullptr);
   EXPECT_EQ(cache.counters().admission_rejects, 0u);
@@ -160,7 +196,7 @@ TEST(ResultCacheTest, EntryOnlyCacheAdmitsAnySize) {
   // cache must keep caching large responses.
   ResultCache cache({.max_entries = 4});
   EXPECT_EQ(cache.options().effective_max_entry_bytes(), 0u);
-  const std::string key = ResultCache::Key("g", MakeRequest(1));
+  const std::string key = ResultCache::Key("g", 1, MakeRequest(1));
   cache.Insert(key, std::string(1 << 20, 'x'));
   EXPECT_TRUE(cache.Lookup(key) != nullptr);
   EXPECT_EQ(cache.counters().admission_rejects, 0u);
@@ -168,7 +204,7 @@ TEST(ResultCacheTest, EntryOnlyCacheAdmitsAnySize) {
 
 TEST(ResultCacheTest, FirstInsertWinsOnDuplicateKey) {
   ResultCache cache({.max_entries = 4});
-  const std::string key = ResultCache::Key("g", MakeRequest(1));
+  const std::string key = ResultCache::Key("g", 1, MakeRequest(1));
   cache.Insert(key, "first");
   cache.Insert(key, "second");  // Duplicate: ignored (payloads are
                                 // byte-identical in real traffic anyway).
@@ -180,10 +216,10 @@ TEST(ResultCacheTest, FirstInsertWinsOnDuplicateKey) {
 
 TEST(ResultCacheTest, StatsJsonCarriesCountersAndOccupancy) {
   ResultCache cache({.max_entries = 2, .max_bytes = 4096});
-  const std::string key = ResultCache::Key("g", MakeRequest(1));
+  const std::string key = ResultCache::Key("g", 1, MakeRequest(1));
   cache.Insert(key, "payload");
   ASSERT_TRUE(cache.Lookup(key) != nullptr);
-  cache.Lookup(ResultCache::Key("g", MakeRequest(2)));
+  cache.Lookup(ResultCache::Key("g", 1, MakeRequest(2)));
   const std::string json = cache.StatsJson();
   EXPECT_NE(json.find("\"enabled\":true"), std::string::npos) << json;
   EXPECT_NE(json.find("\"hits\":1"), std::string::npos) << json;
@@ -194,6 +230,7 @@ TEST(ResultCacheTest, StatsJsonCarriesCountersAndOccupancy) {
   EXPECT_NE(json.find("\"max_bytes\":4096"), std::string::npos) << json;
   EXPECT_NE(json.find("\"admission_rejects\":0"), std::string::npos) << json;
   EXPECT_NE(json.find("\"max_entry_bytes\":512"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"invalidations\":0"), std::string::npos) << json;
 }
 
 TEST(ResultCacheTest, ConcurrentMixedTrafficStaysConsistent) {
@@ -206,7 +243,7 @@ TEST(ResultCacheTest, ConcurrentMixedTrafficStaysConsistent) {
     threads.emplace_back([&cache, t] {
       for (int i = 0; i < kOps; ++i) {
         const std::string key =
-            ResultCache::Key("g", MakeRequest(static_cast<std::uint64_t>(
+            ResultCache::Key("g", 1, MakeRequest(static_cast<std::uint64_t>(
                                       (t * 7 + i) % 16)));
         if (std::shared_ptr<const std::string> hit = cache.Lookup(key)) {
           // A hit must replay the exact insert for that key.

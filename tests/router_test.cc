@@ -414,6 +414,124 @@ TEST_F(RouterTest, ShardErrorRepliesAreForwardedAsIs) {
   EXPECT_EQ(stats.failovers, 0u);  // No transport failure happened.
 }
 
+TEST_F(RouterTest, UpdateBroadcastsToEveryShardAndRacingStaysVerified) {
+  // The broadcast contract: a kUpdate reaches EVERY shard (never
+  // raced), so replicas stay version-identical and post-update raced
+  // queries still verify clean -- same payload, same version stamp.
+  const std::vector<QueryRequest> requests = CoveringRequests();
+  std::unique_ptr<Server> shard_a = StartShard();
+  std::unique_ptr<Server> shard_b = StartShard();
+  RouterOptions options;
+  options.replication = 2;
+  options.race = 2;
+  options.race_verify = true;
+  std::unique_ptr<Router> router =
+      StartRouter({shard_a.get(), shard_b.get()}, options);
+
+  Client client = ConnectTo(router->port());
+  // Warm both shards' caches at version 1 (racing computes on both).
+  for (const QueryRequest& request : requests) {
+    Result<QueryResult> result = client.Query(Id("g1"), request);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->graph_version, 1u);
+  }
+
+  const std::vector<EdgeUpdate> batch = {
+      {EdgeUpdateOp::kReweight, 0, 1, 0.9},
+      {EdgeUpdateOp::kDelete, 2, 3, 0.0}};
+  Result<WireUpdateReply> ack = client.Update(Id("g1"), batch);
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->version, 2u);
+  EXPECT_EQ(ack->applied, 2u);
+  // Both shards applied it -- the broadcast skipped neither replica.
+  EXPECT_EQ(shard_a->registry().counters().updates, 1u);
+  EXPECT_EQ(shard_b->registry().counters().updates, 1u);
+
+  // Post-update answers are bit-identical to a local session over the
+  // same mutations, and every one was raced with verify finding no
+  // disagreement (RepliesAgree also requires equal version stamps).
+  Result<std::unique_ptr<GraphSession>> v1 = GraphSession::Open(Path("g1"));
+  ASSERT_TRUE(v1.ok());
+  Result<std::unique_ptr<GraphSession>> v2 = (*v1)->WithUpdates(batch, 2);
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  for (const QueryRequest& request : requests) {
+    Result<QueryResult> result = client.Query(Id("g1"), request);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    Result<QueryResult> expected = (*v2)->Run(request);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_TRUE(PayloadEquals(*result, *expected)) << request.query;
+    EXPECT_EQ(result->graph_version, 2u) << request.query;
+  }
+
+  RouterStats stats = router->stats();
+  EXPECT_EQ(stats.updates, 1u);
+  EXPECT_EQ(stats.update_failures, 0u);
+  EXPECT_EQ(stats.race_mismatches, 0u);
+
+  // The new counters surface in the aggregated stats JSON and the
+  // exposition (additive fields only).
+  Result<std::string> json = client.Stats("");
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("\"updates\":1"), std::string::npos) << *json;
+  EXPECT_NE(json->find("\"update_failures\":0"), std::string::npos) << *json;
+  Result<std::string> text = client.Stats(kMetricsStatsVerb);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("ugs_router_updates_total 1"), std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("ugs_router_update_failures_total 0"),
+            std::string::npos)
+      << *text;
+}
+
+TEST_F(RouterTest, UpdateWithADeadShardIsATypedPartialAckError) {
+  // Broadcasts never fail over: a dead replica means the fleet can no
+  // longer be kept version-identical, so the router reports a typed
+  // partial-ack error instead of silently forking the versions.
+  std::unique_ptr<Server> shard_a = StartShard();
+  std::unique_ptr<Server> shard_b = StartShard();
+  RouterOptions options;
+  options.replication = 2;
+  std::unique_ptr<Router> router =
+      StartRouter({shard_a.get(), shard_b.get()}, options);
+
+  shard_b->Stop();
+  Client client = ConnectTo(router->port());
+  Result<WireUpdateReply> ack = client.Update(
+      Id("g1"), {{EdgeUpdateOp::kReweight, 0, 1, 0.9}});
+  ASSERT_FALSE(ack.ok());
+  EXPECT_EQ(ack.status().code(), StatusCode::kIOError)
+      << ack.status().ToString();
+  EXPECT_NE(ack.status().message().find("acked by 1/2"), std::string::npos)
+      << ack.status().ToString();
+
+  RouterStats stats = router->stats();
+  EXPECT_EQ(stats.updates, 1u);
+  EXPECT_EQ(stats.update_failures, 1u);
+}
+
+TEST_F(RouterTest, ShardUpdateRejectionIsForwardedAsIs) {
+  // A deterministic shard-side rejection (invalid batch) is the same on
+  // every replica: the router forwards the first kError unchanged and
+  // stops -- no shard moved, so the fleet stays version-identical.
+  std::unique_ptr<Server> shard_a = StartShard();
+  std::unique_ptr<Server> shard_b = StartShard();
+  RouterOptions options;
+  options.replication = 2;
+  std::unique_ptr<Router> router =
+      StartRouter({shard_a.get(), shard_b.get()}, options);
+
+  Client client = ConnectTo(router->port());
+  // g1 is K4: inserting an existing edge is InvalidArgument on any shard.
+  Result<WireUpdateReply> ack = client.Update(
+      Id("g1"), {{EdgeUpdateOp::kInsert, 0, 1, 0.5}});
+  ASSERT_FALSE(ack.ok());
+  EXPECT_EQ(ack.status().code(), StatusCode::kInvalidArgument)
+      << ack.status().ToString();
+  EXPECT_EQ(shard_a->registry().counters().updates, 0u);
+  EXPECT_EQ(shard_b->registry().counters().updates, 0u);
+  EXPECT_EQ(router->stats().update_failures, 1u);
+}
+
 TEST_F(RouterTest, StartRejectsMisconfiguration) {
   {
     Router router(RouterOptions{});  // No shards.

@@ -3,6 +3,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -796,6 +798,264 @@ TEST_F(ServiceTest, EphemeralPortsAreIndependent) {
   EXPECT_NE(a->port(), 0);
   EXPECT_NE(b->port(), 0);
   EXPECT_NE(a->port(), b->port());
+}
+
+TEST_P(ServiceBackendTest, UpdateInvalidatesExactlyTheStaleEntries) {
+  // The update-then-query contract: answers cached before a mutation
+  // are never served after it (the version key changed), answers for
+  // untouched graphs keep hitting, and post-update responses are
+  // bit-identical to a local session built over the same mutations.
+  const bool cached = GetParam().cache_entries > 0;
+  std::unique_ptr<Server> server = StartServer(/*workers=*/2);
+  Client client = ConnectTo(*server);
+  const std::vector<QueryRequest> requests = CoveringRequests();
+
+  Result<std::unique_ptr<GraphSession>> v1 = GraphSession::Open(Path("g1"));
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+
+  for (const QueryRequest& request : requests) {
+    Result<QueryResult> result = client.Query(Id("g1"), request);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    Result<QueryResult> expected = (*v1)->Run(request);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_TRUE(PayloadEquals(*result, *expected)) << request.query;
+    EXPECT_EQ(result->graph_version, 1u) << request.query;
+  }
+  if (cached) {
+    // Re-ask everything: the whole pass is served from the cache.
+    const std::uint64_t hits_before = server->cache().counters().hits;
+    for (const QueryRequest& request : requests) {
+      ASSERT_TRUE(client.Query(Id("g1"), request).ok());
+    }
+    EXPECT_EQ(server->cache().counters().hits,
+              hits_before + requests.size());
+  }
+  // Cache one answer for g2: it must survive g1's update untouched.
+  ASSERT_TRUE(client.Query(Id("g2"), requests[0]).ok());
+
+  // g1 is K4: every pair is an edge, so mutate by reweight + delete.
+  const std::vector<EdgeUpdate> batch = {
+      {EdgeUpdateOp::kReweight, 0, 1, 0.9},
+      {EdgeUpdateOp::kDelete, 2, 3, 0.0}};
+  Result<WireUpdateReply> ack = client.Update(Id("g1"), batch);
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->version, 2u);
+  EXPECT_EQ(ack->applied, 2u);
+  if (cached) {
+    EXPECT_GT(server->cache().counters().invalidations, 0u);
+  }
+  EXPECT_EQ(server->registry().counters().updates, 1u);
+
+  Result<std::unique_ptr<GraphSession>> v2 = (*v1)->WithUpdates(batch, 2);
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+
+  const std::uint64_t hits_before = server->cache().counters().hits;
+  for (const QueryRequest& request : requests) {
+    Result<QueryResult> result = client.Query(Id("g1"), request);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    Result<QueryResult> expected = (*v2)->Run(request);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_TRUE(PayloadEquals(*result, *expected)) << request.query;
+    EXPECT_EQ(result->graph_version, 2u) << request.query;
+  }
+  // Guaranteed misses: not one post-update answer came from the cache
+  // (the pre-update entries are unreachable under the new version key).
+  EXPECT_EQ(server->cache().counters().hits, hits_before);
+  if (cached) {
+    // g2's entry was NOT invalidated: re-asking hits.
+    ASSERT_TRUE(client.Query(Id("g2"), requests[0]).ok());
+    EXPECT_EQ(server->cache().counters().hits, hits_before + 1);
+  }
+
+  // The stats JSON reflects the bump (additive fields only).
+  Result<std::string> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"version\":2"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"updates\":1"), std::string::npos) << *stats;
+}
+
+TEST_P(ServiceBackendTest, UpdateErrorsAreTypedAndLeaveTheVersionAlone) {
+  std::unique_ptr<Server> server = StartServer(/*workers=*/2);
+  Client client = ConnectTo(*server);
+
+  // Unknown graph id: the registry's open failure is carried typed.
+  Result<WireUpdateReply> missing = client.Update(
+      Id("nope"), {{EdgeUpdateOp::kReweight, 0, 1, 0.5}});
+  EXPECT_FALSE(missing.ok());
+
+  // Invalid batch (inserting an edge K4 already has): rejected
+  // atomically, version untouched.
+  Result<WireUpdateReply> duplicate = client.Update(
+      Id("g1"), {{EdgeUpdateOp::kInsert, 0, 1, 0.5}});
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kInvalidArgument)
+      << duplicate.status().ToString();
+
+  // Empty batch: a no-op must not bump the version.
+  Result<WireUpdateReply> empty = client.Update(Id("g1"), {});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument)
+      << empty.status().ToString();
+
+  // The connection survived all three rejections, and g1 still
+  // answers at version 1.
+  QueryRequest request;
+  request.query = "reliability";
+  request.pairs = {{0, 3}};
+  request.num_samples = 32;
+  request.seed = 7;
+  Result<QueryResult> result = client.Query(Id("g1"), request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->graph_version, 1u);
+  EXPECT_EQ(server->registry().counters().updates, 0u);
+}
+
+TEST_P(ServiceBackendTest, PostUpdateResponsesBitIdenticalAtEveryWorkerCount) {
+  // Version equivalence through the serving tier: after a mutation
+  // batch, responses at 1, 2 and 8 workers are bit-identical to a
+  // fresh local session over the equivalent edge list.
+  const std::vector<QueryRequest> requests = CoveringRequests();
+  const std::vector<EdgeUpdate> batch = {
+      {EdgeUpdateOp::kDelete, 0, 2, 0.0},
+      {EdgeUpdateOp::kReweight, 1, 3, 0.125},
+      {EdgeUpdateOp::kInsert, 0, 2, 0.875}};
+
+  Result<std::unique_ptr<GraphSession>> v1 = GraphSession::Open(Path("g1"));
+  ASSERT_TRUE(v1.ok());
+  Result<std::unique_ptr<GraphSession>> v2 = (*v1)->WithUpdates(batch, 2);
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+
+  for (int workers : {1, 2, 8}) {
+    std::unique_ptr<Server> server = StartServer(workers);
+    Client client = ConnectTo(*server);
+    Result<WireUpdateReply> ack = client.Update(Id("g1"), batch);
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    ASSERT_EQ(ack->version, 2u);
+    for (const QueryRequest& request : requests) {
+      Result<QueryResult> result = client.Query(Id("g1"), request);
+      ASSERT_TRUE(result.ok())
+          << request.query << " at " << workers << " workers: "
+          << result.status().ToString();
+      Result<QueryResult> expected = (*v2)->Run(request);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_TRUE(PayloadEquals(*result, *expected))
+          << request.query << " at " << workers << " workers";
+      EXPECT_EQ(result->graph_version, 2u);
+    }
+    server->Stop();
+  }
+}
+
+TEST_F(ServiceTest, ConcurrentUpdaterWithPipelinedQueriersStaysConsistent) {
+  // One updater thread walks g2 through kBatches reweights of the same
+  // edge while 8 querier threads pipeline bursts of the same request.
+  // Every reply must be bit-identical to the local oracle for the
+  // version stamped in that reply -- a served result always corresponds
+  // exactly to some committed version, never a torn in-between.
+  constexpr std::size_t kBatches = 6;
+  constexpr std::size_t kQueriers = 8;
+  constexpr std::size_t kBursts = 5;
+  constexpr std::size_t kBurstDepth = 8;
+
+  ServerOptions options;
+  options.num_workers = 4;
+  options.cache.max_entries = 64;
+  std::unique_ptr<Server> server = StartServerWith(options);
+
+  QueryRequest request;
+  request.query = "reliability";
+  request.pairs = {{0, 11}};
+  request.num_samples = 48;
+  request.seed = 3;
+
+  // oracle[v - 1] answers `request` at graph version v.
+  std::vector<QueryResult> oracle;
+  std::vector<std::vector<EdgeUpdate>> batches;
+  {
+    Result<std::unique_ptr<GraphSession>> session =
+        GraphSession::Open(Path("g2"));
+    ASSERT_TRUE(session.ok());
+    std::unique_ptr<GraphSession> current = std::move(*session);
+    Result<QueryResult> base = current->Run(request);
+    ASSERT_TRUE(base.ok());
+    oracle.push_back(*base);
+    for (std::size_t b = 0; b < kBatches; ++b) {
+      const double p = 0.05 + 0.1 * static_cast<double>(b);
+      batches.push_back({{EdgeUpdateOp::kReweight, 0, 1, p}});
+      Result<std::unique_ptr<GraphSession>> next =
+          current->WithUpdates(batches.back(), current->version() + 1);
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      current = std::move(*next);
+      Result<QueryResult> result = current->Run(request);
+      ASSERT_TRUE(result.ok());
+      oracle.push_back(*result);
+    }
+  }
+
+  std::atomic<bool> updater_ok{true};
+  std::thread updater([&] {
+    Result<Client> client = Client::Connect("127.0.0.1", server->port());
+    if (!client.ok()) {
+      updater_ok = false;
+      return;
+    }
+    for (std::size_t b = 0; b < kBatches; ++b) {
+      Result<WireUpdateReply> ack = client->Update(Id("g2"), batches[b]);
+      if (!ack.ok() || ack->version != b + 2) {
+        updater_ok = false;
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  std::vector<std::thread> queriers;
+  std::vector<std::string> failures(kQueriers);
+  for (std::size_t q = 0; q < kQueriers; ++q) {
+    queriers.emplace_back([&, q] {
+      Result<Client> client = Client::Connect("127.0.0.1", server->port());
+      if (!client.ok()) {
+        failures[q] = client.status().ToString();
+        return;
+      }
+      const std::vector<WireRequest> burst(kBurstDepth,
+                                           WireRequest{Id("g2"), request});
+      for (std::size_t round = 0; round < kBursts; ++round) {
+        std::vector<Result<QueryResult>> replies =
+            client->QueryPipelined(burst);
+        for (const Result<QueryResult>& reply : replies) {
+          if (!reply.ok()) {
+            failures[q] = reply.status().ToString();
+            return;
+          }
+          const std::uint64_t v = reply->graph_version;
+          if (v < 1 || v > oracle.size()) {
+            failures[q] = "impossible version " + std::to_string(v);
+            return;
+          }
+          if (!PayloadEquals(*reply, oracle[v - 1])) {
+            failures[q] =
+                "payload mismatch at version " + std::to_string(v);
+            return;
+          }
+        }
+      }
+    });
+  }
+  updater.join();
+  for (std::thread& t : queriers) t.join();
+  EXPECT_TRUE(updater_ok.load());
+  for (std::size_t q = 0; q < kQueriers; ++q) {
+    EXPECT_TRUE(failures[q].empty()) << "querier " << q << ": "
+                                     << failures[q];
+  }
+  // Every batch landed; the final version is visible to a fresh query.
+  EXPECT_EQ(server->registry().counters().updates, kBatches);
+  Client client = ConnectTo(*server);
+  Result<QueryResult> last = client.Query(Id("g2"), request);
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->graph_version, kBatches + 1);
+  EXPECT_TRUE(PayloadEquals(*last, oracle.back()));
 }
 
 }  // namespace

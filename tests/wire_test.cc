@@ -133,13 +133,16 @@ QueryResult SampledResult() {
   result.samples.values = {1.0, 2.5, 0.0, 3.25, 1e-300, -7.5};
   result.samples.valid = {1, 0, 1, 1, 0, 1};
   result.means = {1.75, 0.125};
+  result.graph_version = 42;
   result.seconds = 0.25;
   return result;
 }
 
 void ExpectResultsBitEqual(const QueryResult& a, const QueryResult& b) {
   EXPECT_TRUE(PayloadEquals(a, b));
-  EXPECT_EQ(a.seconds, b.seconds);  // Full decode also restores timing.
+  // Full decode also restores the fields PayloadEquals exempts.
+  EXPECT_EQ(a.graph_version, b.graph_version);
+  EXPECT_EQ(a.seconds, b.seconds);
 }
 
 TEST(WireResultTest, RoundTripsSampledResultBitExactly) {
@@ -204,10 +207,10 @@ TEST(WireResultTest, EveryTruncationFailsTyped) {
 TEST(WireResultTest, ShapeMismatchFailsTyped) {
   QueryResult result = SampledResult();
   std::string payload = EncodeResult(result);
-  // Corrupt num_units (bytes 1 + (4+13) + 1 = offset right after query
-  // string and estimator byte): bump it so values no longer fit the
-  // shape.
-  const std::size_t units_offset = 1 + 4 + result.query.size() + 1;
+  // Corrupt num_units (offset right after the query string, estimator
+  // byte, and u64 graph-version stamp): bump it so values no longer fit
+  // the shape.
+  const std::size_t units_offset = 1 + 4 + result.query.size() + 1 + 8;
   payload[units_offset] = 3;
   Result<QueryResult> decoded = DecodeResult(payload);
   ASSERT_FALSE(decoded.ok());
@@ -220,6 +223,96 @@ TEST(WireResultTest, WrongVersionFailsTyped) {
   Result<QueryResult> decoded = DecodeResult(payload);
   ASSERT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+WireUpdate FullUpdate() {
+  WireUpdate update;
+  update.graph = "g1";
+  update.updates = {
+      {EdgeUpdateOp::kInsert, 0, 5, 0.75},
+      {EdgeUpdateOp::kDelete, 3, 7, 0.0},
+      {EdgeUpdateOp::kReweight, 4294967295u, 2, 1e-9},
+  };
+  return update;
+}
+
+TEST(WireUpdateTest, RoundTripsEveryField) {
+  WireUpdate update = FullUpdate();
+  Result<WireUpdate> decoded = DecodeUpdate(EncodeUpdate(update));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->graph, update.graph);
+  ASSERT_EQ(decoded->updates.size(), update.updates.size());
+  for (std::size_t i = 0; i < update.updates.size(); ++i) {
+    EXPECT_EQ(decoded->updates[i].op, update.updates[i].op);
+    EXPECT_EQ(decoded->updates[i].u, update.updates[i].u);
+    EXPECT_EQ(decoded->updates[i].v, update.updates[i].v);
+    EXPECT_EQ(decoded->updates[i].p, update.updates[i].p);
+  }
+}
+
+TEST(WireUpdateTest, EveryTruncationFailsTyped) {
+  const std::string payload = EncodeUpdate(FullUpdate());
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    Result<WireUpdate> decoded =
+        DecodeUpdate(std::string_view(payload).substr(0, len));
+    ASSERT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange)
+        << "prefix " << len;
+  }
+}
+
+TEST(WireUpdateTest, EmptyBatchFailsTyped) {
+  WireUpdate update;
+  update.graph = "g1";  // No updates: a no-op must not bump the version.
+  Result<WireUpdate> decoded = DecodeUpdate(EncodeUpdate(update));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireUpdateTest, BadOpByteFailsTyped) {
+  std::string payload = EncodeUpdate(FullUpdate());
+  // The first update's op byte follows version(1) + graph(4+2) +
+  // count(4).
+  const std::size_t op_offset = 1 + 4 + 2 + 4;
+  for (std::uint8_t bad : {0, 4, 255}) {
+    payload[op_offset] = static_cast<char>(bad);
+    Result<WireUpdate> decoded = DecodeUpdate(payload);
+    ASSERT_FALSE(decoded.ok()) << "op byte " << int(bad) << " decoded";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireUpdateTest, TrailingGarbageFailsTyped) {
+  std::string payload = EncodeUpdate(FullUpdate());
+  payload.push_back('\0');
+  Result<WireUpdate> decoded = DecodeUpdate(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireUpdateTest, WrongVersionFailsTyped) {
+  std::string payload = EncodeUpdate(FullUpdate());
+  payload[0] = 0;
+  Result<WireUpdate> decoded = DecodeUpdate(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WireUpdateReplyTest, RoundTripsAndFailsTruncated) {
+  WireUpdateReply reply;
+  reply.version = 0x1122334455667788ULL;
+  reply.applied = 9;
+  const std::string payload = EncodeUpdateReply(reply);
+  Result<WireUpdateReply> decoded = DecodeUpdateReply(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->version, reply.version);
+  EXPECT_EQ(decoded->applied, reply.applied);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    Result<WireUpdateReply> bad =
+        DecodeUpdateReply(std::string_view(payload).substr(0, len));
+    ASSERT_FALSE(bad.ok()) << "prefix of " << len << " bytes decoded";
+    EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+  }
 }
 
 TEST(WireErrorTest, RoundTripsStatus) {

@@ -1,0 +1,182 @@
+// Mutation fuzzing of the kUpdate / kUpdateReply codecs: every mutated
+// payload -- byte flips, truncations at every prefix, extensions, field
+// rewrites -- must come back from DecodeUpdate / DecodeUpdateReply as a
+// typed Status, never a crash or OOB read (ASan-run in CI's fuzz-smoke
+// job). Deterministic: a fixed seed drives the corpus, so a failure
+// reproduces by iteration index. UGS_FUZZ_ITERS scales the iteration
+// budget (default 2000).
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/wire.h"
+#include "util/random.h"
+
+namespace ugs {
+namespace {
+
+int FuzzIters() {
+  const char* env = std::getenv("UGS_FUZZ_ITERS");
+  if (env != nullptr && *env != '\0') {
+    const int iters = std::atoi(env);
+    if (iters > 0) return iters;
+  }
+  return 2000;
+}
+
+/// A fully-featured seed payload: multi-byte graph id, all three ops,
+/// endpoint and probability extremes.
+std::string SeedUpdate() {
+  WireUpdate update;
+  update.graph = "fuzz_graph_01";
+  update.updates.push_back({EdgeUpdateOp::kInsert, 0, 5, 0.75});
+  update.updates.push_back({EdgeUpdateOp::kDelete, 3, 7, 0.0});
+  update.updates.push_back({EdgeUpdateOp::kReweight, 4294967295u, 2, 1e-9});
+  update.updates.push_back({EdgeUpdateOp::kReweight, 1, 2, 1.0});
+  return EncodeUpdate(update);
+}
+
+/// One random mutation of `seed`: flips, rewrites, truncation anywhere,
+/// or junk extension.
+std::string Mutate(const std::string& seed, Rng* rng) {
+  std::string payload = seed;
+  const int kind = static_cast<int>(rng->Uniform(0.0, 5.0));
+  auto flip = [&](std::size_t lo, std::size_t hi) {
+    if (hi <= lo) return;
+    const std::size_t at =
+        lo + static_cast<std::size_t>(rng->Uniform(0.0, 1.0) *
+                                      static_cast<double>(hi - lo));
+    const int bit = static_cast<int>(rng->Uniform(0.0, 8.0));
+    payload[at] = static_cast<char>(payload[at] ^ (1 << (bit & 7)));
+  };
+  switch (kind) {
+    case 0:  // Single flip anywhere (version byte, lengths, op bytes...).
+      flip(0, payload.size());
+      break;
+    case 1: {  // Rewrite a 4-byte window with a random u32 (length
+               // fields and endpoints live in these).
+      if (payload.size() >= 4) {
+        const std::size_t at = static_cast<std::size_t>(
+            rng->Uniform(0.0, static_cast<double>(payload.size() - 3)));
+        const std::uint32_t value = static_cast<std::uint32_t>(
+            rng->Uniform(0.0, 1.0) * 4.2e9);
+        std::memcpy(payload.data() + at, &value, sizeof(value));
+      }
+      break;
+    }
+    case 2: {  // Truncate anywhere.
+      const std::size_t len = static_cast<std::size_t>(
+          rng->Uniform(0.0, 1.0) * static_cast<double>(payload.size()));
+      payload.resize(len);
+      break;
+    }
+    case 3: {  // Extend with junk (trailing bytes must be rejected).
+      const std::size_t extra =
+          1 + static_cast<std::size_t>(rng->Uniform(0.0, 64.0));
+      for (std::size_t i = 0; i < extra; ++i) {
+        payload.push_back(static_cast<char>(rng->Uniform(0.0, 256.0)));
+      }
+      break;
+    }
+    default: {  // A burst of 2-8 flips.
+      const int burst = 2 + static_cast<int>(rng->Uniform(0.0, 7.0));
+      for (int i = 0; i < burst; ++i) flip(0, payload.size());
+      break;
+    }
+  }
+  return payload;
+}
+
+TEST(WireUpdateFuzzTest, EveryPrefixTruncationFailsTyped) {
+  // Exhaustive, not randomized: all |payload| proper prefixes must be
+  // rejected as truncation (OutOfRange), never accepted or crashed on.
+  const std::string seed = SeedUpdate();
+  ASSERT_TRUE(DecodeUpdate(seed).ok());
+  for (std::size_t len = 0; len < seed.size(); ++len) {
+    Result<WireUpdate> decoded =
+        DecodeUpdate(std::string_view(seed.data(), len));
+    ASSERT_FALSE(decoded.ok()) << "prefix " << len << " accepted";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange)
+        << "prefix " << len << ": " << decoded.status().ToString();
+  }
+}
+
+TEST(WireUpdateFuzzTest, MutatedUpdatePayloadsNeverCrashTheDecoder) {
+  const std::string seed = SeedUpdate();
+  ASSERT_TRUE(DecodeUpdate(seed).ok());
+  Rng rng(20260807);
+  const int iters = FuzzIters();
+  int accepted = 0;
+  int rejected = 0;
+  for (int i = 0; i < iters; ++i) {
+    const std::string payload = Mutate(seed, &rng);
+    Result<WireUpdate> decoded = DecodeUpdate(payload);
+    if (!decoded.ok()) {
+      ++rejected;
+      continue;
+    }
+    // Flips confined to endpoint/probability bytes can legitimately
+    // still decode; the result must then be structurally sane.
+    ++accepted;
+    ASSERT_FALSE(decoded->updates.empty()) << "iteration " << i;
+    for (const EdgeUpdate& update : decoded->updates) {
+      ASSERT_TRUE(update.op == EdgeUpdateOp::kInsert ||
+                  update.op == EdgeUpdateOp::kDelete ||
+                  update.op == EdgeUpdateOp::kReweight)
+          << "iteration " << i;
+    }
+  }
+  // The corpus must actually exercise the reject paths; if nearly
+  // everything passes, the mutator went soft.
+  EXPECT_GT(rejected, iters / 2);
+  SUCCEED() << accepted << " accepted / " << rejected << " rejected of "
+            << iters;
+}
+
+TEST(WireUpdateFuzzTest, MutatedUpdateRepliesNeverCrashTheDecoder) {
+  const std::string seed =
+      EncodeUpdateReply({0x1122334455667788ull, 9});
+  ASSERT_TRUE(DecodeUpdateReply(seed).ok());
+  // Exhaustive truncation first (the payload is small enough).
+  for (std::size_t len = 0; len < seed.size(); ++len) {
+    Result<WireUpdateReply> decoded =
+        DecodeUpdateReply(std::string_view(seed.data(), len));
+    ASSERT_FALSE(decoded.ok()) << "prefix " << len << " accepted";
+  }
+  Rng rng(424242);
+  const int iters = FuzzIters();
+  int rejected = 0;
+  for (int i = 0; i < iters; ++i) {
+    const std::string payload = Mutate(seed, &rng);
+    Result<WireUpdateReply> decoded = DecodeUpdateReply(payload);
+    if (!decoded.ok()) ++rejected;
+  }
+  // Truncations, extensions, and version-byte flips all reject; only
+  // mutations confined to the version/applied fields can pass.
+  EXPECT_GT(rejected, iters / 4);
+}
+
+TEST(WireUpdateFuzzTest, RandomGarbageNeverCrashesEitherDecoder) {
+  // No seed structure at all: pure random buffers of random lengths.
+  Rng rng(0xF00D);
+  const int iters = FuzzIters();
+  for (int i = 0; i < iters; ++i) {
+    const std::size_t len =
+        static_cast<std::size_t>(rng.Uniform(0.0, 96.0));
+    std::string payload(len, '\0');
+    for (std::size_t b = 0; b < len; ++b) {
+      payload[b] = static_cast<char>(rng.Uniform(0.0, 256.0));
+    }
+    (void)DecodeUpdate(payload);
+    (void)DecodeUpdateReply(payload);
+  }
+  SUCCEED() << iters << " garbage buffers decoded without incident";
+}
+
+}  // namespace
+}  // namespace ugs

@@ -8,6 +8,13 @@
 //   ugs_client --port=<p> --stats [--graph=<id>]
 //   ugs_client --port=<p> --metrics
 //   ugs_client --port=<p> --batch=<file> [--pipeline] [--json]
+//   ugs_client --port=<p> --graph=<id> --update=<op>:<u>:<v>[:<p>] ...
+//
+// --update applies edge mutations (insert/delete/reweight) to the named
+// graph; repeating the flag batches every mutation into ONE atomic
+// update frame (all applied or none), and the ack prints the graph's
+// new version (docs/dynamic-graphs.md). Against ugs_router the batch is
+// broadcast to every shard.
 //
 // --metrics fetches the daemon's Prometheus text exposition (the
 // kMetricsStatsVerb stats sub-verb; works against ugs_serve and
@@ -59,6 +66,10 @@ void Usage() {
       "    --json          emit the wire-schema JSON result line\n"
       "  admin mode:  --stats [--graph=<id>]\n"
       "               --metrics  print the Prometheus text exposition\n"
+      "  update mode: --graph=<id> --update=<op>:<u>:<v>[:<p>]\n"
+      "    op is insert, delete, or reweight; insert/reweight take the\n"
+      "    probability p. Repeat --update to batch mutations into one\n"
+      "    atomic frame; the ack prints the graph's new version\n"
       "  batch mode:  --batch=<file>  one query per line, same flags\n"
       "    --pipeline      write all requests before reading replies\n"
       "  --timing        print client-observed RTT per request to\n"
@@ -129,6 +140,49 @@ bool ApplySpecFlag(const std::string& token, QuerySpec* spec) {
     return false;
   }
   return true;
+}
+
+/// Parses one --update value: <op>:<u>:<v>[:<p>] with op one of
+/// insert / delete / reweight. Dies with a typed usage error on any
+/// malformed field (never sends a half-parsed mutation).
+ugs::EdgeUpdate ParseUpdate(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t colon = text.find(':', start);
+    parts.push_back(text.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (parts.size() < 3 || parts.size() > 4) {
+    Die("--update needs the form <op>:<u>:<v>[:<p>], got '" + text + "'");
+  }
+  ugs::EdgeUpdate update;
+  if (parts[0] == "insert") {
+    update.op = ugs::EdgeUpdateOp::kInsert;
+  } else if (parts[0] == "delete") {
+    update.op = ugs::EdgeUpdateOp::kDelete;
+  } else if (parts[0] == "reweight") {
+    update.op = ugs::EdgeUpdateOp::kReweight;
+  } else {
+    Die("--update op must be insert, delete, or reweight, got '" + parts[0] +
+        "'");
+  }
+  update.u = static_cast<ugs::VertexId>(
+      ugs::ParseUint64OrExit("--update u", parts[1]));
+  update.v = static_cast<ugs::VertexId>(
+      ugs::ParseUint64OrExit("--update v", parts[2]));
+  if (update.op == ugs::EdgeUpdateOp::kDelete) {
+    if (parts.size() == 4) {
+      Die("--update delete takes no probability: '" + text + "'");
+    }
+  } else {
+    if (parts.size() != 4) {
+      Die("--update " + parts[0] + " needs a probability: '" + text + "'");
+    }
+    update.p = ugs::ParseDoubleOrExit("--update p", parts[3]);
+  }
+  return update;
 }
 
 /// Extracts the "vertices" count from a graph-description JSON line (the
@@ -237,6 +291,7 @@ int main(int argc, char** argv) {
   bool stats = false, metrics = false, json = false, pipeline = false;
   bool timing = false;
   QuerySpec spec;
+  std::vector<ugs::EdgeUpdate> updates;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--host=", 0) == 0) {
@@ -248,6 +303,8 @@ int main(int argc, char** argv) {
           ugs::ParseInt64OrExit("--connect-retries", arg.substr(18));
     } else if (arg.rfind("--batch=", 0) == 0) {
       batch_file = arg.substr(8);
+    } else if (arg.rfind("--update=", 0) == 0) {
+      updates.push_back(ParseUpdate(arg.substr(9)));
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--metrics") {
@@ -289,6 +346,16 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (!updates.empty()) {
+    if (spec.graph.empty()) Die("--update needs --graph");
+    ugs::Result<ugs::WireUpdateReply> ack = client.Update(spec.graph, updates);
+    if (!ack.ok()) Die(ack.status().ToString());
+    std::printf("update: graph=%s applied=%u version=%llu\n",
+                spec.graph.c_str(), ack->applied,
+                static_cast<unsigned long long>(ack->version));
+    return 0;
+  }
+
   if (!batch_file.empty()) {
     std::ifstream in(batch_file);
     if (!in) Die("cannot open batch file '" + batch_file + "'");
@@ -308,6 +375,12 @@ int main(int argc, char** argv) {
         }
       }
       specs.push_back(std::move(line_spec));
+    }
+    if (specs.empty()) {
+      // Guard the batch summary: the per-query average below divides by
+      // the batch size, and an all-comments (or empty) file is almost
+      // always a caller mistake worth a typed error, not silent success.
+      Die("batch file '" + batch_file + "' contains no queries");
     }
     if (!pipeline) {
       for (const QuerySpec& line_spec : specs) {
@@ -329,8 +402,11 @@ int main(int argc, char** argv) {
     std::vector<ugs::Result<ugs::QueryResult>> results =
         client.QueryPipelined(requests);
     if (timing) {
-      std::fprintf(stderr, "timing: batch n=%zu total_ms=%.3f\n",
-                   results.size(), timer.ElapsedMillis());
+      const double total_ms = timer.ElapsedMillis();
+      // results.size() >= 1: the empty-batch guard above already died.
+      std::fprintf(stderr, "timing: batch n=%zu total_ms=%.3f avg_ms=%.3f\n",
+                   results.size(), total_ms,
+                   total_ms / static_cast<double>(results.size()));
     }
     for (std::size_t i = 0; i < results.size(); ++i) {
       if (!results[i].ok()) Die(results[i].status().ToString());
