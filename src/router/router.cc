@@ -175,7 +175,13 @@ Status Router::Start() {
   }
   UGS_RETURN_IF_ERROR(server_.Start());
   if (options_.health_interval_ms > 0) {
-    monitor_stop_ = false;
+    {
+      // The previous monitor (if any) was joined in Stop, but a restart
+      // still publishes the reset through the mutex the new monitor
+      // reads it under.
+      MutexLock lock(&monitor_mutex_);
+      monitor_stop_ = false;
+    }
     monitor_ = std::thread([this] { MonitorLoop(); });
   }
   return Status::OK();
@@ -186,10 +192,10 @@ void Router::Stop() {
   server_.Stop();
   if (monitor_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(monitor_mutex_);
+      MutexLock lock(&monitor_mutex_);
       monitor_stop_ = true;
     }
-    monitor_cv_.notify_all();
+    monitor_cv_.SignalAll();
     monitor_.join();
   }
 }
@@ -201,7 +207,7 @@ ShardState Router::shard_state(std::size_t index) const {
 // --- Connection pool. ---
 
 bool Router::TryPopIdle(ShardLink* shard, Client* conn) {
-  std::lock_guard<std::mutex> lock(shard->mutex);
+  MutexLock lock(&shard->mutex);
   if (shard->idle.empty()) return false;
   *conn = std::move(shard->idle.back());
   shard->idle.pop_back();
@@ -221,7 +227,7 @@ Result<Client> Router::CheckoutConn(ShardLink* shard, bool* pooled) {
 
 void Router::ReturnConn(ShardLink* shard, Client conn) {
   if (!conn.connected()) return;
-  std::lock_guard<std::mutex> lock(shard->mutex);
+  MutexLock lock(&shard->mutex);
   shard->idle.push_back(std::move(conn));
 }
 
@@ -283,10 +289,13 @@ void Router::MonitorLoop() {
     for (const std::unique_ptr<ShardLink>& shard : shards_) {
       PollShard(shard.get());
     }
-    std::unique_lock<std::mutex> lock(monitor_mutex_);
-    monitor_cv_.wait_for(
-        lock, std::chrono::milliseconds(options_.health_interval_ms),
-        [this] { return monitor_stop_; });
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.health_interval_ms);
+    MutexLock lock(&monitor_mutex_);
+    while (!monitor_stop_) {
+      if (monitor_cv_.WaitUntil(&monitor_mutex_, deadline)) break;
+    }
     if (monitor_stop_) return;
   }
 }
@@ -306,7 +315,7 @@ void Router::PollShard(ShardLink* shard) {
   }
   NoteShardSuccess(shard);
   {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(&shard->mutex);
     shard->last_stats = std::move(*stats);
   }
   ReturnConn(shard, std::move(*conn));
@@ -712,7 +721,7 @@ std::string Router::AggregatedStatsJson() const {
     ShardLink* shard = shards_[i].get();
     std::string last_stats;
     {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      MutexLock lock(&shard->mutex);
       last_stats = shard->last_stats;
     }
     if (i > 0) out.push_back(',');

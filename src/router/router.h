@@ -2,10 +2,8 @@
 #define UGS_ROUTER_ROUTER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -20,6 +18,7 @@
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace ugs {
 
@@ -175,9 +174,11 @@ class Router {
     telemetry::Counter forward_failures;
     telemetry::Counter race_wins;
 
-    std::mutex mutex;
-    std::vector<Client> idle;  ///< Pooled connections, guarded by mutex.
-    std::string last_stats;    ///< Last health-poll JSON, under mutex.
+    Mutex mutex;
+    /// Pooled connections.
+    std::vector<Client> idle UGS_GUARDED_BY(mutex);
+    /// Last health-poll JSON.
+    std::string last_stats UGS_GUARDED_BY(mutex);
   };
 
   /// Pops a pooled idle connection; false when the pool is empty.
@@ -278,9 +279,9 @@ class Router {
   telemetry::TraceRecorder traces_;
 
   std::thread monitor_;
-  std::mutex monitor_mutex_;
-  std::condition_variable monitor_cv_;
-  bool monitor_stop_ = false;
+  Mutex monitor_mutex_;
+  CondVar monitor_cv_;  ///< Monitor: stop requested.
+  bool monitor_stop_ UGS_GUARDED_BY(monitor_mutex_) = false;
 
   /// Last member: destruction joins the frontend's threads while the
   /// shard links they forward over are still alive.

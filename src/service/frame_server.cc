@@ -87,12 +87,17 @@ struct FrameServer::Conn {
   std::uint64_t bytes_enqueued = 0;  ///< Lifetime bytes appended to out.
   std::uint64_t bytes_flushed = 0;   ///< Lifetime bytes sent to the socket.
 
-  std::mutex mutex;
-  std::deque<Reply> replies;   ///< Window [base_seq, next_seq).
-  std::uint64_t base_seq = 0;  ///< Seq of replies.front().
-  std::uint64_t next_seq = 0;
-  std::size_t inflight = 0;  ///< Slots awaiting a dispatch worker.
-  bool closed = false;       ///< Reactor closed the fd; workers discard.
+  Mutex mutex;
+  /// Window [base_seq, next_seq).
+  std::deque<Reply> replies UGS_GUARDED_BY(mutex);
+  /// Seq of replies.front().
+  std::uint64_t base_seq UGS_GUARDED_BY(mutex) = 0;
+  std::uint64_t next_seq UGS_GUARDED_BY(mutex) = 0;
+  /// Slots awaiting a dispatch worker.
+  std::size_t inflight UGS_GUARDED_BY(mutex) = 0;
+  /// Reactor closed the fd; workers discard. Guarded so the close is
+  /// atomic with the window accounting it freezes.
+  bool closed UGS_GUARDED_BY(mutex) = false;
 };
 
 FrameServer::FrameServer(FrameServerOptions options, Handler handler)
@@ -244,7 +249,13 @@ Status FrameServer::StartEpoll() {
   event.data.fd = wake_fd_;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event);
 
-  jobs_stop_ = false;
+  {
+    // No dispatcher exists yet, but a restarted server reuses the mutex
+    // the previous generation's workers synchronized on -- reset the
+    // stop flag under it like every other access.
+    MutexLock lock(&jobs_mutex_);
+    jobs_stop_ = false;
+  }
   dispatchers_.reserve(static_cast<std::size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     dispatchers_.emplace_back([this] { DispatchLoop(); });
@@ -260,10 +271,10 @@ void FrameServer::StopEpoll() {
   // still be running while we join it.
   reactor_.join();
   {
-    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    MutexLock lock(&jobs_mutex_);
     jobs_stop_ = true;
   }
-  jobs_cv_.notify_all();
+  jobs_cv_.SignalAll();
   for (std::thread& dispatcher : dispatchers_) dispatcher.join();
   dispatchers_.clear();
   ::close(wake_fd_);
@@ -315,7 +326,7 @@ void FrameServer::ReactorLoop() {
       for (const std::shared_ptr<Conn>& conn : snapshot) {
         std::size_t inflight;
         {
-          std::lock_guard<std::mutex> lock(conn->mutex);
+          MutexLock lock(&conn->mutex);
           inflight = conn->inflight;
         }
         if (inflight > 0) {
@@ -335,11 +346,12 @@ void FrameServer::ReactorLoop() {
         }
         std::vector<std::shared_ptr<Conn>> completed;
         {
-          std::lock_guard<std::mutex> lock(completions_mutex_);
+          MutexLock lock(&completions_mutex_);
           completed.swap(completions_);
         }
+        // PumpConnection no-ops on closed connections.
         for (const std::shared_ptr<Conn>& conn : completed) {
-          if (!conn->closed) PumpConnection(conn);
+          PumpConnection(conn);
         }
         continue;
       }
@@ -351,7 +363,8 @@ void FrameServer::ReactorLoop() {
       if (it == conns_.end()) continue;  // Closed earlier in this batch.
       std::shared_ptr<Conn> conn = it->second;
       if (mask & (EPOLLIN | EPOLLERR | EPOLLHUP)) HandleReadable(conn);
-      if ((mask & EPOLLOUT) && !conn->closed) HandleWritable(conn);
+      // HandleWritable pumps, and the pump no-ops once closed.
+      if (mask & EPOLLOUT) HandleWritable(conn);
     }
   }
 }
@@ -383,7 +396,10 @@ void FrameServer::AcceptNewConnections() {
 }
 
 void FrameServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
-  if (conn->closed) return;
+  {
+    MutexLock lock(&conn->mutex);
+    if (conn->closed) return;
+  }
   if (!conn->reading) {
     // EPOLLHUP/ERR after we stopped reading: let the write path discover
     // whether the peer is really gone.
@@ -420,7 +436,7 @@ void FrameServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
       // close once everything has flushed.
       protocol_errors_.Add();
       {
-        std::lock_guard<std::mutex> lock(conn->mutex);
+        MutexLock lock(&conn->mutex);
         Conn::Reply reply;
         reply.ready = true;
         reply.frame = {FrameType::kError,
@@ -446,7 +462,7 @@ void FrameServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
         // opens it), which must not stall the reactor.
         std::uint64_t seq;
         {
-          std::lock_guard<std::mutex> lock(conn->mutex);
+          MutexLock lock(&conn->mutex);
           seq = conn->next_seq++;
           conn->replies.emplace_back();
           ++conn->inflight;
@@ -457,17 +473,17 @@ void FrameServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
         Job job{conn, seq, decoded.type, std::move(decoded.payload),
                 std::chrono::steady_clock::now()};
         {
-          std::lock_guard<std::mutex> lock(jobs_mutex_);
+          MutexLock lock(&jobs_mutex_);
           jobs_.push_back(std::move(job));
         }
         dispatch_queue_depth_.Add();
-        jobs_cv_.notify_one();
+        jobs_cv_.Signal();
         break;
       }
       default: {
         ReplyFrame reply = ExecuteUnexpected(decoded.type);
         {
-          std::lock_guard<std::mutex> lock(conn->mutex);
+          MutexLock lock(&conn->mutex);
           Conn::Reply slot;
           slot.ready = true;
           slot.frame = std::move(reply);
@@ -486,7 +502,7 @@ void FrameServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
     // this connection's final reply.
     protocol_errors_.Add();
     {
-      std::lock_guard<std::mutex> lock(conn->mutex);
+      MutexLock lock(&conn->mutex);
       Conn::Reply reply;
       reply.ready = true;
       reply.frame = {FrameType::kError,
@@ -507,7 +523,6 @@ void FrameServer::HandleWritable(const std::shared_ptr<Conn>& conn) {
 }
 
 void FrameServer::PumpConnection(const std::shared_ptr<Conn>& conn) {
-  if (conn->closed) return;
   bool pending;
   std::vector<Conn::Reply> ready;
   {
@@ -516,7 +531,8 @@ void FrameServer::PumpConnection(const std::shared_ptr<Conn>& conn) {
     // the write buffer happen after release, so a dispatch worker
     // completing another slot never stalls behind a multi-megabyte
     // append.
-    std::lock_guard<std::mutex> lock(conn->mutex);
+    MutexLock lock(&conn->mutex);
+    if (conn->closed) return;
     while (!conn->replies.empty() && conn->replies.front().ready) {
       ready.push_back(std::move(conn->replies.front()));
       conn->replies.pop_front();
@@ -605,7 +621,7 @@ void FrameServer::UpdateEpollMask(const std::shared_ptr<Conn>& conn) {
   // on whatever is still buffered in the socket once reading resumes.
   bool throttled = conn->out.size() - conn->out_off > kMaxConnOutBytes;
   if (!throttled) {
-    std::lock_guard<std::mutex> lock(conn->mutex);
+    MutexLock lock(&conn->mutex);
     throttled = conn->next_seq - conn->base_seq > kMaxConnOpenSlots;
   }
   epoll_event event{};
@@ -622,16 +638,16 @@ void FrameServer::UpdateEpollMask(const std::shared_ptr<Conn>& conn) {
 }
 
 void FrameServer::CloseConn(const std::shared_ptr<Conn>& conn) {
-  if (conn->closed) return;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
-  ::close(conn->fd);
-  conns_.erase(conn->fd);
   std::size_t open_slots;
   {
-    std::lock_guard<std::mutex> lock(conn->mutex);
+    MutexLock lock(&conn->mutex);
+    if (conn->closed) return;
     conn->closed = true;
     open_slots = conn->replies.size();
   }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conns_.erase(conn->fd);
   if (open_slots > 0) {
     // Undelivered slots leave the window with the connection.
     reply_window_depth_.Sub(static_cast<std::int64_t>(open_slots));
@@ -643,7 +659,7 @@ void FrameServer::CompleteJob(const std::shared_ptr<Conn>& conn,
                               telemetry::RequestTrace trace, bool traced,
                               std::chrono::steady_clock::time_point arrival) {
   {
-    std::lock_guard<std::mutex> lock(conn->mutex);
+    MutexLock lock(&conn->mutex);
     if (!conn->closed) {
       // The slot still exists: slots leave the window only once ready.
       Conn::Reply& slot =
@@ -661,7 +677,7 @@ void FrameServer::CompleteJob(const std::shared_ptr<Conn>& conn,
   }
   in_flight_.Sub();
   {
-    std::lock_guard<std::mutex> lock(completions_mutex_);
+    MutexLock lock(&completions_mutex_);
     completions_.push_back(conn);
   }
   WakeReactor();
@@ -672,8 +688,8 @@ void FrameServer::DispatchLoop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(jobs_mutex_);
-      jobs_cv_.wait(lock, [this] { return jobs_stop_ || !jobs_.empty(); });
+      MutexLock lock(&jobs_mutex_);
+      while (!jobs_stop_ && jobs_.empty()) jobs_cv_.Wait(&jobs_mutex_);
       if (jobs_.empty()) return;  // Stopping and fully drained.
       job = std::move(jobs_.front());
       jobs_.pop_front();

@@ -3,12 +3,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -18,6 +16,7 @@
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace ugs {
 
@@ -173,12 +172,13 @@ class FrameServer {
   std::thread reactor_;
   std::unordered_map<int, std::shared_ptr<Conn>> conns_;  ///< Reactor-only.
   std::vector<std::thread> dispatchers_;
-  std::mutex jobs_mutex_;
-  std::condition_variable jobs_cv_;
-  std::deque<Job> jobs_;
-  bool jobs_stop_ = false;
-  std::mutex completions_mutex_;
-  std::vector<std::shared_ptr<Conn>> completions_;
+  Mutex jobs_mutex_;
+  CondVar jobs_cv_;  ///< Dispatchers: job queued or stop.
+  std::deque<Job> jobs_ UGS_GUARDED_BY(jobs_mutex_);
+  bool jobs_stop_ UGS_GUARDED_BY(jobs_mutex_) = false;
+  Mutex completions_mutex_;
+  std::vector<std::shared_ptr<Conn>> completions_
+      UGS_GUARDED_BY(completions_mutex_);
 
   telemetry::Counter connections_;
   telemetry::Counter protocol_errors_;

@@ -65,7 +65,7 @@ std::uint64_t ResultCache::Invalidate(const std::string& graph,
   const std::string prefix = KeyPrefix(graph, version);
   std::uint64_t stale = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = live_by_prefix_.find(prefix);
     if (it != live_by_prefix_.end()) stale = it->second;
   }
@@ -81,7 +81,7 @@ std::shared_ptr<const std::string> ResultCache::Lookup(
   const auto start = std::chrono::steady_clock::now();
   std::shared_ptr<const std::string> payload;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru);
@@ -101,7 +101,7 @@ std::shared_ptr<const std::string> ResultCache::Lookup(
 void ResultCache::Insert(const std::string& key,
                          std::shared_ptr<const std::string> payload) {
   if (!enabled() || payload == nullptr) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (entries_.find(key) != entries_.end()) return;  // First write wins.
   const std::size_t charged = key.size() + payload->size();
   if (options_.max_bytes > 0 && charged > options_.max_bytes) {
@@ -162,18 +162,18 @@ ResultCacheCounters ResultCache::counters() const {
 }
 
 std::size_t ResultCache::entries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return lru_.size();
 }
 
 std::size_t ResultCache::bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return bytes_;
 }
 
 std::string ResultCache::StatsJson() const {
   const ResultCacheCounters counters = this->counters();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return std::string("{\"enabled\":") + (enabled() ? "true" : "false") +
          ",\"hits\":" + std::to_string(counters.hits) +
          ",\"misses\":" + std::to_string(counters.misses) +

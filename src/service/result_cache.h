@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "service/wire.h"
 #include "telemetry/metrics.h"
+#include "util/sync.h"
 
 namespace ugs {
 
@@ -138,7 +138,7 @@ class ResultCache {
     std::list<std::string>::iterator lru;  ///< Into lru_, MRU at front.
   };
 
-  /// Charged bytes of one entry. Caller holds mutex_.
+  /// Charged bytes of one entry (pure; reads no cache state).
   static std::size_t EntryBytes(const std::string& key, const Entry& entry) {
     return key.size() + entry.payload->size();
   }
@@ -147,19 +147,21 @@ class ResultCache {
   static std::string KeyPrefix(const std::string& graph,
                                std::uint64_t version);
 
-  /// Evicts LRU entries until both budgets hold. Caller holds mutex_.
-  void EvictToBudget();
+  /// Evicts LRU entries until both budgets hold.
+  void EvictToBudget() UGS_REQUIRES(mutex_);
 
   ResultCacheOptions options_;
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  ///< Resident keys, MRU first.
-  std::size_t bytes_ = 0;
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_ UGS_GUARDED_BY(mutex_);
+  /// Resident keys, MRU first.
+  std::list<std::string> lru_ UGS_GUARDED_BY(mutex_);
+  std::size_t bytes_ UGS_GUARDED_BY(mutex_) = 0;
   /// Live entries per (graph, version) prefix -- what Invalidate reports
   /// without scanning. Maintained by Insert and EvictToBudget; an empty
   /// count erases the slot, so the map tracks resident prefixes only.
-  std::unordered_map<std::string, std::uint64_t> live_by_prefix_;
+  std::unordered_map<std::string, std::uint64_t> live_by_prefix_
+      UGS_GUARDED_BY(mutex_);
 
   telemetry::Counter hits_;
   telemetry::Counter misses_;

@@ -73,7 +73,7 @@ SessionRegistry::Handle SessionRegistry::Commit(
 Result<SessionRegistry::Handle> SessionRegistry::Acquire(
     const std::string& id) {
   UGS_RETURN_IF_ERROR(ValidateId(id));
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (;;) {
     auto it = entries_.find(id);
     if (it == entries_.end()) break;
@@ -84,7 +84,7 @@ Result<SessionRegistry::Handle> SessionRegistry::Acquire(
     }
     // Another thread is loading this id; wait for its open to settle
     // instead of loading the same graph twice.
-    opened_cv_.wait(lock);
+    opened_cv_.Wait(&mutex_);
   }
 
   misses_.Add();
@@ -104,7 +104,7 @@ Result<SessionRegistry::Handle> SessionRegistry::Acquire(
   UpdateState replay;
   auto state_it = update_states_.find(id);
   if (state_it != update_states_.end()) replay = state_it->second;
-  lock.unlock();
+  lock.Unlock();
 
   // The open itself runs unlocked: a slow load must not block hits on
   // other graphs. Ids with an explicit extension name exactly one file;
@@ -148,11 +148,11 @@ Result<SessionRegistry::Handle> SessionRegistry::Acquire(
     }
   }
 
-  lock.lock();
+  lock.Lock();
   if (!opened.ok()) {
     entries_.erase(id);
     open_failures_.Add();
-    opened_cv_.notify_all();
+    opened_cv_.SignalAll();
     return opened.status();
   }
   // Count by how the file itself opened (a replayed mmap open
@@ -167,7 +167,7 @@ Result<SessionRegistry::Handle> SessionRegistry::Acquire(
   }
   Handle handle = Commit(
       id, std::shared_ptr<const GraphSession>(std::move(opened.value())));
-  opened_cv_.notify_all();
+  opened_cv_.SignalAll();
   return handle;
 }
 
@@ -177,7 +177,7 @@ Status SessionRegistry::Insert(const std::string& id,
   if (session == nullptr) {
     return Status::InvalidArgument("registry: null session for '" + id + "'");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (entries_.find(id) != entries_.end()) {
     return Status::FailedPrecondition("registry: graph '" + id +
                                       "' is already resident");
@@ -196,7 +196,7 @@ Result<std::uint64_t> SessionRegistry::ApplyUpdates(
   }
   // One updater at a time: version bumps are strictly ordered, so
   // "version N of graph g" names exactly one edge list, fleet-wide.
-  std::lock_guard<std::mutex> serialize(updates_mutex_);
+  MutexLock serialize(&updates_mutex_);
 
   // Pin the current snapshot (opening it -- and replaying its history --
   // if it was evicted). The successor builds unlocked: a graph copy and
@@ -210,14 +210,14 @@ Result<std::uint64_t> SessionRegistry::ApplyUpdates(
   std::shared_ptr<const GraphSession> replacement(
       std::move(successor.value()));
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   // An open of this id racing the swap could Commit a pre-update
   // session over the successor; wait until any in-flight open settles
   // (its replay history was copied before this batch existed, so it
   // commits the version the pin above saw).
   auto it = entries_.find(id);
   while (it != entries_.end() && it->second.opening) {
-    opened_cv_.wait(lock);
+    opened_cv_.Wait(&mutex_);
     it = entries_.find(id);
   }
   UpdateState& state = update_states_[id];
@@ -237,7 +237,7 @@ Result<std::uint64_t> SessionRegistry::ApplyUpdates(
 }
 
 std::uint64_t SessionRegistry::CurrentVersion(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = update_states_.find(id);
   return it == update_states_.end() ? 1 : it->second.version;
 }
@@ -271,23 +271,23 @@ RegistryCounters SessionRegistry::counters() const {
 }
 
 std::vector<std::string> SessionRegistry::ResidentIds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return {lru_.begin(), lru_.end()};
 }
 
 std::size_t SessionRegistry::resident_sessions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return lru_.size();
 }
 
 std::size_t SessionRegistry::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return resident_bytes_;
 }
 
 std::string SessionRegistry::StatsJson() const {
   const RegistryCounters counters = this->counters();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::string out = "{\"hits\":" + std::to_string(counters.hits) +
                     ",\"misses\":" + std::to_string(counters.misses) +
                     ",\"evictions\":" + std::to_string(counters.evictions) +
@@ -327,7 +327,7 @@ void SessionRegistry::ExportMetrics(telemetry::Registry* registry) const {
   {
     // Remember the registry so per-graph version gauges created by later
     // updates can register themselves (mutex_ also guards the gauge map).
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     metrics_registry_ = registry;
   }
   registry->AddCounter("ugs_registry_lookups_total",

@@ -4,8 +4,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
-#include <condition_variable>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -13,6 +11,7 @@
 #include "query/graph_session.h"
 #include "telemetry/metrics.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace ugs {
 
@@ -146,39 +145,43 @@ class SessionRegistry {
   /// Checks id syntax (non-empty, no path separators or "..").
   static Status ValidateId(const std::string& id);
 
-  /// Moves `it` to the MRU position. Caller holds mutex_.
-  void Touch(Entry* entry);
+  /// Moves `it` to the MRU position.
+  void Touch(Entry* entry) UGS_REQUIRES(mutex_);
 
   /// Evicts LRU entries until both budgets hold, never touching `keep`.
-  /// Caller holds mutex_.
-  void EvictToBudget(const std::string& keep);
+  void EvictToBudget(const std::string& keep) UGS_REQUIRES(mutex_);
 
   /// Inserts a freshly opened session for `id` (entry exists in opening
-  /// state) and applies the budgets. Caller holds mutex_.
+  /// state) and applies the budgets.
   Handle Commit(const std::string& id,
-                std::shared_ptr<const GraphSession> session);
+                std::shared_ptr<const GraphSession> session)
+      UGS_REQUIRES(mutex_);
 
   /// Points the per-graph version gauge for `id` at `version`, creating
-  /// and registering it on first use. Caller holds mutex_.
-  void SetVersionGauge(const std::string& id, std::uint64_t version);
+  /// and registering it on first use.
+  void SetVersionGauge(const std::string& id, std::uint64_t version)
+      UGS_REQUIRES(mutex_);
 
   SessionRegistryOptions options_;
 
   /// Serializes updaters (queries never take it): version bumps are
   /// strictly ordered, so "version N" names exactly one edge list.
-  std::mutex updates_mutex_;
+  Mutex updates_mutex_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable opened_cv_;  ///< Signaled when an open settles.
-  std::unordered_map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  ///< Resident ids, MRU first.
-  std::size_t resident_bytes_ = 0;
-  std::unordered_map<std::string, UpdateState> update_states_;
+  mutable Mutex mutex_;
+  CondVar opened_cv_;  ///< Signaled when an open settles.
+  std::unordered_map<std::string, Entry> entries_ UGS_GUARDED_BY(mutex_);
+  /// Resident ids, MRU first.
+  std::list<std::string> lru_ UGS_GUARDED_BY(mutex_);
+  std::size_t resident_bytes_ UGS_GUARDED_BY(mutex_) = 0;
+  std::unordered_map<std::string, UpdateState> update_states_
+      UGS_GUARDED_BY(mutex_);
   /// Per-graph version gauges (never erased; registered lazily on first
   /// bump with the telemetry registry captured by ExportMetrics).
   std::unordered_map<std::string, std::unique_ptr<telemetry::Gauge>>
-      version_gauges_;
-  mutable telemetry::Registry* metrics_registry_ = nullptr;
+      version_gauges_ UGS_GUARDED_BY(mutex_);
+  mutable telemetry::Registry* metrics_registry_ UGS_GUARDED_BY(mutex_) =
+      nullptr;
 
   telemetry::Counter hits_;
   telemetry::Counter misses_;

@@ -180,7 +180,7 @@ std::string FormatInt(std::int64_t value) {
 void Registry::AddCounter(const std::string& name, const std::string& help,
                           std::vector<Label> labels, const Counter* counter) {
   UGS_CHECK(counter != nullptr);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Entry entry;
   entry.kind = Kind::kCounter;
   entry.name = name;
@@ -193,7 +193,7 @@ void Registry::AddCounter(const std::string& name, const std::string& help,
 void Registry::AddGauge(const std::string& name, const std::string& help,
                         std::vector<Label> labels, const Gauge* gauge) {
   UGS_CHECK(gauge != nullptr);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Entry entry;
   entry.kind = Kind::kGauge;
   entry.name = name;
@@ -207,7 +207,7 @@ void Registry::AddHistogram(const std::string& name, const std::string& help,
                             std::vector<Label> labels,
                             const Histogram* histogram, double scale) {
   UGS_CHECK(histogram != nullptr);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Entry entry;
   entry.kind = Kind::kHistogram;
   entry.name = name;
@@ -219,7 +219,7 @@ void Registry::AddHistogram(const std::string& name, const std::string& help,
 }
 
 std::string Registry::PrometheusText() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::string out;
   // One HELP/TYPE header per metric name, emitted when the name is
   // first seen; entries sharing a name (labelled series) follow it.

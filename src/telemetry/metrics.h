@@ -4,10 +4,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace ugs {
 namespace telemetry {
@@ -177,8 +178,8 @@ class Registry {
     double scale = 1.0;
   };
 
-  mutable std::mutex mutex_;
-  std::vector<Entry> entries_;
+  mutable Mutex mutex_;
+  std::vector<Entry> entries_ UGS_GUARDED_BY(mutex_);
 };
 
 }  // namespace telemetry

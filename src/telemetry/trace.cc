@@ -30,13 +30,13 @@ TraceRecorder::TraceRecorder(std::size_t capacity)
     : ring_(capacity == 0 ? 1 : capacity) {}
 
 void TraceRecorder::Record(RequestTrace trace) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   ring_[recorded_ % ring_.size()] = std::move(trace);
   ++recorded_;
 }
 
 std::vector<RequestTrace> TraceRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<RequestTrace> out;
   const std::uint64_t retained =
       recorded_ < ring_.size() ? recorded_ : ring_.size();
@@ -48,7 +48,7 @@ std::vector<RequestTrace> TraceRecorder::Snapshot() const {
 }
 
 std::uint64_t TraceRecorder::recorded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return recorded_;
 }
 

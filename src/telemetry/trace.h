@@ -4,9 +4,10 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace ugs {
 namespace telemetry {
@@ -83,9 +84,9 @@ class TraceRecorder {
   std::size_t capacity() const { return ring_.size(); }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<RequestTrace> ring_;
-  std::uint64_t recorded_ = 0;
+  mutable Mutex mutex_;
+  std::vector<RequestTrace> ring_ UGS_GUARDED_BY(mutex_);
+  std::uint64_t recorded_ UGS_GUARDED_BY(mutex_) = 0;
 };
 
 /// Service-level telemetry knobs shared by ugs_serve and ugs_router.

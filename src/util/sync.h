@@ -1,0 +1,181 @@
+#ifndef UGS_UTIL_SYNC_H_
+#define UGS_UTIL_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+/// Clang Thread Safety Analysis wrappers. Every mutex-guarded class in
+/// the tree uses these instead of raw std::mutex so the locking
+/// contract -- which fields a mutex guards, which methods require it
+/// held -- is a compile-time invariant under Clang's -Wthread-safety
+/// (see docs/static-analysis.md), not a comment. Under GCC (or any
+/// compiler without the attributes) the macros vanish and the wrappers
+/// compile down to the underlying std primitives; there is no runtime
+/// cost on any compiler.
+///
+/// Annotation cheat sheet:
+///   Mutex mu_;
+///   int x_ UGS_GUARDED_BY(mu_);          // reads/writes need mu_ held
+///   void TouchLocked() UGS_REQUIRES(mu_); // caller must hold mu_
+///   void Touch() UGS_EXCLUDES(mu_);       // caller must NOT hold mu_
+/// and in the implementation:
+///   MutexLock lock(&mu_);                 // scoped acquire
+///   while (!ready_) cv_.Wait(&mu_);       // explicit predicate loop
+/// Lambda-predicate waits (cv.wait(lock, [&]{...})) cannot be used: the
+/// analysis does not propagate capabilities into lambda bodies, so the
+/// predicate's guarded reads would be flagged. Write the while loop.
+
+#if defined(__clang__)
+#define UGS_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define UGS_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a capability (a lockable resource).
+#define UGS_CAPABILITY(x) UGS_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII class whose lifetime holds a capability.
+#define UGS_SCOPED_CAPABILITY \
+  UGS_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// The annotated field may only be accessed while holding `x`.
+#define UGS_GUARDED_BY(x) UGS_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// The pointee of the annotated pointer is protected by `x`.
+#define UGS_PT_GUARDED_BY(x) \
+  UGS_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// The function acquires the capability and holds it on return.
+#define UGS_ACQUIRE(...) \
+  UGS_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability (which must be held on entry).
+#define UGS_RELEASE(...) \
+  UGS_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// The caller must hold the capability for the duration of the call.
+#define UGS_REQUIRES(...) \
+  UGS_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the capability (deadlock prevention).
+#define UGS_EXCLUDES(...) \
+  UGS_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `b`.
+#define UGS_TRY_ACQUIRE(b, ...) \
+  UGS_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(b, __VA_ARGS__))
+
+/// The function returns a reference to the capability `x`.
+#define UGS_RETURN_CAPABILITY(x) \
+  UGS_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Use only for code
+/// the analysis cannot express, and say why at the use site.
+#define UGS_NO_THREAD_SAFETY_ANALYSIS \
+  UGS_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace ugs {
+
+class CondVar;
+
+/// std::mutex annotated as a capability. Non-recursive, non-timed --
+/// exactly the std::mutex contract, visible to the analysis.
+class UGS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() UGS_ACQUIRE() { mu_.lock(); }
+  void Unlock() UGS_RELEASE() { mu_.unlock(); }
+  bool TryLock() UGS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock, relockable: Unlock()/Lock() support the
+/// unlock-work-relock pattern (thread pool workers, session open) under
+/// the analysis. The destructor releases only if currently held.
+class UGS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) UGS_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_->Lock();
+  }
+  ~MutexLock() UGS_RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Re-acquires the associated mutex. Precondition: not held.
+  void Lock() UGS_ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+  /// Releases the associated mutex early. Precondition: held.
+  void Unlock() UGS_RELEASE() {
+    mu_->Unlock();
+    held_ = false;
+  }
+
+ private:
+  Mutex* mu_;
+  bool held_;
+};
+
+/// Condition variable over Mutex. Wait* take the mutex explicitly and
+/// are annotated UGS_REQUIRES, so the analysis knows the lock is held
+/// across (and released inside) the wait. Implemented with
+/// std::adopt_lock + release() over the raw std::mutex: zero overhead
+/// versus condition_variable_any.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases *mu, blocks, re-acquires *mu before returning.
+  /// Spurious wakeups happen; always wait in a predicate loop.
+  void Wait(Mutex* mu) UGS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Like Wait with a timeout; returns true if the wait timed out.
+  template <class Rep, class Period>
+  bool WaitFor(Mutex* mu, const std::chrono::duration<Rep, Period>& timeout)
+      UGS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const bool timed_out = cv_.wait_for(lock, timeout) ==
+                           std::cv_status::timeout;
+    lock.release();
+    return timed_out;
+  }
+
+  /// Like Wait with a deadline; returns true if the deadline passed.
+  template <class Clock, class Duration>
+  bool WaitUntil(Mutex* mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline)
+      UGS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const bool timed_out = cv_.wait_until(lock, deadline) ==
+                           std::cv_status::timeout;
+    lock.release();
+    return timed_out;
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ugs
+
+#endif  // UGS_UTIL_SYNC_H_

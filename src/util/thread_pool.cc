@@ -20,10 +20,10 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
   has_workers_.store(false, std::memory_order_relaxed);
@@ -59,9 +59,9 @@ void ThreadPool::RunGroupTasks(Group* group, bool yield_to_other_groups) {
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (;;) {
-    work_cv_.wait(lock, [&] { return stop_ || !active_groups_.empty(); });
+    while (!stop_ && active_groups_.empty()) work_cv_.Wait(&mutex_);
     if (stop_) return;
     // Round-robin across the active groups; exhausted groups (counter
     // past total, stragglers still running) are dropped on sight so they
@@ -81,13 +81,13 @@ void ThreadPool::WorkerLoop() {
     }
     if (group == nullptr) continue;
     ++group->pins;  // The owner cannot free the group while pinned.
-    lock.unlock();
+    lock.Unlock();
     RunGroupTasks(group, /*yield_to_other_groups=*/true);
-    lock.lock();
+    lock.Lock();
     --group->pins;
     if (group->pins == 0 &&
         group->done.load(std::memory_order_acquire) == group->total) {
-      done_cv_.notify_all();
+      done_cv_.SignalAll();
     }
   }
 }
@@ -107,31 +107,31 @@ void ThreadPool::ParallelFor(std::size_t num_tasks,
   group.job = &fn;
   group.total = num_tasks;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     group.listed = true;
     active_groups_.push_back(&group);
     num_active_groups_.store(active_groups_.size(),
                              std::memory_order_relaxed);
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   // The calling thread drains its own group's counter; workers (and
   // other groups' callers, via their workers) help with whatever they
   // claim. Progress never depends on a worker being free, which is what
   // makes nested and concurrent calls deadlock-free.
   RunGroupTasks(&group, /*yield_to_other_groups=*/false);
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   // Unlist before waiting so no new worker pins the group; the ones
   // already pinned finish their claimed index and wake us.
   UnlistLocked(&group);
-  done_cv_.wait(lock, [&] {
-    return group.pins == 0 &&
-           group.done.load(std::memory_order_acquire) == group.total;
-  });
+  while (group.pins != 0 ||
+         group.done.load(std::memory_order_acquire) != group.total) {
+    done_cv_.Wait(&mutex_);
+  }
 }
 
 namespace {
 
-std::mutex default_pool_mutex;
+Mutex default_pool_mutex;
 std::unique_ptr<ThreadPool>& DefaultPoolSlot() {
   static std::unique_ptr<ThreadPool> pool;
   return pool;
@@ -148,7 +148,7 @@ std::vector<std::unique_ptr<ThreadPool>>& RetiredPoolsSlot() {
 }  // namespace
 
 ThreadPool& ThreadPool::Default() {
-  std::lock_guard<std::mutex> lock(default_pool_mutex);
+  MutexLock lock(&default_pool_mutex);
   std::unique_ptr<ThreadPool>& slot = DefaultPoolSlot();
   if (slot == nullptr) slot = std::make_unique<ThreadPool>();
   return *slot;
@@ -157,7 +157,7 @@ ThreadPool& ThreadPool::Default() {
 void ThreadPool::SetDefaultThreads(int num_threads) {
   std::unique_ptr<ThreadPool> retired;
   {
-    std::lock_guard<std::mutex> lock(default_pool_mutex);
+    MutexLock lock(&default_pool_mutex);
     std::unique_ptr<ThreadPool>& slot = DefaultPoolSlot();
     const int want = num_threads <= 0 ? HardwareThreads() : num_threads;
     if (slot != nullptr && slot->num_threads() == want) return;
@@ -171,7 +171,7 @@ void ThreadPool::SetDefaultThreads(int num_threads) {
     // never strands a group), and the object is parked -- not destroyed
     // -- so stale references keep working, inline.
     retired->Shutdown();
-    std::lock_guard<std::mutex> lock(default_pool_mutex);
+    MutexLock lock(&default_pool_mutex);
     RetiredPoolsSlot().push_back(std::move(retired));
   }
 }

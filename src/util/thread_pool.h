@@ -2,12 +2,12 @@
 #define UGS_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace ugs {
 
@@ -86,8 +86,8 @@ class ThreadPool {
   /// yield_to_other_groups so one long loop cannot monopolize them while
   /// other groups are active; owners drain their own group fully.
   void RunGroupTasks(Group* group, bool yield_to_other_groups);
-  /// Removes the group from active_groups_ (idempotent; mutex_ held).
-  void UnlistLocked(Group* group);
+  /// Removes the group from active_groups_ (idempotent).
+  void UnlistLocked(Group* group) UGS_REQUIRES(mutex_);
   /// Joins the workers. The pool object stays usable afterwards: loops
   /// run inline on their callers. Idempotent; used by the destructor and
   /// by SetDefaultThreads to retire the old default pool.
@@ -99,13 +99,15 @@ class ThreadPool {
   /// harmless -- the caller just drains its own group.
   std::atomic<bool> has_workers_{false};
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;  ///< Workers: group listed or stop.
-  std::condition_variable done_cv_;  ///< Owners: group fully complete.
-  std::vector<Group*> active_groups_;  ///< Groups with claimable work.
+  Mutex mutex_;
+  CondVar work_cv_;  ///< Workers: group listed or stop.
+  CondVar done_cv_;  ///< Owners: group fully complete.
+  /// Groups with claimable work.
+  std::vector<Group*> active_groups_ UGS_GUARDED_BY(mutex_);
   std::atomic<std::size_t> num_active_groups_{0};
-  std::size_t rr_cursor_ = 0;  ///< Round-robin pick across groups.
-  bool stop_ = false;
+  /// Round-robin pick across groups.
+  std::size_t rr_cursor_ UGS_GUARDED_BY(mutex_) = 0;
+  bool stop_ UGS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ugs
