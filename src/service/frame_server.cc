@@ -155,14 +155,19 @@ Status FrameServer::Start() {
   listen_fd_ = fd;
   stopping_.store(false);
 
+  // Stamp the start time before StartEpoll spawns any thread: a stats
+  // request served by a dispatch worker reads started_at_ and
+  // ever_started_ through uptime_ms(), and thread creation is the only
+  // thing ordering these plain writes before those reads.
+  started_at_ = std::chrono::steady_clock::now();
+  ever_started_ = true;
   Status started = StartEpoll();
   if (!started.ok()) {
+    ever_started_ = false;
     ::close(listen_fd_);
     listen_fd_ = -1;
     return started;
   }
-  started_at_ = std::chrono::steady_clock::now();
-  ever_started_ = true;
   return started;
 }
 
