@@ -27,7 +27,7 @@ const char* StageName(Stage stage) {
 }
 
 TraceRecorder::TraceRecorder(std::size_t capacity)
-    : ring_(capacity == 0 ? 1 : capacity) {}
+    : capacity_(capacity == 0 ? 1 : capacity), ring_(capacity_) {}
 
 void TraceRecorder::Record(RequestTrace trace) {
   MutexLock lock(&mutex_);

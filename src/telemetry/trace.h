@@ -81,9 +81,11 @@ class TraceRecorder {
   /// Total traces ever recorded (not just retained).
   std::uint64_t recorded() const;
 
-  std::size_t capacity() const { return ring_.size(); }
+  /// Immutable after construction, so readable without the lock.
+  std::size_t capacity() const { return capacity_; }
 
  private:
+  const std::size_t capacity_;
   mutable Mutex mutex_;
   std::vector<RequestTrace> ring_ UGS_GUARDED_BY(mutex_);
   std::uint64_t recorded_ UGS_GUARDED_BY(mutex_) = 0;
