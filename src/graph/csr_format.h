@@ -98,7 +98,8 @@ std::string CsrFileImage(const UncertainGraph& graph);
 /// Writes CsrFileImage(graph) to `path` (via a same-directory temp file +
 /// rename, so a crashed writer never leaves a torn file where the
 /// registry could mmap it). IOError on filesystem failures.
-Status WriteCsrGraph(const UncertainGraph& graph, const std::string& path);
+[[nodiscard]] Status WriteCsrGraph(const UncertainGraph& graph,
+                                   const std::string& path);
 
 /// Knobs for opening/validating. Both default on: a graph that opens OK
 /// must be safe to query without any later checks. Turning them off is
@@ -114,9 +115,9 @@ struct CsrOpenOptions {
 /// non-null, receives the decoded header even for some failures past the
 /// header checks (best effort). Returns the typed errors documented
 /// above.
-Status ValidateCsrImage(std::span<const std::uint8_t> image,
-                        const CsrOpenOptions& options, CsrArrays* arrays,
-                        CsrFileInfo* info);
+[[nodiscard]] Status ValidateCsrImage(std::span<const std::uint8_t> image,
+                                      const CsrOpenOptions& options,
+                                      CsrArrays* arrays, CsrFileInfo* info);
 
 /// A read-only mmap of a .ugsc file exposing the same UncertainGraph the
 /// query and sampling layers consume everywhere else. The mapping is
@@ -131,8 +132,8 @@ class MappedGraph {
 
   /// mmaps `path` read-only and validates it (see CsrOpenOptions).
   /// The typed failure taxonomy is documented at the top of this header.
-  static Result<MappedGraph> Open(const std::string& path,
-                                  CsrOpenOptions options = {});
+  [[nodiscard]] static Result<MappedGraph> Open(const std::string& path,
+                                                CsrOpenOptions options = {});
 
   /// The graph view. external_bytes() reports the mapped file size and
   /// is_view() is true.

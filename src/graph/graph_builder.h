@@ -20,7 +20,7 @@ class GraphBuilder {
   explicit GraphBuilder(std::size_t num_vertices);
 
   /// Adds the undirected edge {u, v} with probability p.
-  Status AddEdge(VertexId u, VertexId v, double p);
+  [[nodiscard]] Status AddEdge(VertexId u, VertexId v, double p);
 
   /// True if {u, v} was already added (either orientation).
   bool HasEdge(VertexId u, VertexId v) const;

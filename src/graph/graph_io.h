@@ -18,14 +18,15 @@ namespace ugs {
 /// as (max id + 1) unless a '# vertices: N' header is present.
 
 /// Parses an uncertain graph from a file.
-Result<UncertainGraph> LoadEdgeList(const std::string& path);
+[[nodiscard]] Result<UncertainGraph> LoadEdgeList(const std::string& path);
 
 /// Parses an uncertain graph from an in-memory string (used by tests).
-Result<UncertainGraph> ParseEdgeList(const std::string& text);
+[[nodiscard]] Result<UncertainGraph> ParseEdgeList(const std::string& text);
 
 /// Writes the graph in the same format, including the vertex-count header
 /// (so isolated trailing vertices survive a round trip).
-Status SaveEdgeList(const UncertainGraph& graph, const std::string& path);
+[[nodiscard]] Status SaveEdgeList(const UncertainGraph& graph,
+                                  const std::string& path);
 
 }  // namespace ugs
 

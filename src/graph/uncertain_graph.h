@@ -175,7 +175,7 @@ class UncertainGraph {
   /// the version-equivalence contract (docs/dynamic-graphs.md).
   /// Mutating a view (mmap-backed .ugsc) first materializes it into
   /// owned storage; the vertex count never changes.
-  Status ApplyUpdates(std::span<const EdgeUpdate> updates);
+  [[nodiscard]] Status ApplyUpdates(std::span<const EdgeUpdate> updates);
 
   /// Total entropy H(G) = sum_e H(p_e) in bits (paper footnote 2; validated
   /// against the paper's Figure 2 value of 3.85 bits).

@@ -41,10 +41,10 @@ struct EstimatorPolicyOptions {
 /// entropy concentration of the pivot edges, which the policy cannot
 /// cheaply certify, and its random stream differs from plain sampling --
 /// callers opt in per request.
-Result<Estimator> SelectEstimator(const UncertainGraph& graph,
-                                  const QueryRequest& request,
-                                  const std::vector<Estimator>& supported,
-                                  const EstimatorPolicyOptions& options = {});
+[[nodiscard]] Result<Estimator> SelectEstimator(
+    const UncertainGraph& graph, const QueryRequest& request,
+    const std::vector<Estimator>& supported,
+    const EstimatorPolicyOptions& options = {});
 
 }  // namespace ugs
 

@@ -63,7 +63,7 @@ class GraphSession {
   /// (graph/csr_format.h) are mmap'ed -- open is header validation plus a
   /// checksum pass, and the session's graph is a zero-copy view over the
   /// mapping; everything else is parsed as a text edge list.
-  static Result<std::unique_ptr<GraphSession>> Open(
+  [[nodiscard]] static Result<std::unique_ptr<GraphSession>> Open(
       const std::string& path, GraphSessionOptions options = {});
 
   const UncertainGraph& graph() const { return graph_; }
@@ -87,13 +87,13 @@ class GraphSession {
   /// (the registry's copy-on-mutate path). A view-backed graph (mmap)
   /// materializes into owned storage here -- first write, not first
   /// read.
-  Result<std::unique_ptr<GraphSession>> WithUpdates(
+  [[nodiscard]] Result<std::unique_ptr<GraphSession>> WithUpdates(
       std::span<const EdgeUpdate> updates, std::uint64_t new_version) const;
 
   /// Executes one request: registry lookup, validation, estimator
   /// selection, then the query itself. The result records the estimator
   /// that ran and the wall time spent.
-  Result<QueryResult> Run(const QueryRequest& request) const;
+  [[nodiscard]] Result<QueryResult> Run(const QueryRequest& request) const;
 
   /// Executes a batch of heterogeneous requests; result i answers
   /// request i. Failures are per-request: a malformed request yields an

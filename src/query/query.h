@@ -53,7 +53,7 @@ enum class Estimator {
 const char* EstimatorName(Estimator estimator);
 
 /// Inverse of EstimatorName; NotFound on unknown names.
-Result<Estimator> ParseEstimator(const std::string& name);
+[[nodiscard]] Result<Estimator> ParseEstimator(const std::string& name);
 
 /// One query invocation, fully specified. Which fields matter depends on
 /// the query kind: pair queries (reliability, shortest-path,
@@ -139,7 +139,8 @@ class Query {
 /// KnownQueryNames(); the aliases "cc" (clustering), "sp"
 /// (shortest-path), and "mpp" (most-probable-path) are also understood.
 /// Returns NotFound for unknown names.
-Result<std::unique_ptr<Query>> MakeQueryByName(const std::string& name);
+[[nodiscard]] Result<std::unique_ptr<Query>> MakeQueryByName(
+    const std::string& name);
 
 /// All canonical names understood by MakeQueryByName.
 std::vector<std::string> KnownQueryNames();

@@ -138,7 +138,7 @@ class Router {
 
   /// Binds the frontend and starts the health monitor. InvalidArgument
   /// when the shard list is empty or race/replication are inconsistent.
-  Status Start();
+  [[nodiscard]] Status Start();
 
   /// The bound frontend port (after Start).
   int port() const { return server_.port(); }
@@ -186,7 +186,7 @@ class Router {
   /// A pooled-or-fresh connection to the shard. Pooled connections can
   /// be stale (the shard restarted); callers treat a failure on one as
   /// "try again", which ForwardOnce does by draining the pool.
-  Result<Client> CheckoutConn(ShardLink* shard, bool* pooled);
+  [[nodiscard]] Result<Client> CheckoutConn(ShardLink* shard, bool* pooled);
   void ReturnConn(ShardLink* shard, Client conn);
 
   /// Candidate shard indices for `graph`, best first: healthy replicas
@@ -220,8 +220,8 @@ class Router {
   /// One send+receive on one shard; transport failures surface as a
   /// non-OK status (the failover signal), a shard's kError reply is a
   /// *successful* forward.
-  Result<Frame> ForwardOnce(ShardLink* shard, FrameType type,
-                            const std::string& payload);
+  [[nodiscard]] Result<Frame> ForwardOnce(ShardLink* shard, FrameType type,
+                                          const std::string& payload);
   /// Races one request across two replicas, first reply wins (verify
   /// mode waits for both and asserts PayloadEquals). Empty optional
   /// when both transports failed -- the caller falls back to

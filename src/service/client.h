@@ -44,8 +44,8 @@ class Client {
 
   /// Connects to host:port (hostname or address literal; getaddrinfo),
   /// retrying refused/timed-out attempts per `options`.
-  static Result<Client> Connect(const std::string& host, int port,
-                                const ConnectOptions& options = {});
+  [[nodiscard]] static Result<Client> Connect(
+      const std::string& host, int port, const ConnectOptions& options = {});
 
   bool connected() const { return fd_ >= 0; }
 
@@ -58,11 +58,11 @@ class Client {
 
   /// Writes one frame. After a send, the connection owes exactly one
   /// reply; interleave Send/Receive accordingly.
-  Status Send(FrameType type, std::string_view payload);
+  [[nodiscard]] Status Send(FrameType type, std::string_view payload);
 
   /// Blocks for the next reply frame. IOError when the peer closes
   /// instead of replying.
-  Result<Frame> Receive();
+  [[nodiscard]] Result<Frame> Receive();
 
   /// The underlying socket, for poll()-style readiness checks; -1 when
   /// disconnected.
@@ -72,8 +72,8 @@ class Client {
   /// payload is bit-identical to GraphSession::Run on the same graph and
   /// request (compare with PayloadEquals; the wall-time field reflects
   /// the server's clock). A kError reply surfaces as the carried Status.
-  Result<QueryResult> Query(const std::string& graph,
-                            const QueryRequest& request);
+  [[nodiscard]] Result<QueryResult> Query(const std::string& graph,
+                                          const QueryRequest& request);
 
   /// Pipelined batch: writes every request frame back-to-back, then
   /// reads the replies -- the server answers in request order
@@ -85,21 +85,21 @@ class Client {
   /// Pipelining depth is unbounded: the server buffers replies in user
   /// space and applies read backpressure past its per-connection budgets
   /// instead of losing or reordering anything (docs/wire-protocol.md).
-  std::vector<Result<QueryResult>> QueryPipelined(
+  [[nodiscard]] std::vector<Result<QueryResult>> QueryPipelined(
       const std::vector<WireRequest>& requests);
 
   /// The stats admin verb: empty `graph` returns the server's counter
   /// JSON, a graph id returns that graph's description (vertices, edges),
   /// opening it on demand.
-  Result<std::string> Stats(const std::string& graph = "");
+  [[nodiscard]] Result<std::string> Stats(const std::string& graph = "");
 
   /// Applies one batch of edge mutations to the named graph (one
   /// kUpdate frame; the batch is atomic -- all applied or none). The
   /// ack carries the graph's new version; every result computed after
   /// the ack carries a version >= it (docs/dynamic-graphs.md). A kError
   /// reply surfaces as the carried Status.
-  Result<WireUpdateReply> Update(const std::string& graph,
-                                 const std::vector<EdgeUpdate>& updates);
+  [[nodiscard]] Result<WireUpdateReply> Update(
+      const std::string& graph, const std::vector<EdgeUpdate>& updates);
 
   void Close();
 
@@ -107,7 +107,8 @@ class Client {
   explicit Client(int fd) : fd_(fd) {}
 
   /// Sends one frame and reads the single reply frame.
-  Result<Frame> RoundTrip(FrameType type, std::string_view payload);
+  [[nodiscard]] Result<Frame> RoundTrip(FrameType type,
+                                        std::string_view payload);
 
   int fd_ = -1;
 };

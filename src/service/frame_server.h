@@ -81,7 +81,7 @@ class FrameServer {
   /// Binds, listens, and spawns the reactor + dispatch threads; returns
   /// once the socket is accepting. IOError when the address cannot be
   /// bound.
-  Status Start();
+  [[nodiscard]] Status Start();
 
   /// The bound port (after Start); useful with port = 0.
   int port() const { return port_; }
@@ -138,7 +138,7 @@ class FrameServer {
   // --- Reactor (all Handle*/reactor state is reactor-thread-only except
   // the reply slots, which workers fill under Conn::mutex). ---
 
-  Status StartEpoll();
+  [[nodiscard]] Status StartEpoll();
   void StopEpoll();
   void ReactorLoop();
   void DispatchLoop();

@@ -24,7 +24,7 @@ namespace ugs {
 /// pool of num_workers query threads. OK for "epoll"; typed NotFound
 /// otherwise, with a pointed message for "blocking" (the legacy
 /// accept-loop backend, removed one release after its deprecation).
-Status ValidateServerBackend(const std::string& name);
+[[nodiscard]] Status ValidateServerBackend(const std::string& name);
 
 /// Configuration of a Server.
 struct ServerOptions {
@@ -102,7 +102,7 @@ class Server {
 
   /// Binds, listens, and spawns the backend's threads; returns once the
   /// socket is accepting. IOError when the address cannot be bound.
-  Status Start();
+  [[nodiscard]] Status Start();
 
   /// The bound port (after Start); useful with port = 0.
   int port() const { return server_.port(); }

@@ -83,12 +83,13 @@ class SessionRegistry {
   /// loading twice). InvalidArgument on ids that are empty or escape the
   /// graph directory ('/', '\', ".."); the loader's error (IOError /
   /// InvalidArgument) when the graph file is missing or malformed.
-  Result<Handle> Acquire(const std::string& id);
+  [[nodiscard]] Result<Handle> Acquire(const std::string& id);
 
   /// Registers an already-built session under `id` (subject to the same
   /// eviction policy). InvalidArgument on invalid ids, FailedPrecondition
   /// when the id is already resident.
-  Status Insert(const std::string& id, std::unique_ptr<GraphSession> session);
+  [[nodiscard]] Status Insert(const std::string& id,
+                              std::unique_ptr<GraphSession> session);
 
   /// Applies a batch of edge mutations to `id` atomically and returns the
   /// graph's new version. The batch either fully applies (the resident
@@ -100,8 +101,8 @@ class SessionRegistry {
   /// eviction: a reopened graph replays it, so version N always names
   /// the same edge list. Logs are in-memory only -- a process restart
   /// resets every graph to version 1 (docs/dynamic-graphs.md).
-  Result<std::uint64_t> ApplyUpdates(const std::string& id,
-                                     std::span<const EdgeUpdate> updates);
+  [[nodiscard]] Result<std::uint64_t> ApplyUpdates(
+      const std::string& id, std::span<const EdgeUpdate> updates);
 
   /// Current version of `id`: 1 for never-updated (or unknown) graphs,
   /// otherwise 1 + the number of applied update batches.
@@ -143,7 +144,7 @@ class SessionRegistry {
   };
 
   /// Checks id syntax (non-empty, no path separators or "..").
-  static Status ValidateId(const std::string& id);
+  [[nodiscard]] static Status ValidateId(const std::string& id);
 
   /// Moves `it` to the MRU position.
   void Touch(Entry* entry) UGS_REQUIRES(mutex_);

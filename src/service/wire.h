@@ -100,22 +100,23 @@ struct Frame {
 /// the typed errors described above and otherwise reconstruct the value
 /// bit-exactly.
 std::string EncodeRequest(const WireRequest& request);
-Result<WireRequest> DecodeRequest(std::string_view payload);
+[[nodiscard]] Result<WireRequest> DecodeRequest(std::string_view payload);
 
 std::string EncodeResult(const QueryResult& result);
-Result<QueryResult> DecodeResult(std::string_view payload);
+[[nodiscard]] Result<QueryResult> DecodeResult(std::string_view payload);
 
 std::string EncodeUpdate(const WireUpdate& update);
-Result<WireUpdate> DecodeUpdate(std::string_view payload);
+[[nodiscard]] Result<WireUpdate> DecodeUpdate(std::string_view payload);
 
 std::string EncodeUpdateReply(const WireUpdateReply& reply);
-Result<WireUpdateReply> DecodeUpdateReply(std::string_view payload);
+[[nodiscard]] Result<WireUpdateReply> DecodeUpdateReply(
+    std::string_view payload);
 
 std::string EncodeError(const Status& status);
 /// Decodes an error payload into `*decoded`, the (always non-OK) Status
 /// it carries. The return value reports the decode itself: non-OK only
 /// when the payload is malformed, in which case `*decoded` is untouched.
-Status DecodeError(std::string_view payload, Status* decoded);
+[[nodiscard]] Status DecodeError(std::string_view payload, Status* decoded);
 
 /// One-line JSON renderings of the wire payloads (no trailing newline).
 /// Doubles are printed round-trippably (%.17g), so two bit-identical
@@ -147,7 +148,8 @@ void AppendFrame(std::string* out, FrameType type, std::string_view payload);
 
 /// Writes one frame to a file descriptor (blocking, handles short
 /// writes). IOError on write failure or oversized payload.
-Status WriteFrame(int fd, FrameType type, std::string_view payload);
+[[nodiscard]] Status WriteFrame(int fd, FrameType type,
+                                std::string_view payload);
 
 /// Incremental frame decoder for nonblocking transports (the epoll
 /// backend): Append() bytes exactly as they arrive off the socket, then
@@ -165,7 +167,7 @@ class FrameDecoder {
   /// unrecoverable -- there is no frame boundary left to resynchronize
   /// on, so callers must drop the connection (the error sticks: every
   /// later Next() repeats it).
-  Result<std::optional<Frame>> Next();
+  [[nodiscard]] Result<std::optional<Frame>> Next();
 
   /// Bytes buffered but not yet consumed by Next().
   std::size_t buffered() const { return buffer_.size() - consumed_; }
@@ -179,7 +181,7 @@ class FrameDecoder {
 /// reads). std::nullopt on clean end-of-stream (peer closed before any
 /// byte of a frame); IOError on mid-frame EOF or read failure;
 /// InvalidArgument on an oversized or unknown-type frame header.
-Result<std::optional<Frame>> ReadFrame(int fd);
+[[nodiscard]] Result<std::optional<Frame>> ReadFrame(int fd);
 
 }  // namespace ugs
 

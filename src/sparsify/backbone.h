@@ -38,10 +38,9 @@ std::size_t TargetEdgeCount(const UncertainGraph& graph, double alpha);
 /// graph is connected and alpha |E| >= |V| - 1 (paper footnote 7); the
 /// call fails with InvalidArgument otherwise. Edge ids index
 /// graph.edges().
-Result<std::vector<EdgeId>> BuildBackbone(const UncertainGraph& graph,
-                                          double alpha,
-                                          const BackboneOptions& options,
-                                          Rng* rng);
+[[nodiscard]] Result<std::vector<EdgeId>> BuildBackbone(
+    const UncertainGraph& graph, double alpha, const BackboneOptions& options,
+    Rng* rng);
 
 /// One maximum spanning forest of the subgraph `available` (edge ids),
 /// using probabilities as weights (Kruskal). Returns forest edge ids.

@@ -51,8 +51,10 @@ NiCoreResult RunNiCore(const UncertainGraph& graph,
                        Rng* rng);
 
 /// The full adapted benchmark (steps 1-5).
-Result<NiResult> NiSparsify(const UncertainGraph& graph, double alpha,
-                            const NiOptions& options, Rng* rng);
+[[nodiscard]] Result<NiResult> NiSparsify(const UncertainGraph& graph,
+                                          double alpha,
+                                          const NiOptions& options,
+                                          Rng* rng);
 
 }  // namespace ugs
 

@@ -40,10 +40,9 @@ std::vector<EdgeId> BaswanaSenSpanner(const UncertainGraph& graph,
                                       int t, Rng* rng);
 
 /// The full adapted benchmark.
-Result<SpannerResult> SpannerSparsify(const UncertainGraph& graph,
-                                      double alpha,
-                                      const SpannerOptions& options,
-                                      Rng* rng);
+[[nodiscard]] Result<SpannerResult> SpannerSparsify(
+    const UncertainGraph& graph, double alpha, const SpannerOptions& options,
+    Rng* rng);
 
 }  // namespace ugs
 

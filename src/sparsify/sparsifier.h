@@ -78,7 +78,7 @@ std::unique_ptr<Sparsifier> MakeSpannerSparsifier(
 /// Suffix "-t" selects the Algorithm-1 spanning backbone; absence selects
 /// the random (Monte-Carlo) backbone. Returns NotFound for unknown names.
 /// `h` is the entropy parameter used by GDB/EMD variants.
-Result<std::unique_ptr<Sparsifier>> MakeSparsifierByName(
+[[nodiscard]] Result<std::unique_ptr<Sparsifier>> MakeSparsifierByName(
     const std::string& name, double h = 0.05);
 
 /// All names understood by MakeSparsifierByName (fixed variants only).

@@ -13,9 +13,9 @@ namespace ugs {
 /// reject empty input, leading whitespace, trailing garbage, and
 /// out-of-range values with an InvalidArgument status naming the input.
 
-Result<std::int64_t> ParseInt64(const std::string& text);
-Result<std::uint64_t> ParseUint64(const std::string& text);
-Result<double> ParseDouble(const std::string& text);
+[[nodiscard]] Result<std::int64_t> ParseInt64(const std::string& text);
+[[nodiscard]] Result<std::uint64_t> ParseUint64(const std::string& text);
+[[nodiscard]] Result<double> ParseDouble(const std::string& text);
 
 /// CLI conveniences for the tools and bench binaries: parse or exit(2)
 /// with "error: <what>: <reason>" on stderr, where `what` names the flag

@@ -24,7 +24,12 @@ enum class StatusCode {
 /// Usage:
 ///   Status s = LoadEdgeList(path, &graph);
 ///   if (!s.ok()) { LOG(ERROR) << s.ToString(); return s; }
-class Status {
+///
+/// [[nodiscard]] on the class makes every function returning a Status
+/// by value warn when the result is ignored -- a swallowed error is a
+/// bug unless the call site says otherwise with a (void) cast and a
+/// comment (docs/static-analysis.md).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -66,8 +71,10 @@ class Status {
 
 /// Either a value or an error Status. Modeled after absl::StatusOr but
 /// dependency-free. Accessing value() on an error aborts (checked).
+/// [[nodiscard]] for the same reason as Status: discarding a Result
+/// discards its error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value; deliberate (mirrors StatusOr).
   Result(T value) : value_(std::move(value)), status_() {}  // NOLINT
