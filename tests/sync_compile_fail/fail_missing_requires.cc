@@ -1,0 +1,29 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: calls a
+// UGS_REQUIRES(mu_) method without holding mu_. If this file ever
+// compiles, requires_capability enforcement is broken (see
+// src/util/sync.h) and run.sh fails the suite.
+
+#include "util/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    AddLocked(amount);  // BAD: mu_ not held.
+  }
+
+ private:
+  void AddLocked(int amount) UGS_REQUIRES(mu_) { balance_ += amount; }
+
+  ugs::Mutex mu_;
+  int balance_ UGS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(7);
+  return 0;
+}

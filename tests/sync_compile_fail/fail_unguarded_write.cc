@@ -1,0 +1,28 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: writes a
+// UGS_GUARDED_BY field without holding its mutex. If this file ever
+// compiles, the guarded_by plumbing in src/util/sync.h is broken (most
+// likely the annotation macros expanded to nothing under Clang) and
+// run.sh fails the suite.
+
+#include "util/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // BAD: mu_ not held.
+  }
+
+ private:
+  ugs::Mutex mu_;
+  int balance_ UGS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(7);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Control case for the negative-compilation suite: correct use of every
+// primitive the two fail_*.cc files misuse. Must compile cleanly under
+// -Wthread-safety -Werror -- if it does not, the suite is testing the
+// harness, not the annotations, and run.sh fails loudly.
+
+#include "util/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    ugs::MutexLock lock(&mu_);
+    AddLocked(amount);
+  }
+
+  int balance() const {
+    ugs::MutexLock lock(&mu_);
+    return balance_;
+  }
+
+ private:
+  void AddLocked(int amount) UGS_REQUIRES(mu_) { balance_ += amount; }
+
+  mutable ugs::Mutex mu_;
+  int balance_ UGS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(7);
+  return account.balance() == 7 ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Negative-compilation harness for the thread-safety annotations:
+#   ok.cc                     must COMPILE (control -- proves the flags
+#                             and include path are right)
+#   fail_unguarded_write.cc   must NOT compile (guarded_by enforcement)
+#   fail_missing_requires.cc  must NOT compile (requires_capability)
+#
+# Usage: run.sh <clang++> <repo-src-dir>
+# Registered as a ctest only under Clang (tests/CMakeLists.txt); the
+# analysis does not exist elsewhere.
+set -u
+
+cxx="${1:?usage: run.sh <clang++> <src-dir>}"
+src_dir="${2:?usage: run.sh <clang++> <src-dir>}"
+here="$(cd "$(dirname "$0")" && pwd)"
+
+compile() {
+  "${cxx}" -std=c++20 -fsyntax-only -Wthread-safety -Werror \
+    -I "${src_dir}" "$1"
+}
+
+failures=0
+
+if ! compile "${here}/ok.cc"; then
+  echo "FAIL: ok.cc did not compile -- harness misconfigured (flags or" \
+       "include path), not an annotation finding" >&2
+  failures=1
+fi
+
+for bad in fail_unguarded_write.cc fail_missing_requires.cc; do
+  if compile "${here}/${bad}" 2>/dev/null; then
+    echo "FAIL: ${bad} compiled; the thread-safety annotations are not" \
+         "enforcing (see the comment in the file)" >&2
+    failures=1
+  else
+    echo "ok: ${bad} rejected as expected"
+  fi
+done
+
+if [[ ${failures} -ne 0 ]]; then
+  exit 1
+fi
+echo "sync_compile_fail: all cases behaved as expected"
