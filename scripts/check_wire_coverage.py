@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Checks that the wire protocol's frame-type surface stays in sync.
+
+For every enumerator of `FrameType` in src/service/wire.h this verifies:
+
+  1. docs/wire-protocol.md's "Frame types" table has a row whose byte
+     value and name both match (and the table has no stale extra rows);
+  2. at least one .cc under src/ handles the type (references
+     `FrameType::<name>` outside the enum's own header) -- a frame type
+     nothing encodes or dispatches is dead wire surface;
+  3. the frame-header range check in src/service/wire.cc names the
+     minimum and maximum enumerators, since that check -- not a switch --
+     is what rejects unknown types off the socket. Adding an enumerator
+     without widening it would make the new type undecodable.
+
+Hermetic (no compiler, no network), so it runs in the link-check CI job.
+Exit status: 0 when everything lines up, 1 otherwise; each problem is
+reported as file:line: message.
+"""
+
+import os
+import re
+import sys
+
+ENUM_START_RE = re.compile(r"^enum class FrameType\b")
+ENUMERATOR_RE = re.compile(r"^\s*(k\w+)\s*=\s*(\d+)\s*,")
+DOC_ROW_RE = re.compile(r"^\|\s*(\d+)\s*\|\s*`(k\w+)`")
+
+
+def parse_enumerators(wire_h):
+    """Returns ([(name, value, line)], errors)."""
+    enumerators = []
+    errors = []
+    in_enum = False
+    with open(wire_h, encoding="utf-8") as f:
+        for line_number, line in enumerate(f, start=1):
+            if not in_enum:
+                if ENUM_START_RE.match(line):
+                    in_enum = True
+                continue
+            if line.strip().startswith("}"):
+                break
+            match = ENUMERATOR_RE.match(line)
+            if match:
+                enumerators.append(
+                    (match.group(1), int(match.group(2)), line_number))
+    if not enumerators:
+        errors.append("%s:1: no FrameType enumerators found (parser and "
+                      "header out of sync?)" % wire_h)
+    return enumerators, errors
+
+
+def parse_doc_rows(doc_md):
+    """Returns ({name: (value, line)}, errors)."""
+    rows = {}
+    errors = []
+    with open(doc_md, encoding="utf-8") as f:
+        for line_number, line in enumerate(f, start=1):
+            match = DOC_ROW_RE.match(line)
+            if not match:
+                continue
+            name = match.group(2)
+            if name in rows:
+                errors.append("%s:%d: duplicate frame-type row for %s"
+                              % (doc_md, line_number, name))
+            rows[name] = (int(match.group(1)), line_number)
+    return rows, errors
+
+
+def cc_files(src_dir):
+    for dirpath, _, filenames in os.walk(src_dir):
+        for filename in filenames:
+            if filename.endswith(".cc"):
+                yield os.path.join(dirpath, filename)
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    wire_h = os.path.join(root, "src", "service", "wire.h")
+    wire_cc = os.path.join(root, "src", "service", "wire.cc")
+    doc_md = os.path.join(root, "docs", "wire-protocol.md")
+
+    enumerators, errors = parse_enumerators(wire_h)
+    doc_rows, doc_errors = parse_doc_rows(doc_md)
+    errors.extend(doc_errors)
+
+    handled = {name: [] for name, _, _ in enumerators}
+    for cc in cc_files(os.path.join(root, "src")):
+        with open(cc, encoding="utf-8") as f:
+            text = f.read()
+        for name in handled:
+            if "FrameType::%s" % name in text:
+                handled[name].append(cc)
+
+    with open(wire_cc, encoding="utf-8") as f:
+        wire_cc_text = f.read()
+
+    for name, value, line_number in enumerators:
+        if name not in doc_rows:
+            errors.append("%s:%d: FrameType::%s (= %d) has no row in the "
+                          "'Frame types' table of %s"
+                          % (wire_h, line_number, name, value, doc_md))
+        elif doc_rows[name][0] != value:
+            errors.append("%s:%d: 'Frame types' row for %s says byte %d "
+                          "but %s defines %d"
+                          % (doc_md, doc_rows[name][1], name,
+                             doc_rows[name][0], wire_h, value))
+        if not handled[name]:
+            errors.append("%s:%d: FrameType::%s is handled by no .cc under "
+                          "src/ -- dead wire surface or missing decode case"
+                          % (wire_h, line_number, name))
+
+    known = {name for name, _, _ in enumerators}
+    for name, (_, line_number) in sorted(doc_rows.items()):
+        if name not in known:
+            errors.append("%s:%d: 'Frame types' row for %s matches no "
+                          "FrameType enumerator in %s"
+                          % (doc_md, line_number, name, wire_h))
+
+    if enumerators:
+        lowest = min(enumerators, key=lambda e: e[1])[0]
+        highest = max(enumerators, key=lambda e: e[1])[0]
+        for bound in (lowest, highest):
+            if "FrameType::%s" % bound not in wire_cc_text:
+                errors.append("%s:1: frame-header range check does not "
+                              "reference FrameType::%s (the %s enumerator); "
+                              "frames of that type would be rejected as "
+                              "malformed"
+                              % (wire_cc, bound,
+                                 "lowest" if bound == lowest else "highest"))
+
+    for error in errors:
+        print(error, file=sys.stderr)
+    print("check_wire_coverage: %d frame types, %d documented rows, "
+          "%d problems" % (len(enumerators), len(doc_rows), len(errors)))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

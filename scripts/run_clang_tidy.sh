@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the tree (or just your changed files) using the
+# checks in .clang-tidy, with warnings promoted to errors -- the same
+# gate the static-analysis CI job enforces.
+#
+# Usage:
+#   scripts/run_clang_tidy.sh <build-dir>            # full mode: all of src/ tools/ examples/ bench/
+#   scripts/run_clang_tidy.sh <build-dir> --changed  # files changed vs origin/main (falls back to HEAD~1)
+#   scripts/run_clang_tidy.sh <build-dir> a.cc b.cc  # explicit files
+#
+# The build dir must have a compile_commands.json; configure with
+#   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+# (the top-level CMakeLists sets it on by default). CLANG_TIDY overrides
+# the binary (CI pins clang-tidy-15).
+set -u
+
+build_dir="${1:-}"
+if [[ -z "${build_dir}" || ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "usage: $0 <build-dir-with-compile_commands.json> [--changed | files...]" >&2
+  exit 2
+fi
+shift
+
+tidy="${CLANG_TIDY:-}"
+if [[ -z "${tidy}" ]]; then
+  for candidate in clang-tidy-15 clang-tidy; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      tidy="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy}" ]]; then
+  echo "run_clang_tidy: no clang-tidy binary found (set CLANG_TIDY)" >&2
+  exit 2
+fi
+
+cd "$(dirname "$0")/.."
+
+files=()
+if [[ "${1:-}" == "--changed" ]]; then
+  base="origin/main"
+  git rev-parse --verify -q "${base}" >/dev/null || base="HEAD~1"
+  while IFS= read -r f; do
+    [[ -f "$f" ]] && files+=("$f")
+  done < <(git diff --name-only "${base}" -- '*.cc' | grep -v '^third_party/')
+  if [[ ${#files[@]} -eq 0 ]]; then
+    echo "run_clang_tidy: no changed .cc files vs ${base}"
+    exit 0
+  fi
+elif [[ $# -gt 0 ]]; then
+  files=("$@")
+else
+  # Full mode: every translation unit in the compilation database's
+  # source dirs. Tests are covered too -- they are code.
+  while IFS= read -r f; do
+    files+=("$f")
+  done < <(git ls-files 'src/*.cc' 'tools/*.cc' 'examples/*.cc' \
+             'bench/*.cc' 'tests/*.cc')
+fi
+
+echo "run_clang_tidy: ${tidy} over ${#files[@]} file(s)"
+status=0
+for f in "${files[@]}"; do
+  # One file per invocation keeps the output attributable; clang-tidy's
+  # own exit code is the gate (WarningsAsErrors is set in .clang-tidy).
+  if ! "${tidy}" -p "${build_dir}" --quiet "$f"; then
+    status=1
+  fi
+done
+exit ${status}
