@@ -89,7 +89,8 @@ def main():
         with open(cc, encoding="utf-8") as f:
             text = f.read()
         for name in handled:
-            if "FrameType::%s" % name in text:
+            # \b keeps kUpdate from being satisfied by kUpdateReply.
+            if re.search(r"FrameType::%s\b" % re.escape(name), text):
                 handled[name].append(cc)
 
     with open(wire_cc, encoding="utf-8") as f:
@@ -121,7 +122,8 @@ def main():
         lowest = min(enumerators, key=lambda e: e[1])[0]
         highest = max(enumerators, key=lambda e: e[1])[0]
         for bound in (lowest, highest):
-            if "FrameType::%s" % bound not in wire_cc_text:
+            if not re.search(r"FrameType::%s\b" % re.escape(bound),
+                             wire_cc_text):
                 errors.append("%s:1: frame-header range check does not "
                               "reference FrameType::%s (the %s enumerator); "
                               "frames of that type would be rejected as "
